@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the substrate crates: hostlist parsing, topology
+//! queries and collective schedule generation.
+
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_hostlist as hostlist;
+use commsched_topology::{NodeId, SystemPreset, Tree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_hostlist(c: &mut Criterion) {
+    c.bench_function("hostlist_expand_1k", |b| {
+        b.iter(|| black_box(hostlist::expand(black_box("n[0-999]")).unwrap().len()))
+    });
+    let hosts: Vec<String> = (0..1000).map(|i| format!("n{}", i * 2)).collect();
+    c.bench_function("hostlist_compress_1k", |b| {
+        b.iter(|| black_box(hostlist::compress(black_box(&hosts)).len()))
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let tree = SystemPreset::Mira.build();
+    c.bench_function("tree_lca_distance_mira", |b| {
+        b.iter(|| {
+            black_box(
+                tree.distance(black_box(NodeId(17)), black_box(NodeId(48_211))),
+            )
+        })
+    });
+    let conf = tree.to_conf();
+    c.bench_function("tree_parse_mira_conf", |b| {
+        b.iter(|| black_box(Tree::from_conf(black_box(&conf)).unwrap().num_nodes()))
+    });
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_schedule");
+    for pattern in Pattern::PAPER {
+        let spec = CollectiveSpec::new(pattern, 1 << 20);
+        group.bench_with_input(
+            BenchmarkId::new(pattern.to_string(), 16384),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.steps(16384).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hostlist, bench_topology, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Selector throughput at production scale.
+//!
+//! The paper claims its algorithms add negligible scheduler overhead
+//! ("less than 0.1 second", §5.2). These benches time one `select()` call
+//! for each algorithm on the Mira-scale topology (49,152 nodes, 144 leaf
+//! switches) against a half-occupied cluster, across request sizes.
+
+use commsched_core::{AllocRequest, ClusterState, JobId, JobNature, SelectorKind};
+use commsched_topology::{NodeId, SystemPreset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn half_occupied(tree: &commsched_topology::Tree) -> ClusterState {
+    let mut state = ClusterState::new(tree);
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
+    nodes.shuffle(&mut rng);
+    let mut job = 0u64;
+    for chunk in nodes[..tree.num_nodes() / 2].chunks(512) {
+        let nature = if job.is_multiple_of(2) {
+            JobNature::CommIntensive
+        } else {
+            JobNature::ComputeIntensive
+        };
+        state.allocate(tree, JobId(job), chunk, nature).unwrap();
+        job += 1;
+    }
+    state
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let tree = SystemPreset::Mira.build();
+    let state = half_occupied(&tree);
+    let mut group = c.benchmark_group("select_mira_scale");
+    for kind in SelectorKind::ALL {
+        for nodes in [256usize, 2048, 16384] {
+            let selector = kind.build();
+            let req = AllocRequest {
+                job: JobId(999_999),
+                nodes,
+                nature: JobNature::CommIntensive,
+                pattern: None,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), nodes),
+                &req,
+                |b, req| {
+                    b.iter(|| {
+                        let got = selector.select(&tree, &state, black_box(req)).unwrap();
+                        black_box(got.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! One module per reproduced table/figure.
+
+mod ablation;
+mod corr;
+mod fig1;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod mapping;
+mod seeds;
+mod table2;
+mod table3;
+mod table4;
+
+pub use ablation::ablation;
+pub use corr::corr;
+pub use fig1::fig1;
+pub use fig6::fig6;
+pub use fig7::fig7;
+pub use fig8::fig8;
+pub use fig9::fig9;
+pub use mapping::mapping;
+pub use seeds::seeds;
+pub use table2::table2;
+pub use table3::table3;
+pub use table4::table4;
+
+use crate::{ExperimentResult, Scale};
+
+/// Every experiment, keyed by id, in the paper's order.
+pub fn all() -> Vec<(&'static str, fn(Scale) -> ExperimentResult)> {
+    vec![
+        ("fig1", fig1 as fn(Scale) -> ExperimentResult),
+        ("corr", corr),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig6", fig6),
+        ("table4", table4),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("ablation", ablation),
+        ("mapping", mapping),
+        ("seeds", seeds),
+    ]
+}

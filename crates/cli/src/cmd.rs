@@ -1,0 +1,364 @@
+//! Subcommand implementations.
+
+use crate::args::Parsed;
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_core::SelectorKind;
+use commsched_metrics::Table;
+use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig};
+use commsched_topology::{SystemPreset, Tree};
+use commsched_workload::{swf, JobLog, LogProfile, LogSpec, SystemModel};
+use std::io::Write;
+
+type CmdResult = Result<(), String>;
+
+fn preset_by_name(name: &str) -> Result<SystemPreset, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "iitk-dept" | "department" => Ok(SystemPreset::IitkDepartment),
+        "iitk-hpc2010" | "hpc2010" => Ok(SystemPreset::IitkHpc2010),
+        "cori" | "cori-like" => Ok(SystemPreset::CoriLike),
+        "intrepid" => Ok(SystemPreset::Intrepid),
+        "theta" => Ok(SystemPreset::Theta),
+        "mira" => Ok(SystemPreset::Mira),
+        other => Err(format!("unknown preset {other:?}")),
+    }
+}
+
+fn system_by_name(name: &str) -> Result<SystemModel, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "intrepid" => Ok(SystemModel::intrepid()),
+        "theta" => Ok(SystemModel::theta()),
+        "mira" => Ok(SystemModel::mira()),
+        other => Err(format!("unknown system {other:?}")),
+    }
+}
+
+/// Topology from `--preset` or `--conf`.
+fn load_tree(p: &Parsed) -> Result<Tree, String> {
+    match (p.get("preset"), p.get("conf")) {
+        (Some(name), None) => Ok(preset_by_name(name)?.build()),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Tree::from_conf(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("give exactly one of --preset NAME or --conf FILE".into()),
+    }
+}
+
+/// Workload from `--swf` or `--system` (+ generator knobs).
+fn load_log(p: &Parsed) -> Result<(JobLog, usize), String> {
+    let comm_pct: u8 = p.get_parsed("comm-pct", 90u8)?;
+    let pattern: Pattern = p
+        .get("pattern")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Pattern::Rhvd);
+    match (p.get("swf"), p.get("system")) {
+        (Some(path), None) => {
+            let ppn: usize = p.get_parsed("ppn", 1usize)?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut log = swf::parse(&text, path, ppn).map_err(|e| e.to_string())?;
+            let jobs: usize = p.get_parsed("jobs", log.jobs.len())?;
+            log.jobs.truncate(jobs);
+            let seed: u64 = p.get_parsed("seed", 42u64)?;
+            swf::assign_natures(&mut log, comm_pct, &[(pattern, 0.5)], seed);
+            let machine = log.max_nodes();
+            Ok((log, machine))
+        }
+        (None, Some(name)) => {
+            let system = system_by_name(name)?;
+            let jobs: usize = p.get_parsed("jobs", 1000usize)?;
+            let seed: u64 = p.get_parsed("seed", 42u64)?;
+            let log = LogSpec::new(system, jobs, seed)
+                .comm_percent(comm_pct)
+                .pattern(pattern)
+                .generate();
+            Ok((log, system.total_nodes))
+        }
+        _ => Err("give exactly one of --swf FILE or --system NAME".into()),
+    }
+}
+
+/// `commsched topology validate|show`.
+pub fn topology(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    match p.positional.first().map(String::as_str) {
+        Some("validate") => {
+            let path = p
+                .positional
+                .get(1)
+                .ok_or("usage: topology validate <topology.conf>")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let tree = Tree::from_conf(&text).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(
+                out,
+                "{path}: OK — {} nodes, {} switches ({} leaves), {} levels",
+                tree.num_nodes(),
+                tree.num_switches(),
+                tree.num_leaves(),
+                tree.height()
+            )
+            .map_err(|e| e.to_string())
+        }
+        Some("show") => {
+            let tree = load_tree(p)?;
+            writeln!(
+                out,
+                "{} nodes, {} switches ({} leaves), {} levels\n",
+                tree.num_nodes(),
+                tree.num_switches(),
+                tree.num_leaves(),
+                tree.height()
+            )
+            .map_err(|e| e.to_string())?;
+            let mut t = Table::new(
+                ["leaf", "name", "nodes"].map(String::from).to_vec(),
+            );
+            for k in 0..tree.num_leaves().min(40) {
+                let sw = tree.switch(tree.leaf(k));
+                t.row(vec![
+                    k.to_string(),
+                    sw.name.clone(),
+                    tree.leaf_size(k).to_string(),
+                ]);
+            }
+            write!(out, "{t}").map_err(|e| e.to_string())?;
+            if tree.num_leaves() > 40 {
+                writeln!(out, "... ({} more leaves)", tree.num_leaves() - 40)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        _ => Err("usage: topology validate <file> | topology show --preset NAME".into()),
+    }
+}
+
+/// `commsched log generate|stats`.
+pub fn log(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    match p.positional.first().map(String::as_str) {
+        Some("generate") => {
+            let (log, _) = load_log(p)?;
+            let text = swf::emit(&log);
+            match p.get("out") {
+                Some(path) => {
+                    std::fs::write(path, text)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    writeln!(out, "wrote {} jobs to {path}", log.jobs.len())
+                        .map_err(|e| e.to_string())
+                }
+                None => write!(out, "{text}").map_err(|e| e.to_string()),
+            }
+        }
+        Some("stats") => {
+            let (log, machine) = load_log(p)?;
+            let profile = LogProfile::new(&log, machine);
+            if p.switch("json") {
+                let json =
+                    serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+                writeln!(out, "{json}").map_err(|e| e.to_string())
+            } else {
+                write!(out, "{}", profile.render()).map_err(|e| e.to_string())
+            }
+        }
+        _ => Err("usage: log generate|stats ...".into()),
+    }
+}
+
+/// `commsched run` / `commsched compare`.
+pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
+    let tree = load_tree(p)?;
+    let (log, _) = load_log(p)?;
+    let drain_count: usize = p.get_parsed("drain", 0usize)?;
+    if drain_count >= tree.num_nodes() {
+        return Err(format!(
+            "--drain {drain_count} would leave no healthy nodes (machine has {})",
+            tree.num_nodes()
+        ));
+    }
+    for j in &log.jobs {
+        if j.nodes > tree.num_nodes() {
+            return Err(format!(
+                "{} requests {} nodes but the topology has {} — pick a larger \
+                 --preset or trim the log with --jobs",
+                j.id,
+                j.nodes,
+                tree.num_nodes()
+            ));
+        }
+    }
+
+    // Engine knobs.
+    let backfill = match p.get("backfill").unwrap_or("easy") {
+        "none" | "fifo" => BackfillPolicy::None,
+        "easy" => BackfillPolicy::Easy,
+        "conservative" => BackfillPolicy::Conservative,
+        other => return Err(format!("unknown backfill policy {other:?}")),
+    };
+    // Drain the tail of the machine: deterministic and easy to reason about.
+    let drained: Vec<commsched_topology::NodeId> = (tree.num_nodes() - drain_count
+        ..tree.num_nodes())
+        .map(commsched_topology::NodeId)
+        .collect();
+
+    let selectors: Vec<SelectorKind> = if compare {
+        SelectorKind::ALL.to_vec()
+    } else {
+        vec![p
+            .get("selector")
+            .unwrap_or("adaptive")
+            .parse::<SelectorKind>()?]
+    };
+
+    let mut t = Table::new(
+        [
+            "selector",
+            "exec(h)",
+            "wait(h)",
+            "turnaround(h)",
+            "node-h/job",
+            "comm cost",
+            "throughput(j/h)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut timelines: Vec<(SelectorKind, Vec<(u64, f64)>)> = Vec::new();
+    for kind in selectors {
+        let mut cfg = EngineConfig::new(kind);
+        cfg.backfill = backfill;
+        if p.switch("quiet") {
+            cfg.adjust_runtimes = false;
+        }
+        let summary = Engine::new(&tree, cfg)
+            .drain_nodes(drained.clone())
+            .run(&log)
+            .map_err(|e| e.to_string())?;
+        if p.get("utilization").is_some() {
+            let buckets: usize = p.get_parsed("utilization", 20usize)?;
+            timelines.push((kind, summary.utilization(tree.num_nodes(), buckets)));
+        }
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.1}", summary.total_exec_hours()),
+            format!("{:.1}", summary.total_wait_hours()),
+            format!("{:.2}", summary.avg_turnaround_hours()),
+            format!("{:.1}", summary.avg_node_hours()),
+            format!("{:.0}", summary.total_comm_cost()),
+            format!("{:.1}", summary.throughput()),
+        ]);
+    }
+    writeln!(
+        out,
+        "log {:?}: {} jobs on {} nodes{}\n\n{t}",
+        log.name,
+        log.jobs.len(),
+        tree.num_nodes(),
+        if drained.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} drained)", drained.len())
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for (kind, timeline) in timelines {
+        writeln!(out, "utilization over time — {}:", kind.name())
+            .map_err(|e| e.to_string())?;
+        for (t0, frac) in timeline {
+            writeln!(
+                out,
+                "  t={t0:>10}s  {:>5.1}%  {}",
+                frac * 100.0,
+                "#".repeat((frac * 40.0) as usize)
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `commsched individual` — the paper's individual-runs protocol (§5.4,
+/// Table 4): freeze a partially occupied cluster and place each probe job
+/// from the identical state under all four allocators.
+pub fn individual(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    use commsched_slurmsim::individual::{individual_runs, mean_improvement, warmup_state};
+
+    let tree = load_tree(p)?;
+    let (log, _) = load_log(p)?;
+    let warm: f64 = p.get_parsed("warmup", 0.55f64)?;
+    if !(0.0..1.0).contains(&warm) {
+        return Err("--warmup must be in [0, 1)".into());
+    }
+    let probes_wanted: usize = p.get_parsed("probes", 200usize)?;
+
+    let state = warmup_state(&tree, &log, warm);
+    let probes: Vec<_> = log
+        .jobs
+        .iter()
+        .filter(|j| j.nature.is_comm() && j.nodes <= state.free_total())
+        .take(probes_wanted)
+        .cloned()
+        .collect();
+    if probes.is_empty() {
+        return Err("no communication-intensive probes fit the warm cluster".into());
+    }
+    let outcomes = individual_runs(
+        &tree,
+        &state,
+        &probes,
+        EngineConfig::new(SelectorKind::Default),
+    );
+
+    let mut t = Table::new(
+        ["selector", "mean % exec improvement over default"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for kind in SelectorKind::PROPOSED {
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", mean_improvement(&outcomes, kind)),
+        ]);
+    }
+    writeln!(
+        out,
+        "individual runs: {} probes from a {:.0}%-occupied cluster          ({} busy / {} nodes)
+
+{t}",
+        outcomes.len(),
+        100.0 * state.busy_total() as f64 / tree.num_nodes() as f64,
+        state.busy_total(),
+        tree.num_nodes()
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `commsched patterns [RANKS]`.
+pub fn patterns(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let ranks: usize = p
+        .positional
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("bad rank count {s:?}")))
+        .transpose()?
+        .unwrap_or(8);
+    for pattern in Pattern::ALL {
+        let spec = CollectiveSpec::new(pattern, 1 << 20);
+        writeln!(
+            out,
+            "{pattern}: {} steps over {ranks} ranks, {} total bytes",
+            spec.num_steps(ranks),
+            spec.total_bytes(ranks)
+        )
+        .map_err(|e| e.to_string())?;
+        for (k, step) in spec.steps(ranks).iter().enumerate() {
+            let pairs: Vec<String> = step
+                .pairs
+                .iter()
+                .map(|(a, b)| format!("{a}-{b}"))
+                .collect();
+            writeln!(out, "  step {k:>2} ({:>8} B): {}", step.msize, pairs.join(" "))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

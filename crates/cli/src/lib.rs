@@ -1,0 +1,87 @@
+//! Implementation of the `commsched` command-line tool.
+//!
+//! The binary is a thin `main` over [`run`], so every subcommand is unit-
+//! testable: commands take parsed arguments and write to any `io::Write`.
+//!
+//! ```text
+//! commsched topology validate <topology.conf>
+//! commsched topology show (--preset NAME | --conf FILE)
+//! commsched log generate --system NAME [--jobs N] [--seed S]
+//!                        [--comm-pct P] [--pattern PAT] [--out FILE]
+//! commsched log stats (--swf FILE [--ppn N] | --system NAME [...])
+//! commsched run (--preset NAME | --conf FILE) --selector SEL
+//!               (--swf FILE [--ppn N] | --system NAME) [--jobs N] [...]
+//! commsched compare ...         # `run` for all four selectors
+//! commsched patterns [RANKS]    # print collective schedules
+//! ```
+
+mod args;
+mod cmd;
+
+pub use args::{ArgError, Parsed};
+
+use std::io::Write;
+
+/// Entry point: parse `argv` (without the program name) and execute.
+///
+/// Returns the process exit code; all output goes to `out`, errors to
+/// `err`.
+pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
+    let parsed = match args::Parsed::new(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}\n\n{}", usage());
+            return 2;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "topology" => cmd::topology(&parsed, out),
+        "log" => cmd::log(&parsed, out),
+        "run" => cmd::run_sim(&parsed, out, false),
+        "individual" => cmd::individual(&parsed, out),
+        "compare" => cmd::run_sim(&parsed, out, true),
+        "patterns" => cmd::patterns(&parsed, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}");
+            1
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "commsched — communication-aware job scheduling toolkit
+
+USAGE:
+  commsched topology validate <topology.conf>
+  commsched topology show (--preset NAME | --conf FILE)
+  commsched log generate --system NAME [--jobs N] [--seed S]
+                         [--comm-pct P] [--pattern PAT] [--out FILE]
+  commsched log stats (--swf FILE [--ppn N] | --system NAME [--jobs N] [--seed S])
+  commsched run     (--preset NAME | --conf FILE) [--selector SEL] <workload>
+                    [--backfill none|easy|conservative] [--drain N]
+                    [--utilization BUCKETS]
+  commsched compare (--preset NAME | --conf FILE) <workload>
+  commsched individual (--preset NAME | --conf FILE) <workload>
+                    [--warmup FRAC] [--probes N]
+  commsched patterns [RANKS]
+
+  <workload> = --swf FILE [--ppn N] | --system NAME [--jobs N] [--seed S]
+               [--comm-pct P] [--pattern PAT]
+
+  NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
+  NAME (systems): intrepid | theta | mira
+  SEL:  default | greedy | balanced | adaptive
+  PAT:  rd | rhvd | binomial | ring | stencil2d | alltoall"
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,11 @@
+//! `commsched` binary: see [`commsched_cli::usage`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = commsched_cli::run(
+        &argv,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+    std::process::exit(code);
+}

@@ -1,0 +1,252 @@
+use crate::args::Parsed;
+use crate::run;
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = run(&argv, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8(out).unwrap(),
+        String::from_utf8(err).unwrap(),
+    )
+}
+
+// ------------------------------------------------------------------ args
+
+#[test]
+fn parses_command_flags_and_positionals() {
+    let p = Parsed::new(&[
+        "run".into(),
+        "--preset".into(),
+        "theta".into(),
+        "extra".into(),
+        "--jobs".into(),
+        "100".into(),
+    ])
+    .unwrap();
+    assert_eq!(p.command, "run");
+    assert_eq!(p.positional, ["extra"]);
+    assert_eq!(p.get("preset"), Some("theta"));
+    assert_eq!(p.get_parsed("jobs", 0usize).unwrap(), 100);
+    assert_eq!(p.get_parsed("seed", 7u64).unwrap(), 7); // default
+}
+
+#[test]
+fn rejects_flag_without_value() {
+    assert!(Parsed::new(&["run".into(), "--preset".into()]).is_err());
+    assert!(Parsed::new(&["run".into(), "--preset".into(), "--jobs".into()]).is_err());
+    assert!(Parsed::new(&[]).is_err());
+}
+
+#[test]
+fn switches_take_no_value() {
+    let p = Parsed::new(&["log".into(), "--json".into(), "stats".into()]).unwrap();
+    assert!(p.switch("json"));
+    assert_eq!(p.positional, ["stats"]);
+}
+
+#[test]
+fn require_reports_missing() {
+    let p = Parsed::new(&["run".into()]).unwrap();
+    assert!(p.require("preset").is_err());
+}
+
+// ------------------------------------------------------------- commands
+
+#[test]
+fn help_prints_usage() {
+    let (code, out, _) = run_cli(&["help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (code, _, err) = run_cli(&["frobnicate"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn topology_show_preset() {
+    let (code, out, _) = run_cli(&["topology", "show", "--preset", "iitk-dept"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("50 nodes"));
+    assert!(out.contains("4 leaves") || out.contains("(4 leaves)"));
+}
+
+#[test]
+fn topology_validate_round_trip() {
+    let dir = std::env::temp_dir().join("commsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("topo.conf");
+    std::fs::write(
+        &path,
+        "SwitchName=s0 Nodes=n[0-3]\nSwitchName=s1 Nodes=n[4-7]\nSwitchName=s2 Switches=s[0-1]\n",
+    )
+    .unwrap();
+    let (code, out, _) = run_cli(&["topology", "validate", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(out.contains("OK"));
+    assert!(out.contains("8 nodes"));
+
+    std::fs::write(&path, "SwitchName=s0 Nodes=n[0-3]\nSwitchName=s1 Nodes=n[2-5]\n").unwrap();
+    let (code, _, err) = run_cli(&["topology", "validate", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(err.contains("more than one switch"), "{err}");
+}
+
+#[test]
+fn log_stats_synthetic() {
+    let (code, out, _) = run_cli(&[
+        "log", "stats", "--system", "theta", "--jobs", "50", "--seed", "3",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("50 jobs"));
+    assert!(out.contains("powers of two"));
+}
+
+#[test]
+fn log_stats_json() {
+    let (code, out, _) = run_cli(&[
+        "log", "stats", "--system", "mira", "--jobs", "20", "--json",
+    ]);
+    assert_eq!(code, 0);
+    let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(v["jobs"], 20);
+}
+
+#[test]
+fn log_generate_and_stats_round_trip() {
+    let dir = std::env::temp_dir().join("commsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.swf");
+    let (code, _, _) = run_cli(&[
+        "log",
+        "generate",
+        "--system",
+        "theta",
+        "--jobs",
+        "30",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    let (code, out, _) = run_cli(&["log", "stats", "--swf", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(out.contains("30 jobs"));
+}
+
+#[test]
+fn compare_runs_all_selectors() {
+    let (code, out, _) = run_cli(&[
+        "compare", "--preset", "theta", "--system", "theta", "--jobs", "40",
+    ]);
+    assert_eq!(code, 0);
+    for name in ["default", "greedy", "balanced", "adaptive"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_single_selector() {
+    let (code, out, _) = run_cli(&[
+        "run", "--preset", "theta", "--system", "theta", "--jobs", "25",
+        "--selector", "balanced", "--pattern", "rd",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("balanced"));
+    assert!(!out.contains("greedy"));
+}
+
+#[test]
+fn run_rejects_oversized_log() {
+    let (code, _, err) = run_cli(&[
+        "run", "--preset", "iitk-dept", "--system", "mira", "--jobs", "5",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("requests"), "{err}");
+}
+
+#[test]
+fn patterns_lists_all() {
+    let (code, out, _) = run_cli(&["patterns", "4"]);
+    assert_eq!(code, 0);
+    for name in ["RD", "RHVD", "Binomial", "Ring", "Stencil2D", "Alltoall"] {
+        assert!(out.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn bad_preset_and_system_errors() {
+    let (code, _, err) = run_cli(&["topology", "show", "--preset", "nope"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown preset"));
+
+    let (code, _, err) = run_cli(&["log", "stats", "--system", "nope"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown system"));
+}
+
+#[test]
+fn run_with_drain_and_backfill_flags() {
+    let (code, out, _) = run_cli(&[
+        "run", "--preset", "theta", "--system", "theta", "--jobs", "20",
+        "--drain", "100", "--backfill", "conservative",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("(100 drained)"), "{out}");
+}
+
+#[test]
+fn run_rejects_full_drain_and_bad_backfill() {
+    let (code, _, err) = run_cli(&[
+        "run", "--preset", "iitk-dept", "--system", "theta", "--jobs", "5",
+        "--drain", "50",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("no healthy nodes"), "{err}");
+
+    let (code, _, err) = run_cli(&[
+        "run", "--preset", "theta", "--system", "theta", "--jobs", "5",
+        "--backfill", "bogus",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown backfill"), "{err}");
+}
+
+#[test]
+fn run_prints_utilization_timeline() {
+    let (code, out, _) = run_cli(&[
+        "run", "--preset", "theta", "--system", "theta", "--jobs", "15",
+        "--selector", "default", "--utilization", "5",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("utilization over time"), "{out}");
+    assert!(out.matches("t=").count() == 5, "{out}");
+}
+
+#[test]
+fn individual_subcommand_reports_improvements() {
+    let (code, out, _) = run_cli(&[
+        "individual", "--preset", "theta", "--system", "theta",
+        "--jobs", "120", "--probes", "20", "--warmup", "0.4",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("individual runs: 20 probes"), "{out}");
+    for name in ["greedy", "balanced", "adaptive"] {
+        assert!(out.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn individual_rejects_bad_warmup() {
+    let (code, _, err) = run_cli(&[
+        "individual", "--preset", "theta", "--system", "theta",
+        "--jobs", "10", "--warmup", "1.5",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("--warmup"), "{err}");
+}

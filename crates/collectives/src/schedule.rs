@@ -1,0 +1,354 @@
+//! Schedule generation for each supported communication pattern.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Communication pattern families considered by the scheduler.
+///
+/// `Rd`, `Rhvd` and `Binomial` are the three patterns evaluated in the paper;
+/// `Ring` and `Stencil2D` are the extensions named in its future work (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Recursive doubling/halving (the paper's "RD"): `MPI_Allreduce`.
+    Rd,
+    /// Recursive halving with vector doubling: `MPI_Allgather`,
+    /// Rabenseifner-style `MPI_Allreduce`.
+    Rhvd,
+    /// Binomial tree: `MPI_Bcast`, `MPI_Reduce`, `MPI_Gather`.
+    Binomial,
+    /// Ring allgather: `p - 1` steps of neighbour exchange.
+    Ring,
+    /// Five-point 2-D halo exchange on a near-square process grid.
+    Stencil2D,
+    /// Pairwise-exchange all-to-all (`MPI_Alltoall`, the FFTW/CPMD
+    /// workhorse named in the paper's introduction): `p - 1` steps, rank
+    /// `i` exchanging its block with `i XOR k` (power-of-two ranks) or
+    /// with `(i ± k) mod p` otherwise.
+    Alltoall,
+}
+
+impl Pattern {
+    /// All patterns the paper evaluates (RD, RHVD, binomial).
+    pub const PAPER: [Pattern; 3] = [Pattern::Rd, Pattern::Rhvd, Pattern::Binomial];
+
+    /// Every supported pattern including future-work extensions.
+    pub const ALL: [Pattern; 6] = [
+        Pattern::Rd,
+        Pattern::Rhvd,
+        Pattern::Binomial,
+        Pattern::Ring,
+        Pattern::Stencil2D,
+        Pattern::Alltoall,
+    ];
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pattern::Rd => "RD",
+            Pattern::Rhvd => "RHVD",
+            Pattern::Binomial => "Binomial",
+            Pattern::Ring => "Ring",
+            Pattern::Stencil2D => "Stencil2D",
+            Pattern::Alltoall => "Alltoall",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rd" => Ok(Pattern::Rd),
+            "rhvd" => Ok(Pattern::Rhvd),
+            "binomial" | "bin" => Ok(Pattern::Binomial),
+            "ring" => Ok(Pattern::Ring),
+            "stencil2d" | "stencil" => Ok(Pattern::Stencil2D),
+            "alltoall" | "a2a" => Ok(Pattern::Alltoall),
+            other => Err(format!("unknown pattern {other:?}")),
+        }
+    }
+}
+
+/// One step of a collective: the rank pairs that communicate concurrently
+/// and the bytes each pair exchanges.
+///
+/// Pairs are normalized to `(lo, hi)` with `lo < hi`; each pair denotes a
+/// bidirectional exchange (or a send for one-directional algorithms such as
+/// binomial broadcast — the cost model and the flow simulator treat both the
+/// same way, as the paper's hop model does).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Concurrently communicating rank pairs, `(lo, hi)`, sorted.
+    pub pairs: Vec<(usize, usize)>,
+    /// Bytes exchanged per pair in this step.
+    pub msize: u64,
+}
+
+impl Step {
+    fn new(mut pairs: Vec<(usize, usize)>, msize: u64) -> Self {
+        for p in &mut pairs {
+            if p.0 > p.1 {
+                *p = (p.1, p.0);
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup(); // e.g. a 2-rank ring yields (0,1) and (1,0)
+        Step { pairs, msize }
+    }
+}
+
+/// A collective operation: the algorithm family plus the base message size.
+///
+/// `msize` follows the convention of each algorithm's standard description:
+/// for RD (allreduce) it is the full vector exchanged every step; for RHVD
+/// and Ring it is the *total* vector being assembled (per-step payloads are
+/// derived fractions); for Binomial it is the broadcast payload; for
+/// Stencil2D it is the per-neighbour halo size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveSpec {
+    /// Algorithm family.
+    pub pattern: Pattern,
+    /// Base message size in bytes (see type-level docs for the convention).
+    pub msize: u64,
+}
+
+impl CollectiveSpec {
+    /// Create a spec. `msize` must be positive.
+    pub fn new(pattern: Pattern, msize: u64) -> Self {
+        assert!(msize > 0, "message size must be positive");
+        CollectiveSpec { pattern, msize }
+    }
+
+    /// Number of steps this collective takes over `ranks` processes, without
+    /// materializing the schedule.
+    pub fn num_steps(&self, ranks: usize) -> usize {
+        if ranks <= 1 {
+            return 0;
+        }
+        let log = floor_log2(ranks);
+        let pow2 = ranks.is_power_of_two();
+        let extra = usize::from(!pow2);
+        match self.pattern {
+            // pre-step + log2 core steps + post-step
+            Pattern::Rd => log + 2 * extra,
+            Pattern::Rhvd => log + 2 * extra,
+            Pattern::Binomial => log + extra,
+            Pattern::Ring => ranks - 1,
+            Pattern::Stencil2D => 4,
+            Pattern::Alltoall => ranks - 1,
+        }
+    }
+
+    /// Generate the full schedule for `ranks` processes.
+    ///
+    /// Returns an empty schedule for fewer than two ranks.
+    pub fn steps(&self, ranks: usize) -> Vec<Step> {
+        if ranks <= 1 {
+            return Vec::new();
+        }
+        let steps = match self.pattern {
+            Pattern::Rd => rd_steps(ranks, self.msize),
+            Pattern::Rhvd => rhvd_steps(ranks, self.msize),
+            Pattern::Binomial => binomial_steps(ranks, self.msize),
+            Pattern::Ring => ring_steps(ranks, self.msize),
+            Pattern::Stencil2D => stencil2d_steps(ranks, self.msize),
+            Pattern::Alltoall => alltoall_steps(ranks, self.msize),
+        };
+        debug_assert_eq!(steps.len(), self.num_steps(ranks));
+        steps
+    }
+
+    /// Total bytes moved by the whole collective (all pairs, all steps).
+    pub fn total_bytes(&self, ranks: usize) -> u64 {
+        self.steps(ranks)
+            .iter()
+            .map(|s| s.msize * s.pairs.len() as u64)
+            .sum()
+    }
+}
+
+fn floor_log2(p: usize) -> usize {
+    debug_assert!(p >= 1);
+    (usize::BITS - 1 - p.leading_zeros()) as usize
+}
+
+/// The MPICH fold of `p` ranks onto a `2^⌊log2 p⌋` core: the first
+/// `2r` ranks pair up `(even, even+1)`; evens drop out of the core phase.
+///
+/// Returns `(pre_pairs, core)`, where `core[c]` is the original rank playing
+/// core rank `c`.
+fn fold_to_pow2(p: usize) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let pow2 = 1usize << floor_log2(p);
+    let r = p - pow2;
+    let pre: Vec<(usize, usize)> = (0..r).map(|k| (2 * k, 2 * k + 1)).collect();
+    // Odd ranks among the first 2r survive; ranks >= 2r map directly.
+    let mut core = Vec::with_capacity(pow2);
+    core.extend((0..r).map(|k| 2 * k + 1));
+    core.extend(2 * r..p);
+    debug_assert_eq!(core.len(), pow2);
+    (pre, core)
+}
+
+/// Recursive doubling: pre/post fold for non-powers of two, then `log2`
+/// XOR-partner steps over the core, full vector (`msize`) every step.
+fn rd_steps(p: usize, msize: u64) -> Vec<Step> {
+    let (pre, core) = fold_to_pow2(p);
+    let pow2 = core.len();
+    let mut steps = Vec::new();
+    if !pre.is_empty() {
+        steps.push(Step::new(pre.clone(), msize));
+    }
+    for k in 0..floor_log2(pow2) {
+        let dist = 1usize << k;
+        let pairs = (0..pow2)
+            .filter(|i| i & dist == 0)
+            .map(|i| (core[i], core[i ^ dist]))
+            .collect();
+        steps.push(Step::new(pairs, msize));
+    }
+    if !pre.is_empty() {
+        steps.push(Step::new(pre, msize));
+    }
+    steps
+}
+
+/// Recursive halving with vector doubling — the allgather formulation the
+/// paper's name describes literally: step `k` exchanges with the partner at
+/// distance `pow2 / 2^(k+1)` (distances *halve*), carrying `msize/pow2 ·
+/// 2^k` bytes (payloads *double* as the gathered vector grows).
+///
+/// This is the schedule behind the paper's §6.1 observation that "the first
+/// half of the nodes do not communicate with the second half after the
+/// first step": only step 0 crosses the halves, and it carries the
+/// *smallest* payload — which is precisely why power-of-two balanced
+/// allocations keep the heavy traffic intra-switch.
+///
+/// Non-powers of two fold the excess ranks in with a pre-step (their block
+/// moves into the core) and a post-step (the fully gathered vector moves
+/// back out).
+fn rhvd_steps(p: usize, msize: u64) -> Vec<Step> {
+    let (pre, core) = fold_to_pow2(p);
+    let pow2 = core.len();
+    let log = floor_log2(pow2);
+    let block = (msize / pow2 as u64).max(1);
+    let mut steps = Vec::new();
+    if !pre.is_empty() {
+        steps.push(Step::new(pre.clone(), block));
+    }
+    for k in 0..log {
+        let dist = pow2 >> (k + 1);
+        let bytes = (block << k).max(1);
+        let pairs = (0..pow2)
+            .filter(|i| i & dist == 0)
+            .map(|i| (core[i], core[i ^ dist]))
+            .collect();
+        steps.push(Step::new(pairs, bytes));
+    }
+    if !pre.is_empty() {
+        steps.push(Step::new(pre, msize));
+    }
+    steps
+}
+
+/// Binomial tree broadcast: in step `k`, ranks `i < 2^k` send the full
+/// payload to `i + 2^k` (when that rank exists). Non-powers of two need no
+/// fold — the tree just has a ragged last level.
+fn binomial_steps(p: usize, msize: u64) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut k = 0usize;
+    while (1usize << k) < p {
+        let dist = 1usize << k;
+        let pairs = (0..dist)
+            .filter(|i| i + dist < p)
+            .map(|i| (i, i + dist))
+            .collect();
+        steps.push(Step::new(pairs, msize));
+        k += 1;
+    }
+    steps
+}
+
+/// Ring allgather: `p - 1` steps; every rank sends `msize / p` to its right
+/// neighbour each step.
+fn ring_steps(p: usize, msize: u64) -> Vec<Step> {
+    let bytes = (msize / p as u64).max(1);
+    let pairs: Vec<(usize, usize)> = (0..p).map(|i| (i, (i + 1) % p)).collect();
+    (0..p - 1)
+        .map(|_| Step::new(pairs.clone(), bytes))
+        .collect()
+}
+
+/// Pairwise-exchange all-to-all: `p - 1` steps; in step `k`, rank `i`
+/// swaps one `msize / p` block with partner `i XOR k` when `p` is a power
+/// of two (a perfect pairing), or sends to `(i + k) mod p` otherwise (the
+/// classic non-power-of-two fallback, where send and receive partners
+/// differ).
+fn alltoall_steps(p: usize, msize: u64) -> Vec<Step> {
+    let block = (msize / p as u64).max(1);
+    let mut steps = Vec::with_capacity(p - 1);
+    for k in 1..p {
+        let pairs: Vec<(usize, usize)> = if p.is_power_of_two() {
+            (0..p).filter(|i| i ^ k > *i).map(|i| (i, i ^ k)).collect()
+        } else {
+            (0..p).map(|i| (i, (i + k) % p)).collect()
+        };
+        steps.push(Step::new(pairs, block));
+    }
+    steps
+}
+
+/// Five-point stencil halo exchange on a near-square `rows x cols` grid
+/// (row-major ranks): one step per direction (E, W, S, N neighbour waves),
+/// each pair exchanging the halo payload.
+fn stencil2d_steps(p: usize, msize: u64) -> Vec<Step> {
+    let (rows, cols) = near_square_grid(p);
+    let rank = |r: usize, c: usize| r * cols + c;
+    let mut steps = Vec::new();
+    // Horizontal exchanges in two waves so a rank talks to one partner per
+    // step (even-odd column pairing), then vertical likewise.
+    for parity in 0..2usize {
+        let mut pairs = Vec::new();
+        for r in 0..rows {
+            let mut c = parity;
+            while c + 1 < cols {
+                if rank(r, c + 1) < p && rank(r, c) < p {
+                    pairs.push((rank(r, c), rank(r, c + 1)));
+                }
+                c += 2;
+            }
+        }
+        steps.push(Step::new(pairs, msize));
+    }
+    for parity in 0..2usize {
+        let mut pairs = Vec::new();
+        for c in 0..cols {
+            let mut r = parity;
+            while r + 1 < rows {
+                if rank(r + 1, c) < p && rank(r, c) < p {
+                    pairs.push((rank(r, c), rank(r + 1, c)));
+                }
+                r += 2;
+            }
+        }
+        steps.push(Step::new(pairs, msize));
+    }
+    steps
+}
+
+/// Factor `p` into the most square `rows x cols >= p` grid with
+/// `rows <= cols` and `rows * cols` minimal-ish (exact factor when possible).
+fn near_square_grid(p: usize) -> (usize, usize) {
+    let mut best = (1, p);
+    let mut r = (p as f64).sqrt() as usize;
+    while r >= 1 {
+        if p.is_multiple_of(r) {
+            best = (r, p / r);
+            break;
+        }
+        r -= 1;
+    }
+    best
+}

@@ -1,0 +1,351 @@
+use crate::{CollectiveSpec, Pattern, Step};
+
+fn pairs_of(steps: &[Step]) -> Vec<Vec<(usize, usize)>> {
+    steps.iter().map(|s| s.pairs.clone()).collect()
+}
+
+#[test]
+fn rd_eight_ranks_matches_figure3() {
+    // Figure 3 of the paper: recursive doubling over 8 ranks.
+    // Step 1: distance 1; Step 2: distance 2; Step 3: distance 4.
+    let steps = CollectiveSpec::new(Pattern::Rd, 1024).steps(8);
+    assert_eq!(
+        pairs_of(&steps),
+        vec![
+            vec![(0, 1), (2, 3), (4, 5), (6, 7)],
+            vec![(0, 2), (1, 3), (4, 6), (5, 7)],
+            vec![(0, 4), (1, 5), (2, 6), (3, 7)],
+        ]
+    );
+    // Allreduce RD moves the full vector every step.
+    assert!(steps.iter().all(|s| s.msize == 1024));
+}
+
+#[test]
+fn rd_two_ranks() {
+    let steps = CollectiveSpec::new(Pattern::Rd, 8).steps(2);
+    assert_eq!(pairs_of(&steps), vec![vec![(0, 1)]]);
+}
+
+#[test]
+fn rd_single_rank_is_empty() {
+    assert!(CollectiveSpec::new(Pattern::Rd, 8).steps(1).is_empty());
+    assert!(CollectiveSpec::new(Pattern::Rd, 8).steps(0).is_empty());
+}
+
+#[test]
+fn rd_non_power_of_two_folds() {
+    // p = 6 -> pow2 = 4, r = 2: pre pairs (0,1), (2,3); core = {1, 3, 4, 5}.
+    let steps = CollectiveSpec::new(Pattern::Rd, 64).steps(6);
+    assert_eq!(steps.len(), 4); // pre + 2 core + post
+    assert_eq!(steps[0].pairs, vec![(0, 1), (2, 3)]);
+    assert_eq!(steps[1].pairs, vec![(1, 3), (4, 5)]); // core distance 1
+    assert_eq!(steps[2].pairs, vec![(1, 4), (3, 5)]); // core distance 2
+    assert_eq!(steps[3].pairs, steps[0].pairs); // mirror post-step
+}
+
+#[test]
+fn rhvd_eight_ranks_structure() {
+    // Distances halve (4, 2, 1) while payloads double (m/8, m/4, m/2).
+    let m = 1u64 << 20;
+    let steps = CollectiveSpec::new(Pattern::Rhvd, m).steps(8);
+    assert_eq!(steps.len(), 3);
+    assert_eq!(steps[0].pairs, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+    assert_eq!(steps[0].msize, m / 8);
+    assert_eq!(steps[1].pairs, vec![(0, 2), (1, 3), (4, 6), (5, 7)]);
+    assert_eq!(steps[1].msize, m / 4);
+    assert_eq!(steps[2].pairs, vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+    assert_eq!(steps[2].msize, m / 2);
+}
+
+#[test]
+fn rhvd_conserves_the_gathered_vector() {
+    // An allgather assembles msize bytes on each rank: per-rank received
+    // bytes over all steps must total msize * (p-1)/p.
+    for logp in 1u32..8 {
+        let p = 1u64 << logp;
+        let m = 1u64 << 20;
+        let steps = CollectiveSpec::new(Pattern::Rhvd, m).steps(p as usize);
+        let per_rank: u64 = steps.iter().map(|s| s.msize).sum();
+        assert_eq!(per_rank, m - m / p, "p = {p}");
+    }
+}
+
+#[test]
+fn rhvd_first_half_stops_talking_to_second_half() {
+    // Section 6.1: "in the recursive halving communication pattern, the
+    // first half of the nodes do not communicate with the second half after
+    // the first step" — the property that makes power-of-two splits good.
+    let steps = CollectiveSpec::new(Pattern::Rhvd, 1 << 20).steps(16);
+    for (k, step) in steps.iter().enumerate().skip(1) {
+        for &(a, b) in &step.pairs {
+            assert_eq!(
+                (a < 8),
+                (b < 8),
+                "step {k} crosses the halves with pair ({a}, {b})"
+            );
+        }
+    }
+    // And the one crossing step carries the smallest payload.
+    assert!(steps[0].msize <= steps.iter().map(|s| s.msize).min().unwrap());
+}
+
+#[test]
+fn rhvd_tiny_message_never_zero() {
+    let steps = CollectiveSpec::new(Pattern::Rhvd, 1).steps(1024);
+    assert!(steps.iter().all(|s| s.msize >= 1));
+}
+
+#[test]
+fn binomial_eight_ranks() {
+    let steps = CollectiveSpec::new(Pattern::Binomial, 4096).steps(8);
+    assert_eq!(
+        pairs_of(&steps),
+        vec![
+            vec![(0, 1)],
+            vec![(0, 2), (1, 3)],
+            vec![(0, 4), (1, 5), (2, 6), (3, 7)],
+        ]
+    );
+    assert!(steps.iter().all(|s| s.msize == 4096));
+}
+
+#[test]
+fn binomial_ragged_tree() {
+    // p = 6: last step only sends where the target exists.
+    let steps = CollectiveSpec::new(Pattern::Binomial, 1).steps(6);
+    assert_eq!(
+        pairs_of(&steps),
+        vec![
+            vec![(0, 1)],
+            vec![(0, 2), (1, 3)],
+            vec![(0, 4), (1, 5)],
+        ]
+    );
+}
+
+#[test]
+fn binomial_reaches_every_rank() {
+    // Broadcast correctness: simulate receipt from root 0.
+    for p in [2usize, 3, 5, 8, 17, 64, 100] {
+        let steps = CollectiveSpec::new(Pattern::Binomial, 1).steps(p);
+        let mut has = vec![false; p];
+        has[0] = true;
+        for step in &steps {
+            let mut next = has.clone();
+            for &(a, b) in &step.pairs {
+                if has[a] || has[b] {
+                    next[a] = true;
+                    next[b] = true;
+                }
+            }
+            has = next;
+        }
+        assert!(has.into_iter().all(|h| h), "p={p} left ranks without data");
+    }
+}
+
+#[test]
+fn ring_structure() {
+    let steps = CollectiveSpec::new(Pattern::Ring, 1000).steps(5);
+    assert_eq!(steps.len(), 4);
+    for s in &steps {
+        assert_eq!(s.pairs, vec![(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(s.msize, 200);
+    }
+}
+
+#[test]
+fn ring_two_ranks_dedups() {
+    let steps = CollectiveSpec::new(Pattern::Ring, 10).steps(2);
+    assert_eq!(steps.len(), 1);
+    assert_eq!(steps[0].pairs, vec![(0, 1)]);
+}
+
+#[test]
+fn stencil_square_grid() {
+    // p = 9 -> 3x3 grid; 4 direction waves.
+    let steps = CollectiveSpec::new(Pattern::Stencil2D, 512).steps(9);
+    assert_eq!(steps.len(), 4);
+    let all: Vec<(usize, usize)> = steps.iter().flat_map(|s| s.pairs.clone()).collect();
+    // 3x3 five-point stencil has 6 horizontal + 6 vertical undirected edges.
+    assert_eq!(all.len(), 12);
+    assert!(all.contains(&(0, 1)));
+    assert!(all.contains(&(0, 3)));
+    assert!(all.contains(&(4, 5)));
+    assert!(all.contains(&(5, 8)));
+}
+
+#[test]
+fn alltoall_pow2_pairs_every_rank_each_step() {
+    let steps = CollectiveSpec::new(Pattern::Alltoall, 8000).steps(8);
+    assert_eq!(steps.len(), 7);
+    for (k, step) in steps.iter().enumerate() {
+        assert_eq!(step.pairs.len(), 4, "step {k}");
+        assert_eq!(step.msize, 1000);
+        let mut seen = [false; 8];
+        for &(a, b) in &step.pairs {
+            assert_eq!(b, a ^ (k + 1));
+            assert!(!seen[a] && !seen[b]);
+            seen[a] = true;
+            seen[b] = true;
+        }
+    }
+}
+
+#[test]
+fn alltoall_every_rank_pair_communicates_exactly_once() {
+    // All-to-all semantics: over the whole schedule each unordered pair
+    // appears exactly once (power-of-two ranks).
+    let steps = CollectiveSpec::new(Pattern::Alltoall, 1 << 20).steps(16);
+    let mut count = std::collections::HashMap::new();
+    for s in &steps {
+        for &pr in &s.pairs {
+            *count.entry(pr).or_insert(0usize) += 1;
+        }
+    }
+    assert_eq!(count.len(), 16 * 15 / 2);
+    assert!(count.values().all(|&c| c == 1));
+}
+
+#[test]
+fn alltoall_non_pow2_covers_all_pairs() {
+    let steps = CollectiveSpec::new(Pattern::Alltoall, 700).steps(7);
+    assert_eq!(steps.len(), 6);
+    let mut seen = std::collections::HashSet::new();
+    for s in &steps {
+        for &pr in &s.pairs {
+            seen.insert(pr);
+        }
+    }
+    assert_eq!(seen.len(), 7 * 6 / 2);
+}
+
+#[test]
+fn pattern_parsing_and_display() {
+    for p in Pattern::ALL {
+        let s = p.to_string();
+        assert_eq!(s.parse::<Pattern>().unwrap(), p);
+    }
+    assert_eq!("rhvd".parse::<Pattern>().unwrap(), Pattern::Rhvd);
+    assert!("bogus".parse::<Pattern>().is_err());
+}
+
+#[test]
+fn total_bytes_rd() {
+    // 8 ranks, 3 steps, 4 pairs each, msize 10 -> 120.
+    let spec = CollectiveSpec::new(Pattern::Rd, 10);
+    assert_eq!(spec.total_bytes(8), 120);
+}
+
+/// Simulate data propagation: every rank starts with its own block; each
+/// step's pairs merge their sets (bidirectional exchange). Returns true if
+/// all ranks end holding all blocks — the correctness invariant of any
+/// allgather/allreduce schedule.
+fn full_coverage(pattern: Pattern, p: usize) -> bool {
+    let steps = CollectiveSpec::new(pattern, 1 << 20).steps(p);
+    let mut sets: Vec<std::collections::HashSet<usize>> =
+        (0..p).map(|i| std::collections::HashSet::from([i])).collect();
+    for step in &steps {
+        let mut next = sets.clone();
+        for &(a, b) in &step.pairs {
+            next[a].extend(sets[b].iter().copied());
+            next[b].extend(sets[a].iter().copied());
+        }
+        sets = next;
+    }
+    sets.iter().all(|s| s.len() == p)
+}
+
+#[test]
+fn allgather_style_schedules_reach_everyone() {
+    // RD and RHVD are all-to-all-knowledge algorithms: their schedules
+    // must fully disseminate every rank's block, for powers of two AND the
+    // folded non-power-of-two cases.
+    for p in [2usize, 3, 4, 6, 8, 12, 16, 31, 32, 100, 128] {
+        assert!(full_coverage(Pattern::Rd, p), "RD failed at p={p}");
+        assert!(full_coverage(Pattern::Rhvd, p), "RHVD failed at p={p}");
+    }
+    // Ring disseminates too (p-1 neighbour exchanges).
+    for p in [2usize, 3, 5, 9, 16] {
+        assert!(full_coverage(Pattern::Ring, p), "Ring failed at p={p}");
+    }
+    // (Binomial is a broadcast tree — only the root's block must reach
+    // everyone, which `binomial_reaches_every_rank` already checks.)
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_pattern() -> impl Strategy<Value = Pattern> {
+        prop::sample::select(Pattern::PAPER.to_vec())
+    }
+
+    fn any_pattern() -> impl Strategy<Value = Pattern> {
+        prop::sample::select(Pattern::ALL.to_vec())
+    }
+
+    proptest! {
+        /// num_steps always equals the materialized schedule length.
+        #[test]
+        fn num_steps_consistent(pat in any_pattern(), p in 0usize..200, m in 1u64..1_000_000) {
+            let spec = CollectiveSpec::new(pat, m);
+            prop_assert_eq!(spec.num_steps(p), spec.steps(p).len());
+        }
+
+        /// Every rank talks to at most one partner per step (the schedules
+        /// are phase-synchronous pairwise exchanges).
+        #[test]
+        fn at_most_one_partner_per_step(pat in paper_pattern(), p in 2usize..130, m in 1u64..1_000_000) {
+            let spec = CollectiveSpec::new(pat, m);
+            for (k, step) in spec.steps(p).into_iter().enumerate() {
+                let mut seen = vec![false; p];
+                for (a, b) in step.pairs {
+                    prop_assert!(a < p && b < p, "rank out of range in step {k}");
+                    prop_assert!(a != b, "self pair in step {k}");
+                    prop_assert!(!seen[a], "rank {a} has two partners in step {k}");
+                    prop_assert!(!seen[b], "rank {b} has two partners in step {k}");
+                    seen[a] = true;
+                    seen[b] = true;
+                }
+            }
+        }
+
+        /// Pairs are normalized, sorted and unique; msize positive.
+        #[test]
+        fn steps_are_normalized(pat in any_pattern(), p in 2usize..100, m in 1u64..1_000_000) {
+            for step in CollectiveSpec::new(pat, m).steps(p) {
+                prop_assert!(step.msize >= 1);
+                for w in step.pairs.windows(2) {
+                    prop_assert!(w[0] < w[1], "unsorted or duplicate pairs");
+                }
+                for (a, b) in step.pairs {
+                    prop_assert!(a < b);
+                }
+            }
+        }
+
+        /// For powers of two, RD touches every rank every step.
+        #[test]
+        fn rd_pow2_all_ranks_active(logp in 1u32..9, m in 1u64..1_000_000) {
+            let p = 1usize << logp;
+            for step in CollectiveSpec::new(Pattern::Rd, m).steps(p) {
+                prop_assert_eq!(step.pairs.len(), p / 2);
+            }
+        }
+
+        /// RHVD payloads strictly double step over step (for vectors large
+        /// enough not to hit the 1-byte floor).
+        #[test]
+        fn rhvd_payloads_double(logp in 1u32..9, logm in 12u32..24) {
+            let p = 1usize << logp;
+            let m = 1u64 << logm;
+            prop_assume!(logm >= logp); // avoid the 1-byte floor
+            let steps = CollectiveSpec::new(Pattern::Rhvd, m).steps(p);
+            for w in steps.windows(2) {
+                prop_assert_eq!(w[1].msize, 2 * w[0].msize);
+            }
+        }
+    }
+}

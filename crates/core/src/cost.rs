@@ -1,0 +1,162 @@
+//! The paper's contention and communication-cost model (§5.3, Eqs. 2–6).
+
+use crate::state::ClusterState;
+use commsched_collectives::CollectiveSpec;
+use commsched_topology::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Evaluator for the paper's effective-hops cost model.
+///
+/// * **Contention factor** `C(i, j)` — Eq. 2 when the nodes share a leaf,
+///   Eq. 3 across leaves (individual leaf contentions plus half the pooled
+///   contention of the common upper switch; the half models fat-tree links
+///   doubling upward).
+/// * **Effective hops** — Eq. 5: `Hops(i, j) = d(i, j) * (1 + C(i, j))`.
+/// * **Job cost** — Eq. 6: per collective step, the *maximum* effective hops
+///   over the step's concurrently communicating node pairs, summed across
+///   steps. With [`CostModel::hop_bytes`] the per-step maximum is weighted
+///   by the step's message size (the paper's "effective hop-bytes").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Weight each step by its message size (hop-bytes) instead of raw hops.
+    pub hop_bytes: bool,
+    /// Per-level discount of the pooled contention term in Eq. 3. The
+    /// paper uses ½ "because the number of links double as we move up in a
+    /// fat-tree"; generalizing, a common switch at level `l` contributes
+    /// `trunk_discount^(l-1)` of the pooled term — the paper's §7 hook for
+    /// "other topologies using appropriate contention factor".
+    pub trunk_discount: f64,
+}
+
+impl Default for CostModel {
+    /// Eq. 6 as printed: raw effective hops per step, paper's ½ discount.
+    fn default() -> Self {
+        CostModel::HOPS
+    }
+}
+
+impl CostModel {
+    /// Eq. 6 as printed in the paper (raw hops).
+    pub const HOPS: CostModel = CostModel {
+        hop_bytes: false,
+        trunk_discount: 0.5,
+    };
+    /// Hop-bytes variant (§5.3: hops × msize "gives an indication of
+    /// communication time").
+    pub const HOP_BYTES: CostModel = CostModel {
+        hop_bytes: true,
+        trunk_discount: 0.5,
+    };
+
+    /// Eqs. 2–3 — contention factor between two *leaf ordinals*, with the
+    /// pooled term discounted for the level of their common switch.
+    ///
+    /// The counters include every running communication-intensive job on the
+    /// two leaves (the paper's worked example counts the job's own nodes).
+    /// For leaves meeting at level 2 this is Eq. 3 verbatim; deeper common
+    /// switches (fatter trunks) discount the pooled term further.
+    pub fn leaf_contention(&self, tree: &Tree, state: &ClusterState, a: usize, b: usize) -> f64 {
+        let comm_a = f64::from(state.leaf_comm(a));
+        let nodes_a = tree.leaf_size(a) as f64;
+        if a == b {
+            // Eq. 2: both endpoints under one leaf switch.
+            return comm_a / nodes_a;
+        }
+        // Eq. 3: two leaf terms plus the discounted pooled term for the
+        // common upper switch.
+        let comm_b = f64::from(state.leaf_comm(b));
+        let nodes_b = tree.leaf_size(b) as f64;
+        let level = tree.leaf_lca_level(a, b);
+        let discount = self.trunk_discount.powi(level as i32 - 1);
+        comm_a / nodes_a + comm_b / nodes_b + discount * (comm_a + comm_b) / (nodes_a + nodes_b)
+    }
+
+    /// Eqs. 2–3 — contention factor `C(i, j)` between two nodes.
+    pub fn contention(&self, tree: &Tree, state: &ClusterState, i: NodeId, j: NodeId) -> f64 {
+        self.leaf_contention(tree, state, tree.leaf_ordinal_of(i), tree.leaf_ordinal_of(j))
+    }
+
+    /// Eq. 5 — effective hops `d(i, j) * (1 + C(i, j))`.
+    pub fn hops(&self, tree: &Tree, state: &ClusterState, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let d = f64::from(tree.distance(i, j));
+        d * (1.0 + self.contention(tree, state, i, j))
+    }
+
+    /// Eq. 6 — total communication cost of a job.
+    ///
+    /// `nodes` is the job's allocation; rank `r` of the collective runs on
+    /// `sorted(nodes)[r]` (SLURM's block task distribution over the node
+    /// bitmap). Contention is read from `state`, which should already
+    /// include the job's own allocation — the paper's worked example counts
+    /// the job's own nodes in `L_comm`.
+    pub fn job_cost(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        nodes: &[NodeId],
+        spec: &CollectiveSpec,
+    ) -> f64 {
+        let mut ranked = nodes.to_vec();
+        ranked.sort_unstable();
+        // Leaf ordinal per rank; hop values only depend on the leaf pair, so
+        // memoize them: collective schedules revisit the same leaf pairs in
+        // nearly every step.
+        let leaf_of_rank: Vec<usize> =
+            ranked.iter().map(|n| tree.leaf_ordinal_of(*n)).collect();
+        let mut hop_cache: HashMap<(usize, usize), f64> = HashMap::new();
+
+        let mut total = 0.0;
+        for step in spec.steps(ranked.len()) {
+            let mut worst: f64 = 0.0;
+            for &(ri, rj) in &step.pairs {
+                let (la, lb) = {
+                    let (a, b) = (leaf_of_rank[ri], leaf_of_rank[rj]);
+                    if a <= b { (a, b) } else { (b, a) }
+                };
+                let hops = *hop_cache.entry((la, lb)).or_insert_with(|| {
+                    let d = if la == lb {
+                        2.0
+                    } else {
+                        f64::from(2 * tree.leaf_lca_level(la, lb))
+                    };
+                    d * (1.0 + self.leaf_contention(tree, state, la, lb))
+                });
+                if hops > worst {
+                    worst = hops;
+                }
+            }
+            total += if self.hop_bytes {
+                worst * step.msize as f64
+            } else {
+                worst
+            };
+        }
+        total
+    }
+
+    /// Cost of a *hypothetical* allocation: applies `nodes` to a copy of
+    /// `state` as a communication-intensive job first (so the job's own
+    /// contention counts, per the paper's example), then evaluates
+    /// [`CostModel::job_cost`].
+    pub fn hypothetical_cost(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        nodes: &[NodeId],
+        spec: &CollectiveSpec,
+    ) -> f64 {
+        let mut what_if = state.clone();
+        what_if
+            .allocate(
+                tree,
+                crate::state::JobId(u64::MAX),
+                nodes,
+                crate::state::JobNature::CommIntensive,
+            )
+            .expect("hypothetical allocation over free nodes");
+        self.job_cost(tree, &what_if, nodes, spec)
+    }
+}

@@ -1,0 +1,54 @@
+//! Communication-aware node allocation — the paper's core contribution.
+//!
+//! This crate implements Section 4 of *"Communication-aware Job Scheduling
+//! using SLURM"* (Mishra, Agrawal, Malakar — ICPP Workshops 2020):
+//!
+//! * [`ClusterState`] — per-leaf occupancy counters (`L_nodes`, `L_busy`,
+//!   `L_comm`) over a [`commsched_topology::Tree`], and the *communication
+//!   ratio* of Eq. 1;
+//! * [`CostModel`] — the contention factor (Eqs. 2–3), effective hops
+//!   (Eq. 5) and per-job communication cost (Eq. 6) evaluated over the
+//!   step schedule of the job's dominant collective;
+//! * four [`NodeSelector`]s:
+//!   [`DefaultTreeSelector`] (SLURM `topology/tree` best-fit — the paper's
+//!   baseline), [`GreedySelector`] (Algorithm 1), [`BalancedSelector`]
+//!   (Algorithm 2) and [`AdaptiveSelector`] (§4.3).
+//!
+//! # Example: the paper's Table 2
+//!
+//! A communication-intensive job asks for 512 nodes; the leaves under the
+//! chosen switch have 160, 150, 100, 80, 70, 50 and 40 free nodes. Balanced
+//! allocation splits the request into powers of two per leaf:
+//!
+//! ```
+//! use commsched_core::{AllocRequest, BalancedSelector, ClusterState,
+//!                      JobId, JobNature, NodeSelector};
+//! use commsched_topology::Tree;
+//!
+//! let tree = Tree::irregular_two_level(&[160, 150, 100, 80, 70, 50, 40]);
+//! let state = ClusterState::new(&tree);
+//! let req = AllocRequest::comm(JobId(1), 512);
+//! let nodes = BalancedSelector.select(&tree, &state, &req).unwrap();
+//!
+//! let mut per_leaf = vec![0usize; tree.num_leaves()];
+//! for n in &nodes {
+//!     per_leaf[tree.leaf_ordinal_of(*n)] += 1;
+//! }
+//! assert_eq!(per_leaf, [128, 128, 64, 64, 64, 32, 32]); // Table 2
+//! ```
+
+mod cost;
+pub mod mapping;
+mod select;
+mod state;
+
+pub use cost::CostModel;
+pub use mapping::MappingStrategy;
+pub use select::{
+    AdaptiveSelector, AllocRequest, BalancedSelector, DefaultTreeSelector, GreedySelector,
+    NodeSelector, SelectError, SelectorKind,
+};
+pub use state::{Allocation, ClusterState, JobId, JobNature, StateError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,490 @@
+//! The four node-selection algorithms: SLURM's default best-fit baseline and
+//! the paper's greedy (Alg. 1), balanced (Alg. 2) and adaptive (§4.3).
+
+use crate::cost::CostModel;
+use crate::state::{ClusterState, JobId, JobNature};
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_topology::{NodeId, SwitchId, Tree};
+use std::fmt;
+
+/// A node-allocation request, the paper's job parameters: size, nature and
+/// (for the adaptive selector and the cost model) the dominant collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRequest {
+    /// Job being placed.
+    pub job: JobId,
+    /// Whole nodes requested (`select/linear` semantics).
+    pub nodes: usize,
+    /// Communication- or compute-intensive.
+    pub nature: JobNature,
+    /// Dominant collective of the job, if known. Used by
+    /// [`AdaptiveSelector`] to compare candidate allocations; `None` falls
+    /// back to recursive doubling with a 1 MiB vector (the paper's Figure 1
+    /// message size).
+    pub pattern: Option<CollectiveSpec>,
+}
+
+impl AllocRequest {
+    /// A communication-intensive request without an explicit pattern.
+    pub fn comm(job: JobId, nodes: usize) -> Self {
+        AllocRequest {
+            job,
+            nodes,
+            nature: JobNature::CommIntensive,
+            pattern: None,
+        }
+    }
+
+    /// A compute-intensive request.
+    pub fn compute(job: JobId, nodes: usize) -> Self {
+        AllocRequest {
+            job,
+            nodes,
+            nature: JobNature::ComputeIntensive,
+            pattern: None,
+        }
+    }
+
+    /// Attach the dominant collective pattern.
+    pub fn with_pattern(mut self, spec: CollectiveSpec) -> Self {
+        self.pattern = Some(spec);
+        self
+    }
+
+    /// The collective spec used for cost comparisons.
+    pub fn spec(&self) -> CollectiveSpec {
+        self.pattern
+            .unwrap_or_else(|| CollectiveSpec::new(Pattern::Rd, 1 << 20))
+    }
+}
+
+/// Why a selection failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// Not enough free nodes anywhere in the cluster.
+    NotEnoughNodes {
+        /// Nodes requested.
+        requested: usize,
+        /// Nodes currently free cluster-wide.
+        free: usize,
+    },
+    /// Zero-node request.
+    ZeroNodes,
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotEnoughNodes { requested, free } => {
+                write!(f, "requested {requested} nodes but only {free} are free")
+            }
+            Self::ZeroNodes => write!(f, "requested zero nodes"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// A node-selection algorithm, SLURM's `select/linear` decision point.
+///
+/// Implementations must return exactly `req.nodes` distinct free nodes, or
+/// an error; they never mutate state (the caller records the allocation).
+pub trait NodeSelector: Send + Sync {
+    /// Short stable name, used in reports ("default", "greedy", ...).
+    fn name(&self) -> &'static str;
+
+    /// Choose `req.nodes` free nodes for `req.job`.
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError>;
+}
+
+/// Find the lowest-level switch whose subtree has at least `want` free
+/// nodes, like SLURM's `topology/tree` plugin (§3.1). Ties at the same
+/// level break toward the *fewest* free nodes (best fit), then lowest id.
+fn lowest_level_switch(tree: &Tree, state: &ClusterState, want: usize) -> Option<SwitchId> {
+    let mut best: Option<(u32, usize, usize)> = None; // (level, free, id)
+    for id in 0..tree.num_switches() {
+        let s = SwitchId(id);
+        let sw = tree.switch(s);
+        if sw.subtree_nodes < want {
+            continue;
+        }
+        let free = state.subtree_free(tree, s);
+        if free < want {
+            continue;
+        }
+        let key = (sw.level, free, id);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, id)| SwitchId(id))
+}
+
+fn check_request(state: &ClusterState, req: &AllocRequest) -> Result<(), SelectError> {
+    if req.nodes == 0 {
+        return Err(SelectError::ZeroNodes);
+    }
+    if state.free_total() < req.nodes {
+        return Err(SelectError::NotEnoughNodes {
+            requested: req.nodes,
+            free: state.free_total(),
+        });
+    }
+    Ok(())
+}
+
+/// Fill `out` by taking `min(free, remaining)` nodes from each leaf of
+/// `order` in turn. Returns the number still unallocated.
+fn fill_in_order(
+    tree: &Tree,
+    state: &ClusterState,
+    order: &[usize],
+    mut remaining: usize,
+    out: &mut Vec<NodeId>,
+) -> usize {
+    for &k in order {
+        if remaining == 0 {
+            break;
+        }
+        let free = state.leaf_free(k) as usize;
+        if free == 0 {
+            continue;
+        }
+        let take = free.min(remaining);
+        out.extend(state.free_nodes_on_leaf(tree, k, take));
+        remaining -= take;
+    }
+    remaining
+}
+
+/// SLURM's stock `topology/tree` + `select/linear` algorithm — the paper's
+/// baseline ("default").
+///
+/// Picks the lowest-level switch with enough free nodes, then fills its leaf
+/// switches in *increasing* order of free nodes (best fit, to limit
+/// fragmentation), regardless of job nature.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultTreeSelector;
+
+impl NodeSelector for DefaultTreeSelector {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError> {
+        check_request(state, req)?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
+            SelectError::NotEnoughNodes {
+                requested: req.nodes,
+                free: state.free_total(),
+            },
+        )?;
+        let mut order: Vec<usize> = tree
+            .leaf_ordinals_under(p)
+            .iter()
+            .copied()
+            .filter(|&k| state.leaf_free(k) > 0)
+            .collect();
+        order.sort_by_key(|&k| (state.leaf_free(k), k));
+        let mut out = Vec::with_capacity(req.nodes);
+        let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+        debug_assert_eq!(left, 0, "switch was checked to have enough free nodes");
+        Ok(out)
+    }
+}
+
+/// Algorithm 1 — greedy allocation on the least-contended leaf switches.
+///
+/// Communication-intensive jobs take leaves in *increasing* communication
+/// ratio (Eq. 1) — least contended, most free first. Compute-intensive jobs
+/// take the *decreasing* order, keeping quiet leaves free for future
+/// communication-intensive jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySelector;
+
+impl NodeSelector for GreedySelector {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError> {
+        check_request(state, req)?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
+            SelectError::NotEnoughNodes {
+                requested: req.nodes,
+                free: state.free_total(),
+            },
+        )?;
+        // Leaf-switch fast path (Alg. 1 lines 3-5): a single leaf serves the
+        // whole request.
+        if tree.switch(p).children.is_empty() {
+            let k = tree.leaf_ordinal(p);
+            return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
+        }
+        let mut order: Vec<usize> = tree
+            .leaf_ordinals_under(p)
+            .iter()
+            .copied()
+            .filter(|&k| state.leaf_free(k) > 0)
+            .collect();
+        // Sort by communication ratio; f64 keys via total_cmp, leaf ordinal
+        // as the deterministic tie-break.
+        if req.nature.is_comm() {
+            order.sort_by(|&a, &b| {
+                state
+                    .communication_ratio(tree, a)
+                    .total_cmp(&state.communication_ratio(tree, b))
+                    .then(a.cmp(&b))
+            });
+        } else {
+            order.sort_by(|&a, &b| {
+                state
+                    .communication_ratio(tree, b)
+                    .total_cmp(&state.communication_ratio(tree, a))
+                    .then(a.cmp(&b))
+            });
+        }
+        let mut out = Vec::with_capacity(req.nodes);
+        let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+        debug_assert_eq!(left, 0);
+        Ok(out)
+    }
+}
+
+/// Algorithm 2 — balanced allocation in powers of two per leaf switch.
+///
+/// Communication-intensive jobs walk the leaves in *decreasing* free-node
+/// order; the per-leaf grant is the running allocation size `S` (starting at
+/// the request), halved until it fits the leaf — producing the paper's
+/// Table 2 split. A second pass in reverse order hands out leftovers when
+/// the power-of-two discipline could not satisfy the request. Compute jobs
+/// fill leaves in increasing free order with no power-of-two constraint,
+/// preserving the large leaves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedSelector;
+
+impl NodeSelector for BalancedSelector {
+    fn name(&self) -> &'static str {
+        "balanced"
+    }
+
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError> {
+        check_request(state, req)?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
+            SelectError::NotEnoughNodes {
+                requested: req.nodes,
+                free: state.free_total(),
+            },
+        )?;
+        if tree.switch(p).children.is_empty() {
+            let k = tree.leaf_ordinal(p);
+            return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
+        }
+        let mut order: Vec<usize> = tree
+            .leaf_ordinals_under(p)
+            .iter()
+            .copied()
+            .filter(|&k| state.leaf_free(k) > 0)
+            .collect();
+
+        if !req.nature.is_comm() {
+            // Lines 29-36: compute jobs take the fullest-first (fewest free)
+            // leaves without the power-of-two discipline.
+            order.sort_by_key(|&k| (state.leaf_free(k), k));
+            let mut out = Vec::with_capacity(req.nodes);
+            let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+            debug_assert_eq!(left, 0);
+            return Ok(out);
+        }
+
+        // Lines 9-21: decreasing free order, grant sizes halving to fit.
+        order.sort_by(|&a, &b| {
+            state
+                .leaf_free(b)
+                .cmp(&state.leaf_free(a))
+                .then(a.cmp(&b))
+        });
+        let mut free: Vec<usize> = order.iter().map(|&k| state.leaf_free(k) as usize).collect();
+        let mut taken: Vec<usize> = vec![0; order.len()];
+        let mut remaining = req.nodes;
+        // `S` carries over between leaves and only ever shrinks (the paper's
+        // Figure 4 subdivision; this is what reproduces Table 2).
+        let mut s = req.nodes;
+        for (idx, &f) in free.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            debug_assert!(f > 0);
+            while s > f {
+                s /= 2;
+            }
+            let take = s.min(remaining);
+            taken[idx] = take;
+            remaining -= take;
+        }
+        for (idx, t) in taken.iter().enumerate() {
+            free[idx] -= t;
+        }
+        // Lines 22-27: leftovers in reverse sorted order, no constraint.
+        if remaining > 0 {
+            for idx in (0..order.len()).rev() {
+                if remaining == 0 {
+                    break;
+                }
+                let take = free[idx].min(remaining);
+                taken[idx] += take;
+                free[idx] -= take;
+                remaining -= take;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "switch had enough free nodes");
+        let mut out = Vec::with_capacity(req.nodes);
+        for (idx, &k) in order.iter().enumerate() {
+            if taken[idx] > 0 {
+                out.extend(state.free_nodes_on_leaf(tree, k, taken[idx]));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// §4.3 — adaptive allocation: evaluate greedy and balanced, keep the
+/// cheaper one (by Eq. 6 under the job's collective pattern); for
+/// compute-intensive jobs keep the *costlier* one, reserving the better
+/// placement for communication-intensive work.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSelector {
+    /// Cost model used for the comparison (hops vs hop-bytes).
+    pub cost: CostModel,
+}
+
+impl Default for AdaptiveSelector {
+    /// Compares by hop-bytes — the §5.3 estimate of communication *time*,
+    /// which is what §4.3 says the adaptive algorithm minimizes. (The
+    /// reported Eq. 6 cost is raw hops, so adaptive can occasionally show
+    /// slightly higher reported cost than balanced — the anomaly the paper
+    /// itself observes in §6.4.)
+    fn default() -> Self {
+        AdaptiveSelector {
+            cost: CostModel::HOP_BYTES,
+        }
+    }
+}
+
+impl NodeSelector for AdaptiveSelector {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError> {
+        let greedy = GreedySelector.select(tree, state, req)?;
+        let balanced = BalancedSelector.select(tree, state, req)?;
+        if greedy == balanced {
+            return Ok(balanced);
+        }
+        let spec = req.spec();
+        let cost_g = self.cost.hypothetical_cost(tree, state, &greedy, &spec);
+        let cost_b = self.cost.hypothetical_cost(tree, state, &balanced, &spec);
+        let take_balanced = if req.nature.is_comm() {
+            cost_b <= cost_g
+        } else {
+            cost_b > cost_g
+        };
+        Ok(if take_balanced { balanced } else { greedy })
+    }
+}
+
+/// The four selectors by name, for CLI/bench plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// SLURM stock best-fit ([`DefaultTreeSelector`]).
+    Default,
+    /// Algorithm 1 ([`GreedySelector`]).
+    Greedy,
+    /// Algorithm 2 ([`BalancedSelector`]).
+    Balanced,
+    /// §4.3 ([`AdaptiveSelector`]).
+    Adaptive,
+}
+
+impl SelectorKind {
+    /// All four, in the paper's reporting order.
+    pub const ALL: [SelectorKind; 4] = [
+        SelectorKind::Default,
+        SelectorKind::Greedy,
+        SelectorKind::Balanced,
+        SelectorKind::Adaptive,
+    ];
+
+    /// The paper's three proposed algorithms (everything but the baseline).
+    pub const PROPOSED: [SelectorKind; 3] = [
+        SelectorKind::Greedy,
+        SelectorKind::Balanced,
+        SelectorKind::Adaptive,
+    ];
+
+    /// Instantiate the selector.
+    pub fn build(self) -> Box<dyn NodeSelector> {
+        match self {
+            SelectorKind::Default => Box::new(DefaultTreeSelector),
+            SelectorKind::Greedy => Box::new(GreedySelector),
+            SelectorKind::Balanced => Box::new(BalancedSelector),
+            SelectorKind::Adaptive => Box::new(AdaptiveSelector::default()),
+        }
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::Default => "default",
+            SelectorKind::Greedy => "greedy",
+            SelectorKind::Balanced => "balanced",
+            SelectorKind::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl fmt::Display for SelectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SelectorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "default" | "slurm" => Ok(SelectorKind::Default),
+            "greedy" => Ok(SelectorKind::Greedy),
+            "balanced" => Ok(SelectorKind::Balanced),
+            "adaptive" => Ok(SelectorKind::Adaptive),
+            other => Err(format!("unknown selector {other:?}")),
+        }
+    }
+}

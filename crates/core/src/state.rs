@@ -1,0 +1,303 @@
+//! Cluster occupancy state: which nodes are busy, and the per-leaf counters
+//! (`L_nodes`, `L_busy`, `L_comm`) that drive the paper's Eqs. 1–3.
+
+use commsched_topology::{NodeId, SwitchId, Tree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Scheduler-wide job identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// The paper's binary job classification (§4): supplied by the user or
+/// deduced from MPI profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobNature {
+    /// Dominated by MPI communication; benefits from contention avoidance.
+    CommIntensive,
+    /// Dominated by computation; insensitive to placement.
+    ComputeIntensive,
+}
+
+impl JobNature {
+    /// True for [`JobNature::CommIntensive`].
+    #[inline]
+    pub fn is_comm(self) -> bool {
+        matches!(self, JobNature::CommIntensive)
+    }
+}
+
+/// A recorded allocation: the nodes a job occupies and its nature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Nodes held by the job, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Job classification at allocation time.
+    pub nature: JobNature,
+}
+
+/// Errors from state mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Tried to allocate a node that is already busy.
+    NodeBusy(NodeId),
+    /// Tried to allocate under a job id that already holds nodes.
+    JobExists(JobId),
+    /// Tried to release a job with no recorded allocation.
+    UnknownJob(JobId),
+    /// Empty allocation.
+    EmptyAllocation(JobId),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NodeBusy(n) => write!(f, "{n} is already allocated"),
+            Self::JobExists(j) => write!(f, "{j} already holds an allocation"),
+            Self::UnknownJob(j) => write!(f, "{j} has no allocation"),
+            Self::EmptyAllocation(j) => write!(f, "refusing empty allocation for {j}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Mutable occupancy state over an immutable [`Tree`].
+///
+/// Keeps per-node free/busy bits and the three per-leaf counters the paper's
+/// formulas read. Cloning is cheap enough for the adaptive selector's
+/// what-if evaluations (a few `Vec` memcpys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    /// Per-node: is the node free?
+    node_free: Vec<bool>,
+    /// Per-leaf-ordinal: free node count.
+    leaf_free: Vec<u32>,
+    /// Per-leaf-ordinal: busy node count (the paper's `L_busy`).
+    leaf_busy: Vec<u32>,
+    /// Per-leaf-ordinal: nodes running communication-intensive jobs
+    /// (the paper's `L_comm`).
+    leaf_comm: Vec<u32>,
+    free_total: usize,
+    allocs: HashMap<JobId, Allocation>,
+}
+
+impl ClusterState {
+    /// A fully-free cluster over `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        let leaves = tree.num_leaves();
+        let mut leaf_free = vec![0u32; leaves];
+        for (k, lf) in leaf_free.iter_mut().enumerate() {
+            *lf = tree.leaf_size(k) as u32;
+        }
+        ClusterState {
+            node_free: vec![true; tree.num_nodes()],
+            leaf_free,
+            leaf_busy: vec![0; leaves],
+            leaf_comm: vec![0; leaves],
+            free_total: tree.num_nodes(),
+            allocs: HashMap::new(),
+        }
+    }
+
+    /// Total free nodes in the cluster.
+    #[inline]
+    pub fn free_total(&self) -> usize {
+        self.free_total
+    }
+
+    /// Total busy nodes in the cluster.
+    #[inline]
+    pub fn busy_total(&self) -> usize {
+        self.node_free.len() - self.free_total
+    }
+
+    /// Is this node free?
+    #[inline]
+    pub fn is_free(&self, n: NodeId) -> bool {
+        self.node_free[n.0]
+    }
+
+    /// Free nodes on leaf ordinal `k` (the complement of `L_busy`).
+    #[inline]
+    pub fn leaf_free(&self, k: usize) -> u32 {
+        self.leaf_free[k]
+    }
+
+    /// The paper's `L_busy` for leaf ordinal `k`.
+    #[inline]
+    pub fn leaf_busy(&self, k: usize) -> u32 {
+        self.leaf_busy[k]
+    }
+
+    /// The paper's `L_comm` for leaf ordinal `k`.
+    #[inline]
+    pub fn leaf_comm(&self, k: usize) -> u32 {
+        self.leaf_comm[k]
+    }
+
+    /// Number of jobs currently holding allocations.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// The allocation held by `job`, if any.
+    pub fn allocation(&self, job: JobId) -> Option<&Allocation> {
+        self.allocs.get(&job)
+    }
+
+    /// Iterate over all current allocations.
+    pub fn allocations(&self) -> impl Iterator<Item = (JobId, &Allocation)> {
+        self.allocs.iter().map(|(j, a)| (*j, a))
+    }
+
+    /// Eq. 1 — the *communication ratio* of leaf ordinal `k`:
+    /// `L_comm / L_busy + L_busy / L_nodes`.
+    ///
+    /// An idle leaf (`L_busy == 0`) has ratio 0: no contention, everything
+    /// free — the most attractive leaf for a communication-intensive job.
+    pub fn communication_ratio(&self, tree: &Tree, k: usize) -> f64 {
+        let busy = f64::from(self.leaf_busy[k]);
+        let nodes = tree.leaf_size(k) as f64;
+        if self.leaf_busy[k] == 0 {
+            0.0
+        } else {
+            f64::from(self.leaf_comm[k]) / busy + busy / nodes
+        }
+    }
+
+    /// Free nodes in the subtree of `s`.
+    pub fn subtree_free(&self, tree: &Tree, s: SwitchId) -> usize {
+        tree.leaf_ordinals_under(s)
+            .iter()
+            .map(|&k| self.leaf_free[k] as usize)
+            .sum()
+    }
+
+    /// The first `want` free nodes on leaf ordinal `k`, lowest node id first
+    /// (SLURM's bitmap order).
+    pub fn free_nodes_on_leaf(&self, tree: &Tree, k: usize, want: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(want);
+        for &n in tree.leaf_nodes(k) {
+            if out.len() == want {
+                break;
+            }
+            if self.node_free[n.0] {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Record an allocation: mark `nodes` busy under `job` with `nature`.
+    pub fn allocate(
+        &mut self,
+        tree: &Tree,
+        job: JobId,
+        nodes: &[NodeId],
+        nature: JobNature,
+    ) -> Result<(), StateError> {
+        if nodes.is_empty() {
+            return Err(StateError::EmptyAllocation(job));
+        }
+        if self.allocs.contains_key(&job) {
+            return Err(StateError::JobExists(job));
+        }
+        for &n in nodes {
+            if !self.node_free[n.0] {
+                return Err(StateError::NodeBusy(n));
+            }
+        }
+        for &n in nodes {
+            self.node_free[n.0] = false;
+            let k = tree.leaf_ordinal_of(n);
+            self.leaf_free[k] -= 1;
+            self.leaf_busy[k] += 1;
+            if nature.is_comm() {
+                self.leaf_comm[k] += 1;
+            }
+        }
+        self.free_total -= nodes.len();
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        self.allocs.insert(
+            job,
+            Allocation {
+                nodes: sorted,
+                nature,
+            },
+        );
+        Ok(())
+    }
+
+    /// Release the allocation held by `job`, returning it.
+    pub fn release(&mut self, tree: &Tree, job: JobId) -> Result<Allocation, StateError> {
+        let alloc = self
+            .allocs
+            .remove(&job)
+            .ok_or(StateError::UnknownJob(job))?;
+        for &n in &alloc.nodes {
+            debug_assert!(!self.node_free[n.0]);
+            self.node_free[n.0] = true;
+            let k = tree.leaf_ordinal_of(n);
+            self.leaf_free[k] += 1;
+            self.leaf_busy[k] -= 1;
+            if alloc.nature.is_comm() {
+                self.leaf_comm[k] -= 1;
+            }
+        }
+        self.free_total += alloc.nodes.len();
+        Ok(alloc)
+    }
+
+    /// Debug invariant check: counters agree with the per-node bits.
+    ///
+    /// Used by tests and `debug_assert!`s in the engine; O(nodes).
+    pub fn check_invariants(&self, tree: &Tree) -> Result<(), String> {
+        let mut free = vec![0u32; tree.num_leaves()];
+        for (i, &f) in self.node_free.iter().enumerate() {
+            if f {
+                free[tree.leaf_ordinal_of(NodeId(i))] += 1;
+            }
+        }
+        for k in 0..tree.num_leaves() {
+            if free[k] != self.leaf_free[k] {
+                return Err(format!(
+                    "leaf {k}: counted {} free, recorded {}",
+                    free[k], self.leaf_free[k]
+                ));
+            }
+            if self.leaf_free[k] + self.leaf_busy[k] != tree.leaf_size(k) as u32 {
+                return Err(format!("leaf {k}: free + busy != size"));
+            }
+            if self.leaf_comm[k] > self.leaf_busy[k] {
+                return Err(format!("leaf {k}: comm > busy"));
+            }
+        }
+        let total: usize = self.node_free.iter().filter(|f| **f).count();
+        if total != self.free_total {
+            return Err(format!(
+                "free_total {} != counted {}",
+                self.free_total, total
+            ));
+        }
+        let held: usize = self.allocs.values().map(|a| a.nodes.len()).sum();
+        if held != self.busy_total() {
+            return Err(format!(
+                "allocations hold {held} nodes but {} are busy",
+                self.busy_total()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,1012 @@
+use crate::{
+    AdaptiveSelector, AllocRequest, BalancedSelector, ClusterState, CostModel,
+    DefaultTreeSelector, GreedySelector, JobId, JobNature, NodeSelector, SelectError,
+    SelectorKind, StateError,
+};
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_topology::{NodeId, Tree};
+
+/// The paper's Figure 2 / Figure 5 topology: two leaves of 4 under a root.
+fn figure2() -> Tree {
+    Tree::regular_two_level(2, 4)
+}
+
+/// Occupancy of the Figure 5 worked example: Job1 (comm) on n0,n1,n4,n5;
+/// Job2 (comm) on n2,n3; n6,n7 free.
+fn figure5_state(tree: &Tree) -> ClusterState {
+    let mut st = ClusterState::new(tree);
+    st.allocate(
+        tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1), NodeId(4), NodeId(5)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        tree,
+        JobId(2),
+        &[NodeId(2), NodeId(3)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st
+}
+
+fn nodes_per_leaf(tree: &Tree, nodes: &[NodeId]) -> Vec<usize> {
+    let mut v = vec![0usize; tree.num_leaves()];
+    for n in nodes {
+        v[tree.leaf_ordinal_of(*n)] += 1;
+    }
+    v
+}
+
+// ---------------------------------------------------------------- state
+
+#[test]
+fn allocate_and_release_round_trip() {
+    let tree = figure2();
+    let mut st = ClusterState::new(&tree);
+    assert_eq!(st.free_total(), 8);
+    st.allocate(&tree, JobId(7), &[NodeId(0), NodeId(4)], JobNature::CommIntensive)
+        .unwrap();
+    assert_eq!(st.free_total(), 6);
+    assert_eq!(st.leaf_busy(0), 1);
+    assert_eq!(st.leaf_comm(0), 1);
+    assert_eq!(st.leaf_comm(1), 1);
+    st.check_invariants(&tree).unwrap();
+
+    let alloc = st.release(&tree, JobId(7)).unwrap();
+    assert_eq!(alloc.nodes, vec![NodeId(0), NodeId(4)]);
+    assert_eq!(st.free_total(), 8);
+    assert_eq!(st.leaf_comm(0), 0);
+    st.check_invariants(&tree).unwrap();
+}
+
+#[test]
+fn compute_jobs_do_not_count_in_leaf_comm() {
+    let tree = figure2();
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0)], JobNature::ComputeIntensive)
+        .unwrap();
+    assert_eq!(st.leaf_busy(0), 1);
+    assert_eq!(st.leaf_comm(0), 0);
+}
+
+#[test]
+fn state_errors() {
+    let tree = figure2();
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0)], JobNature::CommIntensive)
+        .unwrap();
+    assert_eq!(
+        st.allocate(&tree, JobId(2), &[NodeId(0)], JobNature::CommIntensive),
+        Err(StateError::NodeBusy(NodeId(0)))
+    );
+    assert_eq!(
+        st.allocate(&tree, JobId(1), &[NodeId(1)], JobNature::CommIntensive),
+        Err(StateError::JobExists(JobId(1)))
+    );
+    assert_eq!(
+        st.allocate(&tree, JobId(3), &[], JobNature::CommIntensive),
+        Err(StateError::EmptyAllocation(JobId(3)))
+    );
+    assert_eq!(st.release(&tree, JobId(9)), Err(StateError::UnknownJob(JobId(9))));
+    // failed allocations must not disturb the counters
+    st.check_invariants(&tree).unwrap();
+}
+
+#[test]
+fn communication_ratio_eq1() {
+    let tree = figure2();
+    let st = figure5_state(&tree);
+    // Leaf 0: L_comm=4, L_busy=4, L_nodes=4 -> 4/4 + 4/4 = 2.
+    assert_eq!(st.communication_ratio(&tree, 0), 2.0);
+    // Leaf 1: L_comm=2, L_busy=2, L_nodes=4 -> 2/2 + 2/4 = 1.5.
+    assert_eq!(st.communication_ratio(&tree, 1), 1.5);
+    // Idle leaf -> 0.
+    let idle = ClusterState::new(&tree);
+    assert_eq!(idle.communication_ratio(&tree, 0), 0.0);
+}
+
+// ---------------------------------------------------------------- cost
+
+#[test]
+fn contention_matches_paper_worked_example() {
+    // Section 5.3: C(n0, n1) = 1 and C(n0, n4) = 1.875.
+    let tree = figure2();
+    let st = figure5_state(&tree);
+    let m = CostModel::HOPS;
+    assert_eq!(m.contention(&tree, &st, NodeId(0), NodeId(1)), 1.0);
+    assert_eq!(m.contention(&tree, &st, NodeId(0), NodeId(4)), 1.875);
+}
+
+#[test]
+fn hops_match_paper_worked_example() {
+    // Section 5.3: Hops(n0, n1) = 4 and Hops(n0, n4) = 11.5.
+    let tree = figure2();
+    let st = figure5_state(&tree);
+    let m = CostModel::HOPS;
+    assert_eq!(m.hops(&tree, &st, NodeId(0), NodeId(1)), 4.0);
+    assert_eq!(m.hops(&tree, &st, NodeId(0), NodeId(4)), 11.5);
+    assert_eq!(m.hops(&tree, &st, NodeId(0), NodeId(0)), 0.0);
+}
+
+#[test]
+fn contention_discount_deepens_with_lca_level() {
+    // Three-level tree: leaves meeting at level 3 pool with a quarter
+    // weight (the "links double as we move up" rule applied twice).
+    let tree = Tree::regular_three_level(2, 2, 4); // 16 nodes
+    let mut st = ClusterState::new(&tree);
+    // 2 comm nodes on every leaf.
+    for k in 0..4 {
+        let nodes = tree.leaf_nodes(k)[..2].to_vec();
+        st.allocate(&tree, JobId(k as u64 + 1), &nodes, JobNature::CommIntensive)
+            .unwrap();
+    }
+    let m = CostModel::HOPS;
+    // Same group (LCA level 2): 2/4 + 2/4 + 0.5 * 4/8 = 1.25.
+    assert_eq!(m.leaf_contention(&tree, &st, 0, 1), 1.25);
+    // Across groups (LCA level 3): 2/4 + 2/4 + 0.25 * 4/8 = 1.125.
+    assert_eq!(m.leaf_contention(&tree, &st, 0, 2), 1.125);
+    // A flat-contention model (discount 1.0) removes the distinction.
+    let flat = CostModel {
+        trunk_discount: 1.0,
+        ..CostModel::HOPS
+    };
+    assert_eq!(
+        flat.leaf_contention(&tree, &st, 0, 1),
+        flat.leaf_contention(&tree, &st, 0, 2)
+    );
+}
+
+#[test]
+fn job_cost_single_leaf_beats_split() {
+    // 8-rank RD on one leaf vs split 4+4: same contention state, the
+    // intra-leaf placement must be strictly cheaper.
+    let tree = Tree::regular_two_level(4, 8);
+    let st = ClusterState::new(&tree);
+    let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
+    let m = CostModel::HOPS;
+    let together: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let split: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
+    let c1 = m.hypothetical_cost(&tree, &st, &together, &spec);
+    let c2 = m.hypothetical_cost(&tree, &st, &split, &spec);
+    assert!(c1 < c2, "together={c1} split={c2}");
+}
+
+#[test]
+fn job_cost_balanced_split_beats_unbalanced() {
+    // Section 4.2's motivating example: 8 nodes over two leaves as 4+4 vs
+    // 3+5 — the balanced split has fewer inter-switch steps under RD.
+    let tree = Tree::regular_two_level(2, 8);
+    let st = ClusterState::new(&tree);
+    let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
+    let m = CostModel::HOPS;
+    let balanced: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
+    let unbalanced: Vec<NodeId> = (0..3).chain(8..13).map(NodeId).collect();
+    let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
+    let cu = m.hypothetical_cost(&tree, &st, &unbalanced, &spec);
+    assert!(cb <= cu, "balanced={cb} unbalanced={cu}");
+}
+
+#[test]
+fn job_cost_empty_and_single() {
+    let tree = figure2();
+    let st = ClusterState::new(&tree);
+    let spec = CollectiveSpec::new(Pattern::Rd, 1024);
+    assert_eq!(CostModel::HOPS.job_cost(&tree, &st, &[], &spec), 0.0);
+    assert_eq!(
+        CostModel::HOPS.job_cost(&tree, &st, &[NodeId(0)], &spec),
+        0.0
+    );
+}
+
+#[test]
+fn hop_bytes_scales_with_message_size() {
+    let tree = figure2();
+    let st = figure5_state(&tree);
+    let nodes = [NodeId(6), NodeId(7)];
+    let small = CollectiveSpec::new(Pattern::Rd, 1024);
+    let large = CollectiveSpec::new(Pattern::Rd, 2048);
+    let m = CostModel::HOP_BYTES;
+    let cs = m.job_cost(&tree, &st, &nodes, &small);
+    let cl = m.job_cost(&tree, &st, &nodes, &large);
+    assert_eq!(cl, 2.0 * cs);
+    // Raw-hops cost ignores msize.
+    let h = CostModel::HOPS;
+    assert_eq!(
+        h.job_cost(&tree, &st, &nodes, &small),
+        h.job_cost(&tree, &st, &nodes, &large)
+    );
+}
+
+// ---------------------------------------------------------------- default
+
+#[test]
+fn default_lowest_level_switch_matches_section_3_1() {
+    // Section 3.1's example: n0, n1 allocated. A 4-node job finds its
+    // lowest-level switch at s1 (leaf), a 6-node job at s2 (root).
+    let tree = figure2();
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::ComputeIntensive)
+        .unwrap();
+
+    let four = DefaultTreeSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(2), 4))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &four), [0, 4]); // all from s1
+
+    let six = DefaultTreeSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(3), 6))
+        .unwrap();
+    // Best-fit: s0 has fewer free (2), taken first, then 4 from s1.
+    assert_eq!(nodes_per_leaf(&tree, &six), [2, 4]);
+}
+
+#[test]
+fn default_best_fit_prefers_fuller_leaves() {
+    let tree = Tree::regular_two_level(3, 4);
+    let mut st = ClusterState::new(&tree);
+    // Leaf 1 has 1 free, leaf 0 has 4, leaf 2 has 2.
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(4), NodeId(5), NodeId(6), NodeId(8), NodeId(9)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
+    // A 3-node job fits leaf 0 alone: the lowest-level switch is that leaf.
+    let got = DefaultTreeSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(2), 3))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &got), [3, 0, 0]);
+    // A 6-node job needs the root; best-fit fills the emptiest-last:
+    // leaf1 (1 free), leaf2 (2 free), then leaf0.
+    let got = DefaultTreeSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(3), 6))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &got), [3, 1, 2]);
+}
+
+// ---------------------------------------------------------------- greedy
+
+#[test]
+fn greedy_comm_prefers_least_contended() {
+    let tree = Tree::regular_two_level(3, 4);
+    let mut st = ClusterState::new(&tree);
+    // Leaf 0: 2 comm nodes busy; leaf 1: 2 compute busy; leaf 2: idle.
+    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::CommIntensive)
+        .unwrap();
+    st.allocate(&tree, JobId(2), &[NodeId(4), NodeId(5)], JobNature::ComputeIntensive)
+        .unwrap();
+    // Ratios: leaf0 = 2/2 + 2/4 = 1.5; leaf1 = 0/2 + 2/4 = 0.5; leaf2 = 0.
+    let got = GreedySelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(3), 6))
+        .unwrap();
+    // leaf2 first (4 nodes), then leaf1 (2 nodes).
+    assert_eq!(nodes_per_leaf(&tree, &got), [0, 2, 4]);
+}
+
+#[test]
+fn greedy_compute_takes_most_contended_first() {
+    let tree = Tree::regular_two_level(3, 4);
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::CommIntensive)
+        .unwrap();
+    st.allocate(&tree, JobId(2), &[NodeId(4), NodeId(5)], JobNature::ComputeIntensive)
+        .unwrap();
+    // 5 nodes won't fit any single leaf, so P is the root and the leaves
+    // are taken in decreasing communication-ratio order:
+    // leaf0 (1.5) gives 2, leaf1 (0.5) gives 2, leaf2 (0) gives 1.
+    let got = GreedySelector
+        .select(&tree, &st, &AllocRequest::compute(JobId(3), 5))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &got), [2, 2, 1]);
+}
+
+#[test]
+fn greedy_leaf_fast_path() {
+    let tree = figure2();
+    let st = figure5_state(&tree);
+    // Only n6, n7 free (both on leaf 1): a 2-node job fits a single leaf.
+    let got = GreedySelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(9), 2))
+        .unwrap();
+    assert_eq!(got, vec![NodeId(6), NodeId(7)]);
+}
+
+// ---------------------------------------------------------------- balanced
+
+#[test]
+fn balanced_reproduces_table2() {
+    // Table 2 of the paper: 512 nodes over leaves with free counts
+    // 160/150/100/80/70/50/40 -> allocations 128/128/64/64/64/32/32.
+    let tree = Tree::irregular_two_level(&[160, 150, 100, 80, 70, 50, 40]);
+    let st = ClusterState::new(&tree);
+    let got = BalancedSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(1), 512))
+        .unwrap();
+    assert_eq!(got.len(), 512);
+    assert_eq!(nodes_per_leaf(&tree, &got), [128, 128, 64, 64, 64, 32, 32]);
+}
+
+#[test]
+fn balanced_table2_with_busy_nodes() {
+    // Same Table 2 free counts, produced by occupying a uniform cluster.
+    let sizes = vec![200usize; 7];
+    let tree = Tree::irregular_two_level(&sizes);
+    let mut st = ClusterState::new(&tree);
+    let busy = [40usize, 50, 100, 120, 130, 150, 160];
+    let mut next = JobId(100);
+    for (k, &b) in busy.iter().enumerate() {
+        let nodes: Vec<NodeId> = tree.leaf_nodes(k)[..b].to_vec();
+        st.allocate(&tree, next, &nodes, JobNature::ComputeIntensive)
+            .unwrap();
+        next = JobId(next.0 + 1);
+    }
+    let got = BalancedSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(1), 512))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &got), [128, 128, 64, 64, 64, 32, 32]);
+}
+
+#[test]
+fn balanced_second_pass_takes_leftovers() {
+    // 3 leaves of 3 free; request 8. First pass grants powers of two:
+    // S: 8->4->2 per leaf => 2+2+2 = 6; second pass (reverse order) takes
+    // the remaining 2 from the tail leaves.
+    let tree = Tree::regular_two_level(3, 3);
+    let st = ClusterState::new(&tree);
+    let got = BalancedSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(1), 8))
+        .unwrap();
+    assert_eq!(got.len(), 8);
+    let per = nodes_per_leaf(&tree, &got);
+    assert_eq!(per.iter().sum::<usize>(), 8);
+    // First pass gave each leaf 2; the reverse pass adds to the last leaves.
+    assert_eq!(per, [2, 3, 3]);
+}
+
+#[test]
+fn balanced_compute_preserves_free_leaves() {
+    let tree = Tree::regular_two_level(3, 4);
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0)], JobNature::ComputeIntensive)
+        .unwrap();
+    // Compute job of 3: increasing free order -> leaf0 (3 free) first.
+    let got = BalancedSelector
+        .select(&tree, &st, &AllocRequest::compute(JobId(2), 3))
+        .unwrap();
+    assert_eq!(nodes_per_leaf(&tree, &got), [3, 0, 0]);
+}
+
+#[test]
+fn balanced_whole_leaf_fits() {
+    let tree = figure2();
+    let st = ClusterState::new(&tree);
+    let got = BalancedSelector
+        .select(&tree, &st, &AllocRequest::comm(JobId(1), 4))
+        .unwrap();
+    // Fits entirely on one leaf (the lowest-level switch is that leaf).
+    assert_eq!(nodes_per_leaf(&tree, &got).iter().max(), Some(&4));
+}
+
+// ---------------------------------------------------------------- adaptive
+
+#[test]
+fn adaptive_picks_cheaper_of_greedy_and_balanced() {
+    // Build a state where greedy and balanced disagree: leaf free counts
+    // 5/4/4; greedy (by ratio) and balanced (powers of two) split an
+    // 8-node request differently.
+    let tree = Tree::regular_two_level(3, 8);
+    let mut st = ClusterState::new(&tree);
+    // leaf0: 3 busy comm; leaf1: 4 busy compute; leaf2: 4 busy compute.
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1), NodeId(2)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(2),
+        &[NodeId(8), NodeId(9), NodeId(10), NodeId(11)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(3),
+        &[NodeId(16), NodeId(17), NodeId(18), NodeId(19)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
+
+    let req = AllocRequest::comm(JobId(4), 8)
+        .with_pattern(CollectiveSpec::new(Pattern::Rd, 1 << 20));
+    let greedy = GreedySelector.select(&tree, &st, &req).unwrap();
+    let balanced = BalancedSelector.select(&tree, &st, &req).unwrap();
+    assert_ne!(greedy, balanced, "test requires disagreement");
+
+    let adaptive = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+    let m = CostModel::HOPS;
+    let spec = req.spec();
+    let cg = m.hypothetical_cost(&tree, &st, &greedy, &spec);
+    let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
+    let ca = m.hypothetical_cost(&tree, &st, &adaptive, &spec);
+    assert_eq!(ca, cg.min(cb));
+}
+
+#[test]
+fn adaptive_compute_takes_costlier() {
+    let tree = Tree::regular_two_level(3, 8);
+    let mut st = ClusterState::new(&tree);
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1), NodeId(2)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(2),
+        &[NodeId(8), NodeId(9), NodeId(10), NodeId(11)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(3),
+        &[NodeId(16), NodeId(17), NodeId(18), NodeId(19)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
+    let req = AllocRequest::compute(JobId(4), 8);
+    let greedy = GreedySelector.select(&tree, &st, &req).unwrap();
+    let balanced = BalancedSelector.select(&tree, &st, &req).unwrap();
+    if greedy != balanced {
+        let adaptive = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+        let m = CostModel::HOPS;
+        let spec = req.spec();
+        let cg = m.hypothetical_cost(&tree, &st, &greedy, &spec);
+        let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
+        let ca = m.hypothetical_cost(&tree, &st, &adaptive, &spec);
+        assert_eq!(ca, cg.max(cb));
+    }
+}
+
+// ---------------------------------------------------------------- common
+
+#[test]
+fn selectors_error_on_overcommit_and_zero() {
+    let tree = figure2();
+    let st = figure5_state(&tree); // 2 nodes free
+    for kind in SelectorKind::ALL {
+        let sel = kind.build();
+        assert!(matches!(
+            sel.select(&tree, &st, &AllocRequest::comm(JobId(9), 3)),
+            Err(SelectError::NotEnoughNodes { requested: 3, free: 2 })
+        ));
+        assert!(matches!(
+            sel.select(&tree, &st, &AllocRequest::comm(JobId(9), 0)),
+            Err(SelectError::ZeroNodes)
+        ));
+    }
+}
+
+#[test]
+fn selector_kind_round_trips() {
+    for k in SelectorKind::ALL {
+        assert_eq!(k.name().parse::<SelectorKind>().unwrap(), k);
+        assert_eq!(k.build().name(), k.name());
+    }
+    assert!("nope".parse::<SelectorKind>().is_err());
+}
+
+#[test]
+fn full_cluster_single_job() {
+    let tree = Tree::regular_two_level(4, 4);
+    let st = ClusterState::new(&tree);
+    for kind in SelectorKind::ALL {
+        let got = kind
+            .build()
+            .select(&tree, &st, &AllocRequest::comm(JobId(1), 16))
+            .unwrap();
+        assert_eq!(got.len(), 16, "{kind}");
+    }
+}
+
+#[test]
+fn hypothetical_cost_equals_cost_after_allocation() {
+    // hypothetical_cost(state, nodes) must equal job_cost evaluated on a
+    // state where the job is actually allocated — the two code paths the
+    // engine and the adaptive selector rely on agreeing.
+    let tree = Tree::regular_two_level(3, 8);
+    let mut st = ClusterState::new(&tree);
+    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(8)], JobNature::CommIntensive)
+        .unwrap();
+    let nodes: Vec<NodeId> = (1..5).chain(9..13).map(NodeId).collect();
+    let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
+    for m in [CostModel::HOPS, CostModel::HOP_BYTES] {
+        let hypo = m.hypothetical_cost(&tree, &st, &nodes, &spec);
+        let mut applied = st.clone();
+        applied
+            .allocate(&tree, JobId(2), &nodes, JobNature::CommIntensive)
+            .unwrap();
+        let real = m.job_cost(&tree, &applied, &nodes, &spec);
+        assert_eq!(hypo, real);
+    }
+}
+
+#[test]
+fn error_displays_are_informative() {
+    let e = SelectError::NotEnoughNodes {
+        requested: 10,
+        free: 3,
+    };
+    assert!(e.to_string().contains("10"));
+    assert!(e.to_string().contains('3'));
+    assert!(SelectError::ZeroNodes.to_string().contains("zero"));
+    assert!(StateError::NodeBusy(NodeId(4)).to_string().contains("node4"));
+    assert!(StateError::UnknownJob(JobId(9)).to_string().contains("job9"));
+}
+
+// ----------------------------------------------------- three-level trees
+
+mod three_level {
+    use super::*;
+
+    /// 2 groups x 2 leaves x 4 nodes = 16 nodes.
+    fn tree() -> Tree {
+        Tree::regular_three_level(2, 2, 4)
+    }
+
+    #[test]
+    fn lowest_level_switch_prefers_group_over_root() {
+        // 6 nodes fit inside one level-2 group (8 nodes), so every
+        // selector must confine the job to a single group.
+        let t = tree();
+        let st = ClusterState::new(&t);
+        for kind in SelectorKind::ALL {
+            let got = kind
+                .build()
+                .select(&t, &st, &AllocRequest::comm(JobId(1), 6))
+                .unwrap();
+            let groups: std::collections::HashSet<usize> = got
+                .iter()
+                .map(|n| t.leaf_ordinal_of(*n) / 2)
+                .collect();
+            assert_eq!(groups.len(), 1, "{kind} crossed groups: {got:?}");
+        }
+    }
+
+    #[test]
+    fn default_within_group_uses_best_fit() {
+        let t = tree();
+        let mut st = ClusterState::new(&t);
+        // Group 0: leaf0 has 1 free, leaf1 has 3 free.
+        st.allocate(
+            &t,
+            JobId(1),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)],
+            JobNature::ComputeIntensive,
+        )
+        .unwrap();
+        let got = DefaultTreeSelector
+            .select(&t, &st, &AllocRequest::comm(JobId(2), 4))
+            .unwrap();
+        let mut per = vec![0usize; t.num_leaves()];
+        for n in &got {
+            per[t.leaf_ordinal_of(*n)] += 1;
+        }
+        // 4 free exist in group 0 (1 + 3) and in each group-1 leaf (4).
+        // Both group-1 leaves are single leaves holding the whole request,
+        // so the lowest-level switch is a group-1 leaf — level 1 beats
+        // group 0 at level 2.
+        assert_eq!(per[0] + per[1], 0);
+        assert_eq!(per[2] + per[3], 4);
+    }
+
+    #[test]
+    fn greedy_sorts_across_groups_by_ratio() {
+        let t = tree();
+        let mut st = ClusterState::new(&t);
+        // Fill 2 comm nodes on every leaf so no leaf fits 4 alone...
+        for k in 0..4 {
+            let nodes = t.leaf_nodes(k)[..2].to_vec();
+            st.allocate(&t, JobId(10 + k as u64), &nodes, JobNature::CommIntensive)
+                .unwrap();
+        }
+        // ...and make leaf 3 the least contended by releasing its job.
+        st.release(&t, JobId(13)).unwrap();
+        // 8 free total in leaves 0-2 (2 each) + leaf 3 (4): a 5-node comm
+        // job must span groups; greedy takes leaf 3 (ratio 0) first.
+        let got = GreedySelector
+            .select(&t, &st, &AllocRequest::comm(JobId(1), 5))
+            .unwrap();
+        let on_leaf3 = got.iter().filter(|n| t.leaf_ordinal_of(**n) == 3).count();
+        assert_eq!(on_leaf3, 4, "greedy should drain the idle leaf first");
+    }
+
+    #[test]
+    fn balanced_prefers_whole_leaves_across_groups() {
+        let t = tree();
+        let mut st = ClusterState::new(&t);
+        // leaf0: 3 free, leaf1: 1 free, leaf2: 4 free, leaf3: 2 free.
+        let busy: Vec<NodeId> = [3usize, 5, 6, 7, 14, 15]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        st.allocate(&t, JobId(1), &busy, JobNature::ComputeIntensive)
+            .unwrap();
+        // 8-node comm job: balanced sorts leaves by free desc
+        // (4, 3, 2, 1) and grants 4, 2, 2, ... then leftovers.
+        let got = BalancedSelector
+            .select(&t, &st, &AllocRequest::comm(JobId(2), 8))
+            .unwrap();
+        let mut per = [0usize; 4];
+        for n in &got {
+            per[t.leaf_ordinal_of(*n)] += 1;
+        }
+        assert_eq!(per.iter().sum::<usize>(), 8);
+        // The emptiest leaf (leaf2, 4 free) received a full aligned block.
+        assert_eq!(per[2], 4);
+    }
+
+    #[test]
+    fn distance_hierarchy_shows_in_cost() {
+        // Same split shape, nearer vs farther leaves: the cost model must
+        // price the deeper LCA higher.
+        let t = tree();
+        let st = ClusterState::new(&t);
+        let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
+        let same_group: Vec<NodeId> = (0..2).chain(4..6).map(NodeId).collect();
+        let cross_group: Vec<NodeId> = (0..2).chain(8..10).map(NodeId).collect();
+        let m = CostModel::HOPS;
+        let near = m.hypothetical_cost(&t, &st, &same_group, &spec);
+        let far = m.hypothetical_cost(&t, &st, &cross_group, &spec);
+        assert!(near < far, "near {near} !< far {far}");
+    }
+}
+
+// ---------------------------------------------------------------- mapping
+
+mod mapping_tests {
+    use super::*;
+    use crate::mapping::{map_ranks, mapped_cost, MappingStrategy};
+
+    #[test]
+    fn block_mapping_is_sorted_nodes() {
+        let tree = Tree::regular_two_level(2, 8);
+        let nodes = vec![NodeId(9), NodeId(1), NodeId(0), NodeId(8)];
+        let m = map_ranks(&tree, &nodes, MappingStrategy::Block);
+        assert_eq!(m, vec![NodeId(0), NodeId(1), NodeId(8), NodeId(9)]);
+    }
+
+    #[test]
+    fn round_robin_alternates_leaves() {
+        let tree = Tree::regular_two_level(2, 8);
+        let nodes: Vec<NodeId> = (0..2).chain(8..10).map(NodeId).collect();
+        let m = map_ranks(&tree, &nodes, MappingStrategy::RoundRobin);
+        let leaves: Vec<usize> = m.iter().map(|n| tree.leaf_ordinal_of(*n)).collect();
+        assert_eq!(leaves, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn all_strategies_are_permutations() {
+        let tree = Tree::regular_two_level(3, 8);
+        let nodes: Vec<NodeId> = (0..3).chain(8..13).chain(16..18).map(NodeId).collect();
+        for s in MappingStrategy::ALL {
+            let mut m = map_ranks(&tree, &nodes, s);
+            m.sort_unstable();
+            let mut want = nodes.clone();
+            want.sort_unstable();
+            assert_eq!(m, want, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn best_mapping_never_worse_than_block() {
+        use crate::mapping::best_mapping;
+        // An unbalanced 3 + 5 allocation: under Eq. 6's max-per-step
+        // metric, odd leaf groups make a distance-1 crossing inevitable,
+        // so block may already be optimal — but best_mapping must never
+        // lose to it, and must equal the minimum over all strategies.
+        let tree = Tree::regular_two_level(2, 8);
+        let state = ClusterState::new(&tree);
+        let nodes: Vec<NodeId> = (0..3).chain(8..13).map(NodeId).collect();
+        let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
+        let (_, layout, cost) =
+            best_mapping(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec);
+        let per_strategy: Vec<f64> = MappingStrategy::ALL
+            .iter()
+            .map(|&s| mapped_cost(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec, s))
+            .collect();
+        let min = per_strategy.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(cost, min);
+        assert!(cost <= per_strategy[0]); // never worse than block
+        assert_eq!(layout.len(), nodes.len());
+    }
+
+    #[test]
+    fn mapping_strictly_beats_round_robin_layouts() {
+        // A balanced 4+4 allocation where the distance-1 and distance-2
+        // steps are intra-leaf under block but ALL cross under round-robin:
+        // the strategies genuinely order.
+        let tree = Tree::regular_two_level(2, 8);
+        let state = ClusterState::new(&tree);
+        let nodes: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
+        let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
+        let block = mapped_cost(
+            CostModel::HOP_BYTES,
+            &tree,
+            &state,
+            &nodes,
+            &spec,
+            MappingStrategy::Block,
+        );
+        let rr = mapped_cost(
+            CostModel::HOP_BYTES,
+            &tree,
+            &state,
+            &nodes,
+            &spec,
+            MappingStrategy::RoundRobin,
+        );
+        assert!(block < rr, "block {block} !< round-robin {rr}");
+    }
+
+    #[test]
+    fn aligned_blocks_equal_block_when_balanced() {
+        // On a balanced 4+4 split, block mapping is already aligned.
+        let tree = Tree::regular_two_level(2, 8);
+        let state = ClusterState::new(&tree);
+        let nodes: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
+        let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
+        let block = mapped_cost(
+            CostModel::HOPS,
+            &tree,
+            &state,
+            &nodes,
+            &spec,
+            MappingStrategy::Block,
+        );
+        let aligned = mapped_cost(
+            CostModel::HOPS,
+            &tree,
+            &state,
+            &nodes,
+            &spec,
+            MappingStrategy::AlignedBlocks,
+        );
+        assert_eq!(block, aligned);
+    }
+
+    #[test]
+    fn round_robin_is_the_worst_case() {
+        let tree = Tree::regular_two_level(2, 8);
+        let state = ClusterState::new(&tree);
+        let nodes: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
+        let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
+        let costs: Vec<f64> = MappingStrategy::ALL
+            .iter()
+            .map(|&s| mapped_cost(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec, s))
+            .collect();
+        // round-robin (index 1) at least as costly as both others
+        assert!(costs[1] >= costs[0]);
+        assert!(costs[1] >= costs[2]);
+    }
+
+    #[test]
+    fn mapped_cost_block_matches_job_cost() {
+        let tree = Tree::regular_two_level(3, 8);
+        let mut state = ClusterState::new(&tree);
+        state
+            .allocate(&tree, JobId(5), &[NodeId(3), NodeId(4)], JobNature::CommIntensive)
+            .unwrap();
+        let nodes: Vec<NodeId> = (0..3).chain(8..11).chain(16..18).map(NodeId).collect();
+        let spec = CollectiveSpec::new(Pattern::Binomial, 4096);
+        let a = CostModel::HOPS.job_cost(&tree, &state, &nodes, &spec);
+        let b = mapped_cost(
+            CostModel::HOPS,
+            &tree,
+            &state,
+            &nodes,
+            &spec,
+            MappingStrategy::Block,
+        );
+        assert_eq!(a, b);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::SeedableRng;
+
+    /// Random partially-occupied cluster over a random two-level tree.
+    fn random_scenario(
+        leaf_sizes: &[usize],
+        occupancy_pct: u8,
+        seed: u64,
+    ) -> (Tree, ClusterState) {
+        let tree = Tree::irregular_two_level(leaf_sizes);
+        let mut st = ClusterState::new(&tree);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
+        nodes.shuffle(&mut rng);
+        let busy = tree.num_nodes() * occupancy_pct as usize / 100;
+        let mut job = 1000u64;
+        for chunk in nodes[..busy].chunks(3) {
+            let nature = if rng.random::<bool>() {
+                JobNature::CommIntensive
+            } else {
+                JobNature::ComputeIntensive
+            };
+            st.allocate(&tree, JobId(job), chunk, nature).unwrap();
+            job += 1;
+        }
+        (tree, st)
+    }
+
+    fn arb_leaf_sizes() -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(2usize..20, 2..8)
+    }
+
+    proptest! {
+        /// Every selector returns exactly N distinct, currently-free nodes
+        /// whenever N <= free_total; otherwise it errors.
+        #[test]
+        fn selectors_return_exact_free_sets(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..80,
+            seed in any::<u64>(),
+            want in 1usize..40,
+            comm in any::<bool>(),
+        ) {
+            let (tree, st) = random_scenario(&sizes, occ, seed);
+            let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
+            let req = AllocRequest { job: JobId(1), nodes: want, nature, pattern: None };
+            for kind in SelectorKind::ALL {
+                let res = kind.build().select(&tree, &st, &req);
+                if want <= st.free_total() {
+                    let got = res.unwrap();
+                    prop_assert_eq!(got.len(), want, "{} returned wrong count", kind);
+                    let mut uniq = got.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    prop_assert_eq!(uniq.len(), want, "{} returned duplicates", kind);
+                    for n in &got {
+                        prop_assert!(st.is_free(*n), "{} allocated busy node {}", kind, n);
+                    }
+                } else {
+                    prop_assert!(res.is_err(), "{} should have failed", kind);
+                }
+            }
+        }
+
+        /// Balanced grants per leaf are powers of two (first pass) or drain
+        /// the leaf (leftover pass); at most one leaf — the final leftover
+        /// target — may hold a partial, non-power-of-two grant.
+        #[test]
+        fn balanced_grants_mostly_powers_of_two(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..60,
+            seed in any::<u64>(),
+            logw in 0u32..6,
+        ) {
+            let (tree, st) = random_scenario(&sizes, occ, seed);
+            let want = 1usize << logw;
+            prop_assume!(want <= st.free_total());
+            let got = BalancedSelector
+                .select(&tree, &st, &AllocRequest::comm(JobId(1), want))
+                .unwrap();
+            let mut per = vec![0usize; tree.num_leaves()];
+            for n in &got {
+                per[tree.leaf_ordinal_of(*n)] += 1;
+            }
+            let mut partials = 0usize;
+            for (k, &cnt) in per.iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                let leaf_drained = cnt == st.leaf_free(k) as usize;
+                if !cnt.is_power_of_two() && !leaf_drained {
+                    partials += 1;
+                }
+            }
+            prop_assert!(
+                partials <= 1,
+                "{partials} leaves hold partial non-power-of-two grants: {per:?}"
+            );
+        }
+
+        /// Allocate/release keeps all invariants, in any interleaving.
+        #[test]
+        fn state_invariants_under_churn(
+            sizes in arb_leaf_sizes(),
+            seed in any::<u64>(),
+            ops in 1usize..60,
+        ) {
+            let tree = Tree::irregular_two_level(&sizes);
+            let mut st = ClusterState::new(&tree);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut live: Vec<JobId> = Vec::new();
+            let mut next = 0u64;
+            for _ in 0..ops {
+                if !live.is_empty() && rng.random::<f64>() < 0.4 {
+                    let j = live.swap_remove(rng.random_range(0..live.len()));
+                    st.release(&tree, j).unwrap();
+                } else if st.free_total() > 0 {
+                    let want = rng.random_range(1..=st.free_total().min(6));
+                    let nature = if rng.random::<bool>() {
+                        JobNature::CommIntensive
+                    } else {
+                        JobNature::ComputeIntensive
+                    };
+                    let req = AllocRequest { job: JobId(next), nodes: want, nature, pattern: None };
+                    let kind = SelectorKind::ALL[rng.random_range(0..4)];
+                    let nodes = kind.build().select(&tree, &st, &req).unwrap();
+                    st.allocate(&tree, JobId(next), &nodes, nature).unwrap();
+                    live.push(JobId(next));
+                    next += 1;
+                }
+                let inv = st.check_invariants(&tree);
+                prop_assert!(inv.is_ok(), "invariant broken: {:?}", inv);
+            }
+        }
+
+        /// Every mapping strategy yields a permutation of the allocation,
+        /// and best_mapping never exceeds the block cost.
+        #[test]
+        fn mapping_permutation_and_best_dominance(
+            sizes in proptest::collection::vec(4usize..16, 2..5),
+            logw in 1u32..5,
+            seed in any::<u64>(),
+        ) {
+            use crate::mapping::{best_mapping, map_ranks, mapped_cost, MappingStrategy};
+            let (tree, st) = random_scenario(&sizes, 30, seed);
+            let want = 1usize << logw;
+            prop_assume!(want <= st.free_total());
+            let nodes = BalancedSelector
+                .select(&tree, &st, &AllocRequest::comm(JobId(1), want))
+                .unwrap();
+            for s in MappingStrategy::ALL {
+                let mut m = map_ranks(&tree, &nodes, s);
+                m.sort_unstable();
+                let mut w = nodes.clone();
+                w.sort_unstable();
+                prop_assert_eq!(m, w, "{} not a permutation", s.name());
+            }
+            let spec = CollectiveSpec::new(Pattern::Rd, 1 << 16);
+            let block = mapped_cost(CostModel::HOPS, &tree, &st, &nodes, &spec, MappingStrategy::Block);
+            let (_, _, best) = best_mapping(CostModel::HOPS, &tree, &st, &nodes, &spec);
+            prop_assert!(best <= block + 1e-9, "best {best} > block {block}");
+        }
+
+        /// Cost is monotone in contention: adding a comm-intensive job on
+        /// the same leaves never lowers another job's cost.
+        #[test]
+        fn cost_monotone_in_contention(seed in any::<u64>()) {
+            let tree = Tree::regular_two_level(4, 8);
+            let mut st = ClusterState::new(&tree);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let job: Vec<NodeId> = (0..8).map(|i| NodeId(i * 2)).collect();
+            st.allocate(&tree, JobId(1), &job, JobNature::CommIntensive).unwrap();
+            let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 16);
+            let before = CostModel::HOPS.job_cost(&tree, &st, &job, &spec);
+            // Add a second comm job on random free nodes.
+            let mut free: Vec<NodeId> = (0..tree.num_nodes())
+                .map(NodeId)
+                .filter(|n| st.is_free(*n))
+                .collect();
+            free.shuffle(&mut rng);
+            st.allocate(&tree, JobId(2), &free[..6], JobNature::CommIntensive).unwrap();
+            let after = CostModel::HOPS.job_cost(&tree, &st, &job, &spec);
+            prop_assert!(after >= before, "cost fell from {before} to {after}");
+        }
+    }
+}

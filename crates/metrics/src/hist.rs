@@ -1,0 +1,81 @@
+//! Fixed-bin histograms and simple interval estimates.
+
+use crate::stats::{mean, stddev};
+
+/// A histogram over equal-width bins spanning `[lo, hi)`.
+///
+/// Out-of-range samples clamp into the edge bins, so totals are conserved —
+/// convenient for long-tailed latency data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Record many samples.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_low_edge, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+
+    /// ASCII rendering, one row per bin.
+    pub fn render(&self) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (edge, count) in self.bins() {
+            out.push_str(&format!(
+                "{edge:>12.2}  {count:>7}  {}\n",
+                "#".repeat((count * 40 / peak) as usize)
+            ));
+        }
+        out
+    }
+}
+
+/// Normal-approximation 95% confidence interval of the mean:
+/// `mean ± 1.96 · s/√n`. Returns `(mean, half_width)`; half-width 0 for
+/// fewer than two samples.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let s = stddev(xs);
+    (m, 1.96 * s / (xs.len() as f64).sqrt())
+}

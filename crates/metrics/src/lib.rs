@@ -1,0 +1,18 @@
+//! Evaluation metrics, summary statistics and report rendering.
+//!
+//! The paper evaluates with five metrics (§5.4): execution time, wait time,
+//! turnaround time, node-hours and communication cost. This crate holds the
+//! statistics used to aggregate them (means, percentiles, Pearson
+//! correlation for the §5.3 validation) and small text renderers for the
+//! tables and figure series the benchmark harness regenerates.
+
+mod hist;
+mod render;
+mod stats;
+
+pub use hist::{mean_ci95, Histogram};
+pub use render::{Series, Table};
+pub use stats::{mean, median, peak_to_mean, pearson, percentage_improvement, percentile, stddev};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,171 @@
+use crate::*;
+
+#[test]
+fn mean_median_basics() {
+    assert_eq!(mean(&[]), 0.0);
+    assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    assert_eq!(median(&[1.0, 3.0, 2.0]), 2.0);
+    assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    assert_eq!(median(&[]), 0.0);
+}
+
+#[test]
+fn percentile_interpolates() {
+    let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+    assert_eq!(percentile(&xs, 0.0), 10.0);
+    assert_eq!(percentile(&xs, 100.0), 50.0);
+    assert_eq!(percentile(&xs, 50.0), 30.0);
+    assert_eq!(percentile(&xs, 25.0), 20.0);
+    assert_eq!(percentile(&xs, 12.5), 15.0);
+}
+
+#[test]
+#[should_panic(expected = "percentile out of range")]
+fn percentile_rejects_out_of_range() {
+    percentile(&[1.0], 101.0);
+}
+
+#[test]
+fn stddev_basics() {
+    assert_eq!(stddev(&[5.0]), 0.0);
+    let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+    assert!((s - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn pearson_perfect_and_inverse() {
+    let x = [1.0, 2.0, 3.0, 4.0];
+    let y = [2.0, 4.0, 6.0, 8.0];
+    assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    let z = [8.0, 6.0, 4.0, 2.0];
+    assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    assert_eq!(pearson(&x, &[5.0, 5.0, 5.0, 5.0]), 0.0); // no variance
+    assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+}
+
+#[test]
+fn improvement_convention() {
+    // Lower is better: going from 100 to 90 is a 10% improvement.
+    assert_eq!(percentage_improvement(100.0, 90.0), 10.0);
+    assert_eq!(percentage_improvement(100.0, 110.0), -10.0);
+    assert_eq!(percentage_improvement(0.0, 5.0), 0.0);
+}
+
+#[test]
+fn peak_to_mean_detects_spikes() {
+    let quiet = [1.0, 1.0, 1.0, 1.0];
+    let spiky = [1.0, 1.0, 4.0, 1.0];
+    assert_eq!(peak_to_mean(&quiet), 1.0);
+    assert!(peak_to_mean(&spiky) > 2.0);
+    assert_eq!(peak_to_mean(&[]), 0.0);
+}
+
+#[test]
+fn table_renders_aligned() {
+    let mut t = Table::new(vec!["Log".into(), "Exec".into()]);
+    t.row(vec!["Intrepid".into(), "1382".into()]);
+    t.row(vec!["Theta".into(), "2189".into()]);
+    let s = t.to_string();
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 4); // header, rule, 2 rows
+    assert!(lines[0].starts_with("Log"));
+    assert!(lines[2].contains("Intrepid"));
+    assert_eq!(t.len(), 2);
+    assert!(!t.is_empty());
+}
+
+#[test]
+fn table_pads_short_rows() {
+    let mut t = Table::new(vec!["A".into(), "B".into(), "C".into()]);
+    t.row(vec!["x".into()]);
+    let s = t.to_string();
+    assert!(s.contains('x'));
+}
+
+#[test]
+fn series_csv() {
+    let mut a = Series::new("default");
+    a.push(30.0, 1.0);
+    a.push(60.0, 2.0);
+    let mut b = Series::new("balanced");
+    b.push(30.0, 0.5);
+    b.push(60.0, 1.5);
+    let csv = Series::to_csv(&[a, b]);
+    assert_eq!(csv, "x,default,balanced\n30,1,0.5\n60,2,1.5\n");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentile is monotone in p and bounded by the extremes.
+        #[test]
+        fn percentile_monotone(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+            xs.sort_by(f64::total_cmp);
+            prop_assert!(percentile(&xs, lo) >= xs[0] - 1e-9);
+            prop_assert!(percentile(&xs, hi) <= xs[xs.len() - 1] + 1e-9);
+        }
+
+        /// Pearson is symmetric, bounded in [-1, 1], and invariant under
+        /// positive affine transforms.
+        #[test]
+        fn pearson_properties(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..40),
+            scale in 0.1f64..10.0,
+            shift in -100.0f64..100.0,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&xs, &ys);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            prop_assert!((r - pearson(&ys, &xs)).abs() < 1e-9);
+            let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+            prop_assert!((pearson(&xs2, &ys) - r).abs() < 1e-6);
+        }
+    }
+}
+
+mod hist_tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.0, 2.5, 9.9, -3.0, 42.0]);
+        assert_eq!(h.total(), 6);
+        let bins: Vec<(f64, u64)> = h.bins().collect();
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins[0], (0.0, 3)); // 0.0, 1.0 and clamped -3.0
+        assert_eq!(bins[1], (2.0, 1)); // 2.5
+        assert_eq!(bins[4], (8.0, 2)); // 9.9 and clamped 42.0
+        let text = h.render();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (m1, w1) = mean_ci95(&few);
+        let (m2, w2) = mean_ci95(&many);
+        assert!((m1 - 4.5).abs() < 1e-9);
+        assert!((m2 - 4.5).abs() < 1e-9);
+        assert!(w2 < w1);
+        assert_eq!(mean_ci95(&[7.0]), (7.0, 0.0));
+        assert_eq!(mean_ci95(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,599 @@
+//! The fluid flow simulator: routing, max–min rate allocation, event loop.
+
+use commsched_collectives::{CollectiveSpec, Pattern, Step};
+use commsched_topology::{NodeId, SwitchId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Link capacities and protocol overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Capacity of a node↔leaf link, bytes/second per direction.
+    pub node_bandwidth: f64,
+    /// Capacity multiplier for a switch↔parent link at level `l` (the
+    /// leaf's uplink is level 1): `node_bandwidth * trunk_factor^l`.
+    /// `1.0` models the paper's department cluster (1G everywhere, heavy
+    /// contention on uplinks); `2.0` models a fat-tree that doubles upward.
+    pub trunk_factor: f64,
+    /// Fixed per-step synchronization overhead in seconds (MPI call and
+    /// switch latency); keeps tiny-message steps from completing in 0 time.
+    pub step_overhead: f64,
+    /// Aggregate switching fabric of each *leaf* switch, as a multiple of
+    /// `node_bandwidth`: every flow entering or leaving a leaf consumes a
+    /// share of its backplane. `None` models a non-blocking switch (the
+    /// default). Cheap department-cluster switches are oversubscribed —
+    /// the effect behind the paper's same-leaf contention term (Eq. 2).
+    #[serde(default)]
+    pub backplane_factor: Option<f64>,
+}
+
+impl NetConfig {
+    /// 1 Gbit/s Ethernet everywhere — the IIT Kanpur department cluster of
+    /// the Figure 1 study.
+    pub fn gigabit_ethernet() -> Self {
+        NetConfig {
+            node_bandwidth: 125.0e6, // 1 Gb/s in bytes/s
+            trunk_factor: 1.0,
+            step_overhead: 100.0e-6,
+            backplane_factor: None,
+        }
+    }
+
+    /// A department cluster with oversubscribed leaf switches: 1 Gb/s
+    /// links but only 6 line-rates of fabric per leaf. Same-leaf traffic
+    /// now contends, as Eq. 2 assumes.
+    pub fn cheap_ethernet() -> Self {
+        NetConfig {
+            backplane_factor: Some(6.0),
+            ..Self::gigabit_ethernet()
+        }
+    }
+
+    /// A fat-tree whose aggregate uplink capacity doubles per level, the
+    /// topology of Figure 2.
+    pub fn fat_tree() -> Self {
+        NetConfig {
+            node_bandwidth: 125.0e6,
+            trunk_factor: 2.0,
+            step_overhead: 100.0e-6,
+            backplane_factor: None,
+        }
+    }
+}
+
+/// One collective job to simulate: a node set, the collective it runs, when
+/// it is submitted, and how many back-to-back iterations it performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Caller-chosen id, reported back in [`JobResult`].
+    pub id: u64,
+    /// Nodes the job occupies; rank `r` runs on `nodes[r]` after sorting.
+    pub nodes: Vec<NodeId>,
+    /// The collective and its message size.
+    pub spec: CollectiveSpec,
+    /// Submission time in seconds.
+    pub submit: f64,
+    /// Back-to-back iterations of the collective (≥ 1).
+    pub iterations: usize,
+}
+
+/// Timing of one iteration of a job's collective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationSample {
+    /// Wall-clock second the iteration started.
+    pub start: f64,
+    /// Seconds the iteration took.
+    pub duration: f64,
+}
+
+/// Completed-job report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Id from the [`Workload`].
+    pub id: u64,
+    /// Submission time (the job starts immediately; netsim has no queue).
+    pub submit: f64,
+    /// Completion time of the last iteration.
+    pub end: f64,
+    /// Per-iteration timings — the Figure 1 series.
+    pub iterations: Vec<IterationSample>,
+}
+
+/// Where the bytes went: per-class link accounting for one simulation run.
+///
+/// Produced by [`FlowSim::run_with_stats`]; useful for spotting which part
+/// of the fabric bottlenecked a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Bytes through node↔leaf links (both directions).
+    pub node_bytes: f64,
+    /// Bytes through switch↔parent trunks, indexed by switch level − 1
+    /// (entry 0 = leaf uplinks).
+    pub trunk_bytes_per_level: Vec<f64>,
+    /// Bytes through leaf backplanes (0 when backplanes are disabled).
+    pub backplane_bytes: f64,
+    /// Peak time-average utilization over all links:
+    /// `bytes / (capacity × span)` of the busiest link.
+    pub busiest_utilization: f64,
+    /// Wall-clock span of the run in seconds.
+    pub span: f64,
+}
+
+/// Directed-link id space: `2*n`/`2*n+1` are node `n`'s up/down links;
+/// switch `s`'s up/down links to its parent follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkId(usize);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    route: Vec<LinkId>,
+    remaining: f64,
+    rate: f64,
+    job_idx: usize,
+}
+
+#[derive(Debug)]
+struct ActiveJob {
+    workload_idx: usize,
+    steps: Vec<Step>,
+    /// Sorted node list; rank r -> ranked[r].
+    ranked: Vec<NodeId>,
+    step_idx: usize,
+    iter_idx: usize,
+    iter_start: f64,
+    /// When the current step's overhead gate opens (flows start draining).
+    gate: f64,
+    flows_left: usize,
+    samples: Vec<IterationSample>,
+    done: bool,
+}
+
+/// Fluid-flow simulator over a [`Tree`].
+///
+/// Construct once per topology; [`FlowSim::run`] is `&self` and can be
+/// called repeatedly with different workloads.
+pub struct FlowSim<'t> {
+    tree: &'t Tree,
+    cfg: NetConfig,
+    /// Capacity per directed link.
+    capacity: Vec<f64>,
+    /// Switch-up-link base index.
+    switch_base: usize,
+    /// Leaf-backplane link base index (`usize::MAX` when disabled).
+    backplane_base: usize,
+}
+
+impl<'t> FlowSim<'t> {
+    /// Build the link table for `tree` under `cfg`.
+    pub fn new(tree: &'t Tree, cfg: NetConfig) -> Self {
+        assert!(cfg.node_bandwidth > 0.0 && cfg.trunk_factor > 0.0);
+        let switch_base = 2 * tree.num_nodes();
+        let mut capacity = vec![cfg.node_bandwidth; switch_base + 2 * tree.num_switches()];
+        for s in 0..tree.num_switches() {
+            let level = tree.switch(SwitchId(s)).level;
+            let cap = cfg.node_bandwidth * cfg.trunk_factor.powi(level as i32);
+            capacity[switch_base + 2 * s] = cap;
+            capacity[switch_base + 2 * s + 1] = cap;
+        }
+        let backplane_base = if let Some(factor) = cfg.backplane_factor {
+            assert!(factor > 0.0, "backplane factor must be positive");
+            let base = capacity.len();
+            capacity.extend(
+                std::iter::repeat_n(cfg.node_bandwidth * factor, tree.num_leaves()),
+            );
+            base
+        } else {
+            usize::MAX
+        };
+        FlowSim {
+            tree,
+            cfg,
+            capacity,
+            switch_base,
+            backplane_base,
+        }
+    }
+
+    #[inline]
+    fn node_up(&self, n: NodeId) -> LinkId {
+        LinkId(2 * n.0)
+    }
+
+    #[inline]
+    fn node_down(&self, n: NodeId) -> LinkId {
+        LinkId(2 * n.0 + 1)
+    }
+
+    #[inline]
+    fn switch_up(&self, s: SwitchId) -> LinkId {
+        LinkId(self.switch_base + 2 * s.0)
+    }
+
+    #[inline]
+    fn switch_down(&self, s: SwitchId) -> LinkId {
+        LinkId(self.switch_base + 2 * s.0 + 1)
+    }
+
+    /// Route from `src` to `dst`: up-links to the LCA, then down-links.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = vec![self.node_up(src)];
+        let lca = self.tree.lca(src, dst);
+        let mut s = self.tree.leaf_of(src);
+        while s != lca {
+            links.push(self.switch_up(s));
+            s = self.tree.switch(s).parent.expect("LCA above leaf");
+        }
+        let mut down = Vec::new();
+        let mut d = self.tree.leaf_of(dst);
+        while d != lca {
+            down.push(self.switch_down(d));
+            d = self.tree.switch(d).parent.expect("LCA above leaf");
+        }
+        links.extend(down.into_iter().rev());
+        links.push(self.node_down(dst));
+        if self.backplane_base != usize::MAX {
+            let a = self.tree.leaf_ordinal_of(src);
+            let b = self.tree.leaf_ordinal_of(dst);
+            links.push(LinkId(self.backplane_base + a));
+            if b != a {
+                links.push(LinkId(self.backplane_base + b));
+            }
+        }
+        links
+    }
+
+    /// Flows for one collective step over ranked nodes. RD/RHVD/ring/stencil
+    /// pairs exchange in both directions; binomial sends one way (lower rank
+    /// holds the data in every step of the schedule).
+    fn step_flows(
+        &self,
+        job_idx: usize,
+        ranked: &[NodeId],
+        step: &Step,
+        pattern: Pattern,
+    ) -> Vec<Flow> {
+        let bidirectional = !matches!(pattern, Pattern::Binomial);
+        let mut flows = Vec::with_capacity(step.pairs.len() * 2);
+        for &(a, b) in &step.pairs {
+            let (na, nb) = (ranked[a], ranked[b]);
+            if na == nb {
+                continue;
+            }
+            flows.push(Flow {
+                route: self.route(na, nb),
+                remaining: step.msize as f64,
+                rate: 0.0,
+                job_idx,
+            });
+            if bidirectional {
+                flows.push(Flow {
+                    route: self.route(nb, na),
+                    remaining: step.msize as f64,
+                    rate: 0.0,
+                    job_idx,
+                });
+            }
+        }
+        flows
+    }
+
+    /// Max–min fair rates by progressive filling. `active[f]` gates which
+    /// flows currently drain (a step still inside its overhead gate has
+    /// inactive flows).
+    fn assign_rates(&self, flows: &mut [Flow], active: &[bool]) {
+        let nlinks = self.capacity.len();
+        let mut residual = self.capacity.clone();
+        let mut load = vec![0u32; nlinks];
+        for (f, flow) in flows.iter().enumerate() {
+            if active[f] {
+                for l in &flow.route {
+                    load[l.0] += 1;
+                }
+            }
+        }
+        let mut frozen: Vec<bool> = flows
+            .iter()
+            .enumerate()
+            .map(|(f, _)| !active[f])
+            .collect();
+        for (f, flow) in flows.iter_mut().enumerate() {
+            if !active[f] {
+                flow.rate = 0.0;
+            }
+        }
+        let mut left = active.iter().filter(|a| **a).count();
+        while left > 0 {
+            // Bottleneck link: minimal residual share among loaded links.
+            let mut share = f64::INFINITY;
+            for l in 0..nlinks {
+                if load[l] > 0 {
+                    let s = residual[l] / f64::from(load[l]);
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            debug_assert!(share.is_finite());
+            // Freeze every unfrozen flow that crosses a bottleneck link.
+            let mut froze_any = false;
+            for f in 0..flows.len() {
+                if frozen[f] {
+                    continue;
+                }
+                let bottlenecked = flows[f].route.iter().any(|l| {
+                    load[l.0] > 0 && residual[l.0] / f64::from(load[l.0]) <= share * (1.0 + 1e-12)
+                });
+                if bottlenecked {
+                    flows[f].rate = share;
+                    frozen[f] = true;
+                    froze_any = true;
+                    left -= 1;
+                    for l in &flows[f].route {
+                        residual[l.0] = (residual[l.0] - share).max(0.0);
+                        load[l.0] -= 1;
+                    }
+                }
+            }
+            debug_assert!(froze_any, "progressive filling made no progress");
+            if !froze_any {
+                break;
+            }
+        }
+    }
+
+    /// Simulate the workloads to completion and report per-job results.
+    ///
+    /// Jobs start at their submit times (there is no queue here — queueing
+    /// is `commsched-slurmsim`'s business) and run their iterations back to
+    /// back. Completed jobs are reported in workload order.
+    pub fn run(&self, workloads: Vec<Workload>) -> Vec<JobResult> {
+        self.run_impl(workloads, None)
+    }
+
+    /// Like [`FlowSim::run`], additionally accounting bytes per link class.
+    pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
+        let mut bytes = vec![0.0f64; self.capacity.len()];
+        let results = self.run_impl(workloads, Some(&mut bytes));
+        let span = results
+            .iter()
+            .map(|r| r.end)
+            .fold(0.0f64, f64::max)
+            - results.iter().map(|r| r.submit).fold(f64::INFINITY, f64::min).min(0.0);
+        let span = span.max(1e-12);
+
+        let mut stats = LinkStats {
+            node_bytes: 0.0,
+            trunk_bytes_per_level: vec![0.0; self.tree.height() as usize],
+            backplane_bytes: 0.0,
+            busiest_utilization: 0.0,
+            span,
+        };
+        for (l, &b) in bytes.iter().enumerate() {
+            if l < self.switch_base {
+                stats.node_bytes += b;
+            } else if self.backplane_base != usize::MAX && l >= self.backplane_base {
+                stats.backplane_bytes += b;
+            } else {
+                let sw = (l - self.switch_base) / 2;
+                let level = self.tree.switch(SwitchId(sw)).level as usize;
+                if level <= stats.trunk_bytes_per_level.len() {
+                    stats.trunk_bytes_per_level[level - 1] += b;
+                }
+            }
+            let u = b / (self.capacity[l] * span);
+            if u > stats.busiest_utilization {
+                stats.busiest_utilization = u;
+            }
+        }
+        (results, stats)
+    }
+
+    fn run_impl(
+        &self,
+        workloads: Vec<Workload>,
+        mut link_bytes: Option<&mut Vec<f64>>,
+    ) -> Vec<JobResult> {
+        let mut jobs: Vec<ActiveJob> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                assert!(w.iterations >= 1, "iterations must be >= 1");
+                let mut ranked = w.nodes.clone();
+                ranked.sort_unstable();
+                ranked.dedup();
+                ActiveJob {
+                    workload_idx: i,
+                    steps: w.spec.steps(ranked.len()),
+                    ranked,
+                    step_idx: 0,
+                    iter_idx: 0,
+                    iter_start: w.submit,
+                    gate: 0.0,
+                    flows_left: 0,
+                    samples: Vec::new(),
+                    done: false,
+                }
+            })
+            .collect();
+
+        // Arrival order.
+        let mut arrivals: Vec<usize> = (0..jobs.len()).collect();
+        arrivals.sort_by(|&a, &b| workloads[a].submit.total_cmp(&workloads[b].submit));
+        let mut next_arrival = 0usize;
+
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut now = 0.0f64;
+        const EPS: f64 = 1e-9;
+
+        // Start a job's current step: push its flows, set the overhead gate.
+        fn start_step(
+            sim: &FlowSim<'_>,
+            jobs: &mut [ActiveJob],
+            flows: &mut Vec<Flow>,
+            workloads: &[Workload],
+            j: usize,
+            now: f64,
+        ) {
+            loop {
+                let job = &mut jobs[j];
+                if job.done {
+                    return;
+                }
+                if job.step_idx >= job.steps.len() {
+                    // Iteration finished.
+                    job.samples.push(IterationSample {
+                        start: job.iter_start,
+                        duration: now - job.iter_start,
+                    });
+                    job.iter_idx += 1;
+                    if job.iter_idx >= workloads[job.workload_idx].iterations {
+                        job.done = true;
+                        return;
+                    }
+                    job.step_idx = 0;
+                    job.iter_start = now;
+                }
+                let step = &job.steps[job.step_idx];
+                let pattern = workloads[job.workload_idx].spec.pattern;
+                let new_flows = sim.step_flows(j, &job.ranked, step, pattern);
+                job.gate = now + sim.cfg.step_overhead;
+                job.flows_left = new_flows.len();
+                if new_flows.is_empty() {
+                    // Degenerate step (no pairs, e.g. single-node job):
+                    // consume the overhead and move on immediately. The
+                    // overhead gate is modelled as instantaneous here to
+                    // keep the loop simple; empty steps are rare.
+                    job.step_idx += 1;
+                    continue;
+                }
+                flows.extend(new_flows);
+                return;
+            }
+        }
+
+        loop {
+            // Admit arrivals that are due.
+            while next_arrival < arrivals.len()
+                && workloads[arrivals[next_arrival]].submit <= now + EPS
+            {
+                let j = arrivals[next_arrival];
+                jobs[j].iter_start = workloads[j].submit.max(now);
+                if jobs[j].steps.is_empty() || jobs[j].ranked.len() <= 1 {
+                    // Nothing to communicate: all iterations are instant.
+                    for _ in 0..workloads[j].iterations {
+                        jobs[j].samples.push(IterationSample {
+                            start: now,
+                            duration: 0.0,
+                        });
+                    }
+                    jobs[j].done = true;
+                } else {
+                    start_step(self, &mut jobs, &mut flows, &workloads, j, now);
+                }
+                next_arrival += 1;
+            }
+
+            if flows.is_empty() && next_arrival >= arrivals.len() {
+                break;
+            }
+
+            // Rates for flows whose step gate has opened.
+            let active: Vec<bool> = flows
+                .iter()
+                .map(|f| now + EPS >= jobs[f.job_idx].gate)
+                .collect();
+            self.assign_rates(&mut flows, &active);
+
+            // Next event: flow completion, gate opening, or arrival.
+            let mut dt = f64::INFINITY;
+            for (f, flow) in flows.iter().enumerate() {
+                if active[f] && flow.rate > 0.0 {
+                    dt = dt.min(flow.remaining / flow.rate);
+                } else if !active[f] {
+                    dt = dt.min(jobs[flow.job_idx].gate - now);
+                }
+            }
+            if next_arrival < arrivals.len() {
+                dt = dt.min(workloads[arrivals[next_arrival]].submit - now);
+            }
+            assert!(
+                dt.is_finite() && dt >= -EPS,
+                "simulator stuck at t={now} (dt={dt})"
+            );
+            let dt = dt.max(0.0);
+            now += dt;
+
+            // Drain and retire flows.
+            let mut finished_jobs: Vec<usize> = Vec::new();
+            let mut f = 0;
+            while f < flows.len() {
+                let is_active = now + EPS >= jobs[flows[f].job_idx].gate;
+                if is_active && flows[f].rate > 0.0 {
+                    if let Some(bytes) = link_bytes.as_deref_mut() {
+                        let moved = flows[f].rate * dt;
+                        for l in &flows[f].route {
+                            bytes[l.0] += moved;
+                        }
+                    }
+                    flows[f].remaining -= flows[f].rate * dt;
+                    if flows[f].remaining <= EPS {
+                        let j = flows[f].job_idx;
+                        jobs[j].flows_left -= 1;
+                        if jobs[j].flows_left == 0 {
+                            finished_jobs.push(j);
+                        }
+                        flows.swap_remove(f);
+                        continue;
+                    }
+                }
+                f += 1;
+            }
+            for j in finished_jobs {
+                jobs[j].step_idx += 1;
+                start_step(self, &mut jobs, &mut flows, &workloads, j, now);
+            }
+        }
+
+        let mut results: Vec<JobResult> = jobs
+            .into_iter()
+            .map(|j| {
+                assert!(j.done, "job {} never completed", j.workload_idx);
+                let w = &workloads[j.workload_idx];
+                JobResult {
+                    id: w.id,
+                    submit: w.submit,
+                    end: j
+                        .samples
+                        .last()
+                        .map(|s| s.start + s.duration)
+                        .unwrap_or(w.submit),
+                    iterations: j.samples,
+                }
+            })
+            .collect();
+        results.sort_by_key(|r| {
+            workloads
+                .iter()
+                .position(|w| w.id == r.id)
+                .unwrap_or(usize::MAX)
+        });
+        results
+    }
+
+    /// Convenience: time one collective run over `nodes`, alone on the
+    /// network.
+    pub fn solo_time(&self, nodes: &[NodeId], spec: CollectiveSpec) -> f64 {
+        let res = self.run(vec![Workload {
+            id: 0,
+            nodes: nodes.to_vec(),
+            spec,
+            submit: 0.0,
+            iterations: 1,
+        }]);
+        res[0].end
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+}

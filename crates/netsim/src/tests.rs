@@ -1,0 +1,435 @@
+use crate::{FlowSim, NetConfig, Workload};
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_topology::{NodeId, Tree};
+
+/// 1 MB/s links and no per-step overhead: times come out in round numbers.
+fn unit_config() -> NetConfig {
+    NetConfig {
+        node_bandwidth: 1.0e6,
+        trunk_factor: 1.0,
+        step_overhead: 0.0,
+        backplane_factor: None,
+    }
+}
+
+fn wl(id: u64, nodes: &[usize], spec: CollectiveSpec, submit: f64, iters: usize) -> Workload {
+    Workload {
+        id,
+        nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+        spec,
+        submit,
+        iterations: iters,
+    }
+}
+
+#[test]
+fn single_pair_exchange_timing() {
+    // Two nodes on one leaf, recursive doubling, 1 MB at 1 MB/s per
+    // direction: the full-duplex exchange takes exactly 1 second.
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let t = sim.solo_time(&[NodeId(0), NodeId(1)], CollectiveSpec::new(Pattern::Rd, 1_000_000));
+    assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn binomial_is_one_directional() {
+    // A 2-rank binomial send moves msize one way only — same 1 second
+    // (rates don't halve because the reverse direction is idle).
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let t = sim.solo_time(
+        &[NodeId(0), NodeId(1)],
+        CollectiveSpec::new(Pattern::Binomial, 1_000_000),
+    );
+    assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn shared_uplink_halves_rates() {
+    // Two cross-switch sends sharing the s0->root->s1 trunk: each gets half
+    // the trunk, so both finish in 2 seconds instead of 1.
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let spec = CollectiveSpec::new(Pattern::Binomial, 1_000_000);
+    let res = sim.run(vec![
+        wl(1, &[0, 4], spec, 0.0, 1),
+        wl(2, &[1, 5], spec, 0.0, 1),
+    ]);
+    assert!((res[0].end - 2.0).abs() < 1e-6, "end = {}", res[0].end);
+    assert!((res[1].end - 2.0).abs() < 1e-6, "end = {}", res[1].end);
+
+    // Alone, the same send takes 1 second.
+    let t = sim.solo_time(&[NodeId(0), NodeId(4)], spec);
+    assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn disjoint_leaves_do_not_interfere() {
+    // Intra-leaf jobs on different leaves never share a link, so running
+    // together costs the same as running alone.
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let spec = CollectiveSpec::new(Pattern::Rd, 500_000);
+    let alone = sim.solo_time(&[NodeId(0), NodeId(1)], spec);
+    let res = sim.run(vec![
+        wl(1, &[0, 1], spec, 0.0, 1),
+        wl(2, &[4, 5], spec, 0.0, 1),
+    ]);
+    assert!((res[0].end - alone).abs() < 1e-6);
+    assert!((res[1].end - alone).abs() < 1e-6);
+}
+
+#[test]
+fn fat_trunk_removes_uplink_bottleneck() {
+    // With trunk_factor 2 the two cross-switch sends of
+    // `shared_uplink_halves_rates` no longer contend on the trunk.
+    let tree = Tree::regular_two_level(2, 4);
+    let mut cfg = unit_config();
+    cfg.trunk_factor = 2.0;
+    let sim = FlowSim::new(&tree, cfg);
+    let spec = CollectiveSpec::new(Pattern::Binomial, 1_000_000);
+    let res = sim.run(vec![
+        wl(1, &[0, 4], spec, 0.0, 1),
+        wl(2, &[1, 5], spec, 0.0, 1),
+    ]);
+    // Bottleneck is now each node's own 1 MB/s link.
+    assert!((res[0].end - 1.0).abs() < 1e-6, "end = {}", res[0].end);
+}
+
+#[test]
+fn step_overhead_accumulates() {
+    let tree = Tree::regular_two_level(2, 4);
+    let mut cfg = unit_config();
+    cfg.step_overhead = 0.5;
+    let sim = FlowSim::new(&tree, cfg);
+    // 4-rank RD = 2 steps; each step pays the 0.5 s gate.
+    let t = sim.solo_time(
+        &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        CollectiveSpec::new(Pattern::Rd, 1_000_000),
+    );
+    assert!((t - 3.0).abs() < 1e-6, "t = {t}"); // 2 * (0.5 + 1.0)
+}
+
+#[test]
+fn iteration_samples_cover_run() {
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let spec = CollectiveSpec::new(Pattern::Rd, 100_000);
+    let res = sim.run(vec![wl(1, &[0, 1], spec, 3.0, 5)]);
+    let r = &res[0];
+    assert_eq!(r.iterations.len(), 5);
+    assert_eq!(r.submit, 3.0);
+    assert!((r.iterations[0].start - 3.0).abs() < 1e-9);
+    // Back-to-back iterations: each starts where the previous ended.
+    for w in r.iterations.windows(2) {
+        assert!((w[1].start - (w[0].start + w[0].duration)).abs() < 1e-6);
+    }
+    assert!((r.end - (3.0 + 5.0 * 0.1)).abs() < 1e-6, "end = {}", r.end);
+}
+
+#[test]
+fn figure1_interference_shape() {
+    // The headline motivation experiment: J1 iterates an allgather on 8
+    // nodes (4 + 4 across two leaves); J2 (12 nodes, 6 + 6 on the same
+    // leaves) arrives later. J1's iteration time must spike while J2 is
+    // active and recover afterwards.
+    let tree = Tree::irregular_two_level(&[13, 13, 12, 12]);
+    let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
+    let j1_nodes: Vec<usize> = (0..4).chain(13..17).collect();
+    let j2_nodes: Vec<usize> = (4..10).chain(17..23).collect();
+    // 1 MB per rank gathered over 8 ranks = an 8 MB vector.
+    let spec = CollectiveSpec::new(Pattern::Rhvd, 8 << 20);
+
+    let res = sim.run(vec![
+        wl(1, &j1_nodes, spec, 0.0, 120),
+        wl(2, &j2_nodes, spec, 1.0, 40),
+    ]);
+    let j1 = &res[0];
+    let j2 = &res[1];
+    let quiet: Vec<f64> = j1
+        .iterations
+        .iter()
+        .filter(|s| s.start + s.duration < j2.submit || s.start > j2.end)
+        .map(|s| s.duration)
+        .collect();
+    let busy: Vec<f64> = j1
+        .iterations
+        .iter()
+        .filter(|s| s.start < j2.end && s.start + s.duration > j2.submit)
+        .map(|s| s.duration)
+        .collect();
+    assert!(!quiet.is_empty() && !busy.is_empty());
+    let quiet_avg = quiet.iter().sum::<f64>() / quiet.len() as f64;
+    let busy_max = busy.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        busy_max > 1.2 * quiet_avg,
+        "no interference spike: quiet avg {quiet_avg}, busy max {busy_max}"
+    );
+}
+
+#[test]
+fn backplane_limits_intra_leaf_aggregate() {
+    // 4 concurrent intra-leaf exchanges = 8 flows. Non-blocking: each flow
+    // runs at line rate (1 s). With a 4x backplane the 8 flows share
+    // 4 MB/s of fabric -> 0.5 MB/s each -> 2 s.
+    let mut cfg = unit_config();
+    let tree = Tree::regular_two_level(2, 8);
+    let spec = CollectiveSpec::new(Pattern::Rd, 1_000_000);
+    let jobs = |_: ()| {
+        (0..4)
+            .map(|k| wl(k as u64 + 1, &[2 * k, 2 * k + 1], spec, 0.0, 1))
+            .collect::<Vec<_>>()
+    };
+
+    let open = FlowSim::new(&tree, cfg).run(jobs(()));
+    assert!((open[0].end - 1.0).abs() < 1e-6, "end = {}", open[0].end);
+
+    cfg.backplane_factor = Some(4.0);
+    let limited = FlowSim::new(&tree, cfg).run(jobs(()));
+    assert!(
+        (limited[0].end - 2.0).abs() < 1e-6,
+        "end = {}",
+        limited[0].end
+    );
+}
+
+#[test]
+fn backplane_charges_cross_leaf_flows_on_both_leaves() {
+    // One cross-leaf send with an ample backplane: unchanged timing.
+    let mut cfg = unit_config();
+    cfg.backplane_factor = Some(16.0);
+    let tree = Tree::regular_two_level(2, 8);
+    let sim = FlowSim::new(&tree, cfg);
+    let t = sim.solo_time(
+        &[NodeId(0), NodeId(8)],
+        CollectiveSpec::new(Pattern::Binomial, 1_000_000),
+    );
+    assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+
+    // A starved backplane (0.5x) becomes the bottleneck: 2 s.
+    let mut cfg = unit_config();
+    cfg.backplane_factor = Some(0.5);
+    let sim = FlowSim::new(&tree, cfg);
+    let t = sim.solo_time(
+        &[NodeId(0), NodeId(8)],
+        CollectiveSpec::new(Pattern::Binomial, 1_000_000),
+    );
+    assert!((t - 2.0).abs() < 1e-6, "t = {t}");
+}
+
+#[test]
+fn cheap_ethernet_preset_contends_same_leaf() {
+    // Under the oversubscribed preset, same-leaf neighbours slow each
+    // other down — the premise of the paper's Eq. 2.
+    let tree = Tree::regular_two_level(2, 13);
+    let spec = CollectiveSpec::new(Pattern::Rhvd, 8 << 20);
+    let alone = FlowSim::new(&tree, NetConfig::cheap_ethernet())
+        .solo_time(&(0..8).map(NodeId).collect::<Vec<_>>(), spec);
+    let crowded = {
+        let sim = FlowSim::new(&tree, NetConfig::cheap_ethernet());
+        let res = sim.run(vec![
+            wl(1, &(0..8).collect::<Vec<_>>(), spec, 0.0, 1),
+            wl(2, &(8..13).collect::<Vec<_>>(), spec, 0.0, 4),
+        ]);
+        res[0].end
+    };
+    assert!(
+        crowded > alone * 1.05,
+        "no same-leaf contention: alone {alone}, crowded {crowded}"
+    );
+}
+
+#[test]
+fn single_node_job_is_instant() {
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let res = sim.run(vec![wl(1, &[0], CollectiveSpec::new(Pattern::Rd, 1 << 20), 2.0, 3)]);
+    assert_eq!(res[0].end, 2.0);
+    assert_eq!(res[0].iterations.len(), 3);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let tree = Tree::regular_two_level(4, 8);
+    let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
+    let mk = || {
+        vec![
+            wl(1, &[0, 1, 8, 9], CollectiveSpec::new(Pattern::Rhvd, 1 << 18), 0.0, 4),
+            wl(2, &[2, 3, 10, 11], CollectiveSpec::new(Pattern::Rd, 1 << 19), 0.5, 3),
+            wl(3, &[16, 17, 24, 25], CollectiveSpec::new(Pattern::Binomial, 1 << 20), 1.0, 2),
+        ]
+    };
+    let a = sim.run(mk());
+    let b = sim.run(mk());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn larger_messages_take_proportionally_longer() {
+    let tree = Tree::regular_two_level(2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let nodes = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+    let t1 = sim.solo_time(&nodes, CollectiveSpec::new(Pattern::Rd, 250_000));
+    let t2 = sim.solo_time(&nodes, CollectiveSpec::new(Pattern::Rd, 500_000));
+    assert!((t2 / t1 - 2.0).abs() < 1e-6, "t1={t1} t2={t2}");
+}
+
+#[test]
+fn three_level_routing() {
+    // Cross-group flows traverse the level-2 trunk; three jobs sharing it
+    // split the bandwidth three ways.
+    let tree = Tree::regular_three_level(2, 2, 4);
+    let sim = FlowSim::new(&tree, unit_config());
+    let spec = CollectiveSpec::new(Pattern::Binomial, 900_000);
+    // Group 0 nodes: 0-7, group 1 nodes: 8-15. All three flows cross g0->g1.
+    let res = sim.run(vec![
+        wl(1, &[0, 8], spec, 0.0, 1),
+        wl(2, &[1, 9], spec, 0.0, 1),
+        wl(3, &[4, 12], spec, 0.0, 1),
+    ]);
+    for r in &res {
+        assert!((r.end - 2.7).abs() < 1e-6, "end = {}", r.end);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Conservation: a solo collective can never beat the time needed
+        /// to push its largest step through one node link, and never exceed
+        /// serialized total bytes over one link (plus overheads).
+        #[test]
+        fn solo_time_within_physical_bounds(
+            logp in 1u32..5,
+            msize in 10_000u64..2_000_000,
+            pat in prop::sample::select(Pattern::PAPER.to_vec()),
+        ) {
+            let p = 1usize << logp;
+            let tree = Tree::regular_two_level(4, 8);
+            let cfg = unit_config();
+            let sim = FlowSim::new(&tree, cfg);
+            let nodes: Vec<NodeId> = (0..p).map(NodeId).collect();
+            let spec = CollectiveSpec::new(pat, msize);
+            let t = sim.solo_time(&nodes, spec);
+            let steps = spec.steps(p);
+            let lower: f64 = steps
+                .iter()
+                .filter(|s| !s.pairs.is_empty())
+                .map(|s| s.msize as f64 / cfg.node_bandwidth)
+                .sum();
+            let upper: f64 = steps
+                .iter()
+                .map(|s| 2.0 * (s.pairs.len() as f64) * s.msize as f64 / cfg.node_bandwidth)
+                .sum::<f64>()
+                + 1e-6;
+            prop_assert!(t >= lower - 1e-6, "t={t} < lower bound {lower}");
+            prop_assert!(t <= upper, "t={t} > upper bound {upper}");
+        }
+
+        /// Interference monotonicity: adding a competing job never makes
+        /// the first job finish earlier.
+        #[test]
+        fn competition_never_helps(
+            seed in 0usize..4,
+            msize in 100_000u64..1_000_000,
+        ) {
+            let tree = Tree::regular_two_level(2, 8);
+            let sim = FlowSim::new(&tree, unit_config());
+            let spec = CollectiveSpec::new(Pattern::Rhvd, msize);
+            let j1: Vec<usize> = vec![0, 1, 8, 9];
+            let competitors: Vec<Vec<usize>> = vec![
+                vec![2, 3, 10, 11],
+                vec![4, 5, 12, 13],
+                vec![2, 10],
+                vec![6, 7, 14, 15],
+            ];
+            let alone = sim.run(vec![wl(1, &j1, spec, 0.0, 2)]);
+            let both = sim.run(vec![
+                wl(1, &j1, spec, 0.0, 2),
+                wl(2, &competitors[seed], spec, 0.0, 2),
+            ]);
+            prop_assert!(both[0].end >= alone[0].end - 1e-9,
+                "competition sped the job up: {} < {}", both[0].end, alone[0].end);
+        }
+    }
+}
+
+mod link_stats {
+    use super::*;
+
+    #[test]
+    fn accounts_every_byte_once_per_link() {
+        // One cross-leaf binomial send of 1 MB: 1 MB through each of the
+        // four links on its route (node up, s0 up, s1 down, node down).
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, unit_config());
+        let (res, stats) = sim.run_with_stats(vec![wl(
+            1,
+            &[0, 4],
+            CollectiveSpec::new(Pattern::Binomial, 1_000_000),
+            0.0,
+            1,
+        )]);
+        assert!((res[0].end - 1.0).abs() < 1e-6);
+        assert!((stats.node_bytes - 2.0e6).abs() < 1.0, "{}", stats.node_bytes);
+        assert_eq!(stats.trunk_bytes_per_level.len(), 2);
+        assert!((stats.trunk_bytes_per_level[0] - 2.0e6).abs() < 1.0);
+        assert_eq!(stats.trunk_bytes_per_level[1], 0.0); // root has no parent
+        assert_eq!(stats.backplane_bytes, 0.0);
+        // The four route links each ran at full rate the whole second.
+        assert!((stats.busiest_utilization - 1.0).abs() < 1e-6);
+        assert!((stats.span - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intra_leaf_traffic_never_touches_trunks() {
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, unit_config());
+        let (_, stats) = sim.run_with_stats(vec![wl(
+            1,
+            &[0, 1, 2, 3],
+            CollectiveSpec::new(Pattern::Rd, 500_000),
+            0.0,
+            2,
+        )]);
+        assert!(stats.node_bytes > 0.0);
+        assert!(stats.trunk_bytes_per_level.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn backplane_bytes_counted_when_enabled() {
+        let mut cfg = unit_config();
+        cfg.backplane_factor = Some(4.0);
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, cfg);
+        let (_, stats) = sim.run_with_stats(vec![wl(
+            1,
+            &[0, 1],
+            CollectiveSpec::new(Pattern::Rd, 1_000_000),
+            0.0,
+            1,
+        )]);
+        // The pair's two directed flows each cross leaf 0's backplane once.
+        assert!((stats.backplane_bytes - 2.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn stats_match_plain_run() {
+        let tree = Tree::regular_two_level(2, 8);
+        let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
+        let mk = || {
+            vec![
+                wl(1, &[0, 1, 8, 9], CollectiveSpec::new(Pattern::Rhvd, 1 << 20), 0.0, 3),
+                wl(2, &[2, 10], CollectiveSpec::new(Pattern::Rd, 1 << 19), 0.5, 2),
+            ]
+        };
+        let plain = sim.run(mk());
+        let (with_stats, _) = sim.run_with_stats(mk());
+        assert_eq!(plain, with_stats);
+    }
+}

@@ -1,0 +1,762 @@
+//! The discrete-event scheduling core: queue, backfill, Eq. 7 feedback.
+
+use commsched_collectives::CollectiveSpec;
+use commsched_core::{
+    AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature, NodeSelector,
+    SelectorKind,
+};
+use commsched_topology::Tree;
+use commsched_workload::{Job, JobLog};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Which node-selection algorithm runs inside `select/linear`.
+    pub selector: SelectorKind,
+    /// Cost model for the *reported* communication cost (Figure 8 plots
+    /// Eq. 6 as printed: raw effective hops).
+    pub cost_model: CostModel,
+    /// Cost model for the Eq. 7 runtime ratio. The paper's §5.3 weights
+    /// hops by the per-step message size ("msize doubles in the case of
+    /// vector doubling algorithms"), which is what distinguishes RHVD from
+    /// RD in the runtime estimates — so this defaults to hop-bytes.
+    pub ratio_model: CostModel,
+    /// Base collective message size used in cost evaluation; the paper's
+    /// motivation experiments use 1 MiB.
+    pub msize: u64,
+    /// Backfilling policy (SLURM's default scheduler runs EASY).
+    pub backfill: BackfillPolicy,
+    /// Apply the Eq. 7 runtime adjustment. Off = pure replay, useful for
+    /// queueing-only studies and tests.
+    pub adjust_runtimes: bool,
+    /// Kill jobs at their requested walltime (production SLURM behaviour).
+    /// Off by default: the paper's emulation replays full durations.
+    pub enforce_walltime: bool,
+}
+
+impl EngineConfig {
+    /// Defaults matching the paper's setup: backfill on, Eq. 7 on, 1 MiB.
+    pub fn new(selector: SelectorKind) -> Self {
+        EngineConfig {
+            selector,
+            cost_model: CostModel::HOPS,
+            ratio_model: CostModel::HOP_BYTES,
+            msize: 1 << 20,
+            backfill: BackfillPolicy::Easy,
+            adjust_runtimes: true,
+            enforce_walltime: false,
+        }
+    }
+
+    /// Disable runtime adjustment (pure replay).
+    pub fn without_adjustment(mut self) -> Self {
+        self.adjust_runtimes = false;
+        self
+    }
+
+    /// Disable backfilling (strict FIFO).
+    pub fn without_backfill(mut self) -> Self {
+        self.backfill = BackfillPolicy::None;
+        self
+    }
+
+    /// Use conservative backfilling: every queued job holds a reservation
+    /// and backfilled jobs may not delay *any* of them (EASY only protects
+    /// the queue head).
+    pub fn conservative_backfill(mut self) -> Self {
+        self.backfill = BackfillPolicy::Conservative;
+        self
+    }
+
+    /// Kill jobs at their requested walltime, like a production SLURM.
+    /// Off by default: the paper's emulation replays full durations.
+    pub fn with_walltime_enforcement(mut self) -> Self {
+        self.enforce_walltime = true;
+        self
+    }
+}
+
+/// How jobs may jump the FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackfillPolicy {
+    /// Strict FIFO: nothing starts out of order.
+    None,
+    /// EASY: one reservation for the queue head; later jobs may start now
+    /// if they cannot delay it (SLURM's `sched/backfill` default shape).
+    Easy,
+    /// Conservative: reservations for every queued job; a job may start
+    /// early only if it delays none of them.
+    Conservative,
+}
+
+/// Errors aborting a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A job requests more nodes than the machine has — it could never run.
+    JobTooLarge {
+        /// Offending job.
+        job: JobId,
+        /// Its request.
+        nodes: usize,
+        /// Machine size.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::JobTooLarge {
+                job,
+                nodes,
+                machine,
+            } => write!(
+                f,
+                "{job} requests {nodes} nodes but the machine has {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Everything recorded about one completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id from the log.
+    pub id: JobId,
+    /// Submission time (virtual seconds).
+    pub submit: u64,
+    /// Start time.
+    pub start: u64,
+    /// Completion time (`start + runtime_adjusted`).
+    pub end: u64,
+    /// Whole nodes held.
+    pub nodes: usize,
+    /// Job nature.
+    pub nature: JobNature,
+    /// Eq. 6 cost of the chosen allocation (0 for compute jobs), summed
+    /// over the job's collective components.
+    pub cost_actual: f64,
+    /// Eq. 6 cost of the allocation the *default* selector would have made
+    /// in the same cluster state (the Eq. 7 denominator).
+    pub cost_default: f64,
+    /// Runtime from the log.
+    pub runtime_original: u64,
+    /// Runtime after the Eq. 7 adjustment.
+    pub runtime_adjusted: u64,
+    /// The Eq. 7 multiplier actually applied to the job's communication
+    /// time (`cost_jobaware / cost_default` under the ratio model, weighted
+    /// over components; 1 for compute jobs and for the default selector).
+    pub comm_ratio: f64,
+}
+
+impl JobOutcome {
+    /// Wait time: start − submit (§5.4 metric 2).
+    pub fn wait(&self) -> u64 {
+        self.start - self.submit
+    }
+
+    /// Execution time: end − start (§5.4 metric 1).
+    pub fn exec(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Turnaround time: end − submit (§5.4 metric 3).
+    pub fn turnaround(&self) -> u64 {
+        self.end - self.submit
+    }
+
+    /// Node-hours (§5.4 metric 4).
+    pub fn node_hours(&self) -> f64 {
+        self.nodes as f64 * self.exec() as f64 / 3600.0
+    }
+}
+
+/// One event of a run's reconstructed schedule trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual second the event occurred.
+    pub t: u64,
+    /// `true` for a job start, `false` for a finish.
+    pub start: bool,
+    /// The job.
+    pub job: JobId,
+    /// Nodes held.
+    pub nodes: usize,
+}
+
+/// Results of a whole run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Selector that produced this run.
+    pub selector: String,
+    /// Per-job records, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Virtual time the last job completed.
+    pub makespan: u64,
+}
+
+impl RunSummary {
+    /// Total execution hours over all jobs (Table 3's "Execution Time").
+    pub fn total_exec_hours(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.exec() as f64).sum::<f64>() / 3600.0
+    }
+
+    /// Total wait hours over all jobs (Table 3's "Wait Time").
+    pub fn total_wait_hours(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.wait() as f64).sum::<f64>() / 3600.0
+    }
+
+    /// Mean turnaround in hours (Figure 9 left).
+    pub fn avg_turnaround_hours(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.turnaround() as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+            / 3600.0
+    }
+
+    /// Mean node-hours per job (Figure 9 right).
+    pub fn avg_node_hours(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.node_hours()).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Total Eq. 6 communication cost over communication-intensive jobs
+    /// (Figure 8's metric).
+    pub fn total_comm_cost(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.cost_actual).sum()
+    }
+
+    /// Jobs completed per hour of makespan (the throughput the paper
+    /// reports in §6.5).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / (self.makespan as f64 / 3600.0)
+    }
+
+    /// Outcome for a given job id.
+    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+
+    /// Machine utilization over time: `buckets` equal slices of the
+    /// makespan, each with the mean fraction of `machine_nodes` busy
+    /// (node-seconds in the bucket / bucket capacity).
+    pub fn utilization(&self, machine_nodes: usize, buckets: usize) -> Vec<(u64, f64)> {
+        assert!(buckets > 0 && machine_nodes > 0);
+        if self.makespan == 0 {
+            return Vec::new();
+        }
+        let width = self.makespan.div_ceil(buckets as u64).max(1);
+        let mut busy = vec![0.0f64; buckets];
+        for o in &self.outcomes {
+            let (s, e) = (o.start, o.end);
+            let first = (s / width) as usize;
+            let last = (((e - 1) / width) as usize).min(buckets - 1);
+            for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let b_start = b as u64 * width;
+                let b_end = b_start + width;
+                let overlap = e.min(b_end).saturating_sub(s.max(b_start));
+                *slot += o.nodes as f64 * overlap as f64;
+            }
+        }
+        busy.iter()
+            .enumerate()
+            .map(|(b, &ns)| {
+                let cap = machine_nodes as f64 * width as f64;
+                (b as u64 * width, ns / cap)
+            })
+            .collect()
+    }
+
+    /// Peak utilization over a 100-bucket timeline.
+    pub fn peak_utilization(&self, machine_nodes: usize) -> f64 {
+        self.utilization(machine_nodes, 100)
+            .into_iter()
+            .map(|(_, u)| u)
+            .fold(0.0, f64::max)
+    }
+
+    /// The run's schedule as a chronological event trace (starts before
+    /// finishes at the same instant, then by job id — a total order, so
+    /// traces diff cleanly between runs).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut ev = Vec::with_capacity(self.outcomes.len() * 2);
+        for o in &self.outcomes {
+            ev.push(TraceEvent {
+                t: o.start,
+                start: true,
+                job: o.id,
+                nodes: o.nodes,
+            });
+            ev.push(TraceEvent {
+                t: o.end,
+                start: false,
+                job: o.id,
+                nodes: o.nodes,
+            });
+        }
+        ev.sort_by_key(|e| (e.t, !e.start, e.job));
+        ev
+    }
+
+    /// The event trace as JSON lines (one event per line), for external
+    /// plotting/diffing tools.
+    pub fn to_json_lines(&self) -> String {
+        self.events()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"t\":{},\"event\":\"{}\",\"job\":{},\"nodes\":{}}}",
+                    e.t,
+                    if e.start { "start" } else { "finish" },
+                    e.job.0,
+                    e.nodes
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // Finishes sort before submits at the same instant so released nodes
+    // are visible to the scheduling pass, like slurmctld's epilog ordering.
+    Finish(JobId),
+    Submit(usize),
+}
+
+/// Result of placing one job: its nodes and Eq. 6/Eq. 7 numbers.
+#[derive(Debug, Clone)]
+pub(crate) struct Placed {
+    /// Chosen nodes.
+    pub nodes: Vec<commsched_topology::NodeId>,
+    /// Reported Eq. 6 cost of the chosen allocation.
+    pub cost_actual: f64,
+    /// Reported Eq. 6 cost of the default allocation from the same state.
+    pub cost_default: f64,
+    /// Eq. 7-adjusted runtime, seconds.
+    pub adjusted: u64,
+    /// The applied communication-time multiplier.
+    pub comm_ratio: f64,
+}
+
+/// The engine. Borrows the topology; cheap to construct per run.
+pub struct Engine<'t> {
+    tree: &'t Tree,
+    cfg: EngineConfig,
+    /// Nodes administratively removed from service for the whole run
+    /// (SLURM DRAIN state) — failure-injection hook.
+    drained: Vec<commsched_topology::NodeId>,
+}
+
+impl<'t> Engine<'t> {
+    /// An engine over `tree` with `cfg`.
+    pub fn new(tree: &'t Tree, cfg: EngineConfig) -> Self {
+        Engine {
+            tree,
+            cfg,
+            drained: Vec::new(),
+        }
+    }
+
+    /// Mark nodes as drained for the whole run: they are never allocated
+    /// and reduce the machine's capacity. Duplicates are ignored.
+    pub fn drain_nodes(mut self, nodes: Vec<commsched_topology::NodeId>) -> Self {
+        self.drained = nodes;
+        self.drained.sort_unstable();
+        self.drained.dedup();
+        self
+    }
+
+    /// Place one job in `state` (without recording it) and work out its
+    /// Eq. 7 numbers. Returns `(nodes, cost_actual, cost_default,
+    /// adjusted_runtime)`.
+    ///
+    /// Shared by the continuous engine and the individual-runs driver so
+    /// both apply identical semantics.
+    pub(crate) fn place(
+        &self,
+        state: &ClusterState,
+        job: &Job,
+        selector: &dyn NodeSelector,
+    ) -> Option<Placed> {
+        let req = AllocRequest {
+            job: job.id,
+            nodes: job.nodes,
+            nature: job.nature,
+            pattern: job
+                .comm
+                .first()
+                .map(|(p, _)| CollectiveSpec::new(*p, self.cfg.msize)),
+        };
+        let nodes = selector.select(self.tree, state, &req).ok()?;
+
+        if !job.nature.is_comm() || job.comm.is_empty() {
+            return Some(Placed {
+                nodes,
+                cost_actual: 0.0,
+                cost_default: 0.0,
+                adjusted: job.runtime,
+                comm_ratio: 1.0,
+            });
+        }
+
+        // The Eq. 7 denominator: what the default selector would have done
+        // from this same state.
+        let default_nodes = if self.cfg.selector == SelectorKind::Default {
+            nodes.clone()
+        } else {
+            DefaultTreeSelector
+                .select(self.tree, state, &req)
+                .expect("default succeeds whenever another selector does")
+        };
+
+        // One what-if occupancy per candidate allocation; both cost models
+        // read the same occupancy (the job's own nodes count in L_comm, per
+        // the paper's worked example).
+        let what_if = |alloc: &[commsched_topology::NodeId]| -> ClusterState {
+            let mut s = state.clone();
+            s.allocate(self.tree, JobId(u64::MAX), alloc, JobNature::CommIntensive)
+                .expect("selector returned free nodes");
+            s
+        };
+        let state_actual = what_if(&nodes);
+        let state_default = what_if(&default_nodes);
+
+        let mut cost_actual = 0.0;
+        let mut cost_default = 0.0;
+        let mut comm_adj = 0.0;
+        let comm_orig = job.runtime as f64 * job.comm_fraction();
+        let mut adjusted = job.runtime as f64 * (1.0 - job.comm_fraction());
+        for &(pattern, fraction) in &job.comm {
+            let spec = CollectiveSpec::new(pattern, self.cfg.msize);
+            // Reported cost: Eq. 6 as printed (raw hops by default).
+            cost_actual += self
+                .cfg
+                .cost_model
+                .job_cost(self.tree, &state_actual, &nodes, &spec);
+            cost_default +=
+                self.cfg
+                    .cost_model
+                    .job_cost(self.tree, &state_default, &default_nodes, &spec);
+            // Runtime ratio: hop-bytes by default (§5.3).
+            let ca = self
+                .cfg
+                .ratio_model
+                .job_cost(self.tree, &state_actual, &nodes, &spec);
+            let cd = self
+                .cfg
+                .ratio_model
+                .job_cost(self.tree, &state_default, &default_nodes, &spec);
+            let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
+            let ratio = if self.cfg.adjust_runtimes { ratio } else { 1.0 };
+            let part = job.runtime as f64 * fraction * ratio;
+            comm_adj += part;
+            adjusted += part;
+        }
+        let comm_ratio = if comm_orig > 0.0 {
+            comm_adj / comm_orig
+        } else {
+            1.0
+        };
+        Some(Placed {
+            nodes,
+            cost_actual,
+            cost_default,
+            adjusted: adjusted.round().max(1.0) as u64,
+            comm_ratio,
+        })
+    }
+
+    /// Continuous run: replay the whole log (§5.4).
+    pub fn run(&self, log: &JobLog) -> Result<RunSummary, EngineError> {
+        let capacity = self.tree.num_nodes() - self.drained.len();
+        for j in &log.jobs {
+            if j.nodes > capacity {
+                return Err(EngineError::JobTooLarge {
+                    job: j.id,
+                    nodes: j.nodes,
+                    machine: capacity,
+                });
+            }
+        }
+        let selector = self.cfg.selector.build();
+        let mut state = ClusterState::new(self.tree);
+        if !self.drained.is_empty() {
+            // Drained nodes are held by a sentinel compute job that never
+            // finishes, so every selector and counter sees them as busy
+            // (but not communication-intensive).
+            state
+                .allocate(
+                    self.tree,
+                    JobId(u64::MAX - 1),
+                    &self.drained,
+                    JobNature::ComputeIntensive,
+                )
+                .expect("drained nodes are distinct and within the tree");
+        }
+        let mut events: BinaryHeap<Reverse<(u64, EventKind)>> = BinaryHeap::new();
+        for (i, j) in log.jobs.iter().enumerate() {
+            events.push(Reverse((j.submit, EventKind::Submit(i))));
+        }
+
+        // FIFO queue of log indices; pending[0] is the queue head.
+        let mut pending: Vec<usize> = Vec::new();
+        // Running jobs: (expected_end_by_walltime, log idx, actual_end).
+        let mut running: Vec<(u64, usize, u64)> = Vec::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut makespan = 0u64;
+
+        while let Some(Reverse((now, _))) = events.peek().copied() {
+            // Drain all events at `now` (finishes first via enum ordering).
+            while let Some(Reverse((t, ev))) = events.peek().copied() {
+                if t != now {
+                    break;
+                }
+                events.pop();
+                match ev {
+                    EventKind::Finish(id) => {
+                        state.release(self.tree, id).expect("running job releases");
+                        running.retain(|(_, i, _)| log.jobs[*i].id != id);
+                    }
+                    EventKind::Submit(i) => pending.push(i),
+                }
+            }
+
+            // Scheduling pass.
+            self.schedule_pass(
+                now,
+                log,
+                selector.as_ref(),
+                &mut state,
+                &mut pending,
+                &mut running,
+                &mut events,
+                &mut outcomes,
+            );
+            makespan = makespan.max(now);
+        }
+
+        debug_assert!(pending.is_empty(), "jobs left unscheduled");
+        debug_assert!(running.is_empty(), "jobs left running");
+        debug_assert_eq!(outcomes.len(), log.jobs.len());
+        let makespan = outcomes.iter().map(|o| o.end).max().unwrap_or(makespan);
+        Ok(RunSummary {
+            selector: self.cfg.selector.name().to_string(),
+            outcomes,
+            makespan,
+        })
+    }
+
+    /// One pass of the scheduler: start the head while it fits, then EASY
+    /// backfill behind its reservation.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_pass(
+        &self,
+        now: u64,
+        log: &JobLog,
+        selector: &dyn NodeSelector,
+        state: &mut ClusterState,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<(u64, usize, u64)>,
+        events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+        outcomes: &mut Vec<JobOutcome>,
+    ) {
+        let start_job = |i: usize,
+                             state: &mut ClusterState,
+                             running: &mut Vec<(u64, usize, u64)>,
+                             events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+                             outcomes: &mut Vec<JobOutcome>|
+         -> bool {
+            let job = &log.jobs[i];
+            let Some(mut placed) = self.place(state, job, selector) else {
+                return false;
+            };
+            if self.cfg.enforce_walltime {
+                placed.adjusted = placed.adjusted.min(job.walltime);
+            }
+            state
+                .allocate(self.tree, job.id, &placed.nodes, job.nature)
+                .expect("selector returned free nodes");
+            let end = now + placed.adjusted;
+            running.push((now + job.walltime.max(placed.adjusted), i, end));
+            events.push(Reverse((end, EventKind::Finish(job.id))));
+            outcomes.push(JobOutcome {
+                id: job.id,
+                submit: job.submit,
+                start: now,
+                end,
+                nodes: job.nodes,
+                nature: job.nature,
+                cost_actual: placed.cost_actual,
+                cost_default: placed.cost_default,
+                runtime_original: job.runtime,
+                runtime_adjusted: placed.adjusted,
+                comm_ratio: placed.comm_ratio,
+            });
+            true
+        };
+
+        // Start head-of-queue jobs while they fit.
+        while let Some(&head) = pending.first() {
+            if log.jobs[head].nodes <= state.free_total()
+                && start_job(head, state, running, events, outcomes)
+            {
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+
+        if pending.is_empty() || self.cfg.backfill == BackfillPolicy::None {
+            return;
+        }
+        if self.cfg.backfill == BackfillPolicy::Conservative {
+            self.conservative_backfill_pass(
+                now, log, state, pending, running, events, outcomes, &start_job,
+            );
+            return;
+        }
+
+        // EASY reservation for the head: find the shadow time when enough
+        // nodes will be free (by requested walltimes), and the extra nodes
+        // beyond the head's need at that moment.
+        let head = pending[0];
+        let need = log.jobs[head].nodes;
+        let mut ends: Vec<(u64, usize)> = running
+            .iter()
+            .map(|&(wall_end, i, _)| (wall_end, log.jobs[i].nodes))
+            .collect();
+        ends.sort_unstable();
+        let mut avail = state.free_total();
+        let mut shadow = u64::MAX;
+        for &(t, n) in &ends {
+            avail += n;
+            if avail >= need {
+                shadow = t;
+                break;
+            }
+        }
+        let extra = avail.saturating_sub(need);
+
+        // Backfill later jobs that cannot delay the head's reservation.
+        let mut k = 1;
+        while k < pending.len() {
+            let i = pending[k];
+            let job = &log.jobs[i];
+            let fits_now = job.nodes <= state.free_total();
+            let harmless = now.saturating_add(job.walltime) <= shadow || job.nodes <= extra;
+            if fits_now && harmless && start_job(i, state, running, events, outcomes) {
+                pending.remove(k);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Conservative backfilling: build a future-availability profile from
+    /// the running jobs' walltimes, give every queued job (in order) the
+    /// earliest reservation that fits, and start only jobs whose
+    /// reservation is *now*. Reservations are rebuilt from scratch on each
+    /// pass, the standard implementation shape.
+    #[allow(clippy::too_many_arguments)]
+    fn conservative_backfill_pass<F>(
+        &self,
+        now: u64,
+        log: &JobLog,
+        state: &mut ClusterState,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<(u64, usize, u64)>,
+        events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+        outcomes: &mut Vec<JobOutcome>,
+        start_job: &F,
+    ) where
+        F: Fn(
+            usize,
+            &mut ClusterState,
+            &mut Vec<(u64, usize, u64)>,
+            &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+            &mut Vec<JobOutcome>,
+        ) -> bool,
+    {
+        use std::collections::BTreeMap;
+
+        'restart: loop {
+            // Availability deltas at future instants (all keys >= now).
+            let mut deltas: BTreeMap<u64, i64> = BTreeMap::new();
+            for &(wall_end, i, _) in running.iter() {
+                *deltas.entry(wall_end.max(now)).or_insert(0) += log.jobs[i].nodes as i64;
+            }
+            let base = state.free_total() as i64;
+
+            for k in 0..pending.len() {
+                let i = pending[k];
+                let job = &log.jobs[i];
+                let need = job.nodes as i64;
+                let dur = job.walltime.max(1);
+                let s = earliest_fit(&deltas, base, now, dur, need);
+                if s == now
+                    && need <= state.free_total() as i64
+                    && start_job(i, state, running, events, outcomes)
+                {
+                    pending.remove(k);
+                    // The profile base changed; rebuild and rescan.
+                    continue 'restart;
+                }
+                // Reserve [s, s + dur) for this job.
+                *deltas.entry(s).or_insert(0) -= need;
+                *deltas.entry(s.saturating_add(dur)).or_insert(0) += need;
+            }
+            break;
+        }
+    }
+}
+
+/// Earliest `s >= now` at which `need` nodes stay available for `dur`
+/// seconds under the delta profile. Candidate starts are `now` and every
+/// profile breakpoint; availability after the last breakpoint is the whole
+/// machine, so a fit always exists for validated jobs.
+fn earliest_fit(
+    deltas: &std::collections::BTreeMap<u64, i64>,
+    base: i64,
+    now: u64,
+    dur: u64,
+    need: i64,
+) -> u64 {
+    let candidates = std::iter::once(now).chain(deltas.range(now + 1..).map(|(k, _)| *k));
+    for s in candidates {
+        let mut avail: i64 = base + deltas.range(..=s).map(|(_, d)| *d).sum::<i64>();
+        if avail < need {
+            continue;
+        }
+        let mut ok = true;
+        for (_, d) in deltas.range(s + 1..s.saturating_add(dur)) {
+            avail += d;
+            if avail < need {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return s;
+        }
+    }
+    unreachable!("a validated job always fits the empty machine");
+}

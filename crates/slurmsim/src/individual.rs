@@ -1,0 +1,155 @@
+//! Individual runs (§5.4): compare allocators from an identical cluster
+//! state, one probe job at a time.
+//!
+//! Continuous runs give every allocator a *different* cluster history, so
+//! the paper also freezes a partially-occupied cluster and places each of a
+//! sample of jobs from that same state under every algorithm, reporting the
+//! per-job execution-time improvement (Table 4, Figure 7 right).
+
+use crate::engine::{Engine, EngineConfig};
+use commsched_core::{ClusterState, JobNature, SelectorKind};
+use commsched_topology::Tree;
+use commsched_workload::{Job, JobLog};
+use serde::{Deserialize, Serialize};
+
+/// One probe job's placement under one selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Selector name.
+    pub selector: String,
+    /// Eq. 6 cost of the chosen allocation.
+    pub cost: f64,
+    /// Eq. 7-adjusted runtime, seconds.
+    pub runtime_adjusted: u64,
+}
+
+/// All placements for one probe job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndividualOutcome {
+    /// The probe job's id.
+    pub job: commsched_core::JobId,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Runtime from the log (the default-allocator duration).
+    pub runtime_original: u64,
+    /// One entry per selector, in [`SelectorKind::ALL`] order.
+    pub placements: Vec<Placement>,
+}
+
+impl IndividualOutcome {
+    /// Percentage execution-time improvement of `selector` over default.
+    pub fn improvement_over_default(&self, selector: SelectorKind) -> f64 {
+        let default = self
+            .placements
+            .iter()
+            .find(|p| p.selector == SelectorKind::Default.name())
+            .map(|p| p.runtime_adjusted as f64)
+            .unwrap_or(self.runtime_original as f64);
+        let cand = self
+            .placements
+            .iter()
+            .find(|p| p.selector == selector.name())
+            .map(|p| p.runtime_adjusted as f64)
+            .unwrap_or(default);
+        if default == 0.0 {
+            0.0
+        } else {
+            100.0 * (default - cand) / default
+        }
+    }
+}
+
+/// Occupy the cluster with the first jobs of `log` (placed by the default
+/// selector, never released) until at least `fraction` of the nodes are
+/// busy. Returns the frozen state — the paper's "partially occupied
+/// cluster" starting point.
+pub fn warmup_state(tree: &Tree, log: &JobLog, fraction: f64) -> ClusterState {
+    assert!((0.0..1.0).contains(&fraction));
+    let mut state = ClusterState::new(tree);
+    let engine = Engine::new(tree, EngineConfig::new(SelectorKind::Default));
+    let target = (tree.num_nodes() as f64 * fraction) as usize;
+    for job in &log.jobs {
+        if state.busy_total() >= target {
+            break;
+        }
+        // Skip jobs that would overshoot the requested occupancy — a single
+        // machine-sized job must not leave the "partially occupied" cluster
+        // full.
+        if state.busy_total() + job.nodes > target + target / 5
+            || job.nodes > state.free_total()
+        {
+            continue;
+        }
+        if let Some(placed) =
+            engine.place(&state, job, &commsched_core::DefaultTreeSelector)
+        {
+            state
+                .allocate(tree, job.id, &placed.nodes, job.nature)
+                .expect("placement over free nodes");
+        }
+    }
+    state
+}
+
+/// Place every probe job from the same frozen `state` under every selector
+/// in [`SelectorKind::ALL`]. Jobs that cannot fit the free capacity are
+/// skipped (the paper samples jobs that fit its warm cluster).
+pub fn individual_runs(
+    tree: &Tree,
+    state: &ClusterState,
+    probes: &[Job],
+    base_cfg: EngineConfig,
+) -> Vec<IndividualOutcome> {
+    let mut out = Vec::with_capacity(probes.len());
+    for job in probes {
+        if job.nodes > state.free_total() {
+            continue;
+        }
+        let mut placements = Vec::with_capacity(SelectorKind::ALL.len());
+        for kind in SelectorKind::ALL {
+            let cfg = EngineConfig { selector: kind, ..base_cfg };
+            let engine = Engine::new(tree, cfg);
+            let selector = kind.build();
+            let Some(placed) = engine.place(state, job, selector.as_ref()) else {
+                continue;
+            };
+            placements.push(Placement {
+                selector: kind.name().to_string(),
+                cost: placed.cost_actual,
+                runtime_adjusted: placed.adjusted,
+            });
+        }
+        out.push(IndividualOutcome {
+            job: job.id,
+            nodes: job.nodes,
+            runtime_original: job.runtime,
+            placements,
+        });
+    }
+    out
+}
+
+/// Mean percentage improvement over default across outcomes, for one
+/// selector — a Table 4 cell. Compute-intensive probes contribute 0, as in
+/// the paper (their runtimes never change).
+pub fn mean_improvement(outcomes: &[IndividualOutcome], selector: SelectorKind) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = outcomes
+        .iter()
+        .map(|o| o.improvement_over_default(selector))
+        .sum();
+    sum / outcomes.len() as f64
+}
+
+/// Filter a log's jobs down to its communication-intensive ones (probes
+/// for Table 4 are drawn from these).
+pub fn comm_probes(log: &JobLog, limit: usize) -> Vec<Job> {
+    log.jobs
+        .iter()
+        .filter(|j| j.nature == JobNature::CommIntensive)
+        .take(limit)
+        .cloned()
+        .collect()
+}

@@ -1,0 +1,402 @@
+use crate::{NodeId, SwitchId, SystemPreset, Tree, TreeError};
+
+/// The paper's Figure 2 topology: s2 over s0, s1; nodes n0-n3 / n4-n7.
+fn figure2() -> Tree {
+    Tree::from_conf(
+        "SwitchName=s0 Nodes=n[0-3]\n\
+         SwitchName=s1 Nodes=n[4-7]\n\
+         SwitchName=s2 Switches=s[0-1]\n",
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure2_shape() {
+    let t = figure2();
+    assert_eq!(t.num_nodes(), 8);
+    assert_eq!(t.num_switches(), 3);
+    assert_eq!(t.num_leaves(), 2);
+    assert_eq!(t.height(), 2);
+    assert_eq!(t.switch(t.root()).name, "s2");
+}
+
+#[test]
+fn figure2_distances_match_paper() {
+    // Section 5.3: d(n0, n1) = 2 and d(n0, n4) = 4.
+    let t = figure2();
+    let n0 = t.node_by_name("n0").unwrap();
+    let n1 = t.node_by_name("n1").unwrap();
+    let n4 = t.node_by_name("n4").unwrap();
+    assert_eq!(t.distance(n0, n1), 2);
+    assert_eq!(t.distance(n0, n4), 4);
+    assert_eq!(t.distance(n0, n0), 0);
+}
+
+#[test]
+fn leaf_queries() {
+    let t = figure2();
+    assert_eq!(t.leaf_size(0), 4);
+    assert_eq!(t.leaf_size(1), 4);
+    assert_eq!(t.leaf_ordinal_of(NodeId(0)), 0);
+    assert_eq!(t.leaf_ordinal_of(NodeId(5)), 1);
+    assert_eq!(t.leaf_nodes(1), &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+    let leaf0 = t.leaves()[0];
+    assert_eq!(t.leaf_ordinal(leaf0), 0);
+}
+
+#[test]
+fn lca_levels() {
+    let t = Tree::regular_three_level(2, 2, 2); // 8 nodes, 3 levels
+    assert_eq!(t.height(), 3);
+    // Same leaf -> level 1; same group -> level 2; across groups -> level 3.
+    assert_eq!(t.leaf_lca_level(0, 0), 1);
+    assert_eq!(t.leaf_lca_level(0, 1), 2);
+    assert_eq!(t.leaf_lca_level(0, 2), 3);
+    assert_eq!(t.distance(NodeId(0), NodeId(1)), 2);
+    assert_eq!(t.distance(NodeId(0), NodeId(2)), 4);
+    assert_eq!(t.distance(NodeId(0), NodeId(7)), 6);
+}
+
+#[test]
+fn subtree_counts() {
+    let t = Tree::regular_three_level(3, 4, 5);
+    assert_eq!(t.num_nodes(), 60);
+    assert_eq!(t.subtree_nodes(t.root()), 60);
+    let g0 = t.switch(t.root()).children[0];
+    assert_eq!(t.subtree_nodes(g0), 20);
+    assert_eq!(t.leaf_ordinals_under(g0), &[0, 1, 2, 3]);
+    assert_eq!(t.leaf_ordinals_under(t.root()).len(), 12);
+}
+
+#[test]
+fn conf_round_trip() {
+    for t in [
+        figure2(),
+        Tree::regular_two_level(4, 8),
+        Tree::regular_three_level(2, 3, 4),
+        Tree::irregular_two_level(&[3, 7, 1, 12]),
+    ] {
+        let conf = t.to_conf();
+        let t2 = Tree::from_conf(&conf).unwrap();
+        assert_eq!(t.num_nodes(), t2.num_nodes());
+        assert_eq!(t.num_switches(), t2.num_switches());
+        assert_eq!(t.height(), t2.height());
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(
+                    t.distance(NodeId(a), NodeId(b)),
+                    t2.distance(NodeId(a), NodeId(b)),
+                    "distance mismatch after round trip"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conf_comments_and_blank_lines() {
+    let t = Tree::from_conf(
+        "# cluster topology\n\
+         \n\
+         SwitchName=s0 Nodes=n[0-1]  # leaf\n\
+         SwitchName=s1 Nodes=n[2-3]\n\
+         SwitchName=top Switches=s[0-1]\n",
+    )
+    .unwrap();
+    assert_eq!(t.num_nodes(), 4);
+}
+
+#[test]
+fn conf_case_insensitive_keys_and_linkspeed() {
+    let t = Tree::from_conf(
+        "switchname=s0 nodes=n[0-1] LinkSpeed=100\n\
+         SWITCHNAME=top SWITCHES=s0\n",
+    )
+    .unwrap();
+    assert_eq!(t.num_nodes(), 2);
+    assert_eq!(t.height(), 2);
+}
+
+#[test]
+fn conf_errors() {
+    use crate::ConfError;
+    assert!(matches!(
+        Tree::from_conf("Nodes=n[0-1]\n").unwrap_err(),
+        ConfError::MissingSwitchName { line: 1 }
+    ));
+    assert!(matches!(
+        Tree::from_conf("SwitchName=s0 Nodes=n0 Switches=s1\n").unwrap_err(),
+        ConfError::NodesXorSwitches { line: 1, .. }
+    ));
+    assert!(matches!(
+        Tree::from_conf("SwitchName=s0\n").unwrap_err(),
+        ConfError::NodesXorSwitches { line: 1, .. }
+    ));
+    assert!(matches!(
+        Tree::from_conf("SwitchName=s0 Nodes=n[2-1]\n").unwrap_err(),
+        ConfError::BadHostlist { line: 1, .. }
+    ));
+    assert!(matches!(
+        Tree::from_conf("SwitchName=s0 Frobnicate=1 Nodes=n0\n").unwrap_err(),
+        ConfError::UnknownKey { line: 1, .. }
+    ));
+}
+
+#[test]
+fn structure_errors() {
+    // duplicate node
+    let e = Tree::from_conf(
+        "SwitchName=s0 Nodes=n0\nSwitchName=s1 Nodes=n0\nSwitchName=t Switches=s[0-1]\n",
+    )
+    .unwrap_err();
+    assert!(matches!(
+        e,
+        crate::ConfError::Structure(TreeError::DuplicateNode(_))
+    ));
+
+    // two roots
+    let e = Tree::from_conf("SwitchName=s0 Nodes=n0\nSwitchName=s1 Nodes=n1\n").unwrap_err();
+    assert!(matches!(
+        e,
+        crate::ConfError::Structure(TreeError::MultipleRoots(_))
+    ));
+
+    // unknown child
+    let e = Tree::from_conf("SwitchName=s0 Nodes=n0\nSwitchName=t Switches=s[0-1]\n").unwrap_err();
+    assert!(matches!(
+        e,
+        crate::ConfError::Structure(TreeError::UnknownSwitch(_))
+    ));
+
+    // child with two parents
+    let e = Tree::from_conf(
+        "SwitchName=s0 Nodes=n0\nSwitchName=t0 Switches=s0\nSwitchName=t1 Switches=s0,t0\n",
+    )
+    .unwrap_err();
+    assert!(matches!(
+        e,
+        crate::ConfError::Structure(TreeError::DuplicateChild(_))
+    ));
+
+    // empty file
+    let e = Tree::from_conf("# nothing\n").unwrap_err();
+    assert!(matches!(e, crate::ConfError::Structure(TreeError::Empty)));
+}
+
+#[test]
+fn presets_build_to_stated_sizes() {
+    for p in [
+        SystemPreset::IitkDepartment,
+        SystemPreset::IitkHpc2010,
+        SystemPreset::CoriLike,
+        SystemPreset::Intrepid,
+        SystemPreset::Theta,
+        SystemPreset::Mira,
+    ] {
+        let t = p.build();
+        assert_eq!(t.num_nodes(), p.num_nodes(), "{p:?}");
+    }
+}
+
+#[test]
+fn preset_branching_factors_match_paper() {
+    // IITK HPC2010: 16 nodes/leaf (Section 5.2).
+    let t = SystemPreset::IitkHpc2010.build();
+    for k in 0..t.num_leaves() {
+        assert_eq!(t.leaf_size(k), 16);
+    }
+    // Cori-like: 330-380 nodes/leaf (Section 2 mentions 330-380 nodes/switch).
+    let t = SystemPreset::Theta.build();
+    for k in 0..t.num_leaves() {
+        let s = t.leaf_size(k);
+        assert!((330..=380).contains(&s), "leaf {k} has {s} nodes");
+    }
+    // Intrepid and Mira: emulated on the Cori leaf shape too (330-380
+    // nodes per leaf; see DESIGN.md for why not the 16/leaf file).
+    for p in [SystemPreset::Intrepid, SystemPreset::Mira] {
+        let t = p.build();
+        for k in 0..t.num_leaves() {
+            let s = t.leaf_size(k);
+            assert!((330..=380).contains(&s), "{p:?} leaf {k} has {s} nodes");
+        }
+    }
+}
+
+#[test]
+fn node_names_dense_and_unique() {
+    let t = Tree::regular_two_level(3, 4);
+    for i in 0..t.num_nodes() {
+        assert_eq!(t.node_name(NodeId(i)), format!("n{i}"));
+        assert_eq!(t.node_by_name(&format!("n{i}")), Some(NodeId(i)));
+    }
+    assert_eq!(t.node_by_name("does-not-exist"), None);
+}
+
+#[test]
+fn switches_by_level_is_bottom_up() {
+    let t = Tree::regular_three_level(2, 2, 2);
+    let order = t.switches_by_level();
+    let levels: Vec<u32> = order.iter().map(|s| t.switch(*s).level).collect();
+    let mut sorted = levels.clone();
+    sorted.sort_unstable();
+    assert_eq!(levels, sorted);
+}
+
+#[test]
+fn lca_switch_of_leaf_and_ancestor() {
+    let t = Tree::regular_three_level(2, 2, 2);
+    let leaf = t.leaves()[0];
+    let group = t.switch(t.root()).children[0];
+    assert_eq!(t.lca_switch(leaf, group), group);
+    assert_eq!(t.lca_switch(leaf, t.root()), t.root());
+    assert_eq!(t.lca_switch(leaf, leaf), leaf);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_leaf_sizes() -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(1usize..12, 1..10)
+    }
+
+    proptest! {
+        /// Distance is a symmetric, reflexive-zero metric bounded by
+        /// 2 * height, and equals 2 exactly for distinct same-leaf pairs.
+        #[test]
+        fn distance_metric_axioms(sizes in arb_leaf_sizes(), seed in 0u64..1000) {
+            let t = Tree::irregular_two_level(&sizes);
+            let n = t.num_nodes();
+            let a = NodeId((seed as usize) % n);
+            let b = NodeId((seed as usize * 7 + 3) % n);
+            prop_assert_eq!(t.distance(a, a), 0);
+            prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+            if a != b {
+                prop_assert!(t.distance(a, b) >= 2);
+                prop_assert!(t.distance(a, b) <= 2 * t.height());
+                let same_leaf = t.leaf_of(a) == t.leaf_of(b);
+                prop_assert_eq!(same_leaf, t.distance(a, b) == 2);
+            }
+        }
+
+        /// Every node belongs to exactly one leaf and leaf ordinals tile the
+        /// node range in order.
+        #[test]
+        fn leaves_partition_nodes(sizes in arb_leaf_sizes()) {
+            let t = Tree::irregular_two_level(&sizes);
+            let mut seen = vec![false; t.num_nodes()];
+            for k in 0..t.num_leaves() {
+                for n in t.leaf_nodes(k) {
+                    prop_assert!(!seen[n.0]);
+                    seen[n.0] = true;
+                    prop_assert_eq!(t.leaf_ordinal_of(*n), k);
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        /// conf round trip preserves all pairwise distances (three-level).
+        #[test]
+        fn conf_round_trip_three_level(groups in 1usize..4, lpg in 1usize..4, npl in 1usize..5) {
+            let t = Tree::regular_three_level(groups, lpg, npl);
+            let t2 = Tree::from_conf(&t.to_conf()).unwrap();
+            prop_assert_eq!(t.num_nodes(), t2.num_nodes());
+            for a in 0..t.num_nodes() {
+                for b in (a + 1)..t.num_nodes() {
+                    prop_assert_eq!(
+                        t.distance(NodeId(a), NodeId(b)),
+                        t2.distance(NodeId(a), NodeId(b))
+                    );
+                }
+            }
+        }
+
+        /// LCA is an ancestor of both and has minimal level among common
+        /// ancestors.
+        #[test]
+        fn lca_is_lowest_common_ancestor(
+            groups in 1usize..4, lpg in 1usize..4, npl in 1usize..4,
+            ai in any::<prop::sample::Index>(), bi in any::<prop::sample::Index>()
+        ) {
+            let t = Tree::regular_three_level(groups, lpg, npl);
+            let a = NodeId(ai.index(t.num_nodes()));
+            let b = NodeId(bi.index(t.num_nodes()));
+            let lca = t.lca(a, b);
+
+            // ancestors of a leaf switch
+            let ancestors = |mut s: SwitchId| {
+                let mut v = vec![s];
+                while let Some(p) = t.switch(s).parent {
+                    v.push(p);
+                    s = p;
+                }
+                v
+            };
+            let aa = ancestors(t.leaf_of(a));
+            let ab = ancestors(t.leaf_of(b));
+            prop_assert!(aa.contains(&lca));
+            prop_assert!(ab.contains(&lca));
+            // minimal level common ancestor
+            let min_common = aa.iter().filter(|s| ab.contains(s))
+                .map(|s| t.switch(*s).level).min().unwrap();
+            prop_assert_eq!(t.switch(lca).level, min_common);
+        }
+    }
+}
+
+mod spec_builder {
+    use super::*;
+
+    #[test]
+    fn two_factor_spec_is_flat() {
+        let t = Tree::from_spec("4x8").unwrap();
+        assert_eq!(t.num_nodes(), 32);
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn three_factor_spec_matches_three_level_builder() {
+        let a = Tree::from_spec("2x24x16").unwrap();
+        let b = Tree::regular_three_level(2, 24, 16);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_leaves(), b.num_leaves());
+        assert_eq!(a.height(), b.height());
+        for (x, y) in [(0usize, 100usize), (5, 700), (300, 301)] {
+            assert_eq!(
+                a.distance(NodeId(x), NodeId(y)),
+                b.distance(NodeId(x), NodeId(y))
+            );
+        }
+    }
+
+    #[test]
+    fn four_level_spec() {
+        let t = Tree::from_spec("2x3x4x5").unwrap();
+        assert_eq!(t.num_nodes(), 2 * 3 * 4 * 5);
+        assert_eq!(t.num_leaves(), 24);
+        assert_eq!(t.height(), 4);
+        // Distances span 2..8.
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), 2);
+        assert_eq!(t.distance(NodeId(0), NodeId(t.num_nodes() - 1)), 8);
+    }
+
+    #[test]
+    fn spec_errors() {
+        assert!(Tree::from_spec("16").is_err());
+        assert!(Tree::from_spec("").is_err());
+        assert!(Tree::from_spec("ax4").is_err());
+        assert!(Tree::from_spec("4x0").is_err());
+        assert!(Tree::from_spec("0x4").is_err());
+    }
+
+    #[test]
+    fn bisection_links() {
+        // Flat 4-leaf tree: best equal split cuts 2 root links.
+        assert_eq!(Tree::from_spec("4x8").unwrap().bisection_links(), 2);
+        // Two groups: cutting one root link splits the machine in half.
+        assert_eq!(Tree::from_spec("2x4x8").unwrap().bisection_links(), 1);
+        // Single leaf: no split possible.
+        assert_eq!(Tree::regular_two_level(1, 8).bisection_links(), 1);
+    }
+}

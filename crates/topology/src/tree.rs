@@ -1,0 +1,407 @@
+//! The core immutable tree topology structure and its queries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a compute node (dense, `0..num_nodes`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a switch (dense, `0..num_switches`, leaves and uppers mixed).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SwitchId(pub usize);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "switch{}", self.0)
+    }
+}
+
+/// One switch in the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Switch {
+    /// Configured name (e.g. `s0`).
+    pub name: String,
+    /// Level in the tree: leaves are 1, the root has the highest level.
+    pub level: u32,
+    /// Parent switch; `None` only for the root.
+    pub parent: Option<SwitchId>,
+    /// Child switches (empty for leaf switches).
+    pub children: Vec<SwitchId>,
+    /// Nodes attached directly (non-empty exactly for leaf switches).
+    pub nodes: Vec<NodeId>,
+    /// Total compute nodes in this switch's subtree.
+    pub subtree_nodes: usize,
+    /// Ordinals (indices into [`Tree::leaves`]) of leaf switches under this
+    /// switch, in node order. For a leaf switch this is its own ordinal.
+    pub leaf_ordinals: Vec<usize>,
+}
+
+/// Structural errors detected while validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// No switches at all.
+    Empty,
+    /// More than one switch has no parent.
+    MultipleRoots(Vec<String>),
+    /// No root (a parent cycle).
+    NoRoot,
+    /// A node is attached to more than one leaf switch.
+    DuplicateNode(String),
+    /// A switch is claimed as child by more than one parent.
+    DuplicateChild(String),
+    /// A referenced child switch was never defined.
+    UnknownSwitch(String),
+    /// A switch mixes `Nodes=` and `Switches=` or has neither.
+    MalformedSwitch(String),
+    /// A cycle in the switch hierarchy.
+    Cycle(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "topology has no switches"),
+            Self::MultipleRoots(names) => write!(f, "multiple root switches: {names:?}"),
+            Self::NoRoot => write!(f, "no root switch (parent cycle?)"),
+            Self::DuplicateNode(n) => write!(f, "node {n} attached to more than one switch"),
+            Self::DuplicateChild(s) => write!(f, "switch {s} has more than one parent"),
+            Self::UnknownSwitch(s) => write!(f, "switch {s} referenced but never defined"),
+            Self::MalformedSwitch(s) => {
+                write!(f, "switch {s} must have exactly one of Nodes= or Switches=")
+            }
+            Self::Cycle(s) => write!(f, "cycle in switch hierarchy at {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An immutable, validated tree/fat-tree topology.
+///
+/// Construction goes through [`Tree::from_conf`], the builders in this crate,
+/// or [`Tree::from_parts`]. All queries are cheap: LCA is O(depth) with no
+/// allocation, everything else is O(1) table lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    pub(crate) node_names: Vec<String>,
+    /// Leaf switch of each node.
+    pub(crate) node_leaf: Vec<SwitchId>,
+    pub(crate) switches: Vec<Switch>,
+    /// Leaf switch ids in node order (ordinal -> SwitchId).
+    pub(crate) leaves: Vec<SwitchId>,
+    /// SwitchId -> leaf ordinal (usize::MAX for non-leaves).
+    pub(crate) leaf_ordinal: Vec<usize>,
+    pub(crate) root: SwitchId,
+}
+
+impl Tree {
+    /// Build and validate a tree from explicit parts.
+    ///
+    /// `leaf_nodes[k]` is the list of node names on leaf `k` (in order);
+    /// `uppers` is a list of `(name, children)` where children name either
+    /// leaves or earlier-defined upper switches. Leaf `k` is named
+    /// `leaf_names[k]`.
+    pub fn from_parts(
+        leaf_names: Vec<String>,
+        leaf_nodes: Vec<Vec<String>>,
+        uppers: Vec<(String, Vec<String>)>,
+    ) -> Result<Self, TreeError> {
+        use std::collections::HashMap;
+
+        assert_eq!(leaf_names.len(), leaf_nodes.len());
+        if leaf_names.is_empty() {
+            return Err(TreeError::Empty);
+        }
+
+        let num_leaves = leaf_names.len();
+        let mut switches: Vec<Switch> = Vec::with_capacity(num_leaves + uppers.len());
+        let mut by_name: HashMap<String, SwitchId> = HashMap::new();
+
+        let mut node_names = Vec::new();
+        let mut node_leaf = Vec::new();
+        let mut seen_nodes: HashMap<String, ()> = HashMap::new();
+        let mut leaves = Vec::with_capacity(num_leaves);
+
+        for (k, (name, nodes)) in leaf_names.into_iter().zip(leaf_nodes).enumerate() {
+            let id = SwitchId(switches.len());
+            if by_name.insert(name.clone(), id).is_some() {
+                return Err(TreeError::DuplicateChild(name));
+            }
+            let mut node_ids = Vec::with_capacity(nodes.len());
+            for n in nodes {
+                if seen_nodes.insert(n.clone(), ()).is_some() {
+                    return Err(TreeError::DuplicateNode(n));
+                }
+                let nid = NodeId(node_names.len());
+                node_names.push(n);
+                node_leaf.push(id);
+                node_ids.push(nid);
+            }
+            let count = node_ids.len();
+            switches.push(Switch {
+                name,
+                level: 1,
+                parent: None,
+                children: Vec::new(),
+                nodes: node_ids,
+                subtree_nodes: count,
+                leaf_ordinals: vec![k],
+            });
+            leaves.push(id);
+        }
+
+        for (name, children) in uppers {
+            let id = SwitchId(switches.len());
+            if by_name.contains_key(&name) {
+                return Err(TreeError::DuplicateChild(name));
+            }
+            let mut child_ids = Vec::with_capacity(children.len());
+            for c in &children {
+                let cid = *by_name
+                    .get(c)
+                    .ok_or_else(|| TreeError::UnknownSwitch(c.clone()))?;
+                if switches[cid.0].parent.is_some() {
+                    return Err(TreeError::DuplicateChild(c.clone()));
+                }
+                switches[cid.0].parent = Some(id);
+                child_ids.push(cid);
+            }
+            if child_ids.is_empty() {
+                return Err(TreeError::MalformedSwitch(name));
+            }
+            let level = 1 + child_ids
+                .iter()
+                .map(|c| switches[c.0].level)
+                .max()
+                .unwrap_or(0);
+            let subtree_nodes = child_ids.iter().map(|c| switches[c.0].subtree_nodes).sum();
+            let leaf_ordinals = child_ids
+                .iter()
+                .flat_map(|c| switches[c.0].leaf_ordinals.iter().copied())
+                .collect();
+            by_name.insert(name.clone(), id);
+            switches.push(Switch {
+                name,
+                level,
+                parent: None,
+                children: child_ids,
+                nodes: Vec::new(),
+                subtree_nodes,
+                leaf_ordinals,
+            });
+        }
+
+        let roots: Vec<SwitchId> = (0..switches.len())
+            .map(SwitchId)
+            .filter(|s| switches[s.0].parent.is_none())
+            .collect();
+        let root = match roots.as_slice() {
+            [] => return Err(TreeError::NoRoot),
+            [r] => *r,
+            many => {
+                return Err(TreeError::MultipleRoots(
+                    many.iter().map(|s| switches[s.0].name.clone()).collect(),
+                ))
+            }
+        };
+
+        // Reachability from the root guards against disconnected groups that
+        // happen to form a second tree whose root got a parent via a cycle.
+        let mut reach = vec![false; switches.len()];
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut reach[s.0], true) {
+                return Err(TreeError::Cycle(switches[s.0].name.clone()));
+            }
+            stack.extend(switches[s.0].children.iter().copied());
+        }
+        if let Some(unreached) = reach.iter().position(|r| !r) {
+            return Err(TreeError::Cycle(switches[unreached].name.clone()));
+        }
+
+        let mut leaf_ordinal = vec![usize::MAX; switches.len()];
+        for (k, l) in leaves.iter().enumerate() {
+            leaf_ordinal[l.0] = k;
+        }
+
+        Ok(Tree {
+            node_names,
+            node_leaf,
+            switches,
+            leaves,
+            leaf_ordinal,
+            root,
+        })
+    }
+
+    /// Number of compute nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of switches (all levels).
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of leaf switches.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The root switch.
+    #[inline]
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// Height of the tree = level of the root (leaves are level 1).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.switches[self.root.0].level
+    }
+
+    /// Access a switch by id.
+    #[inline]
+    pub fn switch(&self, s: SwitchId) -> &Switch {
+        &self.switches[s.0]
+    }
+
+    /// All switches, dense by id.
+    #[inline]
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// Leaf switch ids, ordinal order.
+    #[inline]
+    pub fn leaves(&self) -> &[SwitchId] {
+        &self.leaves
+    }
+
+    /// Leaf switch id for a leaf ordinal.
+    #[inline]
+    pub fn leaf(&self, ordinal: usize) -> SwitchId {
+        self.leaves[ordinal]
+    }
+
+    /// Leaf ordinal of a leaf switch id; panics on non-leaf.
+    #[inline]
+    pub fn leaf_ordinal(&self, s: SwitchId) -> usize {
+        let o = self.leaf_ordinal[s.0];
+        assert!(o != usize::MAX, "{s} is not a leaf switch");
+        o
+    }
+
+    /// The leaf switch a node hangs off.
+    #[inline]
+    pub fn leaf_of(&self, n: NodeId) -> SwitchId {
+        self.node_leaf[n.0]
+    }
+
+    /// Leaf ordinal of the leaf switch a node hangs off.
+    #[inline]
+    pub fn leaf_ordinal_of(&self, n: NodeId) -> usize {
+        self.leaf_ordinal[self.node_leaf[n.0].0]
+    }
+
+    /// Nodes attached to a leaf (by ordinal).
+    #[inline]
+    pub fn leaf_nodes(&self, ordinal: usize) -> &[NodeId] {
+        &self.switches[self.leaves[ordinal].0].nodes
+    }
+
+    /// Number of nodes on a leaf (the paper's `L_nodes`).
+    #[inline]
+    pub fn leaf_size(&self, ordinal: usize) -> usize {
+        self.leaf_nodes(ordinal).len()
+    }
+
+    /// Configured name of a node.
+    #[inline]
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.node_names[n.0]
+    }
+
+    /// Look up a node by name (linear scan; intended for tests/tools).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Lowest common ancestor switch of two *switches*.
+    pub fn lca_switch(&self, mut a: SwitchId, mut b: SwitchId) -> SwitchId {
+        while a != b {
+            let (la, lb) = (self.switches[a.0].level, self.switches[b.0].level);
+            if la < lb {
+                a = self.switches[a.0].parent.expect("reached root before LCA");
+            } else if lb < la {
+                b = self.switches[b.0].parent.expect("reached root before LCA");
+            } else {
+                a = self.switches[a.0].parent.expect("reached root before LCA");
+                b = self.switches[b.0].parent.expect("reached root before LCA");
+            }
+        }
+        a
+    }
+
+    /// Lowest common ancestor switch of two nodes.
+    #[inline]
+    pub fn lca(&self, i: NodeId, j: NodeId) -> SwitchId {
+        self.lca_switch(self.node_leaf[i.0], self.node_leaf[j.0])
+    }
+
+    /// The paper's Eq. 4: `d(i, j) = 2 * level(lowest common switch)`.
+    ///
+    /// Two nodes on the same leaf are at distance 2; `d(i, i) = 0`.
+    #[inline]
+    pub fn distance(&self, i: NodeId, j: NodeId) -> u32 {
+        if i == j {
+            return 0;
+        }
+        2 * self.switches[self.lca(i, j).0].level
+    }
+
+    /// Level of the lowest common switch of two leaf *ordinals*.
+    ///
+    /// This is the inner loop of the cost model, so it avoids the node
+    /// indirection of [`Tree::distance`].
+    #[inline]
+    pub fn leaf_lca_level(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return 1;
+        }
+        self.switches[self.lca_switch(self.leaves[a], self.leaves[b]).0].level
+    }
+
+    /// Iterate over `(ordinal, SwitchId)` of leaves under `s`, node order.
+    pub fn leaf_ordinals_under(&self, s: SwitchId) -> &[usize] {
+        &self.switches[s.0].leaf_ordinals
+    }
+
+    /// Total nodes in a switch's subtree.
+    #[inline]
+    pub fn subtree_nodes(&self, s: SwitchId) -> usize {
+        self.switches[s.0].subtree_nodes
+    }
+
+    /// Switches in increasing level order (leaves first), for bottom-up scans.
+    pub fn switches_by_level(&self) -> Vec<SwitchId> {
+        let mut ids: Vec<SwitchId> = (0..self.switches.len()).map(SwitchId).collect();
+        ids.sort_by_key(|s| self.switches[s.0].level);
+        ids
+    }
+}

@@ -1,0 +1,334 @@
+use crate::{swf, Job, JobId, JobLog, JobNature, LogSpec, MixSet, SystemModel};
+use commsched_collectives::Pattern;
+
+// ------------------------------------------------------------- generators
+
+#[test]
+fn generator_is_deterministic() {
+    let a = LogSpec::new(SystemModel::theta(), 200, 7).generate();
+    let b = LogSpec::new(SystemModel::theta(), 200, 7).generate();
+    assert_eq!(a, b);
+    let c = LogSpec::new(SystemModel::theta(), 200, 8).generate();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn theta_marginals_match_paper() {
+    let log = LogSpec::new(SystemModel::theta(), 1000, 42).generate();
+    assert_eq!(log.jobs.len(), 1000);
+    // §5.1: Theta max request 512, ~90% power-of-two jobs.
+    assert!(log.max_nodes() <= 512);
+    assert!(log.max_nodes() >= 256, "max {}", log.max_nodes());
+    let p2 = log.pow2_fraction();
+    assert!((0.85..=0.95).contains(&p2), "pow2 fraction {p2}");
+    assert!(log.jobs.iter().all(|j| j.nodes >= 128));
+}
+
+#[test]
+fn intrepid_and_mira_marginals() {
+    let intrepid = LogSpec::new(SystemModel::intrepid(), 1000, 1).generate();
+    assert!(intrepid.max_nodes() <= 40960);
+    assert!(intrepid.pow2_fraction() >= 0.98);
+
+    let mira = LogSpec::new(SystemModel::mira(), 1000, 1).generate();
+    assert!(mira.max_nodes() <= 16384);
+    assert!(mira.pow2_fraction() >= 0.98);
+    assert!(mira.jobs.iter().all(|j| j.nodes >= 512));
+}
+
+#[test]
+fn comm_percent_is_exact() {
+    for pct in [30u8, 60, 90] {
+        let log = LogSpec::new(SystemModel::theta(), 500, 3)
+            .comm_percent(pct)
+            .generate();
+        let n_comm = log.jobs.iter().filter(|j| j.nature.is_comm()).count();
+        assert_eq!(n_comm, 500 * pct as usize / 100);
+    }
+}
+
+#[test]
+fn submit_times_are_sorted_and_runtime_bounds_hold() {
+    let log = LogSpec::new(SystemModel::mira(), 800, 9).generate();
+    for w in log.jobs.windows(2) {
+        assert!(w[0].submit <= w[1].submit);
+    }
+    for j in &log.jobs {
+        assert!(j.runtime >= 60 && j.runtime <= 86_400);
+        assert!(j.walltime >= j.runtime);
+    }
+}
+
+#[test]
+fn pattern_builder_sets_single_component() {
+    let log = LogSpec::new(SystemModel::theta(), 100, 5)
+        .pattern(Pattern::Binomial)
+        .comm_fraction(0.7)
+        .generate();
+    for j in log.jobs.iter().filter(|j| j.nature.is_comm()) {
+        assert_eq!(j.comm.len(), 1);
+        assert_eq!(j.comm[0].0, Pattern::Binomial);
+        assert!((j.comm[0].1 - 0.7).abs() < 1e-12);
+    }
+    for j in log.jobs.iter().filter(|j| !j.nature.is_comm()) {
+        assert!(j.comm.is_empty());
+        assert_eq!(j.comm_fraction(), 0.0);
+    }
+}
+
+#[test]
+fn mix_sets_match_section_6_2() {
+    assert_eq!(MixSet::A.components(), vec![(Pattern::Rhvd, 0.33)]);
+    assert_eq!(MixSet::B.components(), vec![(Pattern::Rhvd, 0.50)]);
+    assert_eq!(MixSet::C.components(), vec![(Pattern::Rhvd, 0.70)]);
+    assert_eq!(
+        MixSet::D.components(),
+        vec![(Pattern::Rd, 0.15), (Pattern::Binomial, 0.35)]
+    );
+    assert_eq!(
+        MixSet::E.components(),
+        vec![(Pattern::Rd, 0.21), (Pattern::Binomial, 0.49)]
+    );
+    assert!((MixSet::A.compute_fraction() - 0.67).abs() < 1e-12);
+    assert!((MixSet::D.compute_fraction() - 0.50).abs() < 1e-12);
+    assert!((MixSet::E.compute_fraction() - 0.30).abs() < 1e-12);
+}
+
+#[test]
+fn mix_applies_to_comm_jobs() {
+    let log = LogSpec::new(SystemModel::intrepid(), 300, 11)
+        .comm_percent(90)
+        .mix(MixSet::E)
+        .generate();
+    let comm_jobs: Vec<&Job> = log.jobs.iter().filter(|j| j.nature.is_comm()).collect();
+    assert_eq!(comm_jobs.len(), 270);
+    for j in comm_jobs {
+        assert_eq!(j.comm.len(), 2);
+        assert!((j.comm_fraction() - 0.70).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn job_log_stats() {
+    let jobs = vec![
+        Job {
+            id: JobId(2),
+            submit: 10,
+            runtime: 3600,
+            walltime: 3600,
+            nodes: 4,
+            nature: JobNature::CommIntensive,
+            comm: vec![(Pattern::Rd, 0.5)],
+        },
+        Job {
+            id: JobId(1),
+            submit: 5,
+            runtime: 7200,
+            walltime: 7200,
+            nodes: 3,
+            nature: JobNature::ComputeIntensive,
+            comm: vec![],
+        },
+    ];
+    let log = JobLog::new("test", jobs);
+    assert_eq!(log.jobs[0].id, JobId(1)); // sorted by submit
+    assert_eq!(log.max_nodes(), 4);
+    assert_eq!(log.pow2_fraction(), 0.5);
+    assert_eq!(log.comm_percent(), 50.0);
+    assert!((log.total_node_hours() - (4.0 + 6.0)).abs() < 1e-12);
+}
+
+// ------------------------------------------------------------------- swf
+
+const SWF_SAMPLE: &str = "\
+; Version: 2.2
+; Computer: Blue Gene/P
+1 0 10 3600 4096 -1 -1 4096 7200 -1 1 1 1 -1 -1 -1 -1 -1
+2 100 -1 1800 -1 -1 -1 2048 3600 -1 1 1 1 -1 -1 -1 -1 -1
+3 200 5 -1 128 -1 -1 128 600 -1 1 1 1 -1 -1 -1 -1 -1
+4 300 5 600 128 -1 -1 128 600 -1 5 1 1 -1 -1 -1 -1 -1
+5 400 5 600 64 -1 -1 -1 300 -1 1 1 1 -1 -1 -1 -1 -1
+";
+
+#[test]
+fn swf_parse_basics() {
+    // Intrepid has 4 cores/node.
+    let log = swf::parse(SWF_SAMPLE, "sample", 4).unwrap();
+    // Job 3 (runtime -1) and job 4 (status 5 = cancelled) are skipped.
+    assert_eq!(log.jobs.len(), 3);
+    let j1 = &log.jobs[0];
+    assert_eq!(j1.id, JobId(1));
+    assert_eq!(j1.nodes, 1024); // 4096 procs / 4 per node
+    assert_eq!(j1.runtime, 3600);
+    assert_eq!(j1.walltime, 7200);
+    // Job 5 had no requested procs; falls back to used procs (64/4 = 16).
+    let j5 = &log.jobs[2];
+    assert_eq!(j5.nodes, 16);
+    // Requested time (300) below runtime (600) is clamped up.
+    assert_eq!(j5.walltime, 600);
+}
+
+#[test]
+fn swf_procs_round_up_to_nodes() {
+    let text = "9 0 0 100 5 -1 -1 5 100 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+    let log = swf::parse(text, "x", 4).unwrap();
+    assert_eq!(log.jobs[0].nodes, 2); // ceil(5/4)
+}
+
+#[test]
+fn swf_rejects_malformed() {
+    assert!(swf::parse("1 2 3\n", "x", 1).is_err());
+    assert!(swf::parse("a b c d e f g h i j k l m n o p q r\n", "x", 1).is_err());
+}
+
+#[test]
+fn swf_round_trip() {
+    let orig = LogSpec::new(SystemModel::theta(), 50, 13).generate();
+    let text = swf::emit(&orig);
+    let back = swf::parse(&text, "rt", 1).unwrap();
+    assert_eq!(back.jobs.len(), orig.jobs.len());
+    for (a, b) in orig.jobs.iter().zip(back.jobs.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.submit, b.submit);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.walltime, b.walltime);
+        assert_eq!(a.nodes, b.nodes);
+    }
+}
+
+#[test]
+fn swf_assign_natures() {
+    let mut log = swf::parse(SWF_SAMPLE, "sample", 4).unwrap();
+    swf::assign_natures(&mut log, 67, &[(Pattern::Rd, 0.5)], 99);
+    let n_comm = log.jobs.iter().filter(|j| j.nature.is_comm()).count();
+    assert_eq!(n_comm, 3 * 67 / 100);
+    // Re-assignment resets previous labels.
+    swf::assign_natures(&mut log, 0, &[(Pattern::Rd, 0.5)], 99);
+    assert!(log.jobs.iter().all(|j| !j.nature.is_comm() && j.comm.is_empty()));
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every generated job respects the system's request band and the
+        /// comm-percent accounting is exact for any percentage.
+        #[test]
+        fn generated_jobs_in_band(seed in any::<u64>(), pct in 0u8..=100) {
+            for sys in SystemModel::paper_systems() {
+                let log = LogSpec::new(sys, 120, seed).comm_percent(pct).generate();
+                prop_assert_eq!(log.jobs.len(), 120);
+                for j in &log.jobs {
+                    prop_assert!(j.nodes >= sys.min_request && j.nodes <= sys.max_request);
+                    prop_assert!(j.nodes <= sys.total_nodes);
+                }
+                let n_comm = log.jobs.iter().filter(|j| j.nature.is_comm()).count();
+                prop_assert_eq!(n_comm, 120 * pct as usize / 100);
+            }
+        }
+
+        /// SWF emit/parse round-trips any synthetic log.
+        #[test]
+        fn swf_round_trip_any(seed in any::<u64>()) {
+            let orig = LogSpec::new(SystemModel::intrepid(), 40, seed).generate();
+            let back = swf::parse(&swf::emit(&orig), "rt", 1).unwrap();
+            prop_assert_eq!(back.jobs.len(), orig.jobs.len());
+            for (a, b) in orig.jobs.iter().zip(back.jobs.iter()) {
+                prop_assert_eq!(a.nodes, b.nodes);
+                prop_assert_eq!(a.runtime, b.runtime);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ stats
+
+mod stats_tests {
+    use super::*;
+    use crate::LogProfile;
+
+    #[test]
+    fn profile_of_synthetic_log() {
+        let log = LogSpec::new(SystemModel::theta(), 500, 21)
+            .comm_percent(60)
+            .generate();
+        let p = LogProfile::new(&log, SystemModel::theta().total_nodes);
+        assert_eq!(p.jobs, 500);
+        assert!(p.nodes_min >= 128 && p.nodes_max <= 512);
+        assert!((p.comm_percent - 60.0).abs() < 1.0);
+        assert!(p.runtime_min >= 60 && p.runtime_max <= 86_400);
+        assert!(p.offered_load > 0.0);
+        assert!(p.span > 0);
+        // Histogram covers every job exactly once.
+        let total: usize = p.size_histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 500);
+        // Rendering mentions the key facts.
+        let text = p.render();
+        assert!(text.contains("500 jobs"));
+        assert!(text.contains("communication-intensive"));
+    }
+
+    #[test]
+    fn profile_of_empty_log() {
+        let log = JobLog::new("empty", vec![]);
+        let p = LogProfile::new(&log, 100);
+        assert_eq!(p.jobs, 0);
+        assert_eq!(p.span, 0);
+        assert_eq!(p.offered_load, 0.0);
+        assert!(p.size_histogram.is_empty());
+    }
+
+    #[test]
+    fn offered_load_reflects_saturation() {
+        // Same jobs, half the machine: load doubles.
+        let log = LogSpec::new(SystemModel::theta(), 300, 5).generate();
+        let full = LogProfile::new(&log, 4392).offered_load;
+        let half = LogProfile::new(&log, 2196).offered_load;
+        assert!((half / full - 2.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn diurnal_arrivals_cluster_in_daytime() {
+    let sys = SystemModel::theta();
+    let flat = LogSpec::new(sys, 2000, 17).generate();
+    let cyc = LogSpec::new(sys, 2000, 17).diurnal(true).generate();
+    let day_fraction = |log: &JobLog| {
+        let day = log
+            .jobs
+            .iter()
+            .filter(|j| (8..20).contains(&((j.submit / 3600) % 24)))
+            .count();
+        day as f64 / log.jobs.len() as f64
+    };
+    let f_flat = day_fraction(&flat);
+    let f_cyc = day_fraction(&cyc);
+    // Half the hours are "day"; the cycle must pull well more than the
+    // flat log's share into them.
+    assert!(f_cyc > f_flat + 0.1, "flat {f_flat:.2} vs diurnal {f_cyc:.2}");
+    // Still sorted and deterministic.
+    let again = LogSpec::new(sys, 2000, 17).diurnal(true).generate();
+    assert_eq!(cyc, again);
+}
+
+#[test]
+fn window_and_normalize() {
+    let log = LogSpec::new(SystemModel::theta(), 200, 4).generate();
+    let mid = log.jobs[100].submit;
+    let end = log.jobs[150].submit;
+    let mut w = log.window(mid, end);
+    assert!(!w.jobs.is_empty());
+    assert!(w.jobs.iter().all(|j| j.submit >= mid && j.submit < end));
+    w.normalize_submit();
+    assert_eq!(w.jobs[0].submit, 0);
+    for pair in w.jobs.windows(2) {
+        assert!(pair[0].submit <= pair[1].submit);
+    }
+    // Empty window behaves.
+    let mut e = log.window(0, 0);
+    assert!(e.jobs.is_empty());
+    e.normalize_submit();
+}

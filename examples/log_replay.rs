@@ -1,0 +1,76 @@
+//! Replay a job log through the SLURM-like engine under every allocator
+//! and print the paper's five metrics side by side.
+//!
+//! ```text
+//! # synthetic Theta-like log (default)
+//! cargo run --release --example log_replay
+//!
+//! # a real Parallel Workload Archive trace, 4 cores/node, Theta topology
+//! cargo run --release --example log_replay -- --swf path/to/log.swf --ppn 4
+//! ```
+//!
+//! SWF traces carry no job nature, so 90% of jobs are labelled
+//! communication-intensive with a 50% RHVD component — the paper's Table 3
+//! protocol.
+
+use commsched::prelude::*;
+use commsched::topology::SystemPreset;
+use commsched::workload::swf;
+
+fn main() {
+    let mut swf_path: Option<String> = None;
+    let mut ppn = 1usize;
+    let mut jobs = 500usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--swf" => swf_path = args.next(),
+            "--ppn" => ppn = args.next().and_then(|v| v.parse().ok()).expect("--ppn N"),
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let tree = SystemPreset::Theta.build();
+    let log = match swf_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("readable SWF file");
+            let mut log = swf::parse(&text, &path, ppn).expect("valid SWF");
+            log.jobs.truncate(jobs);
+            log.jobs.retain(|j| j.nodes <= tree.num_nodes());
+            swf::assign_natures(&mut log, 90, &[(Pattern::Rhvd, 0.5)], 42);
+            log
+        }
+        None => LogSpec::new(SystemModel::theta(), jobs, 42)
+            .comm_percent(90)
+            .pattern(Pattern::Rhvd)
+            .generate(),
+    };
+    println!(
+        "log {:?}: {} jobs, max request {} nodes, {:.0}% power-of-two, {:.0}% comm-intensive\n",
+        log.name,
+        log.jobs.len(),
+        log.max_nodes(),
+        100.0 * log.pow2_fraction(),
+        log.comm_percent(),
+    );
+
+    println!(
+        "{:>9}  {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "selector", "exec(h)", "wait(h)", "turnaround(h)", "node-h/job", "comm cost"
+    );
+    for kind in SelectorKind::ALL {
+        let summary = Engine::new(&tree, EngineConfig::new(kind))
+            .run(&log)
+            .expect("log fits topology");
+        println!(
+            "{:>9}  {:>10.1} {:>10.1} {:>12.2} {:>10.1} {:>12.0}",
+            kind.name(),
+            summary.total_exec_hours(),
+            summary.total_wait_hours(),
+            summary.avg_turnaround_hours(),
+            summary.avg_node_hours(),
+            summary.total_comm_cost(),
+        );
+    }
+}
