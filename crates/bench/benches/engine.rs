@@ -47,5 +47,29 @@ fn bench_mira_scale_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_continuous_run, bench_mira_scale_run);
+fn bench_placement_eval(c: &mut Criterion) {
+    // The per-job placement evaluation inside the engine (adaptive select +
+    // Eq. 6/Eq. 7 numbers), fast fused-evaluator path vs the retained
+    // naive clone-and-four-traversals path — same numbers, measured in the
+    // same binary.
+    use commsched_bench::perf::PlacementCase;
+    use commsched_core::PlacementEvaluator;
+    use std::sync::{Arc, Mutex};
+
+    let case = PlacementCase::new(SystemPreset::Theta, 256);
+    let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+    assert_eq!(case.place_naive(), case.place_fast(&eval));
+
+    let mut group = c.benchmark_group("placement_eval_theta_256");
+    group.bench_function("naive", |b| b.iter(|| black_box(case.place_naive())));
+    group.bench_function("fast", |b| b.iter(|| black_box(case.place_fast(&eval))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_continuous_run,
+    bench_mira_scale_run,
+    bench_placement_eval
+);
 criterion_main!(benches);

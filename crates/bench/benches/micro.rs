@@ -20,11 +20,7 @@ fn bench_hostlist(c: &mut Criterion) {
 fn bench_topology(c: &mut Criterion) {
     let tree = SystemPreset::Mira.build();
     c.bench_function("tree_lca_distance_mira", |b| {
-        b.iter(|| {
-            black_box(
-                tree.distance(black_box(NodeId(17)), black_box(NodeId(48_211))),
-            )
-        })
+        b.iter(|| black_box(tree.distance(black_box(NodeId(17)), black_box(NodeId(48_211)))))
     });
     let conf = tree.to_conf();
     c.bench_function("tree_parse_mira_conf", |b| {

@@ -17,15 +17,15 @@ fn half_occupied(tree: &commsched_topology::Tree) -> ClusterState {
     let mut rng = ChaCha12Rng::seed_from_u64(7);
     let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
     nodes.shuffle(&mut rng);
-    let mut job = 0u64;
-    for chunk in nodes[..tree.num_nodes() / 2].chunks(512) {
+    for (job, chunk) in nodes[..tree.num_nodes() / 2].chunks(512).enumerate() {
         let nature = if job.is_multiple_of(2) {
             JobNature::CommIntensive
         } else {
             JobNature::ComputeIntensive
         };
-        state.allocate(tree, JobId(job), chunk, nature).unwrap();
-        job += 1;
+        state
+            .allocate(tree, JobId(job as u64), chunk, nature)
+            .unwrap();
     }
     state
 }
@@ -43,20 +43,35 @@ fn bench_selectors(c: &mut Criterion) {
                 nature: JobNature::CommIntensive,
                 pattern: None,
             };
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), nodes),
-                &req,
-                |b, req| {
-                    b.iter(|| {
-                        let got = selector.select(&tree, &state, black_box(req)).unwrap();
-                        black_box(got.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &req, |b, req| {
+                b.iter(|| {
+                    let got = selector.select(&tree, &state, black_box(req)).unwrap();
+                    black_box(got.len())
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_selectors);
+fn bench_placement_eval_mira(c: &mut Criterion) {
+    // One whole placement evaluation (adaptive decision + Eq. 6/Eq. 7
+    // numbers) at Mira scale: the fused-evaluator path against the
+    // retained naive clone-based path computing identical values.
+    use commsched_bench::perf::PlacementCase;
+    use commsched_core::PlacementEvaluator;
+    use std::sync::{Arc, Mutex};
+
+    let case = PlacementCase::new(SystemPreset::Mira, 2048);
+    let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+    assert_eq!(case.place_naive(), case.place_fast(&eval));
+
+    let mut group = c.benchmark_group("placement_eval_mira_2048");
+    group.sample_size(10);
+    group.bench_function("naive", |b| b.iter(|| black_box(case.place_naive())));
+    group.bench_function("fast", |b| b.iter(|| black_box(case.place_fast(&eval))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors, bench_placement_eval_mira);
 criterion_main!(benches);

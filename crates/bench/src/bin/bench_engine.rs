@@ -1,0 +1,85 @@
+//! Measure fast-vs-naive placement evaluation and write `BENCH_engine.json`.
+//!
+//! The seed revision cannot be rebuilt in this offline environment, so the
+//! baseline is the *retained* naive pipeline (clone-based what-if states +
+//! four `job_cost` traversals per component — see
+//! [`commsched_bench::perf`]) measured in the same binary as the fused
+//! [`commsched_core::PlacementEvaluator`] path. Medians of `ITERS` single
+//! placements at Theta and Mira scale, in nanoseconds.
+//!
+//! ```text
+//! cargo run --release -p commsched-bench --bin bench_engine [out.json]
+//! ```
+
+use commsched_bench::perf::PlacementCase;
+use commsched_core::PlacementEvaluator;
+use commsched_topology::SystemPreset;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const ITERS: usize = 31;
+
+fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut entries = Vec::new();
+
+    for (label, preset, want) in [
+        ("theta_256", SystemPreset::Theta, 256usize),
+        ("mira_2048", SystemPreset::Mira, 2048usize),
+    ] {
+        let case = PlacementCase::new(preset, want);
+        let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+
+        // The two paths must agree exactly before timing means anything.
+        let naive = case.place_naive();
+        let fast = case.place_fast(&eval);
+        assert_eq!(
+            naive.cost_actual.to_bits(),
+            fast.cost_actual.to_bits(),
+            "{label}: fast path diverged from naive"
+        );
+        assert_eq!(naive.cost_default.to_bits(), fast.cost_default.to_bits());
+        assert_eq!(naive.adjusted.to_bits(), fast.adjusted.to_bits());
+
+        let naive_ns = median_ns(ITERS, || {
+            std::hint::black_box(case.place_naive());
+        });
+        let fast_ns = median_ns(ITERS, || {
+            std::hint::black_box(case.place_fast(&eval));
+        });
+        let speedup = naive_ns / fast_ns;
+        eprintln!(
+            "{label}: naive {:.1} µs, fast {:.1} µs, speedup {speedup:.1}x",
+            naive_ns / 1e3,
+            fast_ns / 1e3
+        );
+        entries.push(format!(
+            "    {{\n      \"case\": \"{label}\",\n      \"nodes\": {},\n      \"request\": {want},\n      \"naive_median_ns\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}",
+            case.tree.num_nodes()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"single placement evaluation (adaptive select + Eq.6/Eq.7), fast vs retained-naive\",\n  \"iters\": {ITERS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -40,9 +40,7 @@ fn main() -> ExitCode {
             },
             "--quick" => scale.jobs = Scale::quick().jobs,
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown flag {other}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
             other => names.push(other.to_string()),
         }
     }
@@ -68,7 +66,10 @@ fn main() -> ExitCode {
     }
 
     for (name, run) in selected {
-        eprintln!("==> running {name} (jobs={}, seed={})", scale.jobs, scale.seed);
+        eprintln!(
+            "==> running {name} (jobs={}, seed={})",
+            scale.jobs, scale.seed
+        );
         let t0 = std::time::Instant::now();
         let result = run(scale);
         let dt = t0.elapsed();
@@ -86,13 +87,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if serde_json::to_writer_pretty(&mut f, &result.json).is_err()
-            || writeln!(f).is_err()
-        {
+        if serde_json::to_writer_pretty(&mut f, &result.json).is_err() || writeln!(f).is_err() {
             eprintln!("cannot serialize {name}");
             return ExitCode::FAILURE;
         }
-        eprintln!("<== {name} done in {dt:.1?}; wrote {} and {}", txt.display(), json.display());
+        eprintln!(
+            "<== {name} done in {dt:.1?}; wrote {} and {}",
+            txt.display(),
+            json.display()
+        );
     }
     ExitCode::SUCCESS
 }

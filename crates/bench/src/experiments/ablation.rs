@@ -31,7 +31,10 @@ pub fn ablation(scale: Scale) -> ExperimentResult {
 
     // --- backfill policy sweep (default selector, pure replay) ---
     let backfill_cfgs = [
-        ("fifo", EngineConfig::new(SelectorKind::Default).without_backfill()),
+        (
+            "fifo",
+            EngineConfig::new(SelectorKind::Default).without_backfill(),
+        ),
         ("easy", EngineConfig::new(SelectorKind::Default)),
         (
             "conservative",
@@ -87,17 +90,16 @@ pub fn ablation(scale: Scale) -> ExperimentResult {
 
     // --- Eq. 7 feedback on/off, balanced selector ---
     let feedback_rows: Vec<(String, f64, f64)> = [
-        ("replay", EngineConfig::new(SelectorKind::Balanced).without_adjustment()),
+        (
+            "replay",
+            EngineConfig::new(SelectorKind::Balanced).without_adjustment(),
+        ),
         ("eq7", EngineConfig::new(SelectorKind::Balanced)),
     ]
     .into_par_iter()
     .map(|(name, cfg)| {
         let s = Engine::new(&tree, cfg).run(&log_rhvd).unwrap();
-        (
-            name.to_string(),
-            s.total_exec_hours(),
-            s.total_wait_hours(),
-        )
+        (name.to_string(), s.total_exec_hours(), s.total_wait_hours())
     })
     .collect();
 

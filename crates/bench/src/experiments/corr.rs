@@ -76,11 +76,8 @@ fn correlate(
         } else {
             tree.leaf_nodes(rng.random_range(0..tree.num_leaves()))[..8].to_vec()
         };
-        let mut pool: Vec<NodeId> = nodes
-            .into_iter()
-            .filter(|n| !probe.contains(n))
-            .collect();
-        let interferer: Vec<NodeId> = pool.drain(..rng.random_range(4..=12)).collect();
+        let mut pool: Vec<NodeId> = nodes.into_iter().filter(|n| !probe.contains(n)).collect();
+        let interferer: Vec<NodeId> = pool.drain(..rng.random_range(4usize..=12)).collect();
 
         // Eq. 6 cost from the occupancy both jobs create.
         let mut state = ClusterState::new(tree);

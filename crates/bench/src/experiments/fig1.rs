@@ -66,10 +66,7 @@ pub fn fig1(_scale: Scale) -> ExperimentResult {
 
     // Fold J1 iterations into executions; track J2 activity windows.
     let j1 = &results[0];
-    let j2_windows: Vec<(f64, f64)> = results[1..]
-        .iter()
-        .map(|r| (r.submit, r.end))
-        .collect();
+    let j2_windows: Vec<(f64, f64)> = results[1..].iter().map(|r| (r.submit, r.end)).collect();
     let mut series_j1: Vec<(f64, f64)> = Vec::new();
     for chunk in j1.iterations.chunks(ITERS_PER_EXEC) {
         let start = chunk[0].start;

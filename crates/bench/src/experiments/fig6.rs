@@ -62,11 +62,7 @@ pub fn fig6(scale: Scale) -> ExperimentResult {
         ["System", "Set"]
             .into_iter()
             .map(String::from)
-            .chain(
-                SelectorKind::PROPOSED
-                    .iter()
-                    .map(|k| format!("{k} %red")),
-            )
+            .chain(SelectorKind::PROPOSED.iter().map(|k| format!("{k} %red")))
             .collect(),
     );
     for r in rows.iter().filter(|r| r.system == "theta") {

@@ -49,7 +49,12 @@ pub fn fig7(scale: Scale) -> ExperimentResult {
         .take(PLOTTED.min(scale.jobs))
         .cloned()
         .collect();
-    let outcomes = individual_runs(&tree, &state, &probes, EngineConfig::new(SelectorKind::Default));
+    let outcomes = individual_runs(
+        &tree,
+        &state,
+        &probes,
+        EngineConfig::new(SelectorKind::Default),
+    );
     let mut individual: Vec<Series> = SelectorKind::ALL
         .iter()
         .map(|k| Series::new(k.name()))

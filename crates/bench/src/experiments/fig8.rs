@@ -51,9 +51,7 @@ pub fn fig8(scale: Scale) -> ExperimentResult {
                         let costs: Vec<f64> = run
                             .outcomes
                             .iter()
-                            .filter(|o| {
-                                o.nature.is_comm() && o.nodes >= lo && o.nodes <= hi
-                            })
+                            .filter(|o| o.nature.is_comm() && o.nodes >= lo && o.nodes <= hi)
                             .map(|o| o.cost_actual)
                             .collect();
                         count = costs.len();

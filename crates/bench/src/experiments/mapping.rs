@@ -75,9 +75,16 @@ pub fn mapping(scale: Scale) -> ExperimentResult {
     }
 
     let mut t = Table::new(
-        ["allocator", "block", "round-robin", "aligned", "best", "jobs improved"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "allocator",
+            "block",
+            "round-robin",
+            "aligned",
+            "best",
+            "jobs improved",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (name, avg, improved, count) in &rows {
         t.row(vec![

@@ -28,10 +28,13 @@ pub use table4::table4;
 
 use crate::{ExperimentResult, Scale};
 
+/// An experiment entry point: scale in, reproduced table/figure out.
+pub type ExperimentFn = fn(Scale) -> ExperimentResult;
+
 /// Every experiment, keyed by id, in the paper's order.
-pub fn all() -> Vec<(&'static str, fn(Scale) -> ExperimentResult)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("fig1", fig1 as fn(Scale) -> ExperimentResult),
+        ("fig1", fig1 as ExperimentFn),
         ("corr", corr),
         ("table2", table2),
         ("table3", table3),

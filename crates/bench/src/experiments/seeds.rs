@@ -44,9 +44,14 @@ pub fn seeds(scale: Scale) -> ExperimentResult {
         .collect();
 
     let mut t = Table::new(
-        ["selector", "exec(h) mean±95CI", "wait(h) mean±95CI", "exec %red vs default"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "selector",
+            "exec(h) mean±95CI",
+            "wait(h) mean±95CI",
+            "exec %red vs default",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut json_rows = Vec::new();
     for (si, kind) in SelectorKind::ALL.iter().enumerate() {

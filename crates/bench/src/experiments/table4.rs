@@ -50,8 +50,7 @@ pub fn table4(scale: Scale) -> ExperimentResult {
                         .jobs
                         .iter()
                         .filter(|j| {
-                            j.nature == JobNature::CommIntensive
-                                && j.nodes <= state.free_total()
+                            j.nature == JobNature::CommIntensive && j.nodes <= state.free_total()
                         })
                         .cloned()
                         .collect();

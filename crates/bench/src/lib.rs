@@ -22,6 +22,7 @@
 //! 1000-job replication.
 
 pub mod experiments;
+pub mod perf;
 
 use commsched_core::SelectorKind;
 use commsched_slurmsim::{Engine, EngineConfig, RunSummary};
@@ -49,7 +50,10 @@ impl Scale {
 
     /// A fast scale for tests and smoke runs.
     pub fn quick() -> Self {
-        Scale { jobs: 150, seed: 42 }
+        Scale {
+            jobs: 150,
+            seed: 42,
+        }
     }
 }
 
@@ -87,12 +91,7 @@ pub fn run_all_selectors(tree: &Tree, log: &JobLog) -> Vec<RunSummary> {
 }
 
 /// Build the synthetic log for a (system, pattern/mix) cell.
-pub fn build_log(
-    system: SystemModel,
-    scale: Scale,
-    comm_pct: u8,
-    shape: LogShape,
-) -> JobLog {
+pub fn build_log(system: SystemModel, scale: Scale, comm_pct: u8, shape: LogShape) -> JobLog {
     let spec = LogSpec::new(system, scale.jobs, scale.seed).comm_percent(comm_pct);
     let spec = match shape {
         LogShape::Pattern(p) => spec.pattern(p).comm_fraction(0.5),

@@ -1,0 +1,203 @@
+//! Fast-vs-naive placement evaluation, the measured unit behind the
+//! `BENCH_engine.json` runner and the placement-path Criterion benches.
+//!
+//! The "naive" path retains the pre-optimization pipeline, built from the
+//! public APIs that still implement it: a clone-based adaptive decision
+//! (full `ClusterState` clone + `allocate` + one `job_cost` traversal per
+//! candidate) and a clone-based Eq. 6/Eq. 7 evaluation (two more clones,
+//! four `job_cost` traversals per collective component). The "fast" path
+//! is the production pipeline: the shared [`PlacementEvaluator`] — no
+//! clones, one fused traversal per component per allocation, hop memo
+//! reused across the job's components.
+//!
+//! Both return identical numbers (the equivalence is also property-tested
+//! in `commsched-core`), so the comparison isolates the cost of the
+//! evaluation strategy alone.
+
+use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_core::{
+    AdaptiveSelector, AllocRequest, BalancedSelector, ClusterState, CostModel, DefaultTreeSelector,
+    GreedySelector, JobId, JobNature, NodeSelector, PlacementEvaluator,
+};
+use commsched_topology::{NodeId, SystemPreset, Tree};
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+
+/// Eq. 6/Eq. 7 numbers of one placement, for cross-checking the two paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementNumbers {
+    /// Reported Eq. 6 cost (raw hops) of the chosen allocation.
+    pub cost_actual: f64,
+    /// Eq. 6 cost of the default allocation from the same state.
+    pub cost_default: f64,
+    /// Eq. 7-adjusted runtime, seconds (pre-rounding).
+    pub adjusted: f64,
+}
+
+/// One benchmark scenario: a half-occupied system and a probe job.
+pub struct PlacementCase {
+    pub tree: Tree,
+    pub state: ClusterState,
+    /// Probe request size (nodes).
+    pub want: usize,
+    /// The probe's collective components (pattern, runtime fraction).
+    pub comm: Vec<(Pattern, f64)>,
+    /// Probe runtime, seconds.
+    pub runtime: f64,
+    /// Base message size for cost evaluation.
+    pub msize: u64,
+}
+
+impl PlacementCase {
+    /// Deterministic half-occupied cluster on `preset` with a `want`-node
+    /// communication-intensive probe (the selectors-bench scenario).
+    pub fn new(preset: SystemPreset, want: usize) -> Self {
+        let tree = preset.build();
+        let mut state = ClusterState::new(&tree);
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
+        nodes.shuffle(&mut rng);
+        for (job, chunk) in nodes[..tree.num_nodes() / 2].chunks(512).enumerate() {
+            let nature = if job.is_multiple_of(2) {
+                JobNature::CommIntensive
+            } else {
+                JobNature::ComputeIntensive
+            };
+            state
+                .allocate(&tree, JobId(job as u64), chunk, nature)
+                .unwrap();
+        }
+        PlacementCase {
+            tree,
+            state,
+            want,
+            comm: vec![(Pattern::Rhvd, 0.3), (Pattern::Rd, 0.2)],
+            runtime: 10_000.0,
+            msize: 1 << 20,
+        }
+    }
+
+    fn request(&self) -> AllocRequest {
+        AllocRequest::comm(JobId(999_999), self.want)
+            .with_pattern(CollectiveSpec::new(self.comm[0].0, self.msize))
+    }
+
+    fn comm_fraction(&self) -> f64 {
+        self.comm.iter().map(|&(_, f)| f).sum()
+    }
+
+    /// The pre-optimization pipeline: clone-based adaptive decision, then
+    /// clone-based Eq. 6/Eq. 7 evaluation with four `job_cost` traversals
+    /// per component.
+    pub fn place_naive(&self) -> PlacementNumbers {
+        let req = self.request();
+        let spec = req.spec();
+        let decide = CostModel::HOP_BYTES;
+
+        // §4.3 adaptive decision, clone-based (the seed's
+        // `hypothetical_cost`): full state copy + real allocation per
+        // candidate.
+        let greedy = GreedySelector
+            .select(&self.tree, &self.state, &req)
+            .unwrap();
+        let balanced = BalancedSelector
+            .select(&self.tree, &self.state, &req)
+            .unwrap();
+        let nodes = if greedy == balanced {
+            balanced
+        } else {
+            let cost_of = |alloc: &[NodeId]| {
+                let mut s = self.state.clone();
+                s.allocate(&self.tree, JobId(u64::MAX), alloc, JobNature::CommIntensive)
+                    .unwrap();
+                decide.job_cost(&self.tree, &s, alloc, &spec)
+            };
+            let cg = cost_of(&greedy);
+            let cb = cost_of(&balanced);
+            if cb <= cg {
+                balanced
+            } else {
+                greedy
+            }
+        };
+        let default_nodes = DefaultTreeSelector
+            .select(&self.tree, &self.state, &req)
+            .unwrap();
+
+        // Eq. 6/Eq. 7: one what-if clone per allocation, four traversals
+        // per component (reported + ratio model, actual + default).
+        let what_if = |alloc: &[NodeId]| {
+            let mut s = self.state.clone();
+            s.allocate(&self.tree, JobId(u64::MAX), alloc, JobNature::CommIntensive)
+                .unwrap();
+            s
+        };
+        let state_actual = what_if(&nodes);
+        let state_default = what_if(&default_nodes);
+        let mut cost_actual = 0.0;
+        let mut cost_default = 0.0;
+        let mut adjusted = self.runtime * (1.0 - self.comm_fraction());
+        for &(pattern, fraction) in &self.comm {
+            let spec = CollectiveSpec::new(pattern, self.msize);
+            cost_actual += CostModel::HOPS.job_cost(&self.tree, &state_actual, &nodes, &spec);
+            cost_default +=
+                CostModel::HOPS.job_cost(&self.tree, &state_default, &default_nodes, &spec);
+            let ca = CostModel::HOP_BYTES.job_cost(&self.tree, &state_actual, &nodes, &spec);
+            let cd =
+                CostModel::HOP_BYTES.job_cost(&self.tree, &state_default, &default_nodes, &spec);
+            let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
+            adjusted += self.runtime * fraction * ratio;
+        }
+        PlacementNumbers {
+            cost_actual,
+            cost_default,
+            adjusted,
+        }
+    }
+
+    /// The production pipeline: evaluator-backed adaptive decision and one
+    /// fused traversal per component per allocation, no state clones.
+    pub fn place_fast(
+        &self,
+        eval: &std::sync::Arc<std::sync::Mutex<PlacementEvaluator>>,
+    ) -> PlacementNumbers {
+        let req = self.request();
+        let selector = AdaptiveSelector::with_evaluator(CostModel::HOP_BYTES, eval.clone());
+        let nodes = selector.select(&self.tree, &self.state, &req).unwrap();
+        let default_nodes = DefaultTreeSelector
+            .select(&self.tree, &self.state, &req)
+            .unwrap();
+
+        let discount = CostModel::HOPS.trunk_discount;
+        let mut ev = eval.lock().unwrap();
+        let mut eval_all = |alloc: &[NodeId]| -> Vec<(f64, f64)> {
+            self.comm
+                .iter()
+                .map(|&(pattern, _)| {
+                    let spec = CollectiveSpec::new(pattern, self.msize);
+                    let t = ev.evaluate(&self.tree, &self.state, discount, alloc, &spec);
+                    (t.raw_hops, t.hop_bytes)
+                })
+                .collect()
+        };
+        let actual = eval_all(&nodes);
+        let default = eval_all(&default_nodes);
+        drop(ev);
+
+        let mut cost_actual = 0.0;
+        let mut cost_default = 0.0;
+        let mut adjusted = self.runtime * (1.0 - self.comm_fraction());
+        for (i, &(_, fraction)) in self.comm.iter().enumerate() {
+            cost_actual += actual[i].0;
+            cost_default += default[i].0;
+            let (ca, cd) = (actual[i].1, default[i].1);
+            let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
+            adjusted += self.runtime * fraction * ratio;
+        }
+        PlacementNumbers {
+            cost_actual,
+            cost_default,
+            adjusted,
+        }
+    }
+}

@@ -112,9 +112,7 @@ pub fn topology(p: &Parsed, out: &mut dyn Write) -> CmdResult {
                 tree.height()
             )
             .map_err(|e| e.to_string())?;
-            let mut t = Table::new(
-                ["leaf", "name", "nodes"].map(String::from).to_vec(),
-            );
+            let mut t = Table::new(["leaf", "name", "nodes"].map(String::from).to_vec());
             for k in 0..tree.num_leaves().min(40) {
                 let sw = tree.switch(tree.leaf(k));
                 t.row(vec![
@@ -142,8 +140,7 @@ pub fn log(p: &Parsed, out: &mut dyn Write) -> CmdResult {
             let text = swf::emit(&log);
             match p.get("out") {
                 Some(path) => {
-                    std::fs::write(path, text)
-                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
                     writeln!(out, "wrote {} jobs to {path}", log.jobs.len())
                         .map_err(|e| e.to_string())
                 }
@@ -154,8 +151,7 @@ pub fn log(p: &Parsed, out: &mut dyn Write) -> CmdResult {
             let (log, machine) = load_log(p)?;
             let profile = LogProfile::new(&log, machine);
             if p.switch("json") {
-                let json =
-                    serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+                let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
                 writeln!(out, "{json}").map_err(|e| e.to_string())
             } else {
                 write!(out, "{}", profile.render()).map_err(|e| e.to_string())
@@ -262,8 +258,7 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
     )
     .map_err(|e| e.to_string())?;
     for (kind, timeline) in timelines {
-        writeln!(out, "utilization over time — {}:", kind.name())
-            .map_err(|e| e.to_string())?;
+        writeln!(out, "utilization over time — {}:", kind.name()).map_err(|e| e.to_string())?;
         for (t0, frac) in timeline {
             writeln!(
                 out,
@@ -351,13 +346,14 @@ pub fn patterns(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         )
         .map_err(|e| e.to_string())?;
         for (k, step) in spec.steps(ranks).iter().enumerate() {
-            let pairs: Vec<String> = step
-                .pairs
-                .iter()
-                .map(|(a, b)| format!("{a}-{b}"))
-                .collect();
-            writeln!(out, "  step {k:>2} ({:>8} B): {}", step.msize, pairs.join(" "))
-                .map_err(|e| e.to_string())?;
+            let pairs: Vec<String> = step.pairs.iter().map(|(a, b)| format!("{a}-{b}")).collect();
+            writeln!(
+                out,
+                "  step {k:>2} ({:>8} B): {}",
+                step.msize,
+                pairs.join(" ")
+            )
+            .map_err(|e| e.to_string())?;
         }
     }
     Ok(())

@@ -92,7 +92,11 @@ fn topology_validate_round_trip() {
     assert!(out.contains("OK"));
     assert!(out.contains("8 nodes"));
 
-    std::fs::write(&path, "SwitchName=s0 Nodes=n[0-3]\nSwitchName=s1 Nodes=n[2-5]\n").unwrap();
+    std::fs::write(
+        &path,
+        "SwitchName=s0 Nodes=n[0-3]\nSwitchName=s1 Nodes=n[2-5]\n",
+    )
+    .unwrap();
     let (code, _, err) = run_cli(&["topology", "validate", path.to_str().unwrap()]);
     assert_eq!(code, 1);
     assert!(err.contains("more than one switch"), "{err}");
@@ -110,9 +114,7 @@ fn log_stats_synthetic() {
 
 #[test]
 fn log_stats_json() {
-    let (code, out, _) = run_cli(&[
-        "log", "stats", "--system", "mira", "--jobs", "20", "--json",
-    ]);
+    let (code, out, _) = run_cli(&["log", "stats", "--system", "mira", "--jobs", "20", "--json"]);
     assert_eq!(code, 0);
     let v: serde_json::Value = serde_json::from_str(&out).unwrap();
     assert_eq!(v["jobs"], 20);
@@ -153,8 +155,17 @@ fn compare_runs_all_selectors() {
 #[test]
 fn run_single_selector() {
     let (code, out, _) = run_cli(&[
-        "run", "--preset", "theta", "--system", "theta", "--jobs", "25",
-        "--selector", "balanced", "--pattern", "rd",
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "25",
+        "--selector",
+        "balanced",
+        "--pattern",
+        "rd",
     ]);
     assert_eq!(code, 0);
     assert!(out.contains("balanced"));
@@ -164,7 +175,13 @@ fn run_single_selector() {
 #[test]
 fn run_rejects_oversized_log() {
     let (code, _, err) = run_cli(&[
-        "run", "--preset", "iitk-dept", "--system", "mira", "--jobs", "5",
+        "run",
+        "--preset",
+        "iitk-dept",
+        "--system",
+        "mira",
+        "--jobs",
+        "5",
     ]);
     assert_eq!(code, 1);
     assert!(err.contains("requests"), "{err}");
@@ -193,8 +210,17 @@ fn bad_preset_and_system_errors() {
 #[test]
 fn run_with_drain_and_backfill_flags() {
     let (code, out, _) = run_cli(&[
-        "run", "--preset", "theta", "--system", "theta", "--jobs", "20",
-        "--drain", "100", "--backfill", "conservative",
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "20",
+        "--drain",
+        "100",
+        "--backfill",
+        "conservative",
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("(100 drained)"), "{out}");
@@ -203,15 +229,29 @@ fn run_with_drain_and_backfill_flags() {
 #[test]
 fn run_rejects_full_drain_and_bad_backfill() {
     let (code, _, err) = run_cli(&[
-        "run", "--preset", "iitk-dept", "--system", "theta", "--jobs", "5",
-        "--drain", "50",
+        "run",
+        "--preset",
+        "iitk-dept",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--drain",
+        "50",
     ]);
     assert_eq!(code, 1);
     assert!(err.contains("no healthy nodes"), "{err}");
 
     let (code, _, err) = run_cli(&[
-        "run", "--preset", "theta", "--system", "theta", "--jobs", "5",
-        "--backfill", "bogus",
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--backfill",
+        "bogus",
     ]);
     assert_eq!(code, 1);
     assert!(err.contains("unknown backfill"), "{err}");
@@ -220,8 +260,17 @@ fn run_rejects_full_drain_and_bad_backfill() {
 #[test]
 fn run_prints_utilization_timeline() {
     let (code, out, _) = run_cli(&[
-        "run", "--preset", "theta", "--system", "theta", "--jobs", "15",
-        "--selector", "default", "--utilization", "5",
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "15",
+        "--selector",
+        "default",
+        "--utilization",
+        "5",
     ]);
     assert_eq!(code, 0);
     assert!(out.contains("utilization over time"), "{out}");
@@ -231,8 +280,17 @@ fn run_prints_utilization_timeline() {
 #[test]
 fn individual_subcommand_reports_improvements() {
     let (code, out, _) = run_cli(&[
-        "individual", "--preset", "theta", "--system", "theta",
-        "--jobs", "120", "--probes", "20", "--warmup", "0.4",
+        "individual",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "120",
+        "--probes",
+        "20",
+        "--warmup",
+        "0.4",
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("individual runs: 20 probes"), "{out}");
@@ -244,8 +302,15 @@ fn individual_subcommand_reports_improvements() {
 #[test]
 fn individual_rejects_bad_warmup() {
     let (code, _, err) = run_cli(&[
-        "individual", "--preset", "theta", "--system", "theta",
-        "--jobs", "10", "--warmup", "1.5",
+        "individual",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "10",
+        "--warmup",
+        "1.5",
     ]);
     assert_eq!(code, 1);
     assert!(err.contains("--warmup"), "{err}");

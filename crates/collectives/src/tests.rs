@@ -116,11 +116,7 @@ fn binomial_ragged_tree() {
     let steps = CollectiveSpec::new(Pattern::Binomial, 1).steps(6);
     assert_eq!(
         pairs_of(&steps),
-        vec![
-            vec![(0, 1)],
-            vec![(0, 2), (1, 3)],
-            vec![(0, 4), (1, 5)],
-        ]
+        vec![vec![(0, 1)], vec![(0, 2), (1, 3)], vec![(0, 4), (1, 5)],]
     );
 }
 
@@ -244,8 +240,9 @@ fn total_bytes_rd() {
 /// allgather/allreduce schedule.
 fn full_coverage(pattern: Pattern, p: usize) -> bool {
     let steps = CollectiveSpec::new(pattern, 1 << 20).steps(p);
-    let mut sets: Vec<std::collections::HashSet<usize>> =
-        (0..p).map(|i| std::collections::HashSet::from([i])).collect();
+    let mut sets: Vec<std::collections::HashSet<usize>> = (0..p)
+        .map(|i| std::collections::HashSet::from([i]))
+        .collect();
     for step in &steps {
         let mut next = sets.clone();
         for &(a, b) in &step.pairs {

@@ -56,7 +56,23 @@ impl CostModel {
     /// For leaves meeting at level 2 this is Eq. 3 verbatim; deeper common
     /// switches (fatter trunks) discount the pooled term further.
     pub fn leaf_contention(&self, tree: &Tree, state: &ClusterState, a: usize, b: usize) -> f64 {
-        let comm_a = f64::from(state.leaf_comm(a));
+        self.leaf_contention_counts(tree, a, b, state.leaf_comm(a), state.leaf_comm(b))
+    }
+
+    /// Eqs. 2–3 with the `L_comm` counts supplied by the caller — the single
+    /// implementation of the contention formula, shared by the state-reading
+    /// wrapper above and the overlay-based [`crate::PlacementEvaluator`] so
+    /// both produce bit-identical values.
+    #[inline]
+    pub(crate) fn leaf_contention_counts(
+        &self,
+        tree: &Tree,
+        a: usize,
+        b: usize,
+        comm_a: u32,
+        comm_b: u32,
+    ) -> f64 {
+        let comm_a = f64::from(comm_a);
         let nodes_a = tree.leaf_size(a) as f64;
         if a == b {
             // Eq. 2: both endpoints under one leaf switch.
@@ -64,7 +80,7 @@ impl CostModel {
         }
         // Eq. 3: two leaf terms plus the discounted pooled term for the
         // common upper switch.
-        let comm_b = f64::from(state.leaf_comm(b));
+        let comm_b = f64::from(comm_b);
         let nodes_b = tree.leaf_size(b) as f64;
         let level = tree.leaf_lca_level(a, b);
         let discount = self.trunk_discount.powi(level as i32 - 1);
@@ -73,7 +89,12 @@ impl CostModel {
 
     /// Eqs. 2–3 — contention factor `C(i, j)` between two nodes.
     pub fn contention(&self, tree: &Tree, state: &ClusterState, i: NodeId, j: NodeId) -> f64 {
-        self.leaf_contention(tree, state, tree.leaf_ordinal_of(i), tree.leaf_ordinal_of(j))
+        self.leaf_contention(
+            tree,
+            state,
+            tree.leaf_ordinal_of(i),
+            tree.leaf_ordinal_of(j),
+        )
     }
 
     /// Eq. 5 — effective hops `d(i, j) * (1 + C(i, j))`.
@@ -104,8 +125,7 @@ impl CostModel {
         // Leaf ordinal per rank; hop values only depend on the leaf pair, so
         // memoize them: collective schedules revisit the same leaf pairs in
         // nearly every step.
-        let leaf_of_rank: Vec<usize> =
-            ranked.iter().map(|n| tree.leaf_ordinal_of(*n)).collect();
+        let leaf_of_rank: Vec<usize> = ranked.iter().map(|n| tree.leaf_ordinal_of(*n)).collect();
         let mut hop_cache: HashMap<(usize, usize), f64> = HashMap::new();
 
         let mut total = 0.0;
@@ -114,7 +134,11 @@ impl CostModel {
             for &(ri, rj) in &step.pairs {
                 let (la, lb) = {
                     let (a, b) = (leaf_of_rank[ri], leaf_of_rank[rj]);
-                    if a <= b { (a, b) } else { (b, a) }
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
                 };
                 let hops = *hop_cache.entry((la, lb)).or_insert_with(|| {
                     let d = if la == lb {
@@ -137,26 +161,20 @@ impl CostModel {
         total
     }
 
-    /// Cost of a *hypothetical* allocation: applies `nodes` to a copy of
-    /// `state` as a communication-intensive job first (so the job's own
-    /// contention counts, per the paper's example), then evaluates
-    /// [`CostModel::job_cost`].
+    /// Cost of a *hypothetical* allocation: applies `nodes` to `state` as a
+    /// communication-intensive job first (so the job's own contention
+    /// counts, per the paper's example), evaluates [`CostModel::job_cost`],
+    /// then reverts. The apply-then-revert runs through
+    /// [`ClusterState::scratch_alloc`] — no clone of the cluster state — and
+    /// `state` is restored bit-for-bit before this returns.
     pub fn hypothetical_cost(
         &self,
         tree: &Tree,
-        state: &ClusterState,
+        state: &mut ClusterState,
         nodes: &[NodeId],
         spec: &CollectiveSpec,
     ) -> f64 {
-        let mut what_if = state.clone();
-        what_if
-            .allocate(
-                tree,
-                crate::state::JobId(u64::MAX),
-                nodes,
-                crate::state::JobNature::CommIntensive,
-            )
-            .expect("hypothetical allocation over free nodes");
+        let what_if = state.scratch_alloc(tree, nodes, crate::state::JobNature::CommIntensive);
         self.job_cost(tree, &what_if, nodes, spec)
     }
 }

@@ -1,0 +1,262 @@
+//! Fused single-pass placement evaluation.
+//!
+//! [`PlacementEvaluator`] walks a collective schedule **once** and returns
+//! both Eq. 6 totals — raw effective hops and effective hop-bytes — from
+//! the same traversal. The two default [`CostModel`]s differ only in the
+//! per-step weighting (`worst` vs `worst * msize`); the per-step maximum
+//! itself is identical whenever the trunk discounts match, so one pass over
+//! the schedule yields both numbers bit-for-bit as the naive
+//! [`CostModel::job_cost`] computes them.
+//!
+//! The evaluator never mutates the [`ClusterState`]. The hypothetical
+//! job's own contribution to `L_comm` (the paper's worked example counts
+//! the job's own nodes) is applied as an *overlay*: integer deltas added to
+//! the `u32` leaf counters before the `f64` conversion, which is exactly
+//! what a real allocation would have produced.
+//!
+//! Two memoization layers amortize repeated evaluations:
+//!
+//! * a **per-leaf-pair hop memo**, tagged with the state version, trunk
+//!   discount and the exact overlay, so successive components of the same
+//!   job (same allocation, same state) reuse hop values across collectives;
+//! * a **schedule cache** keyed on `(pattern, ranks, msize)`, because
+//!   [`CollectiveSpec::steps`] regenerates the full step list on every call
+//!   and placement evaluates the same spec for several candidate
+//!   allocations in a row.
+
+use crate::cost::CostModel;
+use crate::state::ClusterState;
+use commsched_collectives::{CollectiveSpec, Pattern, Step};
+use commsched_topology::{NodeId, Tree};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Both Eq. 6 totals from one schedule traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalTotals {
+    /// Σ per-step max effective hops (the paper's Eq. 6 as printed).
+    pub raw_hops: f64,
+    /// Σ per-step max effective hops × step message size (§5.3 hop-bytes).
+    pub hop_bytes: f64,
+}
+
+impl EvalTotals {
+    /// The total the given model would have reported from its own
+    /// [`CostModel::job_cost`] traversal.
+    #[inline]
+    pub fn for_model(&self, model: &CostModel) -> f64 {
+        if model.hop_bytes {
+            self.hop_bytes
+        } else {
+            self.raw_hops
+        }
+    }
+}
+
+/// Upper bound on distinct cached schedules before the cache is cleared.
+const MAX_CACHED_SCHEDULES: usize = 128;
+/// Schedules with more total pairs than this are not cached (an alltoall
+/// at large rank counts holds millions of pairs; regenerate those instead
+/// of pinning the memory).
+const MAX_CACHED_SCHEDULE_PAIRS: usize = 1 << 22;
+/// Widest tree (in leaf switches) served by the flat `leaves × leaves` hop
+/// memo; beyond this (8 MiB of table) a hash map takes over. Every preset
+/// in the repo is far below it (Mira: 144 leaves).
+const FLAT_MEMO_MAX_LEAVES: usize = 1024;
+
+/// Single-pass what-if cost evaluator (see module docs).
+///
+/// Reusable across placements; hold one per engine/selector and feed every
+/// evaluation through it so the hop memo and schedule cache stay warm.
+#[derive(Debug, Default)]
+pub struct PlacementEvaluator {
+    /// `(pattern, ranks, msize)` → generated steps.
+    schedules: HashMap<(Pattern, usize, u64), Arc<Vec<Step>>>,
+    /// Flat hop memo for canonical leaf pairs (`la <= lb`), indexed
+    /// `la * num_leaves + lb`; an entry is valid only when its stamp
+    /// matches [`Self::stamp`], so invalidation is one counter bump, not a
+    /// table wipe. The inner pair loop is the hottest code in placement —
+    /// an array probe here beats a `HashMap` probe by an order of
+    /// magnitude.
+    hop_stamp: Vec<u64>,
+    hop_vals: Vec<f64>,
+    stamp: u64,
+    /// Fallback memo for trees too wide for the flat table.
+    hop_map: HashMap<(usize, usize), f64>,
+    /// Leaf count the flat memo is sized for.
+    num_leaves: usize,
+    /// `(state version, trunk discount bits)` the hop memo was filled under.
+    tag: Option<(u64, u64)>,
+    /// Exact overlay the hop memo was filled under (sorted leaf deltas).
+    tag_overlay: Vec<(usize, u32)>,
+    /// Scratch: sorted `(leaf ordinal, +comm delta)` of the candidate.
+    overlay: Vec<(usize, u32)>,
+    /// Scratch: candidate nodes sorted into rank order.
+    ranked: Vec<NodeId>,
+    /// Scratch: leaf ordinal of each rank.
+    leaf_of_rank: Vec<usize>,
+}
+
+impl PlacementEvaluator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate placing `nodes` as a communication-intensive job running
+    /// `spec`, without mutating `state`. Returns both Eq. 6 totals.
+    ///
+    /// Equivalent (bit-for-bit) to allocating `nodes` on a copy of `state`
+    /// and calling [`CostModel::job_cost`] once per model with
+    /// `trunk_discount`, but in a single traversal of the schedule.
+    pub fn evaluate(
+        &mut self,
+        tree: &Tree,
+        state: &ClusterState,
+        trunk_discount: f64,
+        nodes: &[NodeId],
+        spec: &CollectiveSpec,
+    ) -> EvalTotals {
+        self.ranked.clear();
+        self.ranked.extend_from_slice(nodes);
+        self.ranked.sort_unstable();
+        self.leaf_of_rank.clear();
+        self.leaf_of_rank
+            .extend(self.ranked.iter().map(|n| tree.leaf_ordinal_of(*n)));
+
+        // Overlay: how the candidate itself would bump each leaf's L_comm.
+        self.overlay.clear();
+        for &k in &self.leaf_of_rank {
+            self.overlay.push((k, 1));
+        }
+        self.overlay.sort_unstable();
+        self.overlay.dedup_by(|next, acc| {
+            if acc.0 == next.0 {
+                acc.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        // The hop memo survives across calls only while the contention
+        // context is unchanged: same state version, same discount, and the
+        // same overlay (compared exactly — no fingerprint collisions).
+        let tag = (state.version(), trunk_discount.to_bits());
+        if self.tag != Some(tag) || self.tag_overlay != self.overlay {
+            self.stamp += 1;
+            self.hop_map.clear();
+            self.tag = Some(tag);
+            self.tag_overlay.clear();
+            self.tag_overlay.extend_from_slice(&self.overlay);
+        }
+        let nl = tree.num_leaves();
+        let flat = nl <= FLAT_MEMO_MAX_LEAVES;
+        if flat && self.num_leaves != nl {
+            self.num_leaves = nl;
+            self.hop_stamp.clear();
+            self.hop_stamp.resize(nl * nl, 0);
+            self.hop_vals.clear();
+            self.hop_vals.resize(nl * nl, 0.0);
+            self.stamp += 1;
+        }
+
+        let steps = self.schedule(spec, self.ranked.len());
+        let contention = CostModel {
+            hop_bytes: false,
+            trunk_discount,
+        };
+
+        let mut raw_hops = 0.0;
+        let mut hop_bytes = 0.0;
+        for step in steps.iter() {
+            let mut worst: f64 = 0.0;
+            for &(ri, rj) in &step.pairs {
+                let (la, lb) = {
+                    let (a, b) = (self.leaf_of_rank[ri], self.leaf_of_rank[rj]);
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                let hops = if flat {
+                    let idx = la * nl + lb;
+                    if self.hop_stamp[idx] == self.stamp {
+                        self.hop_vals[idx]
+                    } else {
+                        let h = Self::hop_value(tree, state, &contention, &self.overlay, la, lb);
+                        self.hop_stamp[idx] = self.stamp;
+                        self.hop_vals[idx] = h;
+                        h
+                    }
+                } else {
+                    match self.hop_map.get(&(la, lb)) {
+                        Some(&h) => h,
+                        None => {
+                            let h =
+                                Self::hop_value(tree, state, &contention, &self.overlay, la, lb);
+                            self.hop_map.insert((la, lb), h);
+                            h
+                        }
+                    }
+                };
+                if hops > worst {
+                    worst = hops;
+                }
+            }
+            raw_hops += worst;
+            hop_bytes += worst * step.msize as f64;
+        }
+        EvalTotals {
+            raw_hops,
+            hop_bytes,
+        }
+    }
+
+    /// Eq. 5 for a canonical leaf pair under the current overlay —
+    /// float-op-identical to the expression inside the naive
+    /// [`CostModel::job_cost`] memo fill.
+    #[inline]
+    fn hop_value(
+        tree: &Tree,
+        state: &ClusterState,
+        contention: &CostModel,
+        overlay: &[(usize, u32)],
+        la: usize,
+        lb: usize,
+    ) -> f64 {
+        let d = if la == lb {
+            2.0
+        } else {
+            f64::from(2 * tree.leaf_lca_level(la, lb))
+        };
+        let comm_a = state.leaf_comm(la) + delta_of(overlay, la);
+        let comm_b = state.leaf_comm(lb) + delta_of(overlay, lb);
+        d * (1.0 + contention.leaf_contention_counts(tree, la, lb, comm_a, comm_b))
+    }
+
+    fn schedule(&mut self, spec: &CollectiveSpec, ranks: usize) -> Arc<Vec<Step>> {
+        let key = (spec.pattern, ranks, spec.msize);
+        if let Some(steps) = self.schedules.get(&key) {
+            return Arc::clone(steps);
+        }
+        let steps = Arc::new(spec.steps(ranks));
+        let pairs: usize = steps.iter().map(|s| s.pairs.len()).sum();
+        if pairs <= MAX_CACHED_SCHEDULE_PAIRS {
+            if self.schedules.len() >= MAX_CACHED_SCHEDULES {
+                self.schedules.clear();
+            }
+            self.schedules.insert(key, Arc::clone(&steps));
+        }
+        steps
+    }
+}
+
+/// Overlay delta for a leaf (0 when the candidate touches no node there).
+#[inline]
+fn delta_of(overlay: &[(usize, u32)], leaf: usize) -> u32 {
+    match overlay.binary_search_by_key(&leaf, |&(k, _)| k) {
+        Ok(i) => overlay[i].1,
+        Err(_) => 0,
+    }
+}

@@ -38,17 +38,19 @@
 //! ```
 
 mod cost;
+mod eval;
 pub mod mapping;
 mod select;
 mod state;
 
 pub use cost::CostModel;
+pub use eval::{EvalTotals, PlacementEvaluator};
 pub use mapping::MappingStrategy;
 pub use select::{
     AdaptiveSelector, AllocRequest, BalancedSelector, DefaultTreeSelector, GreedySelector,
     NodeSelector, SelectError, SelectorKind,
 };
-pub use state::{Allocation, ClusterState, JobId, JobNature, StateError};
+pub use state::{Allocation, ClusterState, JobId, JobNature, ScratchAlloc, StateError};
 
 #[cfg(test)]
 mod tests;

@@ -95,7 +95,11 @@ pub fn mapped_cost(
         for &(ri, rj) in &step.pairs {
             let (a, b) = {
                 let (a, b) = (leaf_of_rank[ri], leaf_of_rank[rj]);
-                if a <= b { (a, b) } else { (b, a) }
+                if a <= b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
             };
             let hops = *cache.entry((a, b)).or_insert_with(|| {
                 let d = if a == b {

@@ -2,10 +2,12 @@
 //! the paper's greedy (Alg. 1), balanced (Alg. 2) and adaptive (§4.3).
 
 use crate::cost::CostModel;
+use crate::eval::PlacementEvaluator;
 use crate::state::{ClusterState, JobId, JobNature};
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_topology::{NodeId, SwitchId, Tree};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A node-allocation request, the paper's job parameters: size, nature and
 /// (for the adaptive selector and the cost model) the dominant collective.
@@ -183,12 +185,10 @@ impl NodeSelector for DefaultTreeSelector {
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
         check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
-            SelectError::NotEnoughNodes {
-                requested: req.nodes,
-                free: state.free_total(),
-            },
-        )?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
+            requested: req.nodes,
+            free: state.free_total(),
+        })?;
         let mut order: Vec<usize> = tree
             .leaf_ordinals_under(p)
             .iter()
@@ -224,12 +224,10 @@ impl NodeSelector for GreedySelector {
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
         check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
-            SelectError::NotEnoughNodes {
-                requested: req.nodes,
-                free: state.free_total(),
-            },
-        )?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
+            requested: req.nodes,
+            free: state.free_total(),
+        })?;
         // Leaf-switch fast path (Alg. 1 lines 3-5): a single leaf serves the
         // whole request.
         if tree.switch(p).children.is_empty() {
@@ -290,12 +288,10 @@ impl NodeSelector for BalancedSelector {
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
         check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(
-            SelectError::NotEnoughNodes {
-                requested: req.nodes,
-                free: state.free_total(),
-            },
-        )?;
+        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
+            requested: req.nodes,
+            free: state.free_total(),
+        })?;
         if tree.switch(p).children.is_empty() {
             let k = tree.leaf_ordinal(p);
             return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
@@ -318,12 +314,7 @@ impl NodeSelector for BalancedSelector {
         }
 
         // Lines 9-21: decreasing free order, grant sizes halving to fit.
-        order.sort_by(|&a, &b| {
-            state
-                .leaf_free(b)
-                .cmp(&state.leaf_free(a))
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| state.leaf_free(b).cmp(&state.leaf_free(a)).then(a.cmp(&b)));
         let mut free: Vec<usize> = order.iter().map(|&k| state.leaf_free(k) as usize).collect();
         let mut taken: Vec<usize> = vec![0; order.len()];
         let mut remaining = req.nodes;
@@ -372,10 +363,16 @@ impl NodeSelector for BalancedSelector {
 /// cheaper one (by Eq. 6 under the job's collective pattern); for
 /// compute-intensive jobs keep the *costlier* one, reserving the better
 /// placement for communication-intensive work.
-#[derive(Debug, Clone, Copy)]
+///
+/// The what-if costs run through a [`PlacementEvaluator`] — a single fused
+/// traversal per candidate, no cluster-state clone. The evaluator can be
+/// shared (see [`AdaptiveSelector::with_evaluator`]) so downstream Eq. 7
+/// evaluations of the *chosen* allocation reuse the hop memo warmed here.
+#[derive(Debug, Clone)]
 pub struct AdaptiveSelector {
     /// Cost model used for the comparison (hops vs hop-bytes).
     pub cost: CostModel,
+    eval: Arc<Mutex<PlacementEvaluator>>,
 }
 
 impl Default for AdaptiveSelector {
@@ -385,9 +382,21 @@ impl Default for AdaptiveSelector {
     /// slightly higher reported cost than balanced — the anomaly the paper
     /// itself observes in §6.4.)
     fn default() -> Self {
-        AdaptiveSelector {
-            cost: CostModel::HOP_BYTES,
-        }
+        AdaptiveSelector::new(CostModel::HOP_BYTES)
+    }
+}
+
+impl AdaptiveSelector {
+    /// Adaptive selection under `cost`, with a private evaluator.
+    pub fn new(cost: CostModel) -> Self {
+        AdaptiveSelector::with_evaluator(cost, Arc::new(Mutex::new(PlacementEvaluator::new())))
+    }
+
+    /// Adaptive selection sharing `eval` with the caller, so hop values
+    /// computed while comparing candidates stay warm for the caller's own
+    /// evaluation of the winning allocation.
+    pub fn with_evaluator(cost: CostModel, eval: Arc<Mutex<PlacementEvaluator>>) -> Self {
+        AdaptiveSelector { cost, eval }
     }
 }
 
@@ -408,8 +417,15 @@ impl NodeSelector for AdaptiveSelector {
             return Ok(balanced);
         }
         let spec = req.spec();
-        let cost_g = self.cost.hypothetical_cost(tree, state, &greedy, &spec);
-        let cost_b = self.cost.hypothetical_cost(tree, state, &balanced, &spec);
+        let mut eval = self.eval.lock().expect("evaluator mutex poisoned");
+        // Balanced last: when it wins (the common comm-intensive case) the
+        // hop memo is warm for the caller's follow-up evaluation.
+        let cost_g = eval
+            .evaluate(tree, state, self.cost.trunk_discount, &greedy, &spec)
+            .for_model(&self.cost);
+        let cost_b = eval
+            .evaluate(tree, state, self.cost.trunk_discount, &balanced, &spec)
+            .for_model(&self.cost);
         let take_balanced = if req.nature.is_comm() {
             cost_b <= cost_g
         } else {

@@ -5,6 +5,16 @@ use commsched_topology::{NodeId, SwitchId, Tree};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally unique version tokens: every mutation of any [`ClusterState`]
+/// instance gets a fresh one, so caches keyed on a version can never
+/// confuse two different occupancies — not across mutations of one state,
+/// and not across distinct instances (or clones that later diverge).
+fn next_version() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Scheduler-wide job identifier.
 #[derive(
@@ -73,10 +83,12 @@ impl std::error::Error for StateError {}
 
 /// Mutable occupancy state over an immutable [`Tree`].
 ///
-/// Keeps per-node free/busy bits and the three per-leaf counters the paper's
-/// formulas read. Cloning is cheap enough for the adaptive selector's
-/// what-if evaluations (a few `Vec` memcpys).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Keeps per-node free/busy bits, the three per-leaf counters the paper's
+/// formulas read, and an incremental per-switch free counter so
+/// [`ClusterState::subtree_free`] — the inner loop of switch selection —
+/// is an O(1) lookup instead of a per-leaf scan. What-if evaluation goes
+/// through [`ClusterState::scratch_alloc`] rather than cloning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterState {
     /// Per-node: is the node free?
     node_free: Vec<bool>,
@@ -87,8 +99,30 @@ pub struct ClusterState {
     /// Per-leaf-ordinal: nodes running communication-intensive jobs
     /// (the paper's `L_comm`).
     leaf_comm: Vec<u32>,
+    /// Per-switch: free nodes in the whole subtree, maintained on every
+    /// allocate/release by walking the touched leaves' ancestor chains.
+    switch_free: Vec<u32>,
     free_total: usize,
     allocs: HashMap<JobId, Allocation>,
+    /// Cache-invalidation token (see [`ClusterState::version`]). Not part
+    /// of the state's identity: excluded from `PartialEq`.
+    #[serde(skip)]
+    version: u64,
+}
+
+/// Occupancy equality ignores the `version` token: two states with the same
+/// node bits, counters and allocations are equal even if they got there
+/// through different mutation histories.
+impl PartialEq for ClusterState {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_free == other.node_free
+            && self.leaf_free == other.leaf_free
+            && self.leaf_busy == other.leaf_busy
+            && self.leaf_comm == other.leaf_comm
+            && self.switch_free == other.switch_free
+            && self.free_total == other.free_total
+            && self.allocs == other.allocs
+    }
 }
 
 impl ClusterState {
@@ -99,14 +133,31 @@ impl ClusterState {
         for (k, lf) in leaf_free.iter_mut().enumerate() {
             *lf = tree.leaf_size(k) as u32;
         }
+        let switch_free = tree
+            .switches()
+            .iter()
+            .map(|s| s.subtree_nodes as u32)
+            .collect();
         ClusterState {
             node_free: vec![true; tree.num_nodes()],
             leaf_free,
             leaf_busy: vec![0; leaves],
             leaf_comm: vec![0; leaves],
+            switch_free,
             free_total: tree.num_nodes(),
             allocs: HashMap::new(),
+            version: next_version(),
         }
+    }
+
+    /// Opaque memoization token: changes on every mutation (including
+    /// scratch apply/revert) and is globally unique, so a cache tagged with
+    /// a version may be reused exactly when the tag still matches. A clone
+    /// shares its source's version until either side mutates — correct,
+    /// because their occupancies are identical at that version.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Total free nodes in the cluster.
@@ -176,8 +227,18 @@ impl ClusterState {
         }
     }
 
-    /// Free nodes in the subtree of `s`.
+    /// Free nodes in the subtree of `s` — O(1), read from the incremental
+    /// per-switch counter.
+    #[inline]
     pub fn subtree_free(&self, tree: &Tree, s: SwitchId) -> usize {
+        let _ = tree; // counters are maintained against the same tree
+        self.switch_free[s.0] as usize
+    }
+
+    /// Reference implementation of [`ClusterState::subtree_free`]: recount
+    /// the per-leaf free counters under `s`. Kept for invariant checks and
+    /// the fast-vs-naive benchmarks; O(leaves under `s`).
+    pub fn subtree_free_naive(&self, tree: &Tree, s: SwitchId) -> usize {
         tree.leaf_ordinals_under(s)
             .iter()
             .map(|&k| self.leaf_free[k] as usize)
@@ -197,6 +258,45 @@ impl ClusterState {
             }
         }
         out
+    }
+
+    /// Flip one free node to busy across every counter (node bit, leaf
+    /// counters, the ancestor chain of switch counters, the total).
+    #[inline]
+    fn occupy(&mut self, tree: &Tree, n: NodeId, comm: bool) {
+        debug_assert!(self.node_free[n.0]);
+        self.node_free[n.0] = false;
+        let k = tree.leaf_ordinal_of(n);
+        self.leaf_free[k] -= 1;
+        self.leaf_busy[k] += 1;
+        if comm {
+            self.leaf_comm[k] += 1;
+        }
+        let mut s = Some(tree.leaf_of(n));
+        while let Some(id) = s {
+            self.switch_free[id.0] -= 1;
+            s = tree.switch(id).parent;
+        }
+        self.free_total -= 1;
+    }
+
+    /// Inverse of [`ClusterState::occupy`].
+    #[inline]
+    fn vacate(&mut self, tree: &Tree, n: NodeId, comm: bool) {
+        debug_assert!(!self.node_free[n.0]);
+        self.node_free[n.0] = true;
+        let k = tree.leaf_ordinal_of(n);
+        self.leaf_free[k] += 1;
+        self.leaf_busy[k] -= 1;
+        if comm {
+            self.leaf_comm[k] -= 1;
+        }
+        let mut s = Some(tree.leaf_of(n));
+        while let Some(id) = s {
+            self.switch_free[id.0] += 1;
+            s = tree.switch(id).parent;
+        }
+        self.free_total += 1;
     }
 
     /// Record an allocation: mark `nodes` busy under `job` with `nature`.
@@ -219,15 +319,8 @@ impl ClusterState {
             }
         }
         for &n in nodes {
-            self.node_free[n.0] = false;
-            let k = tree.leaf_ordinal_of(n);
-            self.leaf_free[k] -= 1;
-            self.leaf_busy[k] += 1;
-            if nature.is_comm() {
-                self.leaf_comm[k] += 1;
-            }
+            self.occupy(tree, n, nature.is_comm());
         }
-        self.free_total -= nodes.len();
         let mut sorted = nodes.to_vec();
         sorted.sort_unstable();
         self.allocs.insert(
@@ -237,6 +330,7 @@ impl ClusterState {
                 nature,
             },
         );
+        self.version = next_version();
         Ok(())
     }
 
@@ -247,17 +341,40 @@ impl ClusterState {
             .remove(&job)
             .ok_or(StateError::UnknownJob(job))?;
         for &n in &alloc.nodes {
-            debug_assert!(!self.node_free[n.0]);
-            self.node_free[n.0] = true;
-            let k = tree.leaf_ordinal_of(n);
-            self.leaf_free[k] += 1;
-            self.leaf_busy[k] -= 1;
-            if alloc.nature.is_comm() {
-                self.leaf_comm[k] -= 1;
-            }
+            self.vacate(tree, n, alloc.nature.is_comm());
         }
-        self.free_total += alloc.nodes.len();
+        self.version = next_version();
         Ok(alloc)
+    }
+
+    /// Apply a *hypothetical* allocation's counters in place, returning an
+    /// RAII guard that reverts them on drop — the cheap replacement for
+    /// cloning the whole state before a what-if cost evaluation.
+    ///
+    /// The guard updates every occupancy counter (node bits, leaf counters,
+    /// switch counters, the free total) exactly as [`ClusterState::allocate`]
+    /// would, but records nothing in the job table; consequently
+    /// [`ClusterState::check_invariants`], which reconciles counters against
+    /// held allocations, only holds again once the guard drops. All `nodes`
+    /// must currently be free.
+    pub fn scratch_alloc<'s, 't>(
+        &'s mut self,
+        tree: &'t Tree,
+        nodes: &[NodeId],
+        nature: JobNature,
+    ) -> ScratchAlloc<'s, 't> {
+        let comm = nature.is_comm();
+        for &n in nodes {
+            assert!(self.node_free[n.0], "scratch allocation over busy {n}");
+            self.occupy(tree, n, comm);
+        }
+        self.version = next_version();
+        ScratchAlloc {
+            state: self,
+            tree,
+            nodes: nodes.to_vec(),
+            comm,
+        }
     }
 
     /// Debug invariant check: counters agree with the per-node bits.
@@ -270,11 +387,11 @@ impl ClusterState {
                 free[tree.leaf_ordinal_of(NodeId(i))] += 1;
             }
         }
-        for k in 0..tree.num_leaves() {
-            if free[k] != self.leaf_free[k] {
+        for (k, &counted) in free.iter().enumerate() {
+            if counted != self.leaf_free[k] {
                 return Err(format!(
-                    "leaf {k}: counted {} free, recorded {}",
-                    free[k], self.leaf_free[k]
+                    "leaf {k}: counted {counted} free, recorded {}",
+                    self.leaf_free[k]
                 ));
             }
             if self.leaf_free[k] + self.leaf_busy[k] != tree.leaf_size(k) as u32 {
@@ -282,6 +399,16 @@ impl ClusterState {
             }
             if self.leaf_comm[k] > self.leaf_busy[k] {
                 return Err(format!("leaf {k}: comm > busy"));
+            }
+        }
+        for id in 0..tree.num_switches() {
+            let s = SwitchId(id);
+            let naive = self.subtree_free_naive(tree, s);
+            if self.switch_free[id] as usize != naive {
+                return Err(format!(
+                    "switch {id}: counter {} free, recounted {naive}",
+                    self.switch_free[id]
+                ));
             }
         }
         let total: usize = self.node_free.iter().filter(|f| **f).count();
@@ -299,5 +426,37 @@ impl ClusterState {
             ));
         }
         Ok(())
+    }
+}
+
+/// RAII what-if guard from [`ClusterState::scratch_alloc`]: while alive, the
+/// borrowed state's counters include a hypothetical allocation; dropping the
+/// guard reverts every counter to its previous value (only the opaque
+/// [`ClusterState::version`] token moves forward, so caches never mistake
+/// the scratch occupancy for the restored one).
+///
+/// Dereferences to the underlying [`ClusterState`] for read access.
+#[derive(Debug)]
+pub struct ScratchAlloc<'s, 't> {
+    state: &'s mut ClusterState,
+    tree: &'t Tree,
+    nodes: Vec<NodeId>,
+    comm: bool,
+}
+
+impl std::ops::Deref for ScratchAlloc<'_, '_> {
+    type Target = ClusterState;
+
+    fn deref(&self) -> &ClusterState {
+        self.state
+    }
+}
+
+impl Drop for ScratchAlloc<'_, '_> {
+    fn drop(&mut self) {
+        for &n in &self.nodes {
+            self.state.vacate(self.tree, n, self.comm);
+        }
+        self.state.version = next_version();
     }
 }

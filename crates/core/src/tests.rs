@@ -1,7 +1,7 @@
 use crate::{
-    AdaptiveSelector, AllocRequest, BalancedSelector, ClusterState, CostModel,
-    DefaultTreeSelector, GreedySelector, JobId, JobNature, NodeSelector, SelectError,
-    SelectorKind, StateError,
+    AdaptiveSelector, AllocRequest, BalancedSelector, ClusterState, CostModel, DefaultTreeSelector,
+    GreedySelector, JobId, JobNature, NodeSelector, PlacementEvaluator, SelectError, SelectorKind,
+    StateError,
 };
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_topology::{NodeId, Tree};
@@ -47,8 +47,13 @@ fn allocate_and_release_round_trip() {
     let tree = figure2();
     let mut st = ClusterState::new(&tree);
     assert_eq!(st.free_total(), 8);
-    st.allocate(&tree, JobId(7), &[NodeId(0), NodeId(4)], JobNature::CommIntensive)
-        .unwrap();
+    st.allocate(
+        &tree,
+        JobId(7),
+        &[NodeId(0), NodeId(4)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
     assert_eq!(st.free_total(), 6);
     assert_eq!(st.leaf_busy(0), 1);
     assert_eq!(st.leaf_comm(0), 1);
@@ -90,7 +95,10 @@ fn state_errors() {
         st.allocate(&tree, JobId(3), &[], JobNature::CommIntensive),
         Err(StateError::EmptyAllocation(JobId(3)))
     );
-    assert_eq!(st.release(&tree, JobId(9)), Err(StateError::UnknownJob(JobId(9))));
+    assert_eq!(
+        st.release(&tree, JobId(9)),
+        Err(StateError::UnknownJob(JobId(9)))
+    );
     // failed allocations must not disturb the counters
     st.check_invariants(&tree).unwrap();
 }
@@ -164,13 +172,13 @@ fn job_cost_single_leaf_beats_split() {
     // 8-rank RD on one leaf vs split 4+4: same contention state, the
     // intra-leaf placement must be strictly cheaper.
     let tree = Tree::regular_two_level(4, 8);
-    let st = ClusterState::new(&tree);
+    let mut st = ClusterState::new(&tree);
     let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
     let m = CostModel::HOPS;
     let together: Vec<NodeId> = (0..8).map(NodeId).collect();
     let split: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
-    let c1 = m.hypothetical_cost(&tree, &st, &together, &spec);
-    let c2 = m.hypothetical_cost(&tree, &st, &split, &spec);
+    let c1 = m.hypothetical_cost(&tree, &mut st, &together, &spec);
+    let c2 = m.hypothetical_cost(&tree, &mut st, &split, &spec);
     assert!(c1 < c2, "together={c1} split={c2}");
 }
 
@@ -179,13 +187,13 @@ fn job_cost_balanced_split_beats_unbalanced() {
     // Section 4.2's motivating example: 8 nodes over two leaves as 4+4 vs
     // 3+5 — the balanced split has fewer inter-switch steps under RD.
     let tree = Tree::regular_two_level(2, 8);
-    let st = ClusterState::new(&tree);
+    let mut st = ClusterState::new(&tree);
     let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
     let m = CostModel::HOPS;
     let balanced: Vec<NodeId> = (0..4).chain(8..12).map(NodeId).collect();
     let unbalanced: Vec<NodeId> = (0..3).chain(8..13).map(NodeId).collect();
-    let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
-    let cu = m.hypothetical_cost(&tree, &st, &unbalanced, &spec);
+    let cb = m.hypothetical_cost(&tree, &mut st, &balanced, &spec);
+    let cu = m.hypothetical_cost(&tree, &mut st, &unbalanced, &spec);
     assert!(cb <= cu, "balanced={cb} unbalanced={cu}");
 }
 
@@ -228,8 +236,13 @@ fn default_lowest_level_switch_matches_section_3_1() {
     // lowest-level switch at s1 (leaf), a 6-node job at s2 (root).
     let tree = figure2();
     let mut st = ClusterState::new(&tree);
-    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::ComputeIntensive)
-        .unwrap();
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
 
     let four = DefaultTreeSelector
         .select(&tree, &st, &AllocRequest::comm(JobId(2), 4))
@@ -275,10 +288,20 @@ fn greedy_comm_prefers_least_contended() {
     let tree = Tree::regular_two_level(3, 4);
     let mut st = ClusterState::new(&tree);
     // Leaf 0: 2 comm nodes busy; leaf 1: 2 compute busy; leaf 2: idle.
-    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::CommIntensive)
-        .unwrap();
-    st.allocate(&tree, JobId(2), &[NodeId(4), NodeId(5)], JobNature::ComputeIntensive)
-        .unwrap();
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(2),
+        &[NodeId(4), NodeId(5)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
     // Ratios: leaf0 = 2/2 + 2/4 = 1.5; leaf1 = 0/2 + 2/4 = 0.5; leaf2 = 0.
     let got = GreedySelector
         .select(&tree, &st, &AllocRequest::comm(JobId(3), 6))
@@ -291,10 +314,20 @@ fn greedy_comm_prefers_least_contended() {
 fn greedy_compute_takes_most_contended_first() {
     let tree = Tree::regular_two_level(3, 4);
     let mut st = ClusterState::new(&tree);
-    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(1)], JobNature::CommIntensive)
-        .unwrap();
-    st.allocate(&tree, JobId(2), &[NodeId(4), NodeId(5)], JobNature::ComputeIntensive)
-        .unwrap();
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(1)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
+    st.allocate(
+        &tree,
+        JobId(2),
+        &[NodeId(4), NodeId(5)],
+        JobNature::ComputeIntensive,
+    )
+    .unwrap();
     // 5 nodes won't fit any single leaf, so P is the root and the leaves
     // are taken in decreasing communication-ratio order:
     // leaf0 (1.5) gives 2, leaf1 (0.5) gives 2, leaf2 (0) gives 1.
@@ -423,18 +456,20 @@ fn adaptive_picks_cheaper_of_greedy_and_balanced() {
     )
     .unwrap();
 
-    let req = AllocRequest::comm(JobId(4), 8)
-        .with_pattern(CollectiveSpec::new(Pattern::Rd, 1 << 20));
+    let req =
+        AllocRequest::comm(JobId(4), 8).with_pattern(CollectiveSpec::new(Pattern::Rd, 1 << 20));
     let greedy = GreedySelector.select(&tree, &st, &req).unwrap();
     let balanced = BalancedSelector.select(&tree, &st, &req).unwrap();
     assert_ne!(greedy, balanced, "test requires disagreement");
 
-    let adaptive = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+    let adaptive = AdaptiveSelector::default()
+        .select(&tree, &st, &req)
+        .unwrap();
     let m = CostModel::HOPS;
     let spec = req.spec();
-    let cg = m.hypothetical_cost(&tree, &st, &greedy, &spec);
-    let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
-    let ca = m.hypothetical_cost(&tree, &st, &adaptive, &spec);
+    let cg = m.hypothetical_cost(&tree, &mut st, &greedy, &spec);
+    let cb = m.hypothetical_cost(&tree, &mut st, &balanced, &spec);
+    let ca = m.hypothetical_cost(&tree, &mut st, &adaptive, &spec);
     assert_eq!(ca, cg.min(cb));
 }
 
@@ -467,12 +502,14 @@ fn adaptive_compute_takes_costlier() {
     let greedy = GreedySelector.select(&tree, &st, &req).unwrap();
     let balanced = BalancedSelector.select(&tree, &st, &req).unwrap();
     if greedy != balanced {
-        let adaptive = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+        let adaptive = AdaptiveSelector::default()
+            .select(&tree, &st, &req)
+            .unwrap();
         let m = CostModel::HOPS;
         let spec = req.spec();
-        let cg = m.hypothetical_cost(&tree, &st, &greedy, &spec);
-        let cb = m.hypothetical_cost(&tree, &st, &balanced, &spec);
-        let ca = m.hypothetical_cost(&tree, &st, &adaptive, &spec);
+        let cg = m.hypothetical_cost(&tree, &mut st, &greedy, &spec);
+        let cb = m.hypothetical_cost(&tree, &mut st, &balanced, &spec);
+        let ca = m.hypothetical_cost(&tree, &mut st, &adaptive, &spec);
         assert_eq!(ca, cg.max(cb));
     }
 }
@@ -487,7 +524,10 @@ fn selectors_error_on_overcommit_and_zero() {
         let sel = kind.build();
         assert!(matches!(
             sel.select(&tree, &st, &AllocRequest::comm(JobId(9), 3)),
-            Err(SelectError::NotEnoughNodes { requested: 3, free: 2 })
+            Err(SelectError::NotEnoughNodes {
+                requested: 3,
+                free: 2
+            })
         ));
         assert!(matches!(
             sel.select(&tree, &st, &AllocRequest::comm(JobId(9), 0)),
@@ -525,12 +565,17 @@ fn hypothetical_cost_equals_cost_after_allocation() {
     // engine and the adaptive selector rely on agreeing.
     let tree = Tree::regular_two_level(3, 8);
     let mut st = ClusterState::new(&tree);
-    st.allocate(&tree, JobId(1), &[NodeId(0), NodeId(8)], JobNature::CommIntensive)
-        .unwrap();
+    st.allocate(
+        &tree,
+        JobId(1),
+        &[NodeId(0), NodeId(8)],
+        JobNature::CommIntensive,
+    )
+    .unwrap();
     let nodes: Vec<NodeId> = (1..5).chain(9..13).map(NodeId).collect();
     let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
     for m in [CostModel::HOPS, CostModel::HOP_BYTES] {
-        let hypo = m.hypothetical_cost(&tree, &st, &nodes, &spec);
+        let hypo = m.hypothetical_cost(&tree, &mut st, &nodes, &spec);
         let mut applied = st.clone();
         applied
             .allocate(&tree, JobId(2), &nodes, JobNature::CommIntensive)
@@ -549,8 +594,12 @@ fn error_displays_are_informative() {
     assert!(e.to_string().contains("10"));
     assert!(e.to_string().contains('3'));
     assert!(SelectError::ZeroNodes.to_string().contains("zero"));
-    assert!(StateError::NodeBusy(NodeId(4)).to_string().contains("node4"));
-    assert!(StateError::UnknownJob(JobId(9)).to_string().contains("job9"));
+    assert!(StateError::NodeBusy(NodeId(4))
+        .to_string()
+        .contains("node4"));
+    assert!(StateError::UnknownJob(JobId(9))
+        .to_string()
+        .contains("job9"));
 }
 
 // ----------------------------------------------------- three-level trees
@@ -574,10 +623,8 @@ mod three_level {
                 .build()
                 .select(&t, &st, &AllocRequest::comm(JobId(1), 6))
                 .unwrap();
-            let groups: std::collections::HashSet<usize> = got
-                .iter()
-                .map(|n| t.leaf_ordinal_of(*n) / 2)
-                .collect();
+            let groups: std::collections::HashSet<usize> =
+                got.iter().map(|n| t.leaf_ordinal_of(*n) / 2).collect();
             assert_eq!(groups.len(), 1, "{kind} crossed groups: {got:?}");
         }
     }
@@ -660,13 +707,13 @@ mod three_level {
         // Same split shape, nearer vs farther leaves: the cost model must
         // price the deeper LCA higher.
         let t = tree();
-        let st = ClusterState::new(&t);
+        let mut st = ClusterState::new(&t);
         let spec = CollectiveSpec::new(Pattern::Rd, 1 << 20);
         let same_group: Vec<NodeId> = (0..2).chain(4..6).map(NodeId).collect();
         let cross_group: Vec<NodeId> = (0..2).chain(8..10).map(NodeId).collect();
         let m = CostModel::HOPS;
-        let near = m.hypothetical_cost(&t, &st, &same_group, &spec);
-        let far = m.hypothetical_cost(&t, &st, &cross_group, &spec);
+        let near = m.hypothetical_cost(&t, &mut st, &same_group, &spec);
+        let far = m.hypothetical_cost(&t, &mut st, &cross_group, &spec);
         assert!(near < far, "near {near} !< far {far}");
     }
 }
@@ -718,8 +765,7 @@ mod mapping_tests {
         let state = ClusterState::new(&tree);
         let nodes: Vec<NodeId> = (0..3).chain(8..13).map(NodeId).collect();
         let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 20);
-        let (_, layout, cost) =
-            best_mapping(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec);
+        let (_, layout, cost) = best_mapping(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec);
         let per_strategy: Vec<f64> = MappingStrategy::ALL
             .iter()
             .map(|&s| mapped_cost(CostModel::HOP_BYTES, &tree, &state, &nodes, &spec, s))
@@ -804,7 +850,12 @@ mod mapping_tests {
         let tree = Tree::regular_two_level(3, 8);
         let mut state = ClusterState::new(&tree);
         state
-            .allocate(&tree, JobId(5), &[NodeId(3), NodeId(4)], JobNature::CommIntensive)
+            .allocate(
+                &tree,
+                JobId(5),
+                &[NodeId(3), NodeId(4)],
+                JobNature::CommIntensive,
+            )
             .unwrap();
         let nodes: Vec<NodeId> = (0..3).chain(8..11).chain(16..18).map(NodeId).collect();
         let spec = CollectiveSpec::new(Pattern::Binomial, 4096);
@@ -828,26 +879,21 @@ mod properties {
     use rand::SeedableRng;
 
     /// Random partially-occupied cluster over a random two-level tree.
-    fn random_scenario(
-        leaf_sizes: &[usize],
-        occupancy_pct: u8,
-        seed: u64,
-    ) -> (Tree, ClusterState) {
+    fn random_scenario(leaf_sizes: &[usize], occupancy_pct: u8, seed: u64) -> (Tree, ClusterState) {
         let tree = Tree::irregular_two_level(leaf_sizes);
         let mut st = ClusterState::new(&tree);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
         nodes.shuffle(&mut rng);
         let busy = tree.num_nodes() * occupancy_pct as usize / 100;
-        let mut job = 1000u64;
-        for chunk in nodes[..busy].chunks(3) {
+        for (job, chunk) in nodes[..busy].chunks(3).enumerate() {
             let nature = if rng.random::<bool>() {
                 JobNature::CommIntensive
             } else {
                 JobNature::ComputeIntensive
             };
-            st.allocate(&tree, JobId(job), chunk, nature).unwrap();
-            job += 1;
+            st.allocate(&tree, JobId(1000 + job as u64), chunk, nature)
+                .unwrap();
         }
         (tree, st)
     }
@@ -948,7 +994,7 @@ mod properties {
                         JobNature::ComputeIntensive
                     };
                     let req = AllocRequest { job: JobId(next), nodes: want, nature, pattern: None };
-                    let kind = SelectorKind::ALL[rng.random_range(0..4)];
+                    let kind = SelectorKind::ALL[rng.random_range(0usize..4)];
                     let nodes = kind.build().select(&tree, &st, &req).unwrap();
                     st.allocate(&tree, JobId(next), &nodes, nature).unwrap();
                     live.push(JobId(next));
@@ -1007,6 +1053,175 @@ mod properties {
             st.allocate(&tree, JobId(2), &free[..6], JobNature::CommIntensive).unwrap();
             let after = CostModel::HOPS.job_cost(&tree, &st, &job, &spec);
             prop_assert!(after >= before, "cost fell from {before} to {after}");
+        }
+
+        /// The fused evaluator returns, from one traversal, *exactly* the
+        /// values the naive clone-allocate-then-`job_cost` path computes
+        /// under both default cost models — bit for bit, warm or cold memo.
+        #[test]
+        fn evaluator_matches_naive_job_cost(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            want in 1usize..24,
+            pat in 0usize..6,
+        ) {
+            let (tree, st) = random_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x9e37);
+            let mut free: Vec<NodeId> = (0..tree.num_nodes())
+                .map(NodeId)
+                .filter(|n| st.is_free(*n))
+                .collect();
+            free.shuffle(&mut rng);
+            let nodes = &free[..want];
+            let spec = CollectiveSpec::new(Pattern::ALL[pat], 1 << 16);
+
+            // Naive reference: full clone, real allocation, one traversal
+            // per model.
+            let mut what_if = st.clone();
+            what_if
+                .allocate(&tree, JobId(u64::MAX), nodes, JobNature::CommIntensive)
+                .unwrap();
+            let naive_hops = CostModel::HOPS.job_cost(&tree, &what_if, nodes, &spec);
+            let naive_bytes = CostModel::HOP_BYTES.job_cost(&tree, &what_if, nodes, &spec);
+
+            let mut ev = PlacementEvaluator::new();
+            let cold = ev.evaluate(&tree, &st, 0.5, nodes, &spec);
+            prop_assert_eq!(cold.raw_hops.to_bits(), naive_hops.to_bits());
+            prop_assert_eq!(cold.hop_bytes.to_bits(), naive_bytes.to_bits());
+            // Second pass hits the hop memo and schedule cache.
+            let warm = ev.evaluate(&tree, &st, 0.5, nodes, &spec);
+            prop_assert_eq!(warm, cold);
+        }
+
+        /// `hypothetical_cost` (scratch-guard path) equals the clone-based
+        /// reference and restores the state bit-for-bit — also when the
+        /// guard is dropped early without being read.
+        #[test]
+        fn scratch_guard_matches_clone_and_restores(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            want in 1usize..24,
+        ) {
+            let (tree, mut st) = random_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x51f1);
+            let mut free: Vec<NodeId> = (0..tree.num_nodes())
+                .map(NodeId)
+                .filter(|n| st.is_free(*n))
+                .collect();
+            free.shuffle(&mut rng);
+            let nodes: Vec<NodeId> = free[..want].to_vec();
+            let spec = CollectiveSpec::new(Pattern::Rhvd, 1 << 16);
+
+            let snapshot = st.clone();
+            let mut reference = st.clone();
+            reference
+                .allocate(&tree, JobId(u64::MAX), &nodes, JobNature::CommIntensive)
+                .unwrap();
+            let naive = CostModel::HOP_BYTES.job_cost(&tree, &reference, &nodes, &spec);
+
+            let hypo = CostModel::HOP_BYTES.hypothetical_cost(&tree, &mut st, &nodes, &spec);
+            prop_assert_eq!(hypo.to_bits(), naive.to_bits());
+            prop_assert_eq!(&st, &snapshot, "state not restored after hypothetical_cost");
+            prop_assert!(st.check_invariants(&tree).is_ok());
+
+            // Early drop: guard reverts even when never read.
+            drop(st.scratch_alloc(&tree, &nodes, JobNature::CommIntensive));
+            prop_assert_eq!(&st, &snapshot, "state not restored after early drop");
+            prop_assert!(st.check_invariants(&tree).is_ok());
+        }
+
+        /// The incremental per-switch free counters always equal a fresh
+        /// per-leaf recount, through arbitrary allocate/release/scratch
+        /// interleavings.
+        #[test]
+        fn switch_counters_match_recount(
+            sizes in arb_leaf_sizes(),
+            seed in any::<u64>(),
+            ops in 1usize..50,
+        ) {
+            use commsched_topology::SwitchId;
+            let tree = Tree::irregular_two_level(&sizes);
+            let mut st = ClusterState::new(&tree);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut live: Vec<JobId> = Vec::new();
+            let mut next = 0u64;
+            for _ in 0..ops {
+                let roll = rng.random::<f64>();
+                if !live.is_empty() && roll < 0.35 {
+                    let j = live.swap_remove(rng.random_range(0..live.len()));
+                    st.release(&tree, j).unwrap();
+                } else if st.free_total() > 0 && roll < 0.55 {
+                    // Scratch what-if: apply and revert, counters must agree
+                    // both inside the guard and after it drops.
+                    let want = rng.random_range(1..=st.free_total().min(5));
+                    let nodes: Vec<NodeId> = (0..tree.num_nodes())
+                        .map(NodeId)
+                        .filter(|n| st.is_free(*n))
+                        .take(want)
+                        .collect();
+                    let guard = st.scratch_alloc(&tree, &nodes, JobNature::CommIntensive);
+                    for id in 0..tree.num_switches() {
+                        let s = SwitchId(id);
+                        prop_assert_eq!(
+                            guard.subtree_free(&tree, s),
+                            guard.subtree_free_naive(&tree, s),
+                            "switch {} diverged inside scratch guard", id
+                        );
+                    }
+                } else if st.free_total() > 0 {
+                    let want = rng.random_range(1..=st.free_total().min(6));
+                    let req = AllocRequest::comm(JobId(next), want);
+                    let kind = SelectorKind::ALL[rng.random_range(0usize..4)];
+                    let nodes = kind.build().select(&tree, &st, &req).unwrap();
+                    st.allocate(&tree, JobId(next), &nodes, JobNature::CommIntensive).unwrap();
+                    live.push(JobId(next));
+                    next += 1;
+                }
+                for id in 0..tree.num_switches() {
+                    let s = SwitchId(id);
+                    prop_assert_eq!(
+                        st.subtree_free(&tree, s),
+                        st.subtree_free_naive(&tree, s),
+                        "switch {} counter diverged from recount", id
+                    );
+                }
+            }
+        }
+
+        /// The evaluator-backed adaptive selector makes the same decision a
+        /// naive clone-based reimplementation of §4.3 makes.
+        #[test]
+        fn adaptive_matches_naive_decision(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            want in 1usize..24,
+            comm in any::<bool>(),
+        ) {
+            let (tree, mut st) = random_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
+            let req = AllocRequest { job: JobId(7), nodes: want, nature, pattern: None };
+            let chosen = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+
+            // Naive §4.3: compare clone-based hypothetical hop-bytes costs.
+            let greedy = GreedySelector.select(&tree, &st, &req).unwrap();
+            let balanced = BalancedSelector.select(&tree, &st, &req).unwrap();
+            let expected = if greedy == balanced {
+                balanced
+            } else {
+                let spec = req.spec();
+                let m = CostModel::HOP_BYTES;
+                let cg = m.hypothetical_cost(&tree, &mut st, &greedy, &spec);
+                let cb = m.hypothetical_cost(&tree, &mut st, &balanced, &spec);
+                let take_balanced = if nature.is_comm() { cb <= cg } else { cb > cg };
+                if take_balanced { balanced } else { greedy }
+            };
+            prop_assert_eq!(chosen, expected);
         }
     }
 }

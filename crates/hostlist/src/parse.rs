@@ -238,12 +238,7 @@ pub fn compress<S: AsRef<str>>(hosts: &[S]) -> String {
             if i == j {
                 ranges.push(format!("{:0w$}", vals[i], w = width));
             } else {
-                ranges.push(format!(
-                    "{:0w$}-{:0w$}",
-                    vals[i],
-                    vals[j],
-                    w = width
-                ));
+                ranges.push(format!("{:0w$}-{:0w$}", vals[i], vals[j], w = width));
             }
             i = j + 1;
         }

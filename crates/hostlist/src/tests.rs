@@ -60,10 +60,7 @@ fn multi_bracket_errors_propagate() {
 
 #[test]
 fn top_level_concatenation() {
-    assert_eq!(
-        expand("a[0-1],b3,c[2]").unwrap(),
-        ["a0", "a1", "b3", "c2"]
-    );
+    assert_eq!(expand("a[0-1],b3,c[2]").unwrap(), ["a0", "a1", "b3", "c2"]);
 }
 
 #[test]

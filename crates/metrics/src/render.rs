@@ -67,12 +67,12 @@ impl fmt::Display for Table {
             }
         }
         let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
-            for c in 0..cols {
+            for (c, &w) in width.iter().enumerate() {
                 let cell = row.get(c).map(String::as_str).unwrap_or("");
                 if c > 0 {
                     write!(f, "  ")?;
                 }
-                write!(f, "{cell:<w$}", w = width[c])?;
+                write!(f, "{cell:<w$}")?;
             }
             writeln!(f)
         };

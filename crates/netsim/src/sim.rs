@@ -177,9 +177,10 @@ impl<'t> FlowSim<'t> {
         let backplane_base = if let Some(factor) = cfg.backplane_factor {
             assert!(factor > 0.0, "backplane factor must be positive");
             let base = capacity.len();
-            capacity.extend(
-                std::iter::repeat_n(cfg.node_bandwidth * factor, tree.num_leaves()),
-            );
+            capacity.extend(std::iter::repeat_n(
+                cfg.node_bandwidth * factor,
+                tree.num_leaves(),
+            ));
             base
         } else {
             usize::MAX
@@ -290,11 +291,7 @@ impl<'t> FlowSim<'t> {
                 }
             }
         }
-        let mut frozen: Vec<bool> = flows
-            .iter()
-            .enumerate()
-            .map(|(f, _)| !active[f])
-            .collect();
+        let mut frozen: Vec<bool> = flows.iter().enumerate().map(|(f, _)| !active[f]).collect();
         for (f, flow) in flows.iter_mut().enumerate() {
             if !active[f] {
                 flow.rate = 0.0;
@@ -353,11 +350,12 @@ impl<'t> FlowSim<'t> {
     pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
         let mut bytes = vec![0.0f64; self.capacity.len()];
         let results = self.run_impl(workloads, Some(&mut bytes));
-        let span = results
-            .iter()
-            .map(|r| r.end)
-            .fold(0.0f64, f64::max)
-            - results.iter().map(|r| r.submit).fold(f64::INFINITY, f64::min).min(0.0);
+        let span = results.iter().map(|r| r.end).fold(0.0f64, f64::max)
+            - results
+                .iter()
+                .map(|r| r.submit)
+                .fold(f64::INFINITY, f64::min)
+                .min(0.0);
         let span = span.max(1e-12);
 
         let mut stats = LinkStats {

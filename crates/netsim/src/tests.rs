@@ -28,7 +28,10 @@ fn single_pair_exchange_timing() {
     // direction: the full-duplex exchange takes exactly 1 second.
     let tree = Tree::regular_two_level(2, 4);
     let sim = FlowSim::new(&tree, unit_config());
-    let t = sim.solo_time(&[NodeId(0), NodeId(1)], CollectiveSpec::new(Pattern::Rd, 1_000_000));
+    let t = sim.solo_time(
+        &[NodeId(0), NodeId(1)],
+        CollectiveSpec::new(Pattern::Rd, 1_000_000),
+    );
     assert!((t - 1.0).abs() < 1e-6, "t = {t}");
 }
 
@@ -244,7 +247,13 @@ fn cheap_ethernet_preset_contends_same_leaf() {
 fn single_node_job_is_instant() {
     let tree = Tree::regular_two_level(2, 4);
     let sim = FlowSim::new(&tree, unit_config());
-    let res = sim.run(vec![wl(1, &[0], CollectiveSpec::new(Pattern::Rd, 1 << 20), 2.0, 3)]);
+    let res = sim.run(vec![wl(
+        1,
+        &[0],
+        CollectiveSpec::new(Pattern::Rd, 1 << 20),
+        2.0,
+        3,
+    )]);
     assert_eq!(res[0].end, 2.0);
     assert_eq!(res[0].iterations.len(), 3);
 }
@@ -255,9 +264,27 @@ fn deterministic_across_runs() {
     let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
     let mk = || {
         vec![
-            wl(1, &[0, 1, 8, 9], CollectiveSpec::new(Pattern::Rhvd, 1 << 18), 0.0, 4),
-            wl(2, &[2, 3, 10, 11], CollectiveSpec::new(Pattern::Rd, 1 << 19), 0.5, 3),
-            wl(3, &[16, 17, 24, 25], CollectiveSpec::new(Pattern::Binomial, 1 << 20), 1.0, 2),
+            wl(
+                1,
+                &[0, 1, 8, 9],
+                CollectiveSpec::new(Pattern::Rhvd, 1 << 18),
+                0.0,
+                4,
+            ),
+            wl(
+                2,
+                &[2, 3, 10, 11],
+                CollectiveSpec::new(Pattern::Rd, 1 << 19),
+                0.5,
+                3,
+            ),
+            wl(
+                3,
+                &[16, 17, 24, 25],
+                CollectiveSpec::new(Pattern::Binomial, 1 << 20),
+                1.0,
+                2,
+            ),
         ]
     };
     let a = sim.run(mk());
@@ -376,7 +403,11 @@ mod link_stats {
             1,
         )]);
         assert!((res[0].end - 1.0).abs() < 1e-6);
-        assert!((stats.node_bytes - 2.0e6).abs() < 1.0, "{}", stats.node_bytes);
+        assert!(
+            (stats.node_bytes - 2.0e6).abs() < 1.0,
+            "{}",
+            stats.node_bytes
+        );
         assert_eq!(stats.trunk_bytes_per_level.len(), 2);
         assert!((stats.trunk_bytes_per_level[0] - 2.0e6).abs() < 1.0);
         assert_eq!(stats.trunk_bytes_per_level[1], 0.0); // root has no parent
@@ -424,8 +455,20 @@ mod link_stats {
         let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
         let mk = || {
             vec![
-                wl(1, &[0, 1, 8, 9], CollectiveSpec::new(Pattern::Rhvd, 1 << 20), 0.0, 3),
-                wl(2, &[2, 10], CollectiveSpec::new(Pattern::Rd, 1 << 19), 0.5, 2),
+                wl(
+                    1,
+                    &[0, 1, 8, 9],
+                    CollectiveSpec::new(Pattern::Rhvd, 1 << 20),
+                    0.0,
+                    3,
+                ),
+                wl(
+                    2,
+                    &[2, 10],
+                    CollectiveSpec::new(Pattern::Rd, 1 << 19),
+                    0.5,
+                    2,
+                ),
             ]
         };
         let plain = sim.run(mk());

@@ -2,8 +2,8 @@
 
 use commsched_collectives::CollectiveSpec;
 use commsched_core::{
-    AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature, NodeSelector,
-    SelectorKind,
+    AdaptiveSelector, AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature,
+    NodeSelector, PlacementEvaluator, SelectorKind,
 };
 use commsched_topology::Tree;
 use commsched_workload::{Job, JobLog};
@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -230,8 +231,7 @@ impl RunSummary {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(|o| o.node_hours()).sum::<f64>()
-            / self.outcomes.len() as f64
+        self.outcomes.iter().map(|o| o.node_hours()).sum::<f64>() / self.outcomes.len() as f64
     }
 
     /// Total Eq. 6 communication cost over communication-intensive jobs
@@ -364,6 +364,10 @@ pub struct Engine<'t> {
     /// Nodes administratively removed from service for the whole run
     /// (SLURM DRAIN state) — failure-injection hook.
     drained: Vec<commsched_topology::NodeId>,
+    /// Fused what-if evaluator shared between placement (Eqs. 6–7) and the
+    /// adaptive selector, so candidate comparison warms the hop memo the
+    /// Eq. 7 evaluation then reuses.
+    eval: Arc<Mutex<PlacementEvaluator>>,
 }
 
 impl<'t> Engine<'t> {
@@ -373,6 +377,19 @@ impl<'t> Engine<'t> {
             tree,
             cfg,
             drained: Vec::new(),
+            eval: Arc::new(Mutex::new(PlacementEvaluator::new())),
+        }
+    }
+
+    /// Build the configured selector. The adaptive selector shares this
+    /// engine's evaluator (see the `eval` field); the others are stateless.
+    pub(crate) fn build_selector(&self) -> Box<dyn NodeSelector> {
+        match self.cfg.selector {
+            SelectorKind::Adaptive => Box::new(AdaptiveSelector::with_evaluator(
+                CostModel::HOP_BYTES,
+                Arc::clone(&self.eval),
+            )),
+            k => k.build(),
         }
     }
 
@@ -428,43 +445,89 @@ impl<'t> Engine<'t> {
                 .expect("default succeeds whenever another selector does")
         };
 
-        // One what-if occupancy per candidate allocation; both cost models
-        // read the same occupancy (the job's own nodes count in L_comm, per
-        // the paper's worked example).
-        let what_if = |alloc: &[commsched_topology::NodeId]| -> ClusterState {
-            let mut s = state.clone();
-            s.allocate(self.tree, JobId(u64::MAX), alloc, JobNature::CommIntensive)
-                .expect("selector returned free nodes");
-            s
+        // Evaluate Eq. 6 under both models for every collective component
+        // of an allocation, through the shared fused evaluator — no clone
+        // of the cluster state; the job's own L_comm contribution is an
+        // overlay inside the evaluator (the paper's worked example counts
+        // the job's own nodes). With matching trunk discounts (the default:
+        // both models use the paper's ½) one traversal per component yields
+        // both the reported cost and the Eq. 7 term.
+        let fused = self.cfg.cost_model.trunk_discount == self.cfg.ratio_model.trunk_discount;
+        let specs: Vec<CollectiveSpec> = job
+            .comm
+            .iter()
+            .map(|&(pattern, _)| CollectiveSpec::new(pattern, self.cfg.msize))
+            .collect();
+        let eval_all = |ev: &mut PlacementEvaluator,
+                        alloc: &[commsched_topology::NodeId]|
+         -> Vec<(f64, f64)> {
+            if fused {
+                specs
+                    .iter()
+                    .map(|spec| {
+                        let t = ev.evaluate(
+                            self.tree,
+                            state,
+                            self.cfg.cost_model.trunk_discount,
+                            alloc,
+                            spec,
+                        );
+                        (
+                            t.for_model(&self.cfg.cost_model),
+                            t.for_model(&self.cfg.ratio_model),
+                        )
+                    })
+                    .collect()
+            } else {
+                // Distinct discounts: two grouped passes, so each
+                // discount's hop memo still serves all the components.
+                let reported: Vec<f64> = specs
+                    .iter()
+                    .map(|spec| {
+                        ev.evaluate(
+                            self.tree,
+                            state,
+                            self.cfg.cost_model.trunk_discount,
+                            alloc,
+                            spec,
+                        )
+                        .for_model(&self.cfg.cost_model)
+                    })
+                    .collect();
+                let ratios: Vec<f64> = specs
+                    .iter()
+                    .map(|spec| {
+                        ev.evaluate(
+                            self.tree,
+                            state,
+                            self.cfg.ratio_model.trunk_discount,
+                            alloc,
+                            spec,
+                        )
+                        .for_model(&self.cfg.ratio_model)
+                    })
+                    .collect();
+                reported.into_iter().zip(ratios).collect()
+            }
         };
-        let state_actual = what_if(&nodes);
-        let state_default = what_if(&default_nodes);
+        // Lock order: always after selector.select() has returned (the
+        // adaptive selector takes the same lock inside select()).
+        let mut ev = self.eval.lock().expect("evaluator mutex poisoned");
+        let actual = eval_all(&mut ev, &nodes);
+        let default = eval_all(&mut ev, &default_nodes);
+        drop(ev);
 
         let mut cost_actual = 0.0;
         let mut cost_default = 0.0;
         let mut comm_adj = 0.0;
         let comm_orig = job.runtime as f64 * job.comm_fraction();
         let mut adjusted = job.runtime as f64 * (1.0 - job.comm_fraction());
-        for &(pattern, fraction) in &job.comm {
-            let spec = CollectiveSpec::new(pattern, self.cfg.msize);
+        for (i, &(_, fraction)) in job.comm.iter().enumerate() {
             // Reported cost: Eq. 6 as printed (raw hops by default).
-            cost_actual += self
-                .cfg
-                .cost_model
-                .job_cost(self.tree, &state_actual, &nodes, &spec);
-            cost_default +=
-                self.cfg
-                    .cost_model
-                    .job_cost(self.tree, &state_default, &default_nodes, &spec);
+            cost_actual += actual[i].0;
+            cost_default += default[i].0;
             // Runtime ratio: hop-bytes by default (§5.3).
-            let ca = self
-                .cfg
-                .ratio_model
-                .job_cost(self.tree, &state_actual, &nodes, &spec);
-            let cd = self
-                .cfg
-                .ratio_model
-                .job_cost(self.tree, &state_default, &default_nodes, &spec);
+            let (ca, cd) = (actual[i].1, default[i].1);
             let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
             let ratio = if self.cfg.adjust_runtimes { ratio } else { 1.0 };
             let part = job.runtime as f64 * fraction * ratio;
@@ -497,7 +560,7 @@ impl<'t> Engine<'t> {
                 });
             }
         }
-        let selector = self.cfg.selector.build();
+        let selector = self.build_selector();
         let mut state = ClusterState::new(self.tree);
         if !self.drained.is_empty() {
             // Drained nodes are held by a sentinel compute job that never
@@ -580,10 +643,10 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
     ) {
         let start_job = |i: usize,
-                             state: &mut ClusterState,
-                             running: &mut Vec<(u64, usize, u64)>,
-                             events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
-                             outcomes: &mut Vec<JobOutcome>|
+                         state: &mut ClusterState,
+                         running: &mut Vec<(u64, usize, u64)>,
+                         events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+                         outcomes: &mut Vec<JobOutcome>|
          -> bool {
             let job = &log.jobs[i];
             let Some(mut placed) = self.place(state, job, selector) else {

@@ -75,14 +75,10 @@ pub fn warmup_state(tree: &Tree, log: &JobLog, fraction: f64) -> ClusterState {
         // Skip jobs that would overshoot the requested occupancy — a single
         // machine-sized job must not leave the "partially occupied" cluster
         // full.
-        if state.busy_total() + job.nodes > target + target / 5
-            || job.nodes > state.free_total()
-        {
+        if state.busy_total() + job.nodes > target + target / 5 || job.nodes > state.free_total() {
             continue;
         }
-        if let Some(placed) =
-            engine.place(&state, job, &commsched_core::DefaultTreeSelector)
-        {
+        if let Some(placed) = engine.place(&state, job, &commsched_core::DefaultTreeSelector) {
             state
                 .allocate(tree, job.id, &placed.nodes, job.nature)
                 .expect("placement over free nodes");
@@ -107,9 +103,12 @@ pub fn individual_runs(
         }
         let mut placements = Vec::with_capacity(SelectorKind::ALL.len());
         for kind in SelectorKind::ALL {
-            let cfg = EngineConfig { selector: kind, ..base_cfg };
+            let cfg = EngineConfig {
+                selector: kind,
+                ..base_cfg
+            };
             let engine = Engine::new(tree, cfg);
-            let selector = kind.build();
+            let selector = engine.build_selector();
             let Some(placed) = engine.place(state, job, selector.as_ref()) else {
                 continue;
             };

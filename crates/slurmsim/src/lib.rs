@@ -36,7 +36,9 @@
 mod engine;
 pub mod individual;
 
-pub use engine::{BackfillPolicy, Engine, EngineConfig, EngineError, JobOutcome, RunSummary, TraceEvent};
+pub use engine::{
+    BackfillPolicy, Engine, EngineConfig, EngineError, JobOutcome, RunSummary, TraceEvent,
+};
 
 #[cfg(test)]
 mod tests;

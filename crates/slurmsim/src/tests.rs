@@ -144,7 +144,12 @@ fn conservative_backfill_protects_every_reservation() {
     ] {
         let s = Engine::new(&tree, make).run(&log).unwrap();
         // J4 fits in the hole and ends before J2's shadow time.
-        assert_eq!(s.outcome(JobId(4)).unwrap().start, 30, "{:?}", make.backfill);
+        assert_eq!(
+            s.outcome(JobId(4)).unwrap().start,
+            30,
+            "{:?}",
+            make.backfill
+        );
         // J2 is never delayed past its reservation.
         assert_eq!(s.outcome(JobId(2)).unwrap().start, 100);
         // J3 runs after J2 (FIFO order preserved for equal contenders).
@@ -338,6 +343,142 @@ fn eq7_adjustment_matches_cost_ratio() {
 }
 
 #[test]
+fn place_matches_naive_clone_replication() {
+    // The fused evaluator path in `place()` must reproduce, bit for bit,
+    // what the naive implementation computed: clone the state, allocate the
+    // what-if job, and run `job_cost` once per component per cost model.
+    use commsched_collectives::CollectiveSpec;
+    use commsched_core::{
+        AllocRequest, ClusterState, CostModel, DefaultTreeSelector, NodeSelector,
+    };
+
+    let tree = Tree::regular_two_level(6, 8);
+    let mut probe = comm_job(1, 0, 10_000, 10, 0.6);
+    probe.comm = vec![
+        (Pattern::Rhvd, 0.3),
+        (Pattern::Rd, 0.2),
+        (Pattern::Alltoall, 0.1),
+    ];
+
+    for kind in SelectorKind::ALL {
+        let cfg = EngineConfig::new(kind);
+        let engine = Engine::new(&tree, cfg);
+
+        // A partially occupied, contended state.
+        let mut state = ClusterState::new(&tree);
+        for (i, j) in [comm_job(50, 0, 1, 7, 0.5), comm_job(51, 0, 1, 5, 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let sel = engine.build_selector();
+            let req = AllocRequest::comm(j.id, j.nodes);
+            let nodes = sel.select(&tree, &state, &req).unwrap();
+            state
+                .allocate(&tree, JobId(50 + i as u64), &nodes, j.nature)
+                .unwrap();
+        }
+
+        let selector = engine.build_selector();
+        let placed = engine.place(&state, &probe, selector.as_ref()).unwrap();
+
+        // Naive replication (selectors are deterministic, so re-selecting
+        // from the same state reproduces the allocation).
+        let req = AllocRequest {
+            job: probe.id,
+            nodes: probe.nodes,
+            nature: probe.nature,
+            pattern: probe
+                .comm
+                .first()
+                .map(|(p, _)| CollectiveSpec::new(*p, cfg.msize)),
+        };
+        let nodes = selector.select(&tree, &state, &req).unwrap();
+        assert_eq!(nodes, placed.nodes, "{kind}: allocation changed");
+        let default_nodes = if kind == SelectorKind::Default {
+            nodes.clone()
+        } else {
+            DefaultTreeSelector.select(&tree, &state, &req).unwrap()
+        };
+        let what_if = |alloc: &[commsched_topology::NodeId]| {
+            let mut s = state.clone();
+            s.allocate(&tree, JobId(u64::MAX), alloc, JobNature::CommIntensive)
+                .unwrap();
+            s
+        };
+        let state_actual = what_if(&nodes);
+        let state_default = what_if(&default_nodes);
+        let mut cost_actual = 0.0;
+        let mut cost_default = 0.0;
+        let mut adjusted = probe.runtime as f64 * (1.0 - probe.comm_fraction());
+        for &(pattern, fraction) in &probe.comm {
+            let spec = CollectiveSpec::new(pattern, cfg.msize);
+            cost_actual += cfg.cost_model.job_cost(&tree, &state_actual, &nodes, &spec);
+            cost_default += cfg
+                .cost_model
+                .job_cost(&tree, &state_default, &default_nodes, &spec);
+            let ca = cfg
+                .ratio_model
+                .job_cost(&tree, &state_actual, &nodes, &spec);
+            let cd = cfg
+                .ratio_model
+                .job_cost(&tree, &state_default, &default_nodes, &spec);
+            let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
+            adjusted += probe.runtime as f64 * fraction * ratio;
+        }
+
+        assert_eq!(
+            placed.cost_actual.to_bits(),
+            cost_actual.to_bits(),
+            "{kind}: cost_actual diverged from naive ({} vs {})",
+            placed.cost_actual,
+            cost_actual
+        );
+        assert_eq!(
+            placed.cost_default.to_bits(),
+            cost_default.to_bits(),
+            "{kind}: cost_default diverged from naive ({} vs {})",
+            placed.cost_default,
+            cost_default
+        );
+        assert_eq!(
+            placed.adjusted,
+            adjusted.round().max(1.0) as u64,
+            "{kind}: adjusted runtime diverged from naive"
+        );
+        // Exercising a non-fused discount pair (cost model keeps ½, ratio
+        // model prices a flat trunk) must agree with its own naive run too.
+        let flat = CostModel {
+            trunk_discount: 1.0,
+            ..cfg.ratio_model
+        };
+        let cfg2 = EngineConfig {
+            ratio_model: flat,
+            ..cfg
+        };
+        let engine2 = Engine::new(&tree, cfg2);
+        let placed2 = engine2.place(&state, &probe, selector.as_ref()).unwrap();
+        let mut adjusted2 = probe.runtime as f64 * (1.0 - probe.comm_fraction());
+        for &(pattern, fraction) in &probe.comm {
+            let spec = CollectiveSpec::new(pattern, cfg.msize);
+            let ca = flat.job_cost(&tree, &state_actual, &nodes, &spec);
+            let cd = flat.job_cost(&tree, &state_default, &default_nodes, &spec);
+            let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
+            adjusted2 += probe.runtime as f64 * fraction * ratio;
+        }
+        assert_eq!(
+            placed2.cost_actual.to_bits(),
+            cost_actual.to_bits(),
+            "{kind}"
+        );
+        assert_eq!(
+            placed2.adjusted,
+            adjusted2.round().max(1.0) as u64,
+            "{kind}: non-fused adjusted runtime diverged from naive"
+        );
+    }
+}
+
+#[test]
 fn no_oversubscription_at_any_instant() {
     let tree = Tree::regular_two_level(3, 4); // 12 nodes
     let log = LogSpec::new(
@@ -357,7 +498,9 @@ fn no_oversubscription_at_any_instant() {
     )
     .generate();
     for kind in SelectorKind::ALL {
-        let s = Engine::new(&tree, EngineConfig::new(kind)).run(&log).unwrap();
+        let s = Engine::new(&tree, EngineConfig::new(kind))
+            .run(&log)
+            .unwrap();
         assert_eq!(s.outcomes.len(), 120);
         // At every job start, the set of overlapping jobs fits the machine.
         for o in &s.outcomes {
@@ -411,14 +554,18 @@ fn runs_are_deterministic() {
         .jobs
         .iter()
         .map(|j| Job {
-            nodes: j.nodes.min(32).max(1),
+            nodes: j.nodes.clamp(1, 32),
             ..j.clone()
         })
         .collect();
     let log = JobLog::new("det", jobs);
     for kind in SelectorKind::ALL {
-        let a = Engine::new(&tree, EngineConfig::new(kind)).run(&log).unwrap();
-        let b = Engine::new(&tree, EngineConfig::new(kind)).run(&log).unwrap();
+        let a = Engine::new(&tree, EngineConfig::new(kind))
+            .run(&log)
+            .unwrap();
+        let b = Engine::new(&tree, EngineConfig::new(kind))
+            .run(&log)
+            .unwrap();
         assert_eq!(a, b, "{kind}");
     }
 }
@@ -472,7 +619,12 @@ fn individual_runs_compare_from_identical_state() {
     let state = warmup_state(&tree, &log, 0.4);
     let probes = comm_probes(&log, 40);
     assert!(!probes.is_empty());
-    let outcomes = individual_runs(&tree, &state, &probes, EngineConfig::new(SelectorKind::Default));
+    let outcomes = individual_runs(
+        &tree,
+        &state,
+        &probes,
+        EngineConfig::new(SelectorKind::Default),
+    );
     assert!(!outcomes.is_empty());
     for o in &outcomes {
         assert_eq!(o.placements.len(), 4);
@@ -487,8 +639,7 @@ fn individual_runs_compare_from_identical_state() {
                 .runtime_adjusted
         };
         assert!(
-            by(SelectorKind::Adaptive)
-                <= by(SelectorKind::Greedy).min(by(SelectorKind::Balanced)),
+            by(SelectorKind::Adaptive) <= by(SelectorKind::Greedy).min(by(SelectorKind::Balanced)),
             "adaptive worse than both components for {:?}",
             o.job
         );

@@ -112,8 +112,7 @@ impl Tree {
         // runs of fanouts[depth - 1 - l].
         let mut uppers: Vec<(String, Vec<String>)> = Vec::new();
         let mut current: Vec<String> = leaf_names.clone();
-        let mut level = 0usize;
-        for &fan in fanouts.iter().rev() {
+        for (level, &fan) in fanouts.iter().rev().enumerate() {
             if current.len() == 1 {
                 break;
             }
@@ -128,7 +127,6 @@ impl Tree {
                 next.push(name);
             }
             current = next;
-            level += 1;
         }
         Tree::from_parts(leaf_names, leaf_nodes, uppers).map_err(|e| e.to_string())
     }
@@ -230,7 +228,9 @@ impl SystemPreset {
 fn cori_leaf_sizes(leaves: usize, total: usize) -> Vec<usize> {
     // Cycle through the band deterministically, then fix up the remainder on
     // the last leaf while keeping every size within [330, 380].
-    let pattern = [366usize, 352, 374, 338, 360, 380, 344, 370, 332, 356, 376, 348];
+    let pattern = [
+        366usize, 352, 374, 338, 360, 380, 344, 370, 332, 356, 376, 348,
+    ];
     let mut sizes: Vec<usize> = (0..leaves).map(|k| pattern[k % pattern.len()]).collect();
     let sum: usize = sizes.iter().sum();
     let mut diff = total as isize - sum as isize;
@@ -249,4 +249,3 @@ fn cori_leaf_sizes(leaves: usize, total: usize) -> Vec<usize> {
     }
     sizes
 }
-

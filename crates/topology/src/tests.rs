@@ -39,7 +39,10 @@ fn leaf_queries() {
     assert_eq!(t.leaf_size(1), 4);
     assert_eq!(t.leaf_ordinal_of(NodeId(0)), 0);
     assert_eq!(t.leaf_ordinal_of(NodeId(5)), 1);
-    assert_eq!(t.leaf_nodes(1), &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+    assert_eq!(
+        t.leaf_nodes(1),
+        &[NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+    );
     let leaf0 = t.leaves()[0];
     assert_eq!(t.leaf_ordinal(leaf0), 0);
 }

@@ -156,9 +156,9 @@ impl LogSpec {
             }
             let nodes = self.sample_nodes(&mut rng);
             let runtime = self.sample_runtime(&mut rng);
-            let walltime =
-                ((runtime as f64) * (1.0 + (sys.walltime_slack - 1.0) * rng.random::<f64>() * 2.0))
-                    .max(runtime as f64) as u64;
+            let walltime = ((runtime as f64)
+                * (1.0 + (sys.walltime_slack - 1.0) * rng.random::<f64>() * 2.0))
+                .max(runtime as f64) as u64;
             jobs.push(Job {
                 id: JobId(i as u64 + 1),
                 submit,
@@ -180,10 +180,7 @@ impl LogSpec {
             jobs[k].comm = self.components.clone();
         }
 
-        JobLog::new(
-            format!("{}-synthetic-seed{}", sys.name, self.seed),
-            jobs,
-        )
+        JobLog::new(format!("{}-synthetic-seed{}", sys.name, self.seed), jobs)
     }
 
     /// Sample a node request: a power of two with probability

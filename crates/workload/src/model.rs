@@ -71,7 +71,11 @@ impl JobLog {
         if self.jobs.is_empty() {
             return 0.0;
         }
-        let n = self.jobs.iter().filter(|j| j.nodes.is_power_of_two()).count();
+        let n = self
+            .jobs
+            .iter()
+            .filter(|j| j.nodes.is_power_of_two())
+            .count();
         n as f64 / self.jobs.len() as f64
     }
 

@@ -204,7 +204,10 @@ fn swf_assign_natures() {
     assert_eq!(n_comm, 3 * 67 / 100);
     // Re-assignment resets previous labels.
     swf::assign_natures(&mut log, 0, &[(Pattern::Rd, 0.5)], 99);
-    assert!(log.jobs.iter().all(|j| !j.nature.is_comm() && j.comm.is_empty()));
+    assert!(log
+        .jobs
+        .iter()
+        .all(|j| !j.nature.is_comm() && j.comm.is_empty()));
 }
 
 mod properties {
@@ -308,7 +311,10 @@ fn diurnal_arrivals_cluster_in_daytime() {
     let f_cyc = day_fraction(&cyc);
     // Half the hours are "day"; the cycle must pull well more than the
     // flat log's share into them.
-    assert!(f_cyc > f_flat + 0.1, "flat {f_flat:.2} vs diurnal {f_cyc:.2}");
+    assert!(
+        f_cyc > f_flat + 0.1,
+        "flat {f_flat:.2} vs diurnal {f_cyc:.2}"
+    );
     // Still sorted and deterministic.
     let again = LogSpec::new(sys, 2000, 17).diurnal(true).generate();
     assert_eq!(cyc, again);

@@ -84,7 +84,11 @@ fn main() {
         // Re-place jobs active at peak_t with the same selector to show the
         // leaf-level shape this policy produces.
         let selector = kind.build();
-        for o in summary.outcomes.iter().filter(|o| o.start <= peak_t && peak_t < o.end) {
+        for o in summary
+            .outcomes
+            .iter()
+            .filter(|o| o.start <= peak_t && peak_t < o.end)
+        {
             let req = AllocRequest {
                 job: o.id,
                 nodes: o.nodes,

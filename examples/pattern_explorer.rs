@@ -27,21 +27,24 @@ fn main() {
         .unwrap_or(8);
 
     let spec = CollectiveSpec::new(pattern, 1 << 20);
-    println!("{pattern} over {ranks} ranks ({} steps):\n", spec.num_steps(ranks));
+    println!(
+        "{pattern} over {ranks} ranks ({} steps):\n",
+        spec.num_steps(ranks)
+    );
     for (k, step) in spec.steps(ranks).iter().enumerate() {
-        let pairs: Vec<String> = step
-            .pairs
-            .iter()
-            .map(|(a, b)| format!("{a}-{b}"))
-            .collect();
-        println!("  step {k}: msize {:>8} B  pairs {}", step.msize, pairs.join(" "));
+        let pairs: Vec<String> = step.pairs.iter().map(|(a, b)| format!("{a}-{b}")).collect();
+        println!(
+            "  step {k}: msize {:>8} B  pairs {}",
+            step.msize,
+            pairs.join(" ")
+        );
     }
 
     // Cost of split shapes over two leaves, as in the paper's §4.2 example
     // (8 nodes as 4+4 beats 3+5 because the inner steps stay intra-switch).
     let leaf = ranks.max(8);
     let tree = Tree::regular_two_level(2, leaf);
-    let state = ClusterState::new(&tree);
+    let mut state = ClusterState::new(&tree);
     let model = CostModel::HOP_BYTES;
     println!("\ncost of {ranks}-rank {pattern} split across two leaf switches:");
     for on_first in (0..=ranks / 2).rev() {
@@ -52,9 +55,16 @@ fn main() {
         if nodes.len() != ranks {
             continue;
         }
-        let cost = model.hypothetical_cost(&tree, &state, &nodes, &spec);
-        let tag = if on_first == ranks / 2 { "  <- balanced" } else { "" };
-        println!("  {on_first:>3} + {:<3}: hop-bytes cost {cost:>14.0}{tag}", ranks - on_first);
+        let cost = model.hypothetical_cost(&tree, &mut state, &nodes, &spec);
+        let tag = if on_first == ranks / 2 {
+            "  <- balanced"
+        } else {
+            ""
+        };
+        println!(
+            "  {on_first:>3} + {:<3}: hop-bytes cost {cost:>14.0}{tag}",
+            ranks - on_first
+        );
     }
     println!(
         "\nThe balanced split keeps every step after the first intra-switch\n\

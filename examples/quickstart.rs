@@ -59,7 +59,7 @@ fn main() {
     for kind in SelectorKind::ALL {
         let selector = kind.build();
         let nodes = selector.select(&tree, &state, &req).unwrap();
-        let cost = model.hypothetical_cost(&tree, &state, &nodes, &spec);
+        let cost = model.hypothetical_cost(&tree, &mut state, &nodes, &spec);
         let mut per_leaf = vec![0usize; tree.num_leaves()];
         for n in &nodes {
             per_leaf[tree.leaf_ordinal_of(*n)] += 1;

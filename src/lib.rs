@@ -57,9 +57,7 @@ pub mod prelude {
         DefaultTreeSelector, GreedySelector, JobNature, MappingStrategy, NodeSelector,
         SelectorKind,
     };
-    pub use commsched_slurmsim::{
-        BackfillPolicy, Engine, EngineConfig, JobOutcome, RunSummary,
-    };
+    pub use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, JobOutcome, RunSummary};
     pub use commsched_topology::{NodeId, SwitchId, Tree};
     pub use commsched_workload::{Job, JobId, JobLog, LogSpec, SystemModel};
 }

@@ -42,7 +42,9 @@ fn conf_file_to_schedule_pipeline() {
 
     let mut exec_hours = Vec::new();
     for kind in SelectorKind::ALL {
-        let summary = Engine::new(&tree, EngineConfig::new(kind)).run(&log).unwrap();
+        let summary = Engine::new(&tree, EngineConfig::new(kind))
+            .run(&log)
+            .unwrap();
         assert_eq!(summary.outcomes.len(), 150);
         // Wait + exec == turnaround for every job.
         for o in &summary.outcomes {
@@ -125,15 +127,14 @@ fn netsim_correlates_with_cost_model() {
     let mut times = Vec::new();
     for half in [0usize, 1, 2, 4, 6, 8] {
         let probe: Vec<NodeId> = (0..4).chain(16..20).map(NodeId).collect();
-        let interferer: Vec<NodeId> =
-            (8..8 + half).chain(24..24 + half).map(NodeId).collect();
+        let interferer: Vec<NodeId> = (8..8 + half).chain(24..24 + half).map(NodeId).collect();
 
         let mut st = ClusterState::new(&tree);
         if !interferer.is_empty() {
             st.allocate(&tree, JobId(9), &interferer, JobNature::CommIntensive)
                 .unwrap();
         }
-        costs.push(model.hypothetical_cost(&tree, &st, &probe, &spec));
+        costs.push(model.hypothetical_cost(&tree, &mut st, &probe, &spec));
 
         let mut workloads = vec![Workload {
             id: 1,
@@ -177,7 +178,12 @@ fn individual_runs_via_facade() {
         .take(30)
         .cloned()
         .collect();
-    let outcomes = individual_runs(&tree, &state, &probes, EngineConfig::new(SelectorKind::Default));
+    let outcomes = individual_runs(
+        &tree,
+        &state,
+        &probes,
+        EngineConfig::new(SelectorKind::Default),
+    );
     assert!(!outcomes.is_empty());
     for o in &outcomes {
         // All four selectors place each probe from the same state.

@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`: same macro/group/bencher surface,
+//! measured with plain wall-clock sampling. Reports min/median/max
+//! per-iteration time to stdout in a criterion-like format.
+//!
+//! Environment knobs:
+//! - `CRITERION_SAMPLE_SIZE` overrides every group's sample size.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per sample; iteration counts are calibrated
+/// against this so fast benchmarks still measure full samples.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: env_sample_size().unwrap_or(DEFAULT_SAMPLE_SIZE),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, env_sample_size().unwrap_or(DEFAULT_SAMPLE_SIZE), &mut f);
+        self
+    }
+}
+
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_sample_size().is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, possibly parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function`/`bench_with_input` accepts as an id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] measures the
+/// routine.
+pub struct Bencher {
+    /// Iterations per sample (calibrated by the harness).
+    iters: u64,
+    /// Wall-clock time of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    // Calibrate: one iteration, timed, to choose iters per sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE_TIME.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let max = samples.last().copied().unwrap_or(0.0);
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples.len(),
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

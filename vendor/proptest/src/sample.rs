@@ -1,0 +1,41 @@
+//! Sampling strategies: pick-from-collection and the `Index` helper.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// An abstract index resolvable against any non-empty collection length,
+/// like `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    pub(crate) raw: usize,
+}
+
+impl Index {
+    /// Resolve against a collection of `len` elements (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}
+
+/// Strategy picking uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// `select(options)` — like `proptest::sample::select`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select of empty options");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.random_range(0..self.options.len());
+        self.options[k].clone()
+    }
+}

@@ -1,0 +1,56 @@
+//! Test-runner plumbing for the `proptest!` macro.
+
+use std::hash::{Hash, Hasher};
+
+/// The RNG driving case generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps debug-profile suites quick
+        // while still exercising plenty of structure.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` discarded the case.
+    Reject,
+    /// `prop_assert*` failed with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic per-(module, test, case) RNG: failures reproduce on
+/// re-run without any persisted seed file.
+pub fn case_rng(module: &str, test: &str, case: u32) -> TestRng {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    module.hash(&mut h);
+    test.hash(&mut h);
+    case.hash(&mut h);
+    rand::SeedableRng::seed_from_u64(h.finish())
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `rand_chacha`: real ChaCha block functions (8,
+//! 12 and 20 rounds) exposed through the vendored `rand` traits. Streams
+//! are deterministic per seed; they are not bit-compatible with upstream
+//! `rand_chacha` (nothing in the workspace requires that).
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even.
+fn block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+/// Generic ChaCha RNG over a fixed round count.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: u32> {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const ROUNDS: u32> ChaChaRng<ROUNDS> {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // Counter (12..13) and nonce (14..15) start at zero.
+        ChaChaRng {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buffer = block(&self.state, ROUNDS);
+        self.index = 0;
+        // 64-bit block counter in words 12..13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl<const ROUNDS: u32> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl<const ROUNDS: u32> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::from_seed_bytes(seed)
+    }
+}
+
+/// ChaCha with 8 rounds.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;

@@ -1,0 +1,34 @@
+//! Offline stand-in for `rayon`: `par_iter`/`into_par_iter` resolve to
+//! the corresponding sequential `std` iterators. All downstream adapters
+//! (`map`, `collect`, `flat_map`, ...) are the ordinary `Iterator`
+//! methods, so call sites compile unchanged; they simply run on one
+//! thread in this offline environment.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in returning the ordinary
+    /// `IntoIterator` iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` on slices (and anything that derefs to one).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}

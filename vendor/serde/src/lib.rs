@@ -1,0 +1,185 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of serde it actually uses: a
+//! [`Serialize`] trait that renders straight into an in-memory JSON
+//! [`Value`] (re-exported by the vendored `serde_json`), a marker
+//! [`Deserialize`] trait, and the two derive macros. The derive macros
+//! cover the shapes this codebase declares — named-field structs,
+//! newtype tuple structs, and unit-variant enums — and intentionally
+//! nothing more.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Re-export of the derive macros under the trait names, mirroring
+/// `serde`'s `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can render itself as an in-memory JSON value.
+///
+/// This replaces serde's visitor-based `Serialize`; every call site in
+/// the workspace ultimately wants JSON text or a [`Value`], so the
+/// intermediate `Serializer` machinery is unnecessary.
+pub trait Serialize {
+    /// Render `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in the workspace deserializes typed data (only
+/// `serde_json::Value` round-trips through text), so the derive is a
+/// compile-time no-op kept for source compatibility.
+pub trait Deserialize {}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// JSON object keys must be strings; non-string keys are rendered
+/// through their JSON form (numbers keep their textual representation,
+/// exactly like `serde_json`'s integer map keys).
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        other => other.to_string(),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_json_value()), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Value {}

@@ -1,0 +1,252 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available in this
+//! environment) and emits `serde::Serialize` / `serde::Deserialize`
+//! impls for the shapes this workspace declares:
+//!
+//! - structs with named fields  -> JSON object in declaration order
+//! - tuple structs with one field (newtypes) -> the inner value
+//! - tuple structs with N fields -> JSON array
+//! - enums with unit variants only -> variant name as a JSON string
+//!
+//! Attributes such as `#[serde(default)]` and doc comments are skipped.
+//! Generic items are unsupported (none exist in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item under derive.
+enum Shape {
+    /// Struct with named fields.
+    Named { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    Tuple { name: String, arity: usize },
+    /// Enum with unit variants only.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip attribute streams (`#` followed by a bracket group) and return
+/// the remaining trees.
+fn strip_attrs(trees: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#[...]` — skip the punct and the following group.
+                i += 2;
+            }
+            t => {
+                out.push(t.clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Field names of a named-struct body: idents appearing immediately
+/// before a top-level `:`.
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    let body = strip_attrs(body);
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut depth = 0usize;
+    let mut prev_ident: Option<String> = None;
+    for t in &body {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ':' if depth == 0 && expecting_name => {
+                    if let Some(name) = prev_ident.take() {
+                        fields.push(name);
+                        expecting_name = false;
+                    }
+                }
+                ',' if depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                // Visibility and raw keywords are not field names.
+                if s != "pub" && s != "crate" && s != "in" {
+                    prev_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Count the comma-separated fields of a tuple-struct body.
+fn tuple_arity(body: &[TokenTree]) -> usize {
+    let body = strip_attrs(body);
+    if body.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut arity = 1usize;
+    for t in &body {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+/// Variant names of a unit-only enum body. Panics (compile error) on
+/// data-carrying variants, which this shim does not support.
+fn unit_variants(body: &[TokenTree]) -> Vec<String> {
+    let body = strip_attrs(body);
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    for t in &body {
+        match t {
+            TokenTree::Ident(id) if depth == 0 => variants.push(id.to_string()),
+            TokenTree::Group(g) if depth == 0 && g.delimiter() != Delimiter::None => {
+                panic!("serde_derive shim: only unit enum variants are supported");
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' => panic!("serde_derive shim: explicit discriminants are unsupported"),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let trees = strip_attrs(&trees);
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    while i < trees.len() {
+        if let TokenTree::Ident(id) = &trees[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(if s == "struct" { "struct" } else { "enum" });
+                if let Some(TokenTree::Ident(n)) = trees.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                i += 2;
+                break;
+            }
+        }
+        i += 1;
+    }
+    let kind = kind.expect("serde_derive shim: expected struct or enum");
+    let name = name.expect("serde_derive shim: expected item name");
+    // Reject generics: next token after the name must not be `<`.
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic items are unsupported");
+        }
+    }
+    // Find the body group.
+    for t in &trees[i..] {
+        if let TokenTree::Group(g) = t {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            return match (kind, g.delimiter()) {
+                ("struct", Delimiter::Brace) => Shape::Named {
+                    name,
+                    fields: named_fields(&body),
+                },
+                ("struct", Delimiter::Parenthesis) => Shape::Tuple {
+                    name,
+                    arity: tuple_arity(&body),
+                },
+                ("enum", Delimiter::Brace) => Shape::UnitEnum {
+                    name,
+                    variants: unit_variants(&body),
+                },
+                _ => panic!("serde_derive shim: unsupported item body"),
+            };
+        }
+    }
+    // `struct Foo;`
+    if kind == "struct" {
+        Shape::Tuple { name, arity: 0 }
+    } else {
+        panic!("serde_derive shim: empty enum body");
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let expr = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated code parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_shape(input) {
+        Shape::Named { name, .. } | Shape::Tuple { name, .. } | Shape::UnitEnum { name, .. } => {
+            name
+        }
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated code parses")
+}

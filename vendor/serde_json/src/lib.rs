@@ -1,0 +1,350 @@
+//! Offline stand-in for `serde_json`: text parsing/printing over the
+//! [`serde::Value`] tree plus the `json!` construction macro. Only the
+//! surface this workspace uses is implemented.
+
+use std::fmt;
+use std::io::Write;
+
+pub use serde::value::{Number, Value};
+
+/// Parse/serialize error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Types `from_str` can produce. Only [`Value`] is deserializable in
+/// this shim — the workspace never deserializes typed data.
+pub trait FromJson: Sized {
+    fn from_json_value(v: Value) -> Result<Self>;
+}
+
+impl FromJson for Value {
+    fn from_json_value(v: Value) -> Result<Self> {
+        Ok(v)
+    }
+}
+
+/// Convert any `Serialize` into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String> {
+    Ok(v.to_json_value().to_compact_string())
+}
+
+/// Pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(v: &T) -> Result<String> {
+    Ok(v.to_json_value().to_pretty_string())
+}
+
+/// Pretty JSON straight into a writer.
+pub fn to_writer_pretty<W: Write, T: serde::Serialize + ?Sized>(mut w: W, v: &T) -> Result<()> {
+    w.write_all(v.to_json_value().to_pretty_string().as_bytes())?;
+    Ok(())
+}
+
+/// Parse JSON text.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_json_value(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected '{kw}' at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("expected ',' or '}}' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected ',' or ']' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error::new(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error::new(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|e| Error::new(e.to_string()))
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports nested object
+/// and array literals with expression values, like `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal_object!([] () $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: accumulate array elements. Each step munches one element
+/// (object, array, or expression up to the next top-level comma).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // Done.
+    ([ $($elems:expr),* ]) => { $crate::Value::Array(vec![ $($elems),* ]) };
+    // Trailing comma.
+    ([ $($elems:expr),* ] ,) => { $crate::json_internal_array!([ $($elems),* ]) };
+    // Nested object element.
+    ([ $($elems:expr),* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!({ $($inner)* }) ] $($($rest)*)?)
+    };
+    // Nested array element.
+    ([ $($elems:expr),* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!([ $($inner)* ]) ] $($($rest)*)?)
+    };
+    // Expression element.
+    ([ $($elems:expr),* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::to_value(&$next) ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulate object entries as `key => value` pairs already
+/// converted to `(String, Value)` expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done.
+    ([ $($entries:expr),* ] ()) => { $crate::Value::Object(vec![ $($entries),* ]) };
+    // Trailing comma.
+    ([ $($entries:expr),* ] () ,) => { $crate::json_internal_object!([ $($entries),* ] ()) };
+    // key: { nested object }
+    ([ $($entries:expr),* ] () $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($entries,)* ($key.to_string(), $crate::json!({ $($inner)* })) ] () $($($rest)*)?)
+    };
+    // key: [ nested array ]
+    ([ $($entries:expr),* ] () $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($entries,)* ($key.to_string(), $crate::json!([ $($inner)* ])) ] () $($($rest)*)?)
+    };
+    // key: null
+    ([ $($entries:expr),* ] () $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($entries,)* ($key.to_string(), $crate::Value::Null) ] () $($($rest)*)?)
+    };
+    // key: expression
+    ([ $($entries:expr),* ] () $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($entries,)* ($key.to_string(), $crate::to_value(&$val)) ] () $($($rest)*)?)
+    };
+}
