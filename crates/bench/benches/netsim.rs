@@ -1,6 +1,8 @@
-//! Flow-simulator throughput: one full collective under varying fan-out
-//! and concurrent-job interference.
+//! Flow-simulator throughput: one full collective under varying fan-out,
+//! concurrent-job interference, and the fast-vs-naive rate-solver
+//! comparison on the steady-state and churn scenarios.
 
+use commsched_bench::perf::NetsimCase;
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_netsim::{FlowSim, NetConfig, Workload};
 use commsched_topology::{NodeId, Tree};
@@ -52,5 +54,32 @@ fn bench_interference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solo_collective, bench_interference);
+fn bench_steady_state(c: &mut Criterion) {
+    // Machine-spanning collectives: one large coupled component per solve,
+    // the incremental solver's worst case.
+    let case = NetsimCase::steady_state();
+    let mut group = c.benchmark_group("netsim_steady_state");
+    group.bench_function("incremental", |b| b.iter(|| black_box(case.run_fast())));
+    group.bench_function("naive", |b| b.iter(|| black_box(case.run_naive())));
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Many short flows arriving/finishing on a 2,048-node machine: events
+    // touch tiny components, where the dirty-link frontier pays off.
+    let case = NetsimCase::churn();
+    let mut group = c.benchmark_group("netsim_churn");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| b.iter(|| black_box(case.run_fast())));
+    group.bench_function("naive", |b| b.iter(|| black_box(case.run_naive())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solo_collective,
+    bench_interference,
+    bench_steady_state,
+    bench_churn
+);
 criterion_main!(benches);

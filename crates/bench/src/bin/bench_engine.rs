@@ -9,8 +9,13 @@
 //!
 //! ```text
 //! cargo run --release -p commsched-bench --bin bench_engine [out.json]
+//! cargo run --release -p commsched-bench --bin bench_engine -- --check BENCH_engine.json
 //! ```
+//!
+//! `--check` re-measures the fast path and fails (exit 1) if any case
+//! regresses more than 2x against the baseline's medians.
 
+use commsched_bench::baseline;
 use commsched_bench::perf::PlacementCase;
 use commsched_core::PlacementEvaluator;
 use commsched_topology::SystemPreset;
@@ -31,16 +36,15 @@ fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let mut entries = Vec::new();
-
-    for (label, preset, want) in [
+/// Measure both paths on every case; returns `(label, fast_ns, naive_ns,
+/// nodes, want)` rows.
+fn measure() -> Vec<(String, f64, f64, usize, usize)> {
+    [
         ("theta_256", SystemPreset::Theta, 256usize),
         ("mira_2048", SystemPreset::Mira, 2048usize),
-    ] {
+    ]
+    .into_iter()
+    .map(|(label, preset, want)| {
         let case = PlacementCase::new(preset, want);
         let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
 
@@ -61,6 +65,39 @@ fn main() {
         let fast_ns = median_ns(ITERS, || {
             std::hint::black_box(case.place_fast(&eval));
         });
+        (
+            label.to_string(),
+            fast_ns,
+            naive_ns,
+            case.tree.num_nodes(),
+            want,
+        )
+    })
+    .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: bench_engine --check <baseline.json>");
+            std::process::exit(2);
+        };
+        let live: Vec<(String, f64)> = measure()
+            .into_iter()
+            .map(|(label, fast_ns, _, _, _)| (label, fast_ns))
+            .collect();
+        baseline::check_or_exit(path, &live);
+    }
+
+    let out = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut entries = Vec::new();
+
+    for (label, fast_ns, naive_ns, nodes, want) in measure() {
         let speedup = naive_ns / fast_ns;
         eprintln!(
             "{label}: naive {:.1} µs, fast {:.1} µs, speedup {speedup:.1}x",
@@ -68,8 +105,7 @@ fn main() {
             fast_ns / 1e3
         );
         entries.push(format!(
-            "    {{\n      \"case\": \"{label}\",\n      \"nodes\": {},\n      \"request\": {want},\n      \"naive_median_ns\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}",
-            case.tree.num_nodes()
+            "    {{\n      \"case\": \"{label}\",\n      \"nodes\": {nodes},\n      \"request\": {want},\n      \"naive_median_ns\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}"
         ));
     }
 

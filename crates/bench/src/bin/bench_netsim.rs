@@ -1,0 +1,152 @@
+//! Measure the flow-simulator fast paths and write `BENCH_netsim.json`.
+//!
+//! Two comparisons, both inside the same binary:
+//!
+//! 1. **Rate solver** — the incremental dirty-frontier max–min solver vs
+//!    the retained naive full fixpoint ([`commsched_netsim::SolverKind`])
+//!    on the steady-state and churn scenarios from
+//!    [`commsched_bench::perf::NetsimCase`]. The two solvers are asserted
+//!    bit-identical on every scenario before timing means anything.
+//! 2. **Sweep harness** — a reduced Figure 6 sweep (3 systems × 5 mixes ×
+//!    4 selectors) under rayon thread pools of 1 and 4 threads, asserting
+//!    the rendered output is identical at both counts. The wall-clock
+//!    ratio only shows a gain on multi-core hosts, so `host_cpus` is
+//!    recorded alongside it.
+//!
+//! ```text
+//! cargo run --release -p commsched-bench --bin bench_netsim [out.json]
+//! cargo run --release -p commsched-bench --bin bench_netsim -- --check BENCH_netsim.json
+//! ```
+//!
+//! `--check` re-measures the solver fast path and fails (exit 1) if any
+//! case regresses more than 2x against the baseline's medians; sweep
+//! wall-clock is machine-dependent and is never gated.
+
+use commsched_bench::baseline;
+use commsched_bench::experiments::fig6;
+use commsched_bench::perf::NetsimCase;
+use commsched_bench::Scale;
+use rayon::ThreadPoolBuilder;
+use std::time::Instant;
+
+const ITERS: usize = 21;
+const SWEEP_ITERS: usize = 3;
+const SWEEP_SCALE: Scale = Scale { jobs: 40, seed: 42 };
+
+fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measure both solvers on every scenario; returns `(case, fast_ns,
+/// naive_ns, nodes, jobs)` rows.
+fn measure_solvers() -> Vec<(String, f64, f64, usize, usize)> {
+    [NetsimCase::steady_state(), NetsimCase::churn()]
+        .into_iter()
+        .map(|case| {
+            // Bit-identical results are a hard precondition for the
+            // comparison (also property-tested in commsched-netsim).
+            assert_eq!(
+                case.run_fast(),
+                case.run_naive(),
+                "{}: incremental solver diverged from naive",
+                case.name
+            );
+            let fast_ns = median_ns(ITERS, || {
+                std::hint::black_box(case.run_fast());
+            });
+            let naive_ns = median_ns(ITERS, || {
+                std::hint::black_box(case.run_naive());
+            });
+            (
+                case.name.to_string(),
+                fast_ns,
+                naive_ns,
+                case.tree.num_nodes(),
+                case.workloads.len(),
+            )
+        })
+        .collect()
+}
+
+fn sweep_under(threads: usize) -> (f64, commsched_bench::ExperimentResult) {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let result = pool.install(|| fig6(SWEEP_SCALE));
+    let ns = median_ns(SWEEP_ITERS, || {
+        pool.install(|| {
+            std::hint::black_box(fig6(SWEEP_SCALE));
+        });
+    });
+    (ns, result)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: bench_netsim --check <baseline.json>");
+            std::process::exit(2);
+        };
+        let live: Vec<(String, f64)> = measure_solvers()
+            .into_iter()
+            .map(|(case, fast_ns, _, _, _)| (case, fast_ns))
+            .collect();
+        baseline::check_or_exit(path, &live);
+    }
+
+    let out = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_netsim.json".to_string());
+
+    let mut entries = Vec::new();
+    for (case, fast_ns, naive_ns, nodes, jobs) in measure_solvers() {
+        let speedup = naive_ns / fast_ns;
+        eprintln!(
+            "{case}: naive {:.2} ms, fast {:.2} ms, speedup {speedup:.1}x",
+            naive_ns / 1e6,
+            fast_ns / 1e6
+        );
+        entries.push(format!(
+            "    {{\n      \"case\": \"{case}\",\n      \"nodes\": {nodes},\n      \"jobs\": {jobs},\n      \"naive_median_ns\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}"
+        ));
+    }
+
+    // Reduced Figure 6 sweep under 1 vs 4 threads. The outputs must match
+    // exactly (the vendored rayon concatenates results in source order);
+    // the wall-clock ratio depends on the host's core count.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (ns_1, res_1) = sweep_under(1);
+    let (ns_4, res_4) = sweep_under(4);
+    assert_eq!(res_1.text, res_4.text, "sweep text differs across threads");
+    assert_eq!(res_1.json, res_4.json, "sweep json differs across threads");
+    let parallel_speedup = ns_1 / ns_4;
+    eprintln!(
+        "fig6 sweep ({} jobs/log): 1 thread {:.2} s, 4 threads {:.2} s, ratio {parallel_speedup:.2}x (host has {host_cpus} cpu(s))",
+        SWEEP_SCALE.jobs,
+        ns_1 / 1e9,
+        ns_4 / 1e9
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"flow-level network simulation: incremental vs retained-naive max-min solver, and fig6 sweep scaling\",\n  \"iters\": {ITERS},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"sweep\": {{\n    \"experiment\": \"fig6\",\n    \"jobs_per_log\": {},\n    \"iters\": {SWEEP_ITERS},\n    \"threads_1_median_ns\": {ns_1:.0},\n    \"threads_4_median_ns\": {ns_4:.0},\n    \"parallel_speedup\": {parallel_speedup:.2},\n    \"identical_across_threads\": true\n  }}\n}}\n",
+        entries.join(",\n"),
+        SWEEP_SCALE.jobs
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -1,5 +1,6 @@
-//! Fast-vs-naive placement evaluation, the measured unit behind the
-//! `BENCH_engine.json` runner and the placement-path Criterion benches.
+//! Fast-vs-naive measured units behind the `BENCH_*.json` runners and the
+//! Criterion benches: placement evaluation (`BENCH_engine.json`) and
+//! flow-level network simulation (`BENCH_netsim.json`).
 //!
 //! The "naive" path retains the pre-optimization pipeline, built from the
 //! public APIs that still implement it: a clone-based adaptive decision
@@ -19,6 +20,7 @@ use commsched_core::{
     AdaptiveSelector, AllocRequest, BalancedSelector, ClusterState, CostModel, DefaultTreeSelector,
     GreedySelector, JobId, JobNature, NodeSelector, PlacementEvaluator,
 };
+use commsched_netsim::{FlowSim, JobResult, NetConfig, SolverKind, Workload};
 use commsched_topology::{NodeId, SystemPreset, Tree};
 use rand::prelude::*;
 use rand_chacha::ChaCha12Rng;
@@ -199,5 +201,90 @@ impl PlacementCase {
             cost_default,
             adjusted,
         }
+    }
+}
+
+/// One netsim benchmark scenario: a topology plus a workload set, run with
+/// the incremental (fast) or the retained naive rate solver of the same
+/// binary.
+pub struct NetsimCase {
+    pub name: &'static str,
+    pub tree: Tree,
+    pub cfg: NetConfig,
+    pub workloads: Vec<Workload>,
+}
+
+impl NetsimCase {
+    /// Steady state: a few machine-spanning collectives iterating together
+    /// — few events, but each solve sees one large coupled component, so
+    /// this bounds the incremental solver's worst case.
+    pub fn steady_state() -> Self {
+        let tree = Tree::regular_two_level(8, 32);
+        let n = tree.num_nodes();
+        let workloads = (0..4u64)
+            .map(|k| {
+                let stride = 4;
+                let nodes: Vec<NodeId> = (0..32)
+                    .map(|i| NodeId(((k as usize) + stride * i + (i / 8) * 37) % n))
+                    .collect();
+                Workload {
+                    id: k + 1,
+                    nodes,
+                    spec: CollectiveSpec::new(Pattern::Rhvd, 1 << 19),
+                    submit: 0.002 * k as f64,
+                    iterations: 6,
+                }
+            })
+            .collect();
+        NetsimCase {
+            name: "steady_state",
+            tree,
+            cfg: NetConfig::gigabit_ethernet(),
+            workloads,
+        }
+    }
+
+    /// Churn: many short two-node exchanges arriving and finishing all over
+    /// a 2,048-node machine. Every event touches a tiny component, which is
+    /// exactly what the dirty-link frontier exploits; the naive solver
+    /// pays the full O(links × flows) fixpoint per event regardless.
+    pub fn churn() -> Self {
+        let tree = Tree::regular_two_level(64, 32);
+        let n = tree.num_nodes();
+        let workloads = (0..128u64)
+            .map(|k| {
+                let a = (k as usize * 53) % n;
+                let b = (a + 7 + (k as usize % 11)) % n;
+                Workload {
+                    id: k + 1,
+                    nodes: vec![NodeId(a), NodeId(b)],
+                    spec: CollectiveSpec::new(Pattern::Rd, 100_000 + 9_001 * k),
+                    submit: 0.0007 * k as f64,
+                    iterations: 8,
+                }
+            })
+            .collect();
+        NetsimCase {
+            name: "churn",
+            tree,
+            cfg: NetConfig::cheap_ethernet(),
+            workloads,
+        }
+    }
+
+    fn run_with(&self, solver: SolverKind) -> Vec<JobResult> {
+        FlowSim::new(&self.tree, self.cfg)
+            .with_solver(solver)
+            .run(self.workloads.clone())
+    }
+
+    /// Run under the incremental (default) solver.
+    pub fn run_fast(&self) -> Vec<JobResult> {
+        self.run_with(SolverKind::Incremental)
+    }
+
+    /// Run under the retained naive fixpoint solver.
+    pub fn run_naive(&self) -> Vec<JobResult> {
+        self.run_with(SolverKind::Naive)
     }
 }

@@ -1,0 +1,35 @@
+//! The experiment sweep must produce identical output at every rayon
+//! thread count: per-cell seeding is deterministic and the vendored rayon
+//! concatenates results in source order, so nothing downstream may depend
+//! on scheduling. This is the regression gate for the parallel sweep
+//! harness — a reduced Figure 6 sweep (3 systems × 5 mixes × 4 selectors,
+//! nested parallelism) rendered under 1, 2, and 4 worker threads.
+
+use commsched_bench::experiments::fig6;
+use commsched_bench::Scale;
+use rayon::ThreadPoolBuilder;
+
+#[test]
+fn fig6_sweep_identical_across_thread_counts() {
+    let scale = Scale { jobs: 30, seed: 42 };
+    let pool = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+    };
+    let base = pool(1).install(|| fig6(scale));
+    let base_json = serde_json::to_string(&base.json).expect("serialize");
+    for threads in [2usize, 4] {
+        let run = pool(threads).install(|| fig6(scale));
+        assert_eq!(
+            base.text, run.text,
+            "fig6 text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            base_json,
+            serde_json::to_string(&run.json).expect("serialize"),
+            "fig6 json differs between 1 and {threads} threads"
+        );
+    }
+}

@@ -42,7 +42,7 @@
 
 mod sim;
 
-pub use sim::{FlowSim, IterationSample, JobResult, LinkStats, NetConfig, Workload};
+pub use sim::{FlowSim, IterationSample, JobResult, LinkStats, NetConfig, SolverKind, Workload};
 
 #[cfg(test)]
 mod tests;

@@ -1,4 +1,29 @@
 //! The fluid flow simulator: routing, max–min rate allocation, event loop.
+//!
+//! # Hot-path architecture
+//!
+//! The simulator spends essentially all of its time reacting to events
+//! (a flow drains, a step's overhead gate opens, a job arrives) and
+//! recomputing max–min fair rates. Three structures keep that loop
+//! allocation-free and sub-linear in the machine size:
+//!
+//! * **Route arena** ([`RouteArena`]): every flow's route is a contiguous
+//!   slice of one shared `LinkId` buffer (CSR style), written in place when
+//!   a step's flows are created — no per-flow `Vec` allocations. Retired
+//!   flows leave dead segments; the arena compacts itself once more than
+//!   half the buffer is dead.
+//! * **Maintained link index** ([`RunState::link_flows`]): the set of
+//!   *active* flows crossing each link is kept up to date on every flow
+//!   activation/retirement instead of being rebuilt from scratch at each
+//!   event; its length is the per-link active-flow count the solver needs.
+//! * **Dirty-link frontier solver** ([`FlowSim::solve_incremental`]): an
+//!   event only changes rates for flows connected to the changed links
+//!   through shared-link connectivity (max–min allocations decompose across
+//!   connected components of the flow/link graph). The solver BFSes from
+//!   the dirty links, re-waterfills just the affected component(s), and
+//!   leaves every other flow's rate untouched. The full-fixpoint reference
+//!   solver is retained behind [`SolverKind::Naive`] and the two are
+//!   property-tested for exact rate equality.
 
 use commsched_collectives::{CollectiveSpec, Pattern, Step};
 use commsched_topology::{NodeId, SwitchId, Tree};
@@ -58,6 +83,20 @@ impl NetConfig {
             backplane_factor: None,
         }
     }
+}
+
+/// Which max–min rate solver drives the event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Dirty-link frontier: recompute rates only for flows sharing a link
+    /// (transitively) with the flows that changed at this event. The
+    /// default.
+    #[default]
+    Incremental,
+    /// Re-run the full progressive-filling fixpoint over every flow at
+    /// every event — the reference implementation the incremental solver is
+    /// property-tested against.
+    Naive,
 }
 
 /// One collective job to simulate: a node set, the collective it runs, when
@@ -123,12 +162,17 @@ pub struct LinkStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LinkId(usize);
 
+/// One directed flow. Its route lives in the [`RouteArena`] as the
+/// half-open slice `route.0..route.1`.
 #[derive(Debug, Clone)]
 struct Flow {
-    route: Vec<LinkId>,
+    route: (u32, u32),
     remaining: f64,
     rate: f64,
     job_idx: usize,
+    /// Whether the step's overhead gate has opened for this flow. Inactive
+    /// flows hold rate 0 and do not appear in the link index.
+    active: bool,
 }
 
 #[derive(Debug)]
@@ -147,6 +191,176 @@ struct ActiveJob {
     done: bool,
 }
 
+const EPS: f64 = 1e-9;
+
+/// CSR-style route storage shared by all live flows of a run.
+#[derive(Debug, Default)]
+struct RouteArena {
+    links: Vec<LinkId>,
+    /// Link slots owned by retired flows, reclaimed by compaction.
+    dead: usize,
+}
+
+impl RouteArena {
+    #[inline]
+    fn slice(&self, route: (u32, u32)) -> &[LinkId] {
+        &self.links[route.0 as usize..route.1 as usize]
+    }
+
+    /// Copying compaction: drop dead segments once they dominate the
+    /// buffer, rewriting the surviving flows' ranges. Amortized O(1) per
+    /// retired link slot.
+    fn maybe_compact(&mut self, flows: &mut [Flow]) {
+        if self.dead < 4096 || self.dead * 2 < self.links.len() {
+            return;
+        }
+        let mut packed = Vec::with_capacity(self.links.len() - self.dead);
+        for f in flows.iter_mut() {
+            let start = packed.len() as u32;
+            packed.extend_from_slice(&self.links[f.route.0 as usize..f.route.1 as usize]);
+            f.route = (start, packed.len() as u32);
+        }
+        self.links = packed;
+        self.dead = 0;
+    }
+}
+
+/// Per-run mutable simulation state: flow table, route arena, and the
+/// incrementally maintained per-link index of active flows.
+struct RunState {
+    flows: Vec<Flow>,
+    arena: RouteArena,
+    /// Indices of the *active* flows crossing each link; `len()` is the
+    /// maintained per-link active-flow count. Updated on activation and
+    /// retirement, never rebuilt from scratch.
+    link_flows: Vec<Vec<u32>>,
+    /// Links whose active-flow set changed since the last rate solve.
+    dirty_links: Vec<usize>,
+    dirty_mark: Vec<bool>,
+}
+
+impl RunState {
+    fn new(nlinks: usize) -> Self {
+        RunState {
+            flows: Vec::new(),
+            arena: RouteArena::default(),
+            link_flows: vec![Vec::new(); nlinks],
+            dirty_links: Vec::new(),
+            dirty_mark: vec![false; nlinks],
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, l: usize) {
+        if !self.dirty_mark[l] {
+            self.dirty_mark[l] = true;
+            self.dirty_links.push(l);
+        }
+    }
+
+    fn clear_dirty(&mut self) {
+        for &l in &self.dirty_links {
+            self.dirty_mark[l] = false;
+        }
+        self.dirty_links.clear();
+    }
+
+    /// Open the gate for flow `f`: index it on its links and mark them
+    /// dirty for the next solve.
+    fn activate(&mut self, f: usize) {
+        debug_assert!(!self.flows[f].active);
+        self.flows[f].active = true;
+        let (a, b) = self.flows[f].route;
+        for i in a..b {
+            let l = self.arena.links[i as usize].0;
+            self.link_flows[l].push(f as u32);
+            self.mark_dirty(l);
+        }
+    }
+
+    /// Retire flow `f` (drained): unlink it, mark its links dirty, and
+    /// reclaim its arena segment lazily.
+    fn remove_flow(&mut self, f: usize) {
+        let (a, b) = self.flows[f].route;
+        if self.flows[f].active {
+            for i in a..b {
+                let l = self.arena.links[i as usize].0;
+                let pos = self.link_flows[l]
+                    .iter()
+                    .position(|&x| x == f as u32)
+                    .expect("active flow is indexed on each of its links");
+                self.link_flows[l].swap_remove(pos);
+                self.mark_dirty(l);
+            }
+        }
+        self.arena.dead += (b - a) as usize;
+        self.flows.swap_remove(f);
+        // The flow formerly at the tail now sits at `f`; repoint its index
+        // entries.
+        if f < self.flows.len() {
+            let old = self.flows.len() as u32;
+            if self.flows[f].active {
+                let (a, b) = self.flows[f].route;
+                for i in a..b {
+                    let l = self.arena.links[i as usize].0;
+                    let pos = self.link_flows[l]
+                        .iter()
+                        .position(|&x| x == old)
+                        .expect("moved flow is indexed on each of its links");
+                    self.link_flows[l][pos] = f as u32;
+                }
+            }
+        }
+        self.arena.maybe_compact(&mut self.flows);
+    }
+}
+
+/// Reusable solver scratch — allocated once per run, epoch-stamped so the
+/// incremental solver never clears whole-machine-sized arrays per event.
+struct SolverScratch {
+    residual: Vec<f64>,
+    load: Vec<u32>,
+    link_epoch: Vec<u32>,
+    flow_epoch: Vec<u32>,
+    epoch: u32,
+    /// Links / flows of the component currently being waterfilled.
+    affected_links: Vec<usize>,
+    affected_flows: Vec<usize>,
+    frozen: Vec<bool>,
+    /// Positions (into `affected_flows`) frozen in the current round.
+    round: Vec<usize>,
+    /// The naive solver's from-scratch load rebuild (kept separate from
+    /// `load` so the rebuild cost it pays is real, not elided).
+    naive_load: Vec<u32>,
+}
+
+impl SolverScratch {
+    fn new(nlinks: usize) -> Self {
+        SolverScratch {
+            residual: vec![0.0; nlinks],
+            load: vec![0; nlinks],
+            link_epoch: vec![0; nlinks],
+            flow_epoch: Vec::new(),
+            epoch: 0,
+            affected_links: Vec::new(),
+            affected_flows: Vec::new(),
+            frozen: Vec::new(),
+            round: Vec::new(),
+            naive_load: vec![0; nlinks],
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.link_epoch.fill(0);
+            self.flow_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
 /// Fluid-flow simulator over a [`Tree`].
 ///
 /// Construct once per topology; [`FlowSim::run`] is `&self` and can be
@@ -160,6 +374,7 @@ pub struct FlowSim<'t> {
     switch_base: usize,
     /// Leaf-backplane link base index (`usize::MAX` when disabled).
     backplane_base: usize,
+    solver: SolverKind,
 }
 
 impl<'t> FlowSim<'t> {
@@ -191,7 +406,20 @@ impl<'t> FlowSim<'t> {
             capacity,
             switch_base,
             backplane_base,
+            solver: SolverKind::default(),
         }
+    }
+
+    /// Select the rate solver (the incremental solver is the default; the
+    /// naive fixpoint is retained for benchmarking and equivalence tests).
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured rate solver.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
     }
 
     #[inline]
@@ -214,127 +442,225 @@ impl<'t> FlowSim<'t> {
         LinkId(self.switch_base + 2 * s.0 + 1)
     }
 
-    /// Route from `src` to `dst`: up-links to the LCA, then down-links.
-    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
-        let mut links = vec![self.node_up(src)];
+    /// Append the route from `src` to `dst` — up-links to the LCA, then
+    /// down-links — to the arena buffer, returning the written range.
+    fn route_into(&self, src: NodeId, dst: NodeId, arena: &mut Vec<LinkId>) -> (u32, u32) {
+        let start = arena.len() as u32;
+        arena.push(self.node_up(src));
         let lca = self.tree.lca(src, dst);
         let mut s = self.tree.leaf_of(src);
         while s != lca {
-            links.push(self.switch_up(s));
+            arena.push(self.switch_up(s));
             s = self.tree.switch(s).parent.expect("LCA above leaf");
         }
-        let mut down = Vec::new();
+        // Down-links are discovered leaf-upward; reverse in place to get
+        // LCA-downward order.
+        let down_start = arena.len();
         let mut d = self.tree.leaf_of(dst);
         while d != lca {
-            down.push(self.switch_down(d));
+            arena.push(self.switch_down(d));
             d = self.tree.switch(d).parent.expect("LCA above leaf");
         }
-        links.extend(down.into_iter().rev());
-        links.push(self.node_down(dst));
+        arena[down_start..].reverse();
+        arena.push(self.node_down(dst));
         if self.backplane_base != usize::MAX {
             let a = self.tree.leaf_ordinal_of(src);
             let b = self.tree.leaf_ordinal_of(dst);
-            links.push(LinkId(self.backplane_base + a));
+            arena.push(LinkId(self.backplane_base + a));
             if b != a {
-                links.push(LinkId(self.backplane_base + b));
+                arena.push(LinkId(self.backplane_base + b));
             }
         }
-        links
+        (start, arena.len() as u32)
     }
 
-    /// Flows for one collective step over ranked nodes. RD/RHVD/ring/stencil
-    /// pairs exchange in both directions; binomial sends one way (lower rank
-    /// holds the data in every step of the schedule).
-    fn step_flows(
-        &self,
-        job_idx: usize,
-        ranked: &[NodeId],
-        step: &Step,
-        pattern: Pattern,
-    ) -> Vec<Flow> {
-        let bidirectional = !matches!(pattern, Pattern::Binomial);
-        let mut flows = Vec::with_capacity(step.pairs.len() * 2);
-        for &(a, b) in &step.pairs {
-            let (na, nb) = (ranked[a], ranked[b]);
-            if na == nb {
-                continue;
-            }
-            flows.push(Flow {
-                route: self.route(na, nb),
-                remaining: step.msize as f64,
-                rate: 0.0,
-                job_idx,
-            });
-            if bidirectional {
-                flows.push(Flow {
-                    route: self.route(nb, na),
-                    remaining: step.msize as f64,
-                    rate: 0.0,
-                    job_idx,
-                });
-            }
-        }
-        flows
-    }
-
-    /// Max–min fair rates by progressive filling. `active[f]` gates which
-    /// flows currently drain (a step still inside its overhead gate has
-    /// inactive flows).
-    fn assign_rates(&self, flows: &mut [Flow], active: &[bool]) {
-        let nlinks = self.capacity.len();
-        let mut residual = self.capacity.clone();
-        let mut load = vec![0u32; nlinks];
-        for (f, flow) in flows.iter().enumerate() {
-            if active[f] {
-                for l in &flow.route {
-                    load[l.0] += 1;
+    /// BFS one connected component of the flow/link sharing graph into
+    /// `sc.affected_links` / `sc.affected_flows`, starting from the links
+    /// queued at `sc.affected_links[link_head..]`. Uses epoch stamps, so
+    /// components already visited this solve are skipped for free.
+    fn collect_component(&self, rs: &RunState, sc: &mut SolverScratch, mut head: usize) {
+        let epoch = sc.epoch;
+        while head < sc.affected_links.len() {
+            let l = sc.affected_links[head];
+            head += 1;
+            for k in 0..rs.link_flows[l].len() {
+                let f = rs.link_flows[l][k] as usize;
+                if sc.flow_epoch[f] == epoch {
+                    continue;
+                }
+                sc.flow_epoch[f] = epoch;
+                sc.affected_flows.push(f);
+                let (a, b) = rs.flows[f].route;
+                for i in a..b {
+                    let l2 = rs.arena.links[i as usize].0;
+                    if sc.link_epoch[l2] != epoch {
+                        sc.link_epoch[l2] = epoch;
+                        sc.affected_links.push(l2);
+                    }
                 }
             }
         }
-        let mut frozen: Vec<bool> = flows.iter().enumerate().map(|(f, _)| !active[f]).collect();
-        for (f, flow) in flows.iter_mut().enumerate() {
-            if !active[f] {
-                flow.rate = 0.0;
-            }
+    }
+
+    /// Max–min progressive filling over one component
+    /// (`sc.affected_links` / `sc.affected_flows`), writing each flow's
+    /// bottleneck share into its rate.
+    ///
+    /// Each round computes the component's bottleneck share, then freezes
+    /// in **two phases**: first decide the freeze set against the
+    /// *pre-round* residuals, then apply all the subtractions. That makes
+    /// the result a pure function of the component's {links, loads,
+    /// capacities} — independent of flow visit order and of when (or with
+    /// what else) the component is solved — which is what lets the
+    /// incremental solver skip untouched components and still match the
+    /// full fixpoint bit for bit. (In real arithmetic the two phases are
+    /// equivalent: freezing a flow can only *raise* the remaining shares
+    /// on its links, never pull a new link under the bottleneck; the
+    /// mid-round cascade of a single-phase loop only fires on
+    /// floating-point noise at the tolerance edge, and then depends on
+    /// visit order.)
+    fn waterfill(&self, rs: &mut RunState, sc: &mut SolverScratch) {
+        for &l in &sc.affected_links {
+            sc.residual[l] = self.capacity[l];
+            sc.load[l] = rs.link_flows[l].len() as u32;
         }
-        let mut left = active.iter().filter(|a| **a).count();
+        sc.frozen.clear();
+        sc.frozen.resize(sc.affected_flows.len(), false);
+        let mut left = sc.affected_flows.len();
         while left > 0 {
-            // Bottleneck link: minimal residual share among loaded links.
+            // Bottleneck: minimal residual share among loaded links.
             let mut share = f64::INFINITY;
-            for l in 0..nlinks {
-                if load[l] > 0 {
-                    let s = residual[l] / f64::from(load[l]);
+            for &l in &sc.affected_links {
+                if sc.load[l] > 0 {
+                    let s = sc.residual[l] / f64::from(sc.load[l]);
                     if s < share {
                         share = s;
                     }
                 }
             }
             debug_assert!(share.is_finite());
-            // Freeze every unfrozen flow that crosses a bottleneck link.
-            let mut froze_any = false;
-            for f in 0..flows.len() {
-                if frozen[f] {
+            // Phase 1: the freeze set, judged on pre-round residuals only.
+            sc.round.clear();
+            for k in 0..sc.affected_flows.len() {
+                if sc.frozen[k] {
                     continue;
                 }
-                let bottlenecked = flows[f].route.iter().any(|l| {
-                    load[l.0] > 0 && residual[l.0] / f64::from(load[l.0]) <= share * (1.0 + 1e-12)
+                let f = sc.affected_flows[k];
+                let route = (rs.flows[f].route.0 as usize)..(rs.flows[f].route.1 as usize);
+                let bottlenecked = rs.arena.links[route].iter().any(|l| {
+                    sc.load[l.0] > 0
+                        && sc.residual[l.0] / f64::from(sc.load[l.0]) <= share * (1.0 + 1e-12)
                 });
                 if bottlenecked {
-                    flows[f].rate = share;
-                    frozen[f] = true;
-                    froze_any = true;
-                    left -= 1;
-                    for l in &flows[f].route {
-                        residual[l.0] = (residual[l.0] - share).max(0.0);
-                        load[l.0] -= 1;
-                    }
+                    sc.round.push(k);
                 }
             }
-            debug_assert!(froze_any, "progressive filling made no progress");
-            if !froze_any {
+            // The argmin link's flows always pass the test, so every round
+            // makes progress.
+            debug_assert!(!sc.round.is_empty(), "progressive filling stalled");
+            if sc.round.is_empty() {
                 break;
             }
+            // Phase 2: apply.
+            left -= sc.round.len();
+            for ri in 0..sc.round.len() {
+                let k = sc.round[ri];
+                sc.frozen[k] = true;
+                let f = sc.affected_flows[k];
+                rs.flows[f].rate = share;
+                let route = (rs.flows[f].route.0 as usize)..(rs.flows[f].route.1 as usize);
+                for l in &rs.arena.links[route] {
+                    sc.residual[l.0] = (sc.residual[l.0] - share).max(0.0);
+                    sc.load[l.0] -= 1;
+                }
+            }
         }
+    }
+
+    /// The dirty-link frontier solver. For each link whose active-flow set
+    /// changed since the last solve, BFS the connected component of flows
+    /// and links around it and re-waterfill that component alone. Flows in
+    /// untouched components keep their rates: max–min allocations
+    /// decompose across connected components of the flow/link sharing
+    /// graph, and the per-component waterfill is a pure function of the
+    /// component, so an untouched component would recompute to exactly the
+    /// rates it already holds.
+    fn solve_incremental(&self, rs: &mut RunState, sc: &mut SolverScratch) {
+        if rs.dirty_links.is_empty() {
+            return;
+        }
+        sc.next_epoch();
+        if sc.flow_epoch.len() < rs.flows.len() {
+            sc.flow_epoch.resize(rs.flows.len(), 0);
+        }
+        let epoch = sc.epoch;
+        for di in 0..rs.dirty_links.len() {
+            let l = rs.dirty_links[di];
+            if sc.link_epoch[l] == epoch {
+                continue; // already solved as part of an earlier component
+            }
+            sc.affected_links.clear();
+            sc.affected_flows.clear();
+            sc.link_epoch[l] = epoch;
+            sc.affected_links.push(l);
+            self.collect_component(rs, sc, 0);
+            if !sc.affected_flows.is_empty() {
+                self.waterfill(rs, sc);
+            }
+        }
+        rs.clear_dirty();
+    }
+
+    /// The retained reference solver: rebuild every per-link load from
+    /// scratch and re-waterfill every component at every event — the
+    /// pre-optimization O(links + flows) + O(rounds × links × flows)
+    /// fixpoint the incremental solver is benchmarked and property-tested
+    /// against. Inactive flows are pinned at rate 0.
+    fn solve_naive(&self, rs: &mut RunState, sc: &mut SolverScratch) {
+        // The from-scratch rebuild the maintained `link_flows` index
+        // replaces; checked against it, and kept as real paid work so the
+        // benchmark comparison is honest.
+        sc.naive_load.fill(0);
+        for flow in rs.flows.iter() {
+            if flow.active {
+                for l in rs.arena.slice(flow.route) {
+                    sc.naive_load[l.0] += 1;
+                }
+            }
+        }
+        debug_assert!(
+            (0..self.capacity.len()).all(|l| sc.naive_load[l] as usize == rs.link_flows[l].len())
+        );
+        for flow in rs.flows.iter_mut() {
+            if !flow.active {
+                flow.rate = 0.0;
+            }
+        }
+        sc.next_epoch();
+        if sc.flow_epoch.len() < rs.flows.len() {
+            sc.flow_epoch.resize(rs.flows.len(), 0);
+        }
+        let epoch = sc.epoch;
+        for f in 0..rs.flows.len() {
+            if !rs.flows[f].active || sc.flow_epoch[f] == epoch {
+                continue;
+            }
+            sc.affected_links.clear();
+            sc.affected_flows.clear();
+            sc.flow_epoch[f] = epoch;
+            sc.affected_flows.push(f);
+            let (a, b) = rs.flows[f].route;
+            for i in a..b {
+                let l = rs.arena.links[i as usize].0;
+                if sc.link_epoch[l] != epoch {
+                    sc.link_epoch[l] = epoch;
+                    sc.affected_links.push(l);
+                }
+            }
+            self.collect_component(rs, sc, 0);
+            self.waterfill(rs, sc);
+        }
+        rs.clear_dirty();
     }
 
     /// Simulate the workloads to completion and report per-job results.
@@ -343,13 +669,13 @@ impl<'t> FlowSim<'t> {
     /// is `commsched-slurmsim`'s business) and run their iterations back to
     /// back. Completed jobs are reported in workload order.
     pub fn run(&self, workloads: Vec<Workload>) -> Vec<JobResult> {
-        self.run_impl(workloads, None)
+        self.run_impl(workloads, None, None)
     }
 
     /// Like [`FlowSim::run`], additionally accounting bytes per link class.
     pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
         let mut bytes = vec![0.0f64; self.capacity.len()];
-        let results = self.run_impl(workloads, Some(&mut bytes));
+        let results = self.run_impl(workloads, Some(&mut bytes), None);
         let span = results.iter().map(|r| r.end).fold(0.0f64, f64::max)
             - results
                 .iter()
@@ -385,10 +711,23 @@ impl<'t> FlowSim<'t> {
         (results, stats)
     }
 
+    /// Run and record the full per-flow rate vector after every solve — the
+    /// observable the solver-equivalence property tests compare.
+    #[cfg(test)]
+    pub(crate) fn run_tracing_rates(
+        &self,
+        workloads: Vec<Workload>,
+    ) -> (Vec<JobResult>, Vec<Vec<f64>>) {
+        let mut trace = Vec::new();
+        let results = self.run_impl(workloads, None, Some(&mut trace));
+        (results, trace)
+    }
+
     fn run_impl(
         &self,
         workloads: Vec<Workload>,
         mut link_bytes: Option<&mut Vec<f64>>,
+        mut rate_trace: Option<&mut Vec<Vec<f64>>>,
     ) -> Vec<JobResult> {
         let mut jobs: Vec<ActiveJob> = workloads
             .iter()
@@ -418,15 +757,18 @@ impl<'t> FlowSim<'t> {
         arrivals.sort_by(|&a, &b| workloads[a].submit.total_cmp(&workloads[b].submit));
         let mut next_arrival = 0usize;
 
-        let mut flows: Vec<Flow> = Vec::new();
+        let mut rs = RunState::new(self.capacity.len());
+        let mut sc = SolverScratch::new(self.capacity.len());
         let mut now = 0.0f64;
-        const EPS: f64 = 1e-9;
 
-        // Start a job's current step: push its flows, set the overhead gate.
+        // Start a job's current step: write its flows into the arena, set
+        // the overhead gate. RD/RHVD/ring/stencil pairs exchange in both
+        // directions; binomial sends one way (lower rank holds the data in
+        // every step of the schedule).
         fn start_step(
             sim: &FlowSim<'_>,
             jobs: &mut [ActiveJob],
-            flows: &mut Vec<Flow>,
+            rs: &mut RunState,
             workloads: &[Workload],
             j: usize,
             now: f64,
@@ -452,10 +794,44 @@ impl<'t> FlowSim<'t> {
                 }
                 let step = &job.steps[job.step_idx];
                 let pattern = workloads[job.workload_idx].spec.pattern;
-                let new_flows = sim.step_flows(j, &job.ranked, step, pattern);
+                let bidirectional = !matches!(pattern, Pattern::Binomial);
                 job.gate = now + sim.cfg.step_overhead;
-                job.flows_left = new_flows.len();
-                if new_flows.is_empty() {
+                let active_now = now + EPS >= job.gate;
+                let mut created = 0usize;
+                for &(a, b) in &step.pairs {
+                    let (na, nb) = (job.ranked[a], job.ranked[b]);
+                    if na == nb {
+                        continue;
+                    }
+                    let route = sim.route_into(na, nb, &mut rs.arena.links);
+                    rs.flows.push(Flow {
+                        route,
+                        remaining: step.msize as f64,
+                        rate: 0.0,
+                        job_idx: j,
+                        active: false,
+                    });
+                    if active_now {
+                        rs.activate(rs.flows.len() - 1);
+                    }
+                    created += 1;
+                    if bidirectional {
+                        let route = sim.route_into(nb, na, &mut rs.arena.links);
+                        rs.flows.push(Flow {
+                            route,
+                            remaining: step.msize as f64,
+                            rate: 0.0,
+                            job_idx: j,
+                            active: false,
+                        });
+                        if active_now {
+                            rs.activate(rs.flows.len() - 1);
+                        }
+                        created += 1;
+                    }
+                }
+                job.flows_left = created;
+                if created == 0 {
                     // Degenerate step (no pairs, e.g. single-node job):
                     // consume the overhead and move on immediately. The
                     // overhead gate is modelled as instantaneous here to
@@ -463,7 +839,6 @@ impl<'t> FlowSim<'t> {
                     job.step_idx += 1;
                     continue;
                 }
-                flows.extend(new_flows);
                 return;
             }
         }
@@ -485,28 +860,37 @@ impl<'t> FlowSim<'t> {
                     }
                     jobs[j].done = true;
                 } else {
-                    start_step(self, &mut jobs, &mut flows, &workloads, j, now);
+                    start_step(self, &mut jobs, &mut rs, &workloads, j, now);
                 }
                 next_arrival += 1;
             }
 
-            if flows.is_empty() && next_arrival >= arrivals.len() {
+            if rs.flows.is_empty() && next_arrival >= arrivals.len() {
                 break;
             }
 
-            // Rates for flows whose step gate has opened.
-            let active: Vec<bool> = flows
-                .iter()
-                .map(|f| now + EPS >= jobs[f.job_idx].gate)
-                .collect();
-            self.assign_rates(&mut flows, &active);
+            // Open the gates that have expired; rates for newly active
+            // flows (and anything sharing links with them) are solved next.
+            for f in 0..rs.flows.len() {
+                if !rs.flows[f].active && now + EPS >= jobs[rs.flows[f].job_idx].gate {
+                    rs.activate(f);
+                }
+            }
+
+            match self.solver {
+                SolverKind::Incremental => self.solve_incremental(&mut rs, &mut sc),
+                SolverKind::Naive => self.solve_naive(&mut rs, &mut sc),
+            }
+            if let Some(trace) = rate_trace.as_deref_mut() {
+                trace.push(rs.flows.iter().map(|f| f.rate).collect());
+            }
 
             // Next event: flow completion, gate opening, or arrival.
             let mut dt = f64::INFINITY;
-            for (f, flow) in flows.iter().enumerate() {
-                if active[f] && flow.rate > 0.0 {
+            for flow in &rs.flows {
+                if flow.active && flow.rate > 0.0 {
                     dt = dt.min(flow.remaining / flow.rate);
-                } else if !active[f] {
+                } else if !flow.active {
                     dt = dt.min(jobs[flow.job_idx].gate - now);
                 }
             }
@@ -523,23 +907,22 @@ impl<'t> FlowSim<'t> {
             // Drain and retire flows.
             let mut finished_jobs: Vec<usize> = Vec::new();
             let mut f = 0;
-            while f < flows.len() {
-                let is_active = now + EPS >= jobs[flows[f].job_idx].gate;
-                if is_active && flows[f].rate > 0.0 {
+            while f < rs.flows.len() {
+                if rs.flows[f].active && rs.flows[f].rate > 0.0 {
                     if let Some(bytes) = link_bytes.as_deref_mut() {
-                        let moved = flows[f].rate * dt;
-                        for l in &flows[f].route {
+                        let moved = rs.flows[f].rate * dt;
+                        for l in rs.arena.slice(rs.flows[f].route) {
                             bytes[l.0] += moved;
                         }
                     }
-                    flows[f].remaining -= flows[f].rate * dt;
-                    if flows[f].remaining <= EPS {
-                        let j = flows[f].job_idx;
+                    rs.flows[f].remaining -= rs.flows[f].rate * dt;
+                    if rs.flows[f].remaining <= EPS {
+                        let j = rs.flows[f].job_idx;
                         jobs[j].flows_left -= 1;
                         if jobs[j].flows_left == 0 {
                             finished_jobs.push(j);
                         }
-                        flows.swap_remove(f);
+                        rs.remove_flow(f);
                         continue;
                     }
                 }
@@ -547,7 +930,7 @@ impl<'t> FlowSim<'t> {
             }
             for j in finished_jobs {
                 jobs[j].step_idx += 1;
-                start_step(self, &mut jobs, &mut flows, &workloads, j, now);
+                start_step(self, &mut jobs, &mut rs, &workloads, j, now);
             }
         }
 

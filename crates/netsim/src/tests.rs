@@ -1,4 +1,4 @@
-use crate::{FlowSim, NetConfig, Workload};
+use crate::{FlowSim, NetConfig, SolverKind, Workload};
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_topology::{NodeId, Tree};
 
@@ -382,6 +382,210 @@ mod properties {
             ]);
             prop_assert!(both[0].end >= alone[0].end - 1e-9,
                 "competition sped the job up: {} < {}", both[0].end, alone[0].end);
+        }
+    }
+}
+
+/// The incremental (dirty-link frontier) solver must be *observationally
+/// identical* to the retained naive fixpoint: same per-flow rate vector
+/// after every solve, same `JobResult`s, same link statistics — bit for
+/// bit, not approximately.
+mod solver_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_solvers_agree(tree: &Tree, cfg: NetConfig, workloads: Vec<Workload>) {
+        let fast = FlowSim::new(tree, cfg); // Incremental is the default
+        assert_eq!(fast.solver(), SolverKind::Incremental);
+        let naive = FlowSim::new(tree, cfg).with_solver(SolverKind::Naive);
+
+        let (res_f, trace_f) = fast.run_tracing_rates(workloads.clone());
+        let (res_n, trace_n) = naive.run_tracing_rates(workloads.clone());
+        assert_eq!(trace_f.len(), trace_n.len(), "event counts diverged");
+        for (ev, (a, b)) in trace_f.iter().zip(&trace_n).enumerate() {
+            assert_eq!(a.len(), b.len(), "flow counts diverged at event {ev}");
+            for (f, (ra, rb)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    ra.to_bits(),
+                    rb.to_bits(),
+                    "rate of flow {f} diverged at event {ev}: {ra} vs {rb}"
+                );
+            }
+        }
+        assert_eq!(res_f, res_n, "job results diverged");
+
+        let (sres_f, stats_f) = fast.run_with_stats(workloads.clone());
+        let (sres_n, stats_n) = naive.run_with_stats(workloads);
+        assert_eq!(sres_f, sres_n);
+        assert_eq!(stats_f, stats_n);
+    }
+
+    #[test]
+    #[ignore = "diagnostic"]
+    fn diag_first_divergence() {
+        let tree = Tree::regular_two_level(8, 32);
+        let n = tree.num_nodes();
+        let workloads: Vec<Workload> = (0..4u64)
+            .map(|k| {
+                let nodes: Vec<NodeId> = (0..32)
+                    .map(|i| NodeId(((k as usize) + 4 * i + (i / 8) * 37) % n))
+                    .collect();
+                Workload {
+                    id: k + 1,
+                    nodes,
+                    spec: CollectiveSpec::new(Pattern::Rhvd, 1 << 19),
+                    submit: 0.002 * k as f64,
+                    iterations: 6,
+                }
+            })
+            .collect();
+        let cfg = NetConfig::gigabit_ethernet();
+        let fast = FlowSim::new(&tree, cfg);
+        let naive = FlowSim::new(&tree, cfg).with_solver(SolverKind::Naive);
+        let (_, tf) = fast.run_tracing_rates(workloads.clone());
+        let (_, tn) = naive.run_tracing_rates(workloads);
+        assert_eq!(
+            tf.len(),
+            tn.len(),
+            "event counts: {} vs {}",
+            tf.len(),
+            tn.len()
+        );
+        for (ev, (a, b)) in tf.iter().zip(&tn).enumerate() {
+            assert_eq!(a.len(), b.len(), "flow count at event {ev}");
+            for (f, (ra, rb)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    ra.to_bits() == rb.to_bits(),
+                    "event {ev} flow {f}/{}: fast {ra:.17e} ({:#x}) vs naive {rb:.17e} ({:#x}), rel {:.3e}",
+                    a.len(),
+                    ra.to_bits(),
+                    rb.to_bits(),
+                    (ra - rb).abs() / rb.abs().max(1e-300)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_on_staggered_churn() {
+        // Many small jobs arriving and finishing at different times — the
+        // scenario the incremental solver accelerates — must produce the
+        // exact event-by-event rates of the full fixpoint.
+        let tree = Tree::regular_two_level(4, 8);
+        let workloads: Vec<Workload> = (0..12)
+            .map(|k| {
+                let a = (k * 2) % 32;
+                let b = (k * 2 + 9) % 32;
+                wl(
+                    k as u64 + 1,
+                    &[a, b],
+                    CollectiveSpec::new(Pattern::Rd, 200_000 + 37_000 * k as u64),
+                    0.07 * k as f64,
+                    3,
+                )
+            })
+            .collect();
+        assert_solvers_agree(&tree, NetConfig::gigabit_ethernet(), workloads);
+    }
+
+    #[test]
+    fn identical_through_arena_compaction() {
+        // Enough iterations that retired routes exceed the compaction
+        // threshold mid-run: surviving flows' routes are rewritten and the
+        // rates must not notice.
+        let tree = Tree::regular_two_level(2, 8);
+        let long = wl(
+            1,
+            &(0..16).collect::<Vec<_>>(),
+            CollectiveSpec::new(Pattern::Rhvd, 1 << 16),
+            0.0,
+            60,
+        );
+        let mut workloads = vec![long];
+        for k in 0..6 {
+            workloads.push(wl(
+                k + 2,
+                &[(k as usize) % 16, (k as usize + 5) % 16],
+                CollectiveSpec::new(Pattern::Binomial, 1 << 18),
+                0.01 * k as f64,
+                40,
+            ));
+        }
+        assert_solvers_agree(&tree, NetConfig::cheap_ethernet(), workloads);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random trees, random flow sets, optional oversubscribed leaf
+        /// backplanes: the two solvers agree on every rate at every event.
+        #[test]
+        fn incremental_matches_naive(
+            leaves in 2usize..5,
+            per_leaf in 2usize..7,
+            backplane in prop::option::of(0.5f64..8.0),
+            overhead in prop::sample::select(vec![0.0, 100.0e-6, 0.01]),
+            jobs in prop::collection::vec(
+                (
+                    prop::sample::select(Pattern::ALL.to_vec()),
+                    prop::collection::vec(0usize..24, 2..6),
+                    10_000u64..2_000_000,
+                    0.0f64..0.5,
+                    1usize..4,
+                ),
+                1..6,
+            ),
+        ) {
+            let tree = Tree::regular_two_level(leaves, per_leaf);
+            let n = tree.num_nodes();
+            let cfg = NetConfig {
+                node_bandwidth: 1.0e6,
+                trunk_factor: 1.0,
+                step_overhead: overhead,
+                backplane_factor: backplane,
+            };
+            let workloads: Vec<Workload> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pat, nodes, msize, submit, iters))| {
+                    let nodes: Vec<usize> = nodes.into_iter().map(|x| x % n).collect();
+                    wl(i as u64 + 1, &nodes, CollectiveSpec::new(pat, msize), submit, iters)
+                })
+                .collect();
+            assert_solvers_agree(&tree, cfg, workloads);
+        }
+
+        /// Same property on three-level trees (deeper routes, level-2
+        /// trunks).
+        #[test]
+        fn incremental_matches_naive_three_level(
+            trunk in prop::sample::select(vec![1.0f64, 2.0]),
+            jobs in prop::collection::vec(
+                (
+                    prop::sample::select(Pattern::PAPER.to_vec()),
+                    prop::collection::vec(0usize..16, 2..5),
+                    50_000u64..1_000_000,
+                    0.0f64..0.3,
+                    1usize..3,
+                ),
+                1..5,
+            ),
+        ) {
+            let tree = Tree::regular_three_level(2, 2, 4);
+            let cfg = NetConfig {
+                node_bandwidth: 1.0e6,
+                trunk_factor: trunk,
+                step_overhead: 100.0e-6,
+                backplane_factor: None,
+            };
+            let workloads: Vec<Workload> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pat, nodes, msize, submit, iters))| {
+                    wl(i as u64 + 1, &nodes, CollectiveSpec::new(pat, msize), submit, iters)
+                })
+                .collect();
+            assert_solvers_agree(&tree, cfg, workloads);
         }
     }
 }

@@ -10,6 +10,7 @@ use crate::engine::{Engine, EngineConfig};
 use commsched_core::{ClusterState, JobNature, SelectorKind};
 use commsched_topology::Tree;
 use commsched_workload::{Job, JobLog};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One probe job's placement under one selector.
@@ -90,42 +91,48 @@ pub fn warmup_state(tree: &Tree, log: &JobLog, fraction: f64) -> ClusterState {
 /// Place every probe job from the same frozen `state` under every selector
 /// in [`SelectorKind::ALL`]. Jobs that cannot fit the free capacity are
 /// skipped (the paper samples jobs that fit its warm cluster).
+///
+/// Probes are independent — each one reads the shared frozen `state` and
+/// builds its own engines — so they fan out across the rayon thread
+/// budget. Results keep probe order, so the output is identical at every
+/// thread count.
 pub fn individual_runs(
     tree: &Tree,
     state: &ClusterState,
     probes: &[Job],
     base_cfg: EngineConfig,
 ) -> Vec<IndividualOutcome> {
-    let mut out = Vec::with_capacity(probes.len());
-    for job in probes {
-        if job.nodes > state.free_total() {
-            continue;
-        }
-        let mut placements = Vec::with_capacity(SelectorKind::ALL.len());
-        for kind in SelectorKind::ALL {
-            let cfg = EngineConfig {
-                selector: kind,
-                ..base_cfg
-            };
-            let engine = Engine::new(tree, cfg);
-            let selector = engine.build_selector();
-            let Some(placed) = engine.place(state, job, selector.as_ref()) else {
-                continue;
-            };
-            placements.push(Placement {
-                selector: kind.name().to_string(),
-                cost: placed.cost_actual,
-                runtime_adjusted: placed.adjusted,
-            });
-        }
-        out.push(IndividualOutcome {
-            job: job.id,
-            nodes: job.nodes,
-            runtime_original: job.runtime,
-            placements,
-        });
-    }
-    out
+    probes
+        .par_iter()
+        .flat_map(|job| -> Option<IndividualOutcome> {
+            if job.nodes > state.free_total() {
+                return None;
+            }
+            let mut placements = Vec::with_capacity(SelectorKind::ALL.len());
+            for kind in SelectorKind::ALL {
+                let cfg = EngineConfig {
+                    selector: kind,
+                    ..base_cfg
+                };
+                let engine = Engine::new(tree, cfg);
+                let selector = engine.build_selector();
+                let Some(placed) = engine.place(state, job, selector.as_ref()) else {
+                    continue;
+                };
+                placements.push(Placement {
+                    selector: kind.name().to_string(),
+                    cost: placed.cost_actual,
+                    runtime_adjusted: placed.adjusted,
+                });
+            }
+            Some(IndividualOutcome {
+                job: job.id,
+                nodes: job.nodes,
+                runtime_original: job.runtime,
+                placements,
+            })
+        })
+        .collect()
 }
 
 /// Mean percentage improvement over default across outcomes, for one

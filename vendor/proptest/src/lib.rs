@@ -5,6 +5,7 @@
 //! case index), so failures reproduce exactly.
 
 pub mod collection;
+pub mod option;
 pub mod sample;
 pub mod strategy;
 pub mod test_runner;

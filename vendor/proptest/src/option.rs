@@ -1,0 +1,41 @@
+//! `Option<T>` strategies, as `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// `Some` with the real crate's default 90% probability, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_prob: 0.9,
+    }
+}
+
+/// `Some` with probability `prob`, else `None`.
+pub fn weighted<S: Strategy>(prob: f64, inner: S) -> OptionStrategy<S> {
+    assert!((0.0..=1.0).contains(&prob), "probability out of range");
+    OptionStrategy {
+        inner,
+        some_prob: prob,
+    }
+}
+
+/// The [`of`] / [`weighted`] strategy.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_prob: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.random_range(0.0..1.0) < self.some_prob {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,34 +1,326 @@
-//! Offline stand-in for `rayon`: `par_iter`/`into_par_iter` resolve to
-//! the corresponding sequential `std` iterators. All downstream adapters
-//! (`map`, `collect`, `flat_map`, ...) are the ordinary `Iterator`
-//! methods, so call sites compile unchanged; they simply run on one
-//! thread in this offline environment.
+//! Offline stand-in for `rayon` with real data parallelism.
+//!
+//! The subset this workspace uses — `par_iter`/`into_par_iter`, `map`,
+//! `flat_map`, `collect` — is implemented as an eager item list plus a
+//! composed per-item closure, driven over a scoped thread team pulling
+//! indices from a shared counter. Results are concatenated in **source
+//! order**, so the output of any chain is identical at every thread
+//! count; parallelism changes wall-clock only, never bytes. That is the
+//! determinism guarantee the experiment sweeps rely on.
+//!
+//! Thread count resolution, first match wins:
+//! 1. an enclosing [`ThreadPool::install`] scope (propagated, divided,
+//!    into nested parallel calls);
+//! 2. the `RAYON_NUM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 pub mod prelude {
-    /// `into_par_iter()` — sequential stand-in returning the ordinary
-    /// `IntoIterator` iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+thread_local! {
+    /// Thread budget installed by [`ThreadPool::install`] (0 = none).
+    static OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of threads parallel iterators would use here and now.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] — only the thread count is configurable.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type kept for API compatibility; building cannot fail here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A thread-count scope: threads are spawned per parallel call, not kept
+/// warm, so the "pool" is just the installed budget.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count governing every parallel
+    /// iterator it (transitively) drives on this thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE.with(|c| c.replace(self.num_threads));
+        let guard = RestoreOverride(prev);
+        let out = op();
+        drop(guard);
+        out
+    }
+}
+
+struct RestoreOverride(usize);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+/// A parallel iterator chain: source items plus the composed per-item
+/// transformation, evaluated when [`ParIter::collect`] drives it.
+pub struct ParIter<'a, S, T> {
+    items: Vec<S>,
+    f: Box<dyn Fn(S) -> Vec<T> + Sync + 'a>,
+}
+
+impl<'a, S: Send + 'a, T: Send + 'a> ParIter<'a, S, T> {
+    pub fn map<O: Send + 'a>(self, g: impl Fn(T) -> O + Sync + 'a) -> ParIter<'a, S, O> {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |s| f(s).into_iter().map(&g).collect()),
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `par_iter()` on slices (and anything that derefs to one).
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    pub fn flat_map<C, O>(self, g: impl Fn(T) -> C + Sync + 'a) -> ParIter<'a, S, O>
+    where
+        O: Send + 'a,
+        C: IntoIterator<Item = O>,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |s| f(s).into_iter().flat_map(&g).collect()),
         }
     }
 
-    impl<T> ParallelSlice<T> for Vec<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        drive(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Evaluate `f` over `items` on a scoped thread team. Workers pull item
+/// indices from a shared counter; per-item outputs land in their source
+/// slot and are concatenated in source order, making the result
+/// independent of the thread count and of scheduling.
+fn drive<S: Send, T: Send>(items: Vec<S>, f: impl Fn(S) -> Vec<T> + Sync) -> Vec<T> {
+    let budget = current_num_threads();
+    let team = budget.min(items.len());
+    if team <= 1 {
+        return items.into_iter().flat_map(f).collect();
+    }
+    // Parallel calls nested inside a worker share the remaining budget
+    // instead of multiplying it.
+    let inner_budget = (budget / team).max(1);
+    let slots: Vec<Mutex<Option<S>>> = items.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<Vec<T>>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..team {
+            scope.spawn(|| {
+                OVERRIDE.with(|c| c.set(inner_budget));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(item);
+                    *results[i].lock().unwrap() = Some(out);
+                }
+            });
         }
+    });
+    results
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("work item produced no result")
+        })
+        .collect()
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_par_iter<'a>(self) -> ParIter<'a, Self::Item, Self::Item>
+    where
+        Self::Item: 'a;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter<'a>(self) -> ParIter<'a, T, T>
+    where
+        T: 'a,
+    {
+        ParIter {
+            items: self,
+            f: Box::new(|s| vec![s]),
+        }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+
+    fn into_par_iter<'a>(self) -> ParIter<'a, T, T>
+    where
+        T: 'a,
+    {
+        ParIter {
+            items: self.into_iter().collect(),
+            f: Box::new(|s| vec![s]),
+        }
+    }
+}
+
+/// `par_iter()` on slices (and anything that derefs to one).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, &T, &T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, &T, &T> {
+        ParIter {
+            items: self.iter().collect(),
+            f: Box::new(|s| vec![s]),
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, &T, &T> {
+        ParIter {
+            items: self.iter().collect(),
+            f: Box::new(|s| vec![s]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_preserves_source_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let out: Vec<usize> = vec![0usize, 10, 20]
+            .into_par_iter()
+            .flat_map(|base| (0..3).map(move |k| base + k).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(out, vec![0, 1, 2, 10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
+    fn nested_parallel_calls_work() {
+        let out: Vec<usize> = vec![0usize, 100]
+            .into_par_iter()
+            .flat_map(|base| {
+                (0..4)
+                    .collect::<Vec<usize>>()
+                    .into_par_iter()
+                    .map(move |k| base + k)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn identical_results_at_every_thread_count() {
+        let work = || -> Vec<u64> {
+            (0u64..32)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+                .collect()
+        };
+        let one = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(work);
+        let four = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(work);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn install_scopes_and_restores_the_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1i32, 2, 3];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        assert_eq!(data.len(), 3);
     }
 }
