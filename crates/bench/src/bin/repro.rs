@@ -3,7 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]
 //!
-//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds | all
+//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults | all
 //! --jobs N    jobs per synthetic log (default 1000, the paper's size)
 //! --seed S    base RNG seed (default 42)
 //! --out DIR   write <name>.txt and <name>.json under DIR (default results/)
@@ -106,7 +106,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]\n\
-         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds (default: all)"
+         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults (default: all)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -2,6 +2,7 @@
 
 mod ablation;
 mod corr;
+mod faults;
 mod fig1;
 mod fig6;
 mod fig7;
@@ -15,6 +16,7 @@ mod table4;
 
 pub use ablation::ablation;
 pub use corr::corr;
+pub use faults::faults;
 pub use fig1::fig1;
 pub use fig6::fig6;
 pub use fig7::fig7;
@@ -46,5 +48,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("ablation", ablation),
         ("mapping", mapping),
         ("seeds", seeds),
+        ("faults", faults),
     ]
 }

@@ -5,7 +5,7 @@
 //! harness — a reduced Figure 6 sweep (3 systems × 5 mixes × 4 selectors,
 //! nested parallelism) rendered under 1, 2, and 4 worker threads.
 
-use commsched_bench::experiments::fig6;
+use commsched_bench::experiments::{faults, fig6};
 use commsched_bench::Scale;
 use rayon::ThreadPoolBuilder;
 
@@ -30,6 +30,35 @@ fn fig6_sweep_identical_across_thread_counts() {
             base_json,
             serde_json::to_string(&run.json).expect("serialize"),
             "fig6 json differs between 1 and {threads} threads"
+        );
+    }
+}
+
+/// The fault-injection sweep adds a second axis of hidden state (one
+/// shared MTBF trace per failure rate, engines killing and requeueing jobs
+/// mid-run) — it must be just as schedule-independent as the healthy
+/// sweep.
+#[test]
+fn faults_sweep_identical_across_thread_counts() {
+    let scale = Scale { jobs: 30, seed: 42 };
+    let pool = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+    };
+    let base = pool(1).install(|| faults(scale));
+    let base_json = serde_json::to_string(&base.json).expect("serialize");
+    for threads in [2usize, 4] {
+        let run = pool(threads).install(|| faults(scale));
+        assert_eq!(
+            base.text, run.text,
+            "faults text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            base_json,
+            serde_json::to_string(&run.json).expect("serialize"),
+            "faults json differs between 1 and {threads} threads"
         );
     }
 }

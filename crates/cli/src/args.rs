@@ -28,7 +28,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--json", "--quiet"];
+const SWITCHES: &[&str] = &["--json", "--quiet", "--reject-oversized"];
 
 impl Parsed {
     /// Parse raw arguments (program name already stripped).

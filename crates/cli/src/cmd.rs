@@ -4,9 +4,9 @@ use crate::args::Parsed;
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_core::SelectorKind;
 use commsched_metrics::Table;
-use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig};
+use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, FailurePolicy, JobStatus};
 use commsched_topology::{SystemPreset, Tree};
-use commsched_workload::{swf, JobLog, LogProfile, LogSpec, SystemModel};
+use commsched_workload::{swf, FaultTrace, JobLog, LogProfile, LogSpec, SystemModel};
 use std::io::Write;
 
 type CmdResult = Result<(), String>;
@@ -77,6 +77,56 @@ fn load_log(p: &Parsed) -> Result<(JobLog, usize), String> {
             Ok((log, system.total_nodes))
         }
         _ => Err("give exactly one of --swf FILE or --system NAME".into()),
+    }
+}
+
+/// Fault trace from `--fault-trace FILE` or `--mtbf SECS` (plus `--mttr`
+/// and `--fault-seed`); `None` when neither is given.
+fn load_faults(p: &Parsed, num_nodes: usize, log: &JobLog) -> Result<Option<FaultTrace>, String> {
+    let trace = match (p.get("fault-trace"), p.get("mtbf")) {
+        (None, None) => return Ok(None),
+        (Some(_), Some(_)) => {
+            return Err("give at most one of --fault-trace FILE or --mtbf SECS".into())
+        }
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FaultTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, Some(_)) => {
+            let mtbf: f64 = p.get_parsed("mtbf", 0.0f64)?;
+            let mttr: f64 = p.get_parsed("mttr", 3600.0f64)?;
+            let seed: u64 = p.get_parsed("fault-seed", 7u64)?;
+            // Generate faults over twice the log's nominal span so requeues
+            // that run past the last submit still see failures.
+            let span = log
+                .jobs
+                .iter()
+                .map(|j| j.submit + j.walltime)
+                .max()
+                .unwrap_or(0);
+            FaultTrace::mtbf(num_nodes, mtbf, mttr, span.saturating_mul(2).max(1), seed)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    trace.validate(num_nodes).map_err(|e| e.to_string())?;
+    Ok(Some(trace))
+}
+
+/// Failure policy from `--failure-policy` (+ `--max-retries`, `--backoff`).
+fn load_failure_policy(p: &Parsed) -> Result<FailurePolicy, String> {
+    let max_retries: u32 = p.get_parsed("max-retries", 3u32)?;
+    let backoff: u64 = p.get_parsed("backoff", 0u64)?;
+    match p.get("failure-policy").unwrap_or("requeue") {
+        "cancel" => Ok(FailurePolicy::Cancel),
+        "requeue" => Ok(FailurePolicy::Requeue {
+            max_retries,
+            backoff,
+        }),
+        "requeue-front" => Ok(FailurePolicy::RequeueFront),
+        other => Err(format!(
+            "unknown failure policy {other:?} (cancel | requeue | requeue-front)"
+        )),
     }
 }
 
@@ -172,17 +222,21 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
             tree.num_nodes()
         ));
     }
-    for j in &log.jobs {
-        if j.nodes > tree.num_nodes() {
-            return Err(format!(
-                "{} requests {} nodes but the topology has {} — pick a larger \
-                 --preset or trim the log with --jobs",
-                j.id,
-                j.nodes,
-                tree.num_nodes()
-            ));
+    if !p.switch("reject-oversized") {
+        for j in &log.jobs {
+            if j.nodes > tree.num_nodes() {
+                return Err(format!(
+                    "{} requests {} nodes but the topology has {} — pick a larger \
+                     --preset, trim the log with --jobs, or pass --reject-oversized",
+                    j.id,
+                    j.nodes,
+                    tree.num_nodes()
+                ));
+            }
         }
     }
+    let faults = load_faults(p, tree.num_nodes(), &log)?;
+    let failure_policy = load_failure_policy(p)?;
 
     // Engine knobs.
     let backfill = match p.get("backfill").unwrap_or("easy") {
@@ -220,16 +274,34 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
         .to_vec(),
     );
     let mut timelines: Vec<(SelectorKind, Vec<(u64, f64)>)> = Vec::new();
+    let mut fault_lines: Vec<String> = Vec::new();
     for kind in selectors {
         let mut cfg = EngineConfig::new(kind);
         cfg.backfill = backfill;
+        cfg.failure_policy = failure_policy;
+        if p.switch("reject-oversized") {
+            cfg = cfg.reject_oversized();
+        }
         if p.switch("quiet") {
             cfg.adjust_runtimes = false;
         }
-        let summary = Engine::new(&tree, cfg)
-            .drain_nodes(drained.clone())
-            .run(&log)
-            .map_err(|e| e.to_string())?;
+        let mut engine = Engine::new(&tree, cfg).drain_nodes(drained.clone());
+        if let Some(f) = &faults {
+            engine = engine.with_faults(f.clone());
+        }
+        let summary = engine.run(&log).map_err(|e| e.to_string())?;
+        if faults.is_some() || p.switch("reject-oversized") {
+            fault_lines.push(format!(
+                "{}: {} completed, {} cancelled, {} rejected; {} requeues, \
+                 {:.1} node-hours lost to failures",
+                kind.name(),
+                summary.count_status(JobStatus::Completed),
+                summary.count_status(JobStatus::Cancelled),
+                summary.count_status(JobStatus::Rejected),
+                summary.total_retries(),
+                summary.lost_node_hours(),
+            ));
+        }
         if p.get("utilization").is_some() {
             let buckets: usize = p.get_parsed("utilization", 20usize)?;
             timelines.push((kind, summary.utilization(tree.num_nodes(), buckets)));
@@ -257,6 +329,12 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
         },
     )
     .map_err(|e| e.to_string())?;
+    if !fault_lines.is_empty() {
+        writeln!(out, "failures (policy: {failure_policy}):").map_err(|e| e.to_string())?;
+        for line in &fault_lines {
+            writeln!(out, "  {line}").map_err(|e| e.to_string())?;
+        }
+    }
     for (kind, timeline) in timelines {
         writeln!(out, "utilization over time — {}:", kind.name()).map_err(|e| e.to_string())?;
         for (t0, frac) in timeline {

@@ -68,14 +68,17 @@ USAGE:
   commsched log stats (--swf FILE [--ppn N] | --system NAME [--jobs N] [--seed S])
   commsched run     (--preset NAME | --conf FILE) [--selector SEL] <workload>
                     [--backfill none|easy|conservative] [--drain N]
-                    [--utilization BUCKETS]
-  commsched compare (--preset NAME | --conf FILE) <workload>
+                    [--utilization BUCKETS] [<faults>] [--reject-oversized]
+  commsched compare (--preset NAME | --conf FILE) <workload> [<faults>]
   commsched individual (--preset NAME | --conf FILE) <workload>
                     [--warmup FRAC] [--probes N]
   commsched patterns [RANKS]
 
   <workload> = --swf FILE [--ppn N] | --system NAME [--jobs N] [--seed S]
                [--comm-pct P] [--pattern PAT]
+  <faults>   = (--fault-trace FILE | --mtbf SECS [--mttr SECS] [--fault-seed S])
+               [--failure-policy cancel|requeue|requeue-front]
+               [--max-retries N] [--backoff SECS]
 
   NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
   NAME (systems): intrepid | theta | mira

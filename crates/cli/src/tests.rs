@@ -315,3 +315,153 @@ fn individual_rejects_bad_warmup() {
     assert_eq!(code, 1);
     assert!(err.contains("--warmup"), "{err}");
 }
+
+// ---------------------------------------------------------------- faults
+
+#[test]
+fn run_with_mtbf_prints_failure_summary() {
+    let (code, out, _) = run_cli(&[
+        "run",
+        "--preset",
+        "iitk-hpc2010",
+        "--system",
+        "theta",
+        "--jobs",
+        "30",
+        "--mtbf",
+        "500000",
+        "--mttr",
+        "3600",
+        "--fault-seed",
+        "11",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("failures (policy: requeue"), "{out}");
+    assert!(out.contains("node-hours lost"), "{out}");
+}
+
+#[test]
+fn run_with_fault_trace_file() {
+    let dir = std::env::temp_dir().join("commsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faults.trace");
+    std::fs::write(
+        &path,
+        "# node 3 dies early and comes back\n100 3 fail\n5000 3 recover\n",
+    )
+    .unwrap();
+    let (code, out, _) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "20",
+        "--fault-trace",
+        path.to_str().unwrap(),
+        "--failure-policy",
+        "cancel",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("failures (policy: cancel)"), "{out}");
+}
+
+#[test]
+fn malformed_fault_trace_reports_line() {
+    let dir = std::env::temp_dir().join("commsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.trace");
+    std::fs::write(&path, "100 3 fail\n200 x recover\n").unwrap();
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--fault-trace",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn fault_trace_node_out_of_range_is_rejected() {
+    let dir = std::env::temp_dir().join("commsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("range.trace");
+    std::fs::write(&path, "100 99999 fail\n").unwrap();
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--fault-trace",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("99999"), "{err}");
+}
+
+#[test]
+fn fault_trace_and_mtbf_are_mutually_exclusive() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--mtbf",
+        "1000",
+        "--fault-trace",
+        "whatever.trace",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("at most one"), "{err}");
+}
+
+#[test]
+fn bad_failure_policy_is_rejected() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--mtbf",
+        "100000",
+        "--failure-policy",
+        "explode",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown failure policy"), "{err}");
+}
+
+#[test]
+fn reject_oversized_turns_abort_into_outcomes() {
+    // Mira jobs on the 50-node department cluster: without the switch the
+    // run aborts (see run_rejects_oversized_log); with it, wide jobs become
+    // per-job rejections and the run completes.
+    let (code, out, _) = run_cli(&[
+        "run",
+        "--preset",
+        "iitk-dept",
+        "--system",
+        "mira",
+        "--jobs",
+        "5",
+        "--reject-oversized",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+}

@@ -50,7 +50,7 @@ pub use select::{
     AdaptiveSelector, AllocRequest, BalancedSelector, DefaultTreeSelector, GreedySelector,
     NodeSelector, SelectError, SelectorKind,
 };
-pub use state::{Allocation, ClusterState, JobId, JobNature, ScratchAlloc, StateError};
+pub use state::{Allocation, ClusterState, JobId, JobNature, NodeHealth, ScratchAlloc, StateError};
 
 #[cfg(test)]
 mod tests;

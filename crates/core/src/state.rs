@@ -66,6 +66,10 @@ pub enum StateError {
     UnknownJob(JobId),
     /// Empty allocation.
     EmptyAllocation(JobId),
+    /// Tried to allocate or drain a node that is down.
+    NodeDown(NodeId),
+    /// Tried to recover a node that is not down (or draining).
+    NodeNotDown(NodeId),
 }
 
 impl fmt::Display for StateError {
@@ -75,11 +79,31 @@ impl fmt::Display for StateError {
             Self::JobExists(j) => write!(f, "{j} already holds an allocation"),
             Self::UnknownJob(j) => write!(f, "{j} has no allocation"),
             Self::EmptyAllocation(j) => write!(f, "refusing empty allocation for {j}"),
+            Self::NodeDown(n) => write!(f, "{n} is down"),
+            Self::NodeNotDown(n) => write!(f, "{n} is not down"),
         }
     }
 }
 
 impl std::error::Error for StateError {}
+
+/// Lifecycle of a node under the fault model: healthy, scheduled to go
+/// down once its current job releases it, or failed.
+///
+/// Only `Up` nodes can ever be free; `Down` and `Draining` nodes are
+/// excluded from every free counter the selectors read
+/// ([`ClusterState::subtree_free`], [`ClusterState::leaf_free`],
+/// [`ClusterState::free_total`]), so placement transparently avoids them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NodeHealth {
+    /// Healthy; schedulable.
+    #[default]
+    Up,
+    /// Busy with a job; will transition to `Down` when the job releases.
+    Draining,
+    /// Failed; invisible to selectors until recovered.
+    Down,
+}
 
 /// Mutable occupancy state over an immutable [`Tree`].
 ///
@@ -103,6 +127,14 @@ pub struct ClusterState {
     /// allocate/release by walking the touched leaves' ancestor chains.
     switch_free: Vec<u32>,
     free_total: usize,
+    /// Per-node lifecycle state (fault model).
+    node_health: Vec<NodeHealth>,
+    /// Per-leaf-ordinal: nodes that are down (neither free nor busy).
+    leaf_down: Vec<u32>,
+    /// Total down nodes.
+    down_total: usize,
+    /// Total draining nodes (busy, will go down on release).
+    draining_total: usize,
     allocs: HashMap<JobId, Allocation>,
     /// Cache-invalidation token (see [`ClusterState::version`]). Not part
     /// of the state's identity: excluded from `PartialEq`.
@@ -121,6 +153,10 @@ impl PartialEq for ClusterState {
             && self.leaf_comm == other.leaf_comm
             && self.switch_free == other.switch_free
             && self.free_total == other.free_total
+            && self.node_health == other.node_health
+            && self.leaf_down == other.leaf_down
+            && self.down_total == other.down_total
+            && self.draining_total == other.draining_total
             && self.allocs == other.allocs
     }
 }
@@ -145,6 +181,10 @@ impl ClusterState {
             leaf_comm: vec![0; leaves],
             switch_free,
             free_total: tree.num_nodes(),
+            node_health: vec![NodeHealth::Up; tree.num_nodes()],
+            leaf_down: vec![0; leaves],
+            down_total: 0,
+            draining_total: 0,
             allocs: HashMap::new(),
             version: next_version(),
         }
@@ -166,16 +206,49 @@ impl ClusterState {
         self.free_total
     }
 
-    /// Total busy nodes in the cluster.
+    /// Total busy nodes in the cluster (held by jobs; excludes down nodes).
     #[inline]
     pub fn busy_total(&self) -> usize {
-        self.node_free.len() - self.free_total
+        self.node_free.len() - self.free_total - self.down_total
+    }
+
+    /// Total down nodes in the cluster.
+    #[inline]
+    pub fn down_total(&self) -> usize {
+        self.down_total
+    }
+
+    /// Total draining nodes in the cluster (busy, will go down on release).
+    #[inline]
+    pub fn draining_total(&self) -> usize {
+        self.draining_total
     }
 
     /// Is this node free?
     #[inline]
     pub fn is_free(&self, n: NodeId) -> bool {
         self.node_free[n.0]
+    }
+
+    /// Lifecycle state of node `n`.
+    #[inline]
+    pub fn health(&self, n: NodeId) -> NodeHealth {
+        self.node_health[n.0]
+    }
+
+    /// Down nodes on leaf ordinal `k`.
+    #[inline]
+    pub fn leaf_down(&self, k: usize) -> u32 {
+        self.leaf_down[k]
+    }
+
+    /// The job holding node `n`, if any. O(allocations); at most one job
+    /// can hold a node, so the answer is unique and deterministic.
+    pub fn job_on(&self, n: NodeId) -> Option<JobId> {
+        self.allocs
+            .iter()
+            .find(|(_, a)| a.nodes.binary_search(&n).is_ok())
+            .map(|(j, _)| *j)
     }
 
     /// Free nodes on leaf ordinal `k` (the complement of `L_busy`).
@@ -315,7 +388,11 @@ impl ClusterState {
         }
         for &n in nodes {
             if !self.node_free[n.0] {
-                return Err(StateError::NodeBusy(n));
+                return Err(if self.node_health[n.0] == NodeHealth::Down {
+                    StateError::NodeDown(n)
+                } else {
+                    StateError::NodeBusy(n)
+                });
             }
         }
         for &n in nodes {
@@ -335,16 +412,119 @@ impl ClusterState {
     }
 
     /// Release the allocation held by `job`, returning it.
+    ///
+    /// Nodes marked [`NodeHealth::Draining`] do not return to the free
+    /// pool: they transition straight to [`NodeHealth::Down`].
     pub fn release(&mut self, tree: &Tree, job: JobId) -> Result<Allocation, StateError> {
         let alloc = self
             .allocs
             .remove(&job)
             .ok_or(StateError::UnknownJob(job))?;
         for &n in &alloc.nodes {
-            self.vacate(tree, n, alloc.nature.is_comm());
+            if self.node_health[n.0] == NodeHealth::Draining {
+                // Busy -> down: the node leaves the busy counters but never
+                // re-enters the free ones, so switch_free/free_total are
+                // untouched (it was not free before and is not free now).
+                let k = tree.leaf_ordinal_of(n);
+                self.leaf_busy[k] -= 1;
+                if alloc.nature.is_comm() {
+                    self.leaf_comm[k] -= 1;
+                }
+                self.leaf_down[k] += 1;
+                self.node_health[n.0] = NodeHealth::Down;
+                self.down_total += 1;
+                self.draining_total -= 1;
+            } else {
+                self.vacate(tree, n, alloc.nature.is_comm());
+            }
         }
         self.version = next_version();
         Ok(alloc)
+    }
+
+    /// Take a *free* node out of service (fault-injection `Fail` on an idle
+    /// node, or the second half of killing the job that held it).
+    ///
+    /// Errors with [`StateError::NodeBusy`] if a job still holds the node —
+    /// the caller must release (kill) the job first — and with
+    /// [`StateError::NodeDown`] if the node is already down.
+    pub fn set_down(&mut self, tree: &Tree, n: NodeId) -> Result<(), StateError> {
+        match self.node_health[n.0] {
+            NodeHealth::Down => return Err(StateError::NodeDown(n)),
+            NodeHealth::Up | NodeHealth::Draining if !self.node_free[n.0] => {
+                return Err(StateError::NodeBusy(n));
+            }
+            _ => {}
+        }
+        // Free -> down: leaves every free counter exactly like occupy, but
+        // lands in leaf_down instead of leaf_busy.
+        self.node_free[n.0] = false;
+        let k = tree.leaf_ordinal_of(n);
+        self.leaf_free[k] -= 1;
+        self.leaf_down[k] += 1;
+        let mut s = Some(tree.leaf_of(n));
+        while let Some(id) = s {
+            self.switch_free[id.0] -= 1;
+            s = tree.switch(id).parent;
+        }
+        self.free_total -= 1;
+        self.node_health[n.0] = NodeHealth::Down;
+        self.down_total += 1;
+        self.version = next_version();
+        Ok(())
+    }
+
+    /// Return a down node to service (fault-injection `Recover`), or cancel
+    /// a pending drain on a still-busy `Draining` node.
+    ///
+    /// Errors with [`StateError::NodeNotDown`] if the node is already up.
+    pub fn set_up(&mut self, tree: &Tree, n: NodeId) -> Result<(), StateError> {
+        match self.node_health[n.0] {
+            NodeHealth::Up => Err(StateError::NodeNotDown(n)),
+            NodeHealth::Draining => {
+                self.node_health[n.0] = NodeHealth::Up;
+                self.draining_total -= 1;
+                self.version = next_version();
+                Ok(())
+            }
+            NodeHealth::Down => {
+                self.node_free[n.0] = true;
+                let k = tree.leaf_ordinal_of(n);
+                self.leaf_down[k] -= 1;
+                self.leaf_free[k] += 1;
+                let mut s = Some(tree.leaf_of(n));
+                while let Some(id) = s {
+                    self.switch_free[id.0] += 1;
+                    s = tree.switch(id).parent;
+                }
+                self.free_total += 1;
+                self.node_health[n.0] = NodeHealth::Up;
+                self.down_total -= 1;
+                self.version = next_version();
+                Ok(())
+            }
+        }
+    }
+
+    /// Gracefully drain node `n`: a free node goes straight down (returns
+    /// `true`); a busy node is marked [`NodeHealth::Draining`] and will go
+    /// down when its job releases (returns `false`, also for a node already
+    /// draining). Errors with [`StateError::NodeDown`] if already down.
+    pub fn set_draining(&mut self, tree: &Tree, n: NodeId) -> Result<bool, StateError> {
+        match self.node_health[n.0] {
+            NodeHealth::Down => Err(StateError::NodeDown(n)),
+            NodeHealth::Draining => Ok(false),
+            NodeHealth::Up if self.node_free[n.0] => {
+                self.set_down(tree, n)?;
+                Ok(true)
+            }
+            NodeHealth::Up => {
+                self.node_health[n.0] = NodeHealth::Draining;
+                self.draining_total += 1;
+                self.version = next_version();
+                Ok(false)
+            }
+        }
     }
 
     /// Apply a *hypothetical* allocation's counters in place, returning an
@@ -394,12 +574,54 @@ impl ClusterState {
                     self.leaf_free[k]
                 ));
             }
-            if self.leaf_free[k] + self.leaf_busy[k] != tree.leaf_size(k) as u32 {
-                return Err(format!("leaf {k}: free + busy != size"));
+            if self.leaf_free[k] + self.leaf_busy[k] + self.leaf_down[k] != tree.leaf_size(k) as u32
+            {
+                return Err(format!("leaf {k}: free + busy + down != size"));
             }
             if self.leaf_comm[k] > self.leaf_busy[k] {
                 return Err(format!("leaf {k}: comm > busy"));
             }
+        }
+        let mut down = vec![0u32; tree.num_leaves()];
+        let mut down_count = 0usize;
+        let mut draining_count = 0usize;
+        for (i, &h) in self.node_health.iter().enumerate() {
+            match h {
+                NodeHealth::Down => {
+                    if self.node_free[i] {
+                        return Err(format!("node {i}: down but marked free"));
+                    }
+                    down[tree.leaf_ordinal_of(NodeId(i))] += 1;
+                    down_count += 1;
+                }
+                NodeHealth::Draining => {
+                    if self.node_free[i] {
+                        return Err(format!("node {i}: draining but marked free"));
+                    }
+                    draining_count += 1;
+                }
+                NodeHealth::Up => {}
+            }
+        }
+        for (k, &counted) in down.iter().enumerate() {
+            if counted != self.leaf_down[k] {
+                return Err(format!(
+                    "leaf {k}: counted {counted} down, recorded {}",
+                    self.leaf_down[k]
+                ));
+            }
+        }
+        if down_count != self.down_total {
+            return Err(format!(
+                "down_total {} != counted {down_count}",
+                self.down_total
+            ));
+        }
+        if draining_count != self.draining_total {
+            return Err(format!(
+                "draining_total {} != counted {draining_count}",
+                self.draining_total
+            ));
         }
         for id in 0..tree.num_switches() {
             let s = SwitchId(id);

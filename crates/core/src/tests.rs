@@ -1225,3 +1225,237 @@ mod properties {
         }
     }
 }
+
+mod lifecycle {
+    use super::*;
+    use crate::NodeHealth;
+
+    fn tree() -> Tree {
+        Tree::regular_two_level(2, 3) // 2 leaves x 3 nodes
+    }
+
+    #[test]
+    fn down_nodes_leave_every_free_counter() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        s.set_down(&t, NodeId(0)).unwrap();
+        s.set_down(&t, NodeId(4)).unwrap();
+        assert_eq!(s.free_total(), 4);
+        assert_eq!(s.down_total(), 2);
+        assert_eq!(s.busy_total(), 0);
+        assert_eq!(s.leaf_free(0), 2);
+        assert_eq!(s.leaf_down(0), 1);
+        assert_eq!(s.leaf_busy(0), 0);
+        assert_eq!(s.health(NodeId(0)), NodeHealth::Down);
+        assert!(!s.is_free(NodeId(0)));
+        s.check_invariants(&t).unwrap();
+
+        s.set_up(&t, NodeId(0)).unwrap();
+        s.set_up(&t, NodeId(4)).unwrap();
+        assert_eq!(s.free_total(), 6);
+        assert_eq!(s.down_total(), 0);
+        assert_eq!(s, ClusterState::new(&t));
+        s.check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn selectors_avoid_down_nodes() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        // Down all of leaf 0: every selector must land on leaf 1.
+        for n in 0..3 {
+            s.set_down(&t, NodeId(n)).unwrap();
+        }
+        let req = AllocRequest::comm(JobId(1), 2);
+        for sel in [
+            &DefaultTreeSelector as &dyn NodeSelector,
+            &GreedySelector,
+            &BalancedSelector,
+            &AdaptiveSelector::new(CostModel::HOP_BYTES),
+        ] {
+            let nodes = sel.select(&t, &s, &req).unwrap();
+            assert!(nodes.iter().all(|n| n.0 >= 3), "{nodes:?}");
+        }
+        // And a request wider than the surviving capacity fails cleanly.
+        let wide = AllocRequest::comm(JobId(2), 4);
+        assert!(DefaultTreeSelector.select(&t, &s, &wide).is_err());
+    }
+
+    #[test]
+    fn lifecycle_transition_errors_are_typed() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        s.allocate(&t, JobId(1), &[NodeId(0)], JobNature::ComputeIntensive)
+            .unwrap();
+        // Busy node cannot be downed directly.
+        assert_eq!(
+            s.set_down(&t, NodeId(0)),
+            Err(StateError::NodeBusy(NodeId(0)))
+        );
+        // Up node cannot be recovered.
+        assert_eq!(
+            s.set_up(&t, NodeId(1)),
+            Err(StateError::NodeNotDown(NodeId(1)))
+        );
+        s.set_down(&t, NodeId(1)).unwrap();
+        // Down node cannot be downed or drained again.
+        assert_eq!(
+            s.set_down(&t, NodeId(1)),
+            Err(StateError::NodeDown(NodeId(1)))
+        );
+        assert_eq!(
+            s.set_draining(&t, NodeId(1)),
+            Err(StateError::NodeDown(NodeId(1)))
+        );
+        // Allocating over a down node reports NodeDown, not NodeBusy.
+        assert_eq!(
+            s.allocate(&t, JobId(2), &[NodeId(1)], JobNature::ComputeIntensive),
+            Err(StateError::NodeDown(NodeId(1)))
+        );
+        s.check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn draining_busy_node_goes_down_on_release() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        s.allocate(
+            &t,
+            JobId(1),
+            &[NodeId(0), NodeId(1)],
+            JobNature::CommIntensive,
+        )
+        .unwrap();
+        // Busy node: drain is deferred.
+        assert_eq!(s.set_draining(&t, NodeId(0)), Ok(false));
+        assert_eq!(s.health(NodeId(0)), NodeHealth::Draining);
+        assert_eq!(s.draining_total(), 1);
+        // Free node: drain is immediate.
+        assert_eq!(s.set_draining(&t, NodeId(5)), Ok(true));
+        assert_eq!(s.health(NodeId(5)), NodeHealth::Down);
+        s.check_invariants(&t).unwrap();
+
+        s.release(&t, JobId(1)).unwrap();
+        assert_eq!(s.health(NodeId(0)), NodeHealth::Down);
+        assert_eq!(s.health(NodeId(1)), NodeHealth::Up);
+        assert!(s.is_free(NodeId(1)));
+        assert_eq!(s.down_total(), 2);
+        assert_eq!(s.draining_total(), 0);
+        s.check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn recover_cancels_a_pending_drain() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        s.allocate(&t, JobId(1), &[NodeId(0)], JobNature::ComputeIntensive)
+            .unwrap();
+        s.set_draining(&t, NodeId(0)).unwrap();
+        s.set_up(&t, NodeId(0)).unwrap();
+        assert_eq!(s.health(NodeId(0)), NodeHealth::Up);
+        s.release(&t, JobId(1)).unwrap();
+        assert!(s.is_free(NodeId(0)));
+        assert_eq!(s, ClusterState::new(&t));
+    }
+
+    #[test]
+    fn job_on_finds_the_unique_holder() {
+        let t = tree();
+        let mut s = ClusterState::new(&t);
+        s.allocate(
+            &t,
+            JobId(9),
+            &[NodeId(2), NodeId(3)],
+            JobNature::CommIntensive,
+        )
+        .unwrap();
+        assert_eq!(s.job_on(NodeId(2)), Some(JobId(9)));
+        assert_eq!(s.job_on(NodeId(3)), Some(JobId(9)));
+        assert_eq!(s.job_on(NodeId(0)), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Random interleavings of allocate/release/fail/recover/drain
+            /// keep every incremental counter consistent, and draining the
+            /// whole history returns the state to the full machine.
+            #[test]
+            fn counters_survive_random_churn(seed in any::<u64>()) {
+                let t = Tree::irregular_two_level(&[3, 5, 2, 4]);
+                let n = t.num_nodes();
+                let mut s = ClusterState::new(&t);
+                let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+                let mut live: Vec<JobId> = Vec::new();
+                let mut next_id = 0u64;
+                for step in 0..120 {
+                    match rng.random_range(0..5) {
+                        0 | 1 => {
+                            // Allocate a small job on any free nodes.
+                            let want = rng.random_range(1..=3usize);
+                            let free: Vec<NodeId> = (0..n)
+                                .map(NodeId)
+                                .filter(|&x| s.is_free(x))
+                                .collect();
+                            if free.len() >= want {
+                                let nodes = &free[..want];
+                                let nature = if rng.random::<f64>() < 0.5 {
+                                    JobNature::CommIntensive
+                                } else {
+                                    JobNature::ComputeIntensive
+                                };
+                                next_id += 1;
+                                s.allocate(&t, JobId(next_id), nodes, nature).unwrap();
+                                live.push(JobId(next_id));
+                            }
+                        }
+                        2 => {
+                            if !live.is_empty() {
+                                let k = rng.random_range(0..live.len());
+                                let id = live.remove(k);
+                                s.release(&t, id).unwrap();
+                            }
+                        }
+                        3 => {
+                            let x = NodeId(rng.random_range(0..n));
+                            if s.is_free(x) && s.health(x) == crate::NodeHealth::Up {
+                                s.set_down(&t, x).unwrap();
+                            } else if s.health(x) == crate::NodeHealth::Down {
+                                s.set_up(&t, x).unwrap();
+                            }
+                        }
+                        _ => {
+                            let x = NodeId(rng.random_range(0..n));
+                            if s.health(x) != crate::NodeHealth::Down {
+                                s.set_draining(&t, x).unwrap();
+                            }
+                        }
+                    }
+                    if step % 10 == 0 {
+                        prop_assert!(s.check_invariants(&t).is_ok());
+                    }
+                }
+                s.check_invariants(&t).unwrap();
+                // Drain the run: release every job, recover every node.
+                for id in live {
+                    s.release(&t, id).unwrap();
+                }
+                for x in (0..n).map(NodeId) {
+                    if s.health(x) != crate::NodeHealth::Up {
+                        s.set_up(&t, x).unwrap();
+                    }
+                }
+                prop_assert_eq!(s.free_total(), n);
+                prop_assert_eq!(s.down_total(), 0);
+                prop_assert_eq!(s.draining_total(), 0);
+                prop_assert_eq!(&s, &ClusterState::new(&t));
+                prop_assert!(s.check_invariants(&t).is_ok());
+            }
+        }
+    }
+}

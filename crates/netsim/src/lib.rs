@@ -42,7 +42,9 @@
 
 mod sim;
 
-pub use sim::{FlowSim, IterationSample, JobResult, LinkStats, NetConfig, SolverKind, Workload};
+pub use sim::{
+    FlowSim, IterationSample, JobResult, KillEvent, LinkStats, NetConfig, SolverKind, Workload,
+};
 
 #[cfg(test)]
 mod tests;

@@ -131,10 +131,28 @@ pub struct JobResult {
     pub id: u64,
     /// Submission time (the job starts immediately; netsim has no queue).
     pub submit: f64,
-    /// Completion time of the last iteration.
+    /// Completion time of the last iteration, or the kill time for jobs
+    /// torn down by a [`KillEvent`].
     pub end: f64,
-    /// Per-iteration timings — the Figure 1 series.
+    /// Per-iteration timings — the Figure 1 series. A killed job reports
+    /// only the iterations it completed; the in-flight one is dropped.
     pub iterations: Vec<IterationSample>,
+    /// Whether the job was torn down by a [`KillEvent`] before finishing.
+    pub killed: bool,
+}
+
+/// An externally imposed job teardown (a node failure upstairs in the
+/// scheduler killed the job). At time `t` every flow belonging to the job
+/// is removed from the network and max–min rates are recomputed for the
+/// surviving flows that shared links with it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KillEvent {
+    /// Simulation second the teardown takes effect. Kills before the job's
+    /// submit time make it stillborn (it never transfers a byte).
+    pub t: f64,
+    /// [`Workload::id`] of the job to tear down. Ids matching no workload
+    /// are ignored.
+    pub job: u64,
 }
 
 /// Where the bytes went: per-class link accounting for one simulation run.
@@ -189,6 +207,9 @@ struct ActiveJob {
     flows_left: usize,
     samples: Vec<IterationSample>,
     done: bool,
+    /// Set when a [`KillEvent`] tore the job down, to the effective kill
+    /// time (clamped to the submit time for stillborn kills).
+    killed_at: Option<f64>,
 }
 
 const EPS: f64 = 1e-9;
@@ -669,13 +690,24 @@ impl<'t> FlowSim<'t> {
     /// is `commsched-slurmsim`'s business) and run their iterations back to
     /// back. Completed jobs are reported in workload order.
     pub fn run(&self, workloads: Vec<Workload>) -> Vec<JobResult> {
-        self.run_impl(workloads, None, None)
+        self.run_impl(workloads, &[], None, None)
+    }
+
+    /// Like [`FlowSim::run`], with externally imposed job teardowns.
+    ///
+    /// Each [`KillEvent`] removes every flow of the named job at its time
+    /// and re-solves max–min rates, so contention on the surviving jobs is
+    /// recomputed exactly as if the killed job had drained. With an empty
+    /// `kills` slice this is identical to [`FlowSim::run`], event for
+    /// event.
+    pub fn run_with_kills(&self, workloads: Vec<Workload>, kills: &[KillEvent]) -> Vec<JobResult> {
+        self.run_impl(workloads, kills, None, None)
     }
 
     /// Like [`FlowSim::run`], additionally accounting bytes per link class.
     pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
         let mut bytes = vec![0.0f64; self.capacity.len()];
-        let results = self.run_impl(workloads, Some(&mut bytes), None);
+        let results = self.run_impl(workloads, &[], Some(&mut bytes), None);
         let span = results.iter().map(|r| r.end).fold(0.0f64, f64::max)
             - results
                 .iter()
@@ -719,13 +751,14 @@ impl<'t> FlowSim<'t> {
         workloads: Vec<Workload>,
     ) -> (Vec<JobResult>, Vec<Vec<f64>>) {
         let mut trace = Vec::new();
-        let results = self.run_impl(workloads, None, Some(&mut trace));
+        let results = self.run_impl(workloads, &[], None, Some(&mut trace));
         (results, trace)
     }
 
     fn run_impl(
         &self,
         workloads: Vec<Workload>,
+        kills: &[KillEvent],
         mut link_bytes: Option<&mut Vec<f64>>,
         mut rate_trace: Option<&mut Vec<Vec<f64>>>,
     ) -> Vec<JobResult> {
@@ -748,6 +781,7 @@ impl<'t> FlowSim<'t> {
                     flows_left: 0,
                     samples: Vec::new(),
                     done: false,
+                    killed_at: None,
                 }
             })
             .collect();
@@ -756,6 +790,22 @@ impl<'t> FlowSim<'t> {
         let mut arrivals: Vec<usize> = (0..jobs.len()).collect();
         arrivals.sort_by(|&a, &b| workloads[a].submit.total_cmp(&workloads[b].submit));
         let mut next_arrival = 0usize;
+
+        // Kill schedule, resolved to job indices and sorted by time. Kills
+        // naming unknown ids or non-finite times are dropped; repeats for
+        // one job are harmless (the first to fire wins).
+        let mut kill_times: Vec<(f64, usize)> = kills
+            .iter()
+            .filter(|k| k.t.is_finite())
+            .filter_map(|k| {
+                workloads
+                    .iter()
+                    .position(|w| w.id == k.job)
+                    .map(|j| (k.t, j))
+            })
+            .collect();
+        kill_times.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut next_kill = 0usize;
 
         let mut rs = RunState::new(self.capacity.len());
         let mut sc = SolverScratch::new(self.capacity.len());
@@ -849,6 +899,11 @@ impl<'t> FlowSim<'t> {
                 && workloads[arrivals[next_arrival]].submit <= now + EPS
             {
                 let j = arrivals[next_arrival];
+                if jobs[j].done {
+                    // Killed before it ever arrived: stillborn.
+                    next_arrival += 1;
+                    continue;
+                }
                 jobs[j].iter_start = workloads[j].submit.max(now);
                 if jobs[j].steps.is_empty() || jobs[j].ranked.len() <= 1 {
                     // Nothing to communicate: all iterations are instant.
@@ -863,6 +918,31 @@ impl<'t> FlowSim<'t> {
                     start_step(self, &mut jobs, &mut rs, &workloads, j, now);
                 }
                 next_arrival += 1;
+            }
+
+            // Tear down killed jobs that are due. A job finishing at
+            // exactly the kill instant completes normally: its last flow
+            // drained (and `done` was set) at the end of the previous loop
+            // body, before this point. Removing the victim's flows marks
+            // their links dirty, so the next solve recomputes the rates of
+            // every surviving flow that shared a link with it.
+            while next_kill < kill_times.len() && kill_times[next_kill].0 <= now + EPS {
+                let (kt, j) = kill_times[next_kill];
+                next_kill += 1;
+                if jobs[j].done {
+                    continue;
+                }
+                let mut f = 0;
+                while f < rs.flows.len() {
+                    if rs.flows[f].job_idx == j {
+                        rs.remove_flow(f);
+                    } else {
+                        f += 1;
+                    }
+                }
+                jobs[j].flows_left = 0;
+                jobs[j].done = true;
+                jobs[j].killed_at = Some(kt.max(workloads[j].submit));
             }
 
             if rs.flows.is_empty() && next_arrival >= arrivals.len() {
@@ -896,6 +976,9 @@ impl<'t> FlowSim<'t> {
             }
             if next_arrival < arrivals.len() {
                 dt = dt.min(workloads[arrivals[next_arrival]].submit - now);
+            }
+            if next_kill < kill_times.len() {
+                dt = dt.min(kill_times[next_kill].0 - now);
             }
             assert!(
                 dt.is_finite() && dt >= -EPS,
@@ -942,11 +1025,13 @@ impl<'t> FlowSim<'t> {
                 JobResult {
                     id: w.id,
                     submit: w.submit,
-                    end: j
-                        .samples
-                        .last()
-                        .map(|s| s.start + s.duration)
-                        .unwrap_or(w.submit),
+                    end: j.killed_at.unwrap_or_else(|| {
+                        j.samples
+                            .last()
+                            .map(|s| s.start + s.duration)
+                            .unwrap_or(w.submit)
+                    }),
+                    killed: j.killed_at.is_some(),
                     iterations: j.samples,
                 }
             })

@@ -5,7 +5,9 @@ use commsched_core::{
     AdaptiveSelector, AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature,
     NodeSelector, PlacementEvaluator, SelectorKind,
 };
+use commsched_topology::NodeId;
 use commsched_topology::Tree;
+use commsched_workload::fault::{FaultKind, FaultTrace};
 use commsched_workload::{Job, JobLog};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -37,6 +39,10 @@ pub struct EngineConfig {
     /// Kill jobs at their requested walltime (production SLURM behaviour).
     /// Off by default: the paper's emulation replays full durations.
     pub enforce_walltime: bool,
+    /// What happens to a job killed by a node failure.
+    pub failure_policy: FailurePolicy,
+    /// What happens to a job wider than the machine.
+    pub oversized: OversizedPolicy,
 }
 
 impl EngineConfig {
@@ -50,6 +56,8 @@ impl EngineConfig {
             backfill: BackfillPolicy::Easy,
             adjust_runtimes: true,
             enforce_walltime: false,
+            failure_policy: FailurePolicy::default(),
+            oversized: OversizedPolicy::Abort,
         }
     }
 
@@ -79,6 +87,98 @@ impl EngineConfig {
         self.enforce_walltime = true;
         self
     }
+
+    /// Set the policy applied to jobs killed by node failures.
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Record a per-job `Rejected` outcome for jobs wider than the machine
+    /// instead of aborting the whole run.
+    pub fn reject_oversized(mut self) -> Self {
+        self.oversized = OversizedPolicy::Reject;
+        self
+    }
+}
+
+/// What happens to a job killed by a node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailurePolicy {
+    /// The job is cancelled: it keeps its partial outcome (ended at the
+    /// failure instant) and never runs again.
+    Cancel,
+    /// The job re-enters the *back* of the queue after `backoff` seconds,
+    /// at most `max_retries` times; once retries are exhausted it is
+    /// cancelled.
+    Requeue {
+        /// Kills after this many requeues cancel the job.
+        max_retries: u32,
+        /// Seconds between the kill and the re-submission.
+        backoff: u64,
+    },
+    /// The job re-enters the *front* of the queue immediately (SLURM's
+    /// requeue-with-priority shape); retries are unbounded.
+    RequeueFront,
+}
+
+impl Default for FailurePolicy {
+    /// SLURM's `JobRequeue=1` default shape: requeue at the back, three
+    /// attempts, no backoff.
+    fn default() -> Self {
+        FailurePolicy::Requeue {
+            max_retries: 3,
+            backoff: 0,
+        }
+    }
+}
+
+impl fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailurePolicy::Cancel => write!(f, "cancel"),
+            FailurePolicy::Requeue {
+                max_retries,
+                backoff,
+            } => write!(f, "requeue(max_retries={max_retries}, backoff={backoff}s)"),
+            FailurePolicy::RequeueFront => write!(f, "requeue-front"),
+        }
+    }
+}
+
+/// What happens to a job that requests more nodes than the machine has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OversizedPolicy {
+    /// Abort the whole run with [`EngineError::JobTooLarge`] (the safe
+    /// default: an impossible request in a replay log is a config error).
+    #[default]
+    Abort,
+    /// Record a [`JobStatus::Rejected`] outcome for the oversized job and
+    /// keep scheduling everyone else.
+    Reject,
+}
+
+/// How a job's time on the machine ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum JobStatus {
+    /// Ran to completion (possibly after requeues).
+    #[default]
+    Completed,
+    /// Killed by a node failure and not (or no longer) requeued.
+    Cancelled,
+    /// Never ran: wider than the machine or permanently stuck behind an
+    /// unsatisfiable request.
+    Rejected,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Rejected => "rejected",
+        })
+    }
 }
 
 /// How jobs may jump the FIFO queue.
@@ -106,6 +206,21 @@ pub enum EngineError {
         /// Machine size.
         machine: usize,
     },
+    /// A job requests zero nodes — malformed input.
+    ZeroNodeJob(JobId),
+    /// Two jobs in the log share an id, which would corrupt event routing.
+    DuplicateJob(JobId),
+    /// The machine has no nodes at all.
+    EmptyMachine,
+    /// A drain list or fault trace names a node outside the machine.
+    NodeOutOfRange {
+        /// Offending node ordinal.
+        node: usize,
+        /// Machine size.
+        machine: usize,
+    },
+    /// The fault trace failed validation.
+    InvalidFaultTrace(String),
 }
 
 impl fmt::Display for EngineError {
@@ -119,6 +234,14 @@ impl fmt::Display for EngineError {
                 f,
                 "{job} requests {nodes} nodes but the machine has {machine}"
             ),
+            Self::ZeroNodeJob(job) => write!(f, "{job} requests zero nodes"),
+            Self::DuplicateJob(job) => write!(f, "duplicate job id {job} in the log"),
+            Self::EmptyMachine => write!(f, "the machine has no nodes"),
+            Self::NodeOutOfRange { node, machine } => write!(
+                f,
+                "node {node} is out of range for a machine of {machine} nodes"
+            ),
+            Self::InvalidFaultTrace(msg) => write!(f, "invalid fault trace: {msg}"),
         }
     }
 }
@@ -154,6 +277,13 @@ pub struct JobOutcome {
     /// time (`cost_jobaware / cost_default` under the ratio model, weighted
     /// over components; 1 for compute jobs and for the default selector).
     pub comm_ratio: f64,
+    /// How the job's stay on the machine ended.
+    pub status: JobStatus,
+    /// Times the job was killed by a node failure and requeued.
+    pub retries: u32,
+    /// Node-seconds of work destroyed by kills across all attempts (for a
+    /// cancelled job this includes the final, unfinished attempt).
+    pub lost_node_seconds: u64,
 }
 
 impl JobOutcome {
@@ -254,18 +384,40 @@ impl RunSummary {
         self.outcomes.iter().find(|o| o.id == id)
     }
 
+    /// Number of outcomes with the given status.
+    pub fn count_status(&self, status: JobStatus) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// Node-hours of work destroyed by node failures across the run.
+    pub fn lost_node_hours(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.lost_node_seconds as f64)
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Total requeues across all jobs.
+    pub fn total_retries(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.retries)).sum()
+    }
+
     /// Machine utilization over time: `buckets` equal slices of the
     /// makespan, each with the mean fraction of `machine_nodes` busy
     /// (node-seconds in the bucket / bucket capacity).
     pub fn utilization(&self, machine_nodes: usize, buckets: usize) -> Vec<(u64, f64)> {
-        assert!(buckets > 0 && machine_nodes > 0);
-        if self.makespan == 0 {
+        if buckets == 0 || machine_nodes == 0 || self.makespan == 0 {
             return Vec::new();
         }
         let width = self.makespan.div_ceil(buckets as u64).max(1);
         let mut busy = vec![0.0f64; buckets];
         for o in &self.outcomes {
             let (s, e) = (o.start, o.end);
+            if e <= s {
+                // Rejected (and zero-length) outcomes occupy nothing.
+                continue;
+            }
             let first = (s / width) as usize;
             let last = (((e - 1) / width) as usize).min(buckets - 1);
             for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
@@ -336,9 +488,15 @@ impl RunSummary {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    // Finishes sort before submits at the same instant so released nodes
-    // are visible to the scheduling pass, like slurmctld's epilog ordering.
-    Finish(JobId),
+    // Finishes sort before faults and submits at the same instant so
+    // released nodes are visible to the scheduling pass, like slurmctld's
+    // epilog ordering — and so a job finishing exactly when its node fails
+    // completes normally. The attempt number distinguishes a requeued job's
+    // live finish from the stale finish of a killed attempt.
+    Finish(JobId, u32),
+    // Faults carry their index into the trace, so simultaneous fault
+    // events process in canonical trace order.
+    Fault(u32),
     Submit(usize),
 }
 
@@ -362,8 +520,11 @@ pub struct Engine<'t> {
     tree: &'t Tree,
     cfg: EngineConfig,
     /// Nodes administratively removed from service for the whole run
-    /// (SLURM DRAIN state) — failure-injection hook.
+    /// (SLURM DRAIN state).
     drained: Vec<commsched_topology::NodeId>,
+    /// Mid-run node failure/recovery schedule; empty by default, in which
+    /// case the run is bit-identical to the failure-free engine.
+    faults: FaultTrace,
     /// Fused what-if evaluator shared between placement (Eqs. 6–7) and the
     /// adaptive selector, so candidate comparison warms the hop memo the
     /// Eq. 7 evaluation then reuses.
@@ -377,8 +538,16 @@ impl<'t> Engine<'t> {
             tree,
             cfg,
             drained: Vec::new(),
+            faults: FaultTrace::empty(),
             eval: Arc::new(Mutex::new(PlacementEvaluator::new())),
         }
+    }
+
+    /// Inject a fault trace: its `Fail`/`Recover`/`Drain` events fire at
+    /// their virtual times during [`Engine::run`].
+    pub fn with_faults(mut self, faults: FaultTrace) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Build the configured selector. The adaptive selector shares this
@@ -548,11 +717,31 @@ impl<'t> Engine<'t> {
         })
     }
 
-    /// Continuous run: replay the whole log (§5.4).
-    pub fn run(&self, log: &JobLog) -> Result<RunSummary, EngineError> {
-        let capacity = self.tree.num_nodes() - self.drained.len();
+    /// Validate the log, drain list and fault trace against the machine.
+    fn validate(&self, log: &JobLog) -> Result<(), EngineError> {
+        let machine = self.tree.num_nodes();
+        if machine == 0 {
+            return Err(EngineError::EmptyMachine);
+        }
+        for &n in &self.drained {
+            if n.0 >= machine {
+                return Err(EngineError::NodeOutOfRange { node: n.0, machine });
+            }
+        }
+        self.faults
+            .validate(machine)
+            .map_err(|e| EngineError::InvalidFaultTrace(e.to_string()))?;
+        let mut ids: Vec<JobId> = log.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(EngineError::DuplicateJob(w[0]));
+        }
+        let capacity = machine - self.drained.len();
         for j in &log.jobs {
-            if j.nodes > capacity {
+            if j.nodes == 0 {
+                return Err(EngineError::ZeroNodeJob(j.id));
+            }
+            if j.nodes > capacity && self.cfg.oversized == OversizedPolicy::Abort {
                 return Err(EngineError::JobTooLarge {
                     job: j.id,
                     nodes: j.nodes,
@@ -560,46 +749,105 @@ impl<'t> Engine<'t> {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// The outcome recorded for a job that never ran.
+    fn rejected_outcome(job: &Job, retries: u32, lost: u64) -> JobOutcome {
+        JobOutcome {
+            id: job.id,
+            submit: job.submit,
+            start: job.submit,
+            end: job.submit,
+            nodes: job.nodes,
+            nature: job.nature,
+            cost_actual: 0.0,
+            cost_default: 0.0,
+            runtime_original: job.runtime,
+            runtime_adjusted: 0,
+            comm_ratio: 1.0,
+            status: JobStatus::Rejected,
+            retries,
+            lost_node_seconds: lost,
+        }
+    }
+
+    /// Continuous run: replay the whole log (§5.4), interleaving any
+    /// injected fault events.
+    pub fn run(&self, log: &JobLog) -> Result<RunSummary, EngineError> {
+        self.validate(log)?;
+        let capacity = self.tree.num_nodes() - self.drained.len();
         let selector = self.build_selector();
         let mut state = ClusterState::new(self.tree);
-        if !self.drained.is_empty() {
-            // Drained nodes are held by a sentinel compute job that never
-            // finishes, so every selector and counter sees them as busy
-            // (but not communication-intensive).
+        for &n in &self.drained {
+            // A freshly-built state has every node up and free, so a
+            // whole-run drain goes straight to Down.
             state
-                .allocate(
-                    self.tree,
-                    JobId(u64::MAX - 1),
-                    &self.drained,
-                    JobNature::ComputeIntensive,
-                )
-                .expect("drained nodes are distinct and within the tree");
+                .set_down(self.tree, n)
+                .expect("fresh state has all nodes up and free");
         }
         let mut events: BinaryHeap<Reverse<(u64, EventKind)>> = BinaryHeap::new();
         for (i, j) in log.jobs.iter().enumerate() {
             events.push(Reverse((j.submit, EventKind::Submit(i))));
         }
+        for (k, e) in self.faults.events().iter().enumerate() {
+            events.push(Reverse((e.t, EventKind::Fault(k as u32))));
+        }
 
         // FIFO queue of log indices; pending[0] is the queue head.
         let mut pending: Vec<usize> = Vec::new();
-        // Running jobs: (expected_end_by_walltime, log idx, actual_end).
-        let mut running: Vec<(u64, usize, u64)> = Vec::new();
+        // Running jobs: (expected_end_by_walltime, log idx, attempt).
+        let mut running: Vec<(u64, usize, u32)> = Vec::new();
         let mut outcomes: Vec<JobOutcome> = Vec::new();
+        // Per-job requeue count and destroyed node-seconds, accumulated
+        // across attempts; the counts at start time double as the attempt
+        // number that pairs a Finish event with its running entry.
+        let mut retries: Vec<u32> = vec![0; log.jobs.len()];
+        let mut lost: Vec<u64> = vec![0; log.jobs.len()];
         let mut makespan = 0u64;
 
         while let Some(Reverse((now, _))) = events.peek().copied() {
-            // Drain all events at `now` (finishes first via enum ordering).
+            // Drain all events at `now` (finishes first, then faults, then
+            // submits, via enum ordering).
             while let Some(Reverse((t, ev))) = events.peek().copied() {
                 if t != now {
                     break;
                 }
                 events.pop();
                 match ev {
-                    EventKind::Finish(id) => {
+                    EventKind::Finish(id, att) => {
+                        let live = running
+                            .iter()
+                            .any(|&(_, i, a)| log.jobs[i].id == id && a == att);
+                        if !live {
+                            // Stale finish of an attempt killed by a fault.
+                            continue;
+                        }
                         state.release(self.tree, id).expect("running job releases");
-                        running.retain(|(_, i, _)| log.jobs[*i].id != id);
+                        running.retain(|&(_, i, a)| log.jobs[i].id != id || a != att);
                     }
-                    EventKind::Submit(i) => pending.push(i),
+                    EventKind::Fault(k) => self.apply_fault(
+                        k as usize,
+                        now,
+                        log,
+                        &mut state,
+                        &mut pending,
+                        &mut running,
+                        &mut events,
+                        &mut outcomes,
+                        &mut retries,
+                        &mut lost,
+                    ),
+                    EventKind::Submit(i) => {
+                        let job = &log.jobs[i];
+                        if job.nodes > capacity {
+                            // Only reachable under OversizedPolicy::Reject —
+                            // Abort already returned from validate().
+                            outcomes.push(Self::rejected_outcome(job, 0, 0));
+                        } else {
+                            pending.push(i);
+                        }
+                    }
                 }
             }
 
@@ -613,11 +861,21 @@ impl<'t> Engine<'t> {
                 &mut running,
                 &mut events,
                 &mut outcomes,
+                &retries,
+                &lost,
             );
             makespan = makespan.max(now);
         }
 
-        debug_assert!(pending.is_empty(), "jobs left unscheduled");
+        // Jobs still queued when the event stream runs dry can never start
+        // (wider than the surviving capacity, or FIFO-stuck behind one that
+        // is): record them as rejected instead of looping or losing them.
+        // Unreachable without faults — validate() guarantees every job fits
+        // the full machine, so a failure-free queue always drains.
+        for &i in &pending {
+            outcomes.push(Self::rejected_outcome(&log.jobs[i], retries[i], lost[i]));
+        }
+        pending.clear();
         debug_assert!(running.is_empty(), "jobs left running");
         debug_assert_eq!(outcomes.len(), log.jobs.len());
         let makespan = outcomes.iter().map(|o| o.end).max().unwrap_or(makespan);
@@ -626,6 +884,108 @@ impl<'t> Engine<'t> {
             outcomes,
             makespan,
         })
+    }
+
+    /// Apply one fault-trace event at `now`: kill the victim job (per the
+    /// configured [`FailurePolicy`]) and transition the node's lifecycle
+    /// state. Lenient on redundant transitions (failing a down node,
+    /// recovering an up node): explicit traces need not be minimal.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &self,
+        k: usize,
+        now: u64,
+        log: &JobLog,
+        state: &mut ClusterState,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<(u64, usize, u32)>,
+        events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+        outcomes: &mut Vec<JobOutcome>,
+        retries: &mut [u32],
+        lost: &mut [u64],
+    ) {
+        use commsched_core::NodeHealth;
+
+        let e = self.faults.events()[k];
+        let n = NodeId(e.node);
+        match e.kind {
+            FaultKind::Fail => {
+                if let Some(victim) = state.job_on(n) {
+                    let pos = running
+                        .iter()
+                        .position(|&(_, i, _)| log.jobs[i].id == victim);
+                    debug_assert!(pos.is_some(), "allocated job must be running");
+                    if let Some(pos) = pos {
+                        let (_, i, _) = running[pos];
+                        running.remove(pos);
+                        let alloc = state
+                            .release(self.tree, victim)
+                            .expect("victim holds an allocation");
+                        let opos = outcomes
+                            .iter()
+                            .rposition(|o| o.id == victim)
+                            .expect("running job has an outcome");
+                        let started = outcomes[opos].start;
+                        let wasted = (now - started) * alloc.nodes.len() as u64;
+                        lost[i] = lost[i].saturating_add(wasted);
+                        // None = cancel; Some(None) = requeue at the front;
+                        // Some(Some(backoff)) = requeue at the back.
+                        let requeue = match self.cfg.failure_policy {
+                            FailurePolicy::Cancel => None,
+                            FailurePolicy::Requeue {
+                                max_retries,
+                                backoff,
+                            } => (retries[i] < max_retries).then_some(Some(backoff)),
+                            FailurePolicy::RequeueFront => Some(None),
+                        };
+                        match requeue {
+                            None => {
+                                let o = &mut outcomes[opos];
+                                o.end = now;
+                                o.runtime_adjusted = now - started;
+                                o.status = JobStatus::Cancelled;
+                                o.retries = retries[i];
+                                o.lost_node_seconds = lost[i];
+                            }
+                            Some(None) => {
+                                retries[i] += 1;
+                                outcomes.remove(opos);
+                                pending.insert(0, i);
+                            }
+                            Some(Some(backoff)) => {
+                                retries[i] += 1;
+                                outcomes.remove(opos);
+                                events.push(Reverse((
+                                    now.saturating_add(backoff),
+                                    EventKind::Submit(i),
+                                )));
+                            }
+                        }
+                    }
+                }
+                // The kill freed the node — unless it was draining, in
+                // which case release already completed the drain to Down.
+                if state.health(n) != NodeHealth::Down {
+                    state
+                        .set_down(self.tree, n)
+                        .expect("failed node is free after its job was killed");
+                }
+            }
+            FaultKind::Recover => {
+                if state.health(n) != NodeHealth::Up {
+                    state
+                        .set_up(self.tree, n)
+                        .expect("down or draining node recovers");
+                }
+            }
+            FaultKind::Drain => {
+                if state.health(n) != NodeHealth::Down {
+                    state
+                        .set_draining(self.tree, n)
+                        .expect("non-down node drains");
+                }
+            }
+        }
     }
 
     /// One pass of the scheduler: start the head while it fits, then EASY
@@ -638,13 +998,15 @@ impl<'t> Engine<'t> {
         selector: &dyn NodeSelector,
         state: &mut ClusterState,
         pending: &mut Vec<usize>,
-        running: &mut Vec<(u64, usize, u64)>,
+        running: &mut Vec<(u64, usize, u32)>,
         events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
         outcomes: &mut Vec<JobOutcome>,
+        retries: &[u32],
+        lost: &[u64],
     ) {
         let start_job = |i: usize,
                          state: &mut ClusterState,
-                         running: &mut Vec<(u64, usize, u64)>,
+                         running: &mut Vec<(u64, usize, u32)>,
                          events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
                          outcomes: &mut Vec<JobOutcome>|
          -> bool {
@@ -659,8 +1021,8 @@ impl<'t> Engine<'t> {
                 .allocate(self.tree, job.id, &placed.nodes, job.nature)
                 .expect("selector returned free nodes");
             let end = now + placed.adjusted;
-            running.push((now + job.walltime.max(placed.adjusted), i, end));
-            events.push(Reverse((end, EventKind::Finish(job.id))));
+            running.push((now + job.walltime.max(placed.adjusted), i, retries[i]));
+            events.push(Reverse((end, EventKind::Finish(job.id, retries[i]))));
             outcomes.push(JobOutcome {
                 id: job.id,
                 submit: job.submit,
@@ -673,6 +1035,9 @@ impl<'t> Engine<'t> {
                 runtime_original: job.runtime,
                 runtime_adjusted: placed.adjusted,
                 comm_ratio: placed.comm_ratio,
+                status: JobStatus::Completed,
+                retries: retries[i],
+                lost_node_seconds: lost[i],
             });
             true
         };
@@ -746,7 +1111,7 @@ impl<'t> Engine<'t> {
         log: &JobLog,
         state: &mut ClusterState,
         pending: &mut Vec<usize>,
-        running: &mut Vec<(u64, usize, u64)>,
+        running: &mut Vec<(u64, usize, u32)>,
         events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
         outcomes: &mut Vec<JobOutcome>,
         start_job: &F,
@@ -754,7 +1119,7 @@ impl<'t> Engine<'t> {
         F: Fn(
             usize,
             &mut ClusterState,
-            &mut Vec<(u64, usize, u64)>,
+            &mut Vec<(u64, usize, u32)>,
             &mut BinaryHeap<Reverse<(u64, EventKind)>>,
             &mut Vec<JobOutcome>,
         ) -> bool,
@@ -774,7 +1139,12 @@ impl<'t> Engine<'t> {
                 let job = &log.jobs[i];
                 let need = job.nodes as i64;
                 let dur = job.walltime.max(1);
-                let s = earliest_fit(&deltas, base, now, dur, need);
+                let Some(s) = earliest_fit(&deltas, base, now, dur, need) else {
+                    // With failed nodes the job may not fit even the fully
+                    // drained future machine; it holds no reservation and
+                    // waits for a recovery (or end-of-run rejection).
+                    continue;
+                };
                 if s == now
                     && need <= state.free_total() as i64
                     && start_job(i, state, running, events, outcomes)
@@ -794,15 +1164,17 @@ impl<'t> Engine<'t> {
 
 /// Earliest `s >= now` at which `need` nodes stay available for `dur`
 /// seconds under the delta profile. Candidate starts are `now` and every
-/// profile breakpoint; availability after the last breakpoint is the whole
-/// machine, so a fit always exists for validated jobs.
+/// profile breakpoint; availability after the last breakpoint is every
+/// node not currently down, so on a healthy machine a fit always exists
+/// for validated jobs — but a mid-run node failure can leave `need` out
+/// of reach entirely, in which case there is no fit (`None`).
 fn earliest_fit(
     deltas: &std::collections::BTreeMap<u64, i64>,
     base: i64,
     now: u64,
     dur: u64,
     need: i64,
-) -> u64 {
+) -> Option<u64> {
     let candidates = std::iter::once(now).chain(deltas.range(now + 1..).map(|(k, _)| *k));
     for s in candidates {
         let mut avail: i64 = base + deltas.range(..=s).map(|(_, d)| *d).sum::<i64>();
@@ -818,8 +1190,8 @@ fn earliest_fit(
             }
         }
         if ok {
-            return s;
+            return Some(s);
         }
     }
-    unreachable!("a validated job always fits the empty machine");
+    None
 }

@@ -37,7 +37,8 @@ mod engine;
 pub mod individual;
 
 pub use engine::{
-    BackfillPolicy, Engine, EngineConfig, EngineError, JobOutcome, RunSummary, TraceEvent,
+    BackfillPolicy, Engine, EngineConfig, EngineError, FailurePolicy, JobOutcome, JobStatus,
+    OversizedPolicy, RunSummary, TraceEvent,
 };
 
 #[cfg(test)]

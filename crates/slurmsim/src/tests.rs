@@ -884,3 +884,379 @@ fn event_trace_is_ordered_and_balanced() {
         assert!(v["event"] == "start" || v["event"] == "finish");
     }
 }
+
+mod faults {
+    use super::*;
+    use crate::{FailurePolicy, JobStatus};
+    use commsched_workload::fault::{FaultEvent, FaultKind, FaultTrace};
+
+    fn trace(events: &[(u64, usize, FaultKind)]) -> FaultTrace {
+        FaultTrace::new(
+            events
+                .iter()
+                .map(|&(t, node, kind)| FaultEvent { t, node, kind })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_trace_is_bit_identical() {
+        let tree = Tree::regular_two_level(3, 6);
+        let log = LogSpec::new(
+            SystemModel {
+                total_nodes: 18,
+                min_request: 1,
+                max_request: 16,
+                ..SystemModel::theta()
+            },
+            40,
+            7,
+        )
+        .comm_percent(60)
+        .generate();
+        for kind in SelectorKind::ALL {
+            let plain = Engine::new(&tree, EngineConfig::new(kind))
+                .run(&log)
+                .unwrap();
+            let faulty = Engine::new(&tree, EngineConfig::new(kind))
+                .with_faults(FaultTrace::empty())
+                .run(&log)
+                .unwrap();
+            assert_eq!(plain, faulty);
+        }
+    }
+
+    #[test]
+    fn fail_cancels_running_job() {
+        let tree = small_tree();
+        let cfg =
+            EngineConfig::new(SelectorKind::Default).with_failure_policy(FailurePolicy::Cancel);
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[(30, 0, FaultKind::Fail)]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        assert_eq!(o.status, JobStatus::Cancelled);
+        assert_eq!((o.start, o.end), (0, 30));
+        assert_eq!(o.retries, 0);
+        assert_eq!(o.lost_node_seconds, 30 * 4);
+        assert_eq!(s.count_status(JobStatus::Cancelled), 1);
+        assert!(s.lost_node_hours() > 0.0);
+    }
+
+    #[test]
+    fn fail_requeues_and_job_completes_after_recovery() {
+        let tree = small_tree();
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&[
+                (30, 2, FaultKind::Fail),
+                (50, 2, FaultKind::Recover),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        assert_eq!(o.status, JobStatus::Completed);
+        // Killed at 30, requeued; 4 nodes only available again at 50.
+        assert_eq!((o.start, o.end), (50, 150));
+        assert_eq!(o.retries, 1);
+        assert_eq!(o.lost_node_seconds, 30 * 4);
+        assert_eq!(s.total_retries(), 1);
+        assert_eq!(s.makespan, 150);
+    }
+
+    #[test]
+    fn requeue_with_backoff_delays_resubmission() {
+        let tree = small_tree();
+        let cfg =
+            EngineConfig::new(SelectorKind::Default).with_failure_policy(FailurePolicy::Requeue {
+                max_retries: 3,
+                backoff: 100,
+            });
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[
+                (30, 2, FaultKind::Fail),
+                (40, 2, FaultKind::Recover),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        // Resubmitted at 130 (kill + backoff), machine healthy by then.
+        assert_eq!(o.status, JobStatus::Completed);
+        assert_eq!((o.start, o.end), (130, 230));
+    }
+
+    #[test]
+    fn exhausted_retries_cancel() {
+        let tree = small_tree();
+        let cfg =
+            EngineConfig::new(SelectorKind::Default).with_failure_policy(FailurePolicy::Requeue {
+                max_retries: 0,
+                backoff: 0,
+            });
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[(30, 1, FaultKind::Fail)]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        assert_eq!(s.outcomes[0].status, JobStatus::Cancelled);
+        assert_eq!(s.outcomes[0].end, 30);
+    }
+
+    #[test]
+    fn requeue_front_restarts_before_queue() {
+        let tree = small_tree();
+        let mk = |policy| {
+            let cfg = EngineConfig::new(SelectorKind::Default).with_failure_policy(policy);
+            Engine::new(&tree, cfg)
+                .with_faults(trace(&[
+                    (30, 0, FaultKind::Fail),
+                    (40, 0, FaultKind::Recover),
+                ]))
+                .run(&JobLog::new(
+                    "two",
+                    vec![job(1, 0, 100, 4), job(2, 10, 100, 4)],
+                ))
+                .unwrap()
+        };
+        // Front: the killed job restarts first.
+        let front = mk(FailurePolicy::RequeueFront);
+        assert_eq!(front.outcome(JobId(1)).unwrap().start, 40);
+        assert_eq!(front.outcome(JobId(2)).unwrap().start, 140);
+        // Back (default): the killed job waits behind the queued one.
+        let back = mk(FailurePolicy::default());
+        assert_eq!(back.outcome(JobId(2)).unwrap().start, 40);
+        assert_eq!(back.outcome(JobId(1)).unwrap().start, 140);
+    }
+
+    #[test]
+    fn drain_waits_for_job_then_downs_node() {
+        let tree = small_tree();
+        let log = JobLog::new(
+            "mix",
+            vec![job(1, 0, 100, 4), job(2, 20, 10, 4), job(3, 25, 10, 3)],
+        );
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&[(10, 0, FaultKind::Drain)]))
+            .run(&log)
+            .unwrap();
+        // The drain does not kill job 1: it runs its full 100 s.
+        let o1 = s.outcome(JobId(1)).unwrap();
+        assert_eq!((o1.status, o1.end), (JobStatus::Completed, 100));
+        // Afterwards only 3 nodes survive: job 2 (4 nodes) can never run
+        // and is rejected; job 3 backfills past the stuck head.
+        let o2 = s.outcome(JobId(2)).unwrap();
+        assert_eq!(o2.status, JobStatus::Rejected);
+        let o3 = s.outcome(JobId(3)).unwrap();
+        assert_eq!((o3.status, o3.start), (JobStatus::Completed, 100));
+    }
+
+    #[test]
+    fn fail_on_idle_node_is_a_plain_capacity_loss() {
+        let tree = small_tree();
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&[(5, 3, FaultKind::Fail)]))
+            .run(&JobLog::new("one", vec![job(1, 10, 50, 3)]))
+            .unwrap();
+        // 3 of 4 nodes survive; the 3-node job still runs on time.
+        let o = &s.outcomes[0];
+        assert_eq!((o.status, o.start), (JobStatus::Completed, 10));
+    }
+
+    #[test]
+    fn redundant_transitions_are_tolerated() {
+        let tree = small_tree();
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&[
+                (5, 0, FaultKind::Fail),
+                (6, 0, FaultKind::Fail),    // already down
+                (7, 1, FaultKind::Recover), // already up
+                (8, 0, FaultKind::Drain),   // down stays down
+                (9, 0, FaultKind::Recover),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 20, 10, 4)]))
+            .unwrap();
+        assert_eq!(s.outcomes[0].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn oversized_reject_policy_keeps_others_running() {
+        let tree = small_tree();
+        let cfg = EngineConfig::new(SelectorKind::Default).reject_oversized();
+        let log = JobLog::new("mix", vec![job(1, 0, 50, 9), job(2, 5, 50, 2)]);
+        let s = Engine::new(&tree, cfg).run(&log).unwrap();
+        let o1 = s.outcome(JobId(1)).unwrap();
+        assert_eq!(o1.status, JobStatus::Rejected);
+        assert_eq!((o1.start, o1.end), (0, 0));
+        let o2 = s.outcome(JobId(2)).unwrap();
+        assert_eq!((o2.status, o2.start), (JobStatus::Completed, 5));
+        assert_eq!(s.count_status(JobStatus::Rejected), 1);
+        assert_eq!(s.count_status(JobStatus::Completed), 1);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_input() {
+        let tree = small_tree();
+        let cfg = EngineConfig::new(SelectorKind::Default);
+        // Duplicate job ids.
+        let dup = JobLog::new("dup", vec![job(7, 0, 10, 1), job(7, 1, 10, 1)]);
+        assert_eq!(
+            Engine::new(&tree, cfg).run(&dup),
+            Err(EngineError::DuplicateJob(JobId(7)))
+        );
+        // Zero-node job.
+        let zero = JobLog::new("zero", vec![job(1, 0, 10, 0)]);
+        assert_eq!(
+            Engine::new(&tree, cfg).run(&zero),
+            Err(EngineError::ZeroNodeJob(JobId(1)))
+        );
+        // Fault trace naming a node outside the machine.
+        let err = Engine::new(&tree, cfg)
+            .with_faults(trace(&[(1, 99, FaultKind::Fail)]))
+            .run(&JobLog::new("ok", vec![job(1, 0, 10, 1)]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidFaultTrace(_)));
+        // Drain list naming a node outside the machine.
+        let err = Engine::new(&tree, cfg)
+            .drain_nodes(vec![commsched_topology::NodeId(99)])
+            .run(&JobLog::new("ok", vec![job(1, 0, 10, 1)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NodeOutOfRange {
+                node: 99,
+                machine: 4
+            }
+        );
+    }
+
+    #[test]
+    fn conservative_backfill_survives_permanent_capacity_loss() {
+        let tree = small_tree();
+        let cfg = EngineConfig::new(SelectorKind::Default).conservative_backfill();
+        let log = JobLog::new(
+            "mix",
+            vec![job(1, 0, 100, 4), job(2, 20, 10, 4), job(3, 25, 10, 2)],
+        );
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[(10, 0, FaultKind::Drain)]))
+            .run(&log)
+            .unwrap();
+        // Job 2 can never fit the surviving 3 nodes: no reservation, no
+        // panic, rejected at the end; job 3 still runs.
+        assert_eq!(s.outcome(JobId(2)).unwrap().status, JobStatus::Rejected);
+        assert_eq!(s.outcome(JobId(3)).unwrap().status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn walltime_enforcement_composes_with_requeue() {
+        let tree = small_tree();
+        let cfg = EngineConfig::new(SelectorKind::Default).with_walltime_enforcement();
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[
+                (30, 0, FaultKind::Fail),
+                (35, 0, FaultKind::Recover),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        assert_eq!(o.status, JobStatus::Completed);
+        assert_eq!(o.end - o.start, 100);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// (a) An empty fault trace leaves every RunSummary bit-equal
+            /// to the failure-free engine, for every selector.
+            #[test]
+            fn empty_trace_changes_nothing(seed in any::<u64>(), pct in 0u8..=100) {
+                let tree = Tree::regular_two_level(3, 6);
+                let log = LogSpec::new(
+                    SystemModel {
+                        total_nodes: 18,
+                        min_request: 1,
+                        max_request: 8,
+                        ..SystemModel::theta()
+                    },
+                    25,
+                    seed,
+                )
+                .comm_percent(pct)
+                .generate();
+                for kind in SelectorKind::ALL {
+                    let plain = Engine::new(&tree, EngineConfig::new(kind))
+                        .run(&log)
+                        .unwrap();
+                    let faulty = Engine::new(&tree, EngineConfig::new(kind))
+                        .with_faults(FaultTrace::empty())
+                        .run(&log)
+                        .unwrap();
+                    prop_assert_eq!(&plain, &faulty);
+                }
+            }
+
+            /// (b) Under arbitrary fault traces no job is ever lost: every
+            /// job ends with exactly one terminal outcome, and kills never
+            /// panic or hang the virtual clock.
+            #[test]
+            fn no_job_lost_under_random_faults(
+                seed in any::<u64>(),
+                raw in proptest::collection::vec((0u64..3000, 0usize..18, 0u8..3), 0..40),
+            ) {
+                let tree = Tree::regular_two_level(3, 6);
+                let log = LogSpec::new(
+                    SystemModel {
+                        total_nodes: 18,
+                        min_request: 1,
+                        max_request: 8,
+                        ..SystemModel::theta()
+                    },
+                    25,
+                    seed,
+                )
+                .comm_percent(50)
+                .generate();
+                let events: Vec<FaultEvent> = raw
+                    .iter()
+                    .map(|&(t, node, k)| FaultEvent {
+                        t,
+                        node,
+                        kind: match k {
+                            0 => FaultKind::Fail,
+                            1 => FaultKind::Recover,
+                            _ => FaultKind::Drain,
+                        },
+                    })
+                    .collect();
+                for policy in [
+                    FailurePolicy::Cancel,
+                    FailurePolicy::default(),
+                    FailurePolicy::RequeueFront,
+                ] {
+                    let cfg = EngineConfig::new(SelectorKind::Balanced)
+                        .with_failure_policy(policy);
+                    let s = Engine::new(&tree, cfg)
+                        .with_faults(FaultTrace::new(events.clone()))
+                        .run(&log)
+                        .unwrap();
+                    prop_assert_eq!(s.outcomes.len(), log.jobs.len());
+                    let mut ids: Vec<u64> =
+                        s.outcomes.iter().map(|o| o.id.0).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    prop_assert_eq!(ids.len(), log.jobs.len());
+                    let terminal = s.count_status(JobStatus::Completed)
+                        + s.count_status(JobStatus::Cancelled)
+                        + s.count_status(JobStatus::Rejected);
+                    prop_assert_eq!(terminal, s.outcomes.len());
+                    for o in &s.outcomes {
+                        prop_assert!(o.submit <= o.start && o.start <= o.end);
+                    }
+                }
+            }
+        }
+    }
+}

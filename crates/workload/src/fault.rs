@@ -1,0 +1,276 @@
+//! Fault traces: deterministic node failure/recovery schedules.
+//!
+//! A [`FaultTrace`] is an ordered list of [`FaultEvent`]s — node `Fail`,
+//! `Recover` and `Drain` transitions at virtual-time instants — consumed by
+//! the simulation engine alongside a job log. Traces come from two sources:
+//!
+//! * an **explicit event list**, parsed from a small text format
+//!   ([`FaultTrace::parse`], one `<time> <node> <fail|recover|drain>` event
+//!   per line) or built programmatically; or
+//! * a **seeded MTBF/MTTR generator** ([`FaultTrace::mtbf`]) that draws
+//!   per-node exponential time-to-failure / time-to-repair sequences from a
+//!   ChaCha stream, so the same `(nodes, mtbf, mttr, horizon, seed)` tuple
+//!   always yields the same churn regardless of thread count or platform.
+//!
+//! Node indices are plain `usize` ordinals into the target topology's node
+//! list; [`FaultTrace::validate`] range-checks them against a machine size
+//! so a bad trace yields a typed error instead of an index panic downstream.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happens to the node at the event instant.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum FaultKind {
+    /// The node fails hard: any job running on it is killed.
+    #[default]
+    Fail,
+    /// The node returns to service.
+    Recover,
+    /// The node is drained: it leaves service once its current job (if any)
+    /// finishes; no job is killed.
+    Drain,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Fail => "fail",
+            FaultKind::Recover => "recover",
+            FaultKind::Drain => "drain",
+        })
+    }
+}
+
+/// One node lifecycle transition at virtual time `t` (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time of the transition, seconds since the run origin.
+    pub t: u64,
+    /// Node ordinal in the target topology (0-based).
+    pub node: usize,
+    /// Transition kind.
+    pub kind: FaultKind,
+}
+
+/// A malformed or out-of-range fault trace, with source context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTraceError {
+    /// 1-based source line for parse errors; `None` for semantic errors.
+    pub line: Option<usize>,
+    /// Offending field (`"time"`, `"node"`, `"kind"`), when known.
+    pub field: Option<&'static str>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for FaultTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault trace")?;
+        if let Some(line) = self.line {
+            write!(f, " line {line}")?;
+        }
+        if let Some(field) = self.field {
+            write!(f, " field '{field}'")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultTraceError {}
+
+impl FaultTraceError {
+    fn at(line: usize, field: &'static str, message: impl Into<String>) -> Self {
+        FaultTraceError {
+            line: Some(line),
+            field: Some(field),
+            message: message.into(),
+        }
+    }
+
+    fn semantic(message: impl Into<String>) -> Self {
+        FaultTraceError {
+            line: None,
+            field: None,
+            message: message.into(),
+        }
+    }
+}
+
+/// An ordered schedule of node fault events.
+///
+/// Events are kept sorted by `(t, node, kind)` so consumption order — and
+/// therefore every downstream simulation — is deterministic even when the
+/// trace was assembled out of order. At equal `(t, node)` a `Fail` sorts
+/// before a `Recover`, so a zero-length outage is processed fail-first.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultTrace {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTrace {
+    /// A trace with no events (the failure-free default).
+    pub fn empty() -> Self {
+        FaultTrace { events: Vec::new() }
+    }
+
+    /// Build from an arbitrary event list; events are sorted and
+    /// de-duplicated into canonical order.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_unstable();
+        events.dedup();
+        FaultTrace { events }
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in canonical `(t, node, kind)` order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Range-check every event against a machine of `num_nodes` nodes.
+    pub fn validate(&self, num_nodes: usize) -> Result<(), FaultTraceError> {
+        for e in &self.events {
+            if e.node >= num_nodes {
+                return Err(FaultTraceError::semantic(format!(
+                    "event at t={} names node {} but the machine has {} nodes",
+                    e.t, e.node, num_nodes
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the text format: one `<time> <node> <fail|recover|drain>`
+    /// triple per line, blank lines and `#` comments ignored.
+    pub fn parse(text: &str) -> Result<Self, FaultTraceError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let t_str = fields
+                .next()
+                .ok_or_else(|| FaultTraceError::at(lineno, "time", "missing time"))?;
+            let t: u64 = t_str.parse().map_err(|_| {
+                FaultTraceError::at(lineno, "time", format!("'{t_str}' is not a u64"))
+            })?;
+            let node_str = fields
+                .next()
+                .ok_or_else(|| FaultTraceError::at(lineno, "node", "missing node ordinal"))?;
+            let node: usize = node_str.parse().map_err(|_| {
+                FaultTraceError::at(
+                    lineno,
+                    "node",
+                    format!("'{node_str}' is not a node ordinal"),
+                )
+            })?;
+            let kind_str = fields
+                .next()
+                .ok_or_else(|| FaultTraceError::at(lineno, "kind", "missing event kind"))?;
+            let kind = match kind_str {
+                "fail" => FaultKind::Fail,
+                "recover" => FaultKind::Recover,
+                "drain" => FaultKind::Drain,
+                other => {
+                    return Err(FaultTraceError::at(
+                        lineno,
+                        "kind",
+                        format!("'{other}' is not one of fail|recover|drain"),
+                    ));
+                }
+            };
+            if let Some(extra) = fields.next() {
+                return Err(FaultTraceError::at(
+                    lineno,
+                    "kind",
+                    format!("trailing garbage '{extra}' after event"),
+                ));
+            }
+            events.push(FaultEvent { t, node, kind });
+        }
+        Ok(FaultTrace::new(events))
+    }
+
+    /// Render in the [`FaultTrace::parse`] text format.
+    pub fn emit(&self) -> String {
+        let mut out = String::from("# time node kind\n");
+        for e in &self.events {
+            out.push_str(&format!("{} {} {}\n", e.t, e.node, e.kind));
+        }
+        out
+    }
+
+    /// Generate a seeded MTBF/MTTR churn schedule over `[0, horizon)`.
+    ///
+    /// Each node alternates exponential up-times (mean `mtbf_secs`) and
+    /// down-times (mean `mttr_secs`), sampled node-by-node in ordinal order
+    /// from one ChaCha12 stream seeded with `seed` — fully deterministic.
+    /// Every `Fail` that lands inside the horizon is paired with its
+    /// `Recover` (which may land beyond the horizon, so a run that outlives
+    /// the horizon still gets its nodes back).
+    pub fn mtbf(
+        num_nodes: usize,
+        mtbf_secs: f64,
+        mttr_secs: f64,
+        horizon: u64,
+        seed: u64,
+    ) -> Result<Self, FaultTraceError> {
+        if !(mtbf_secs.is_finite() && mtbf_secs > 0.0) {
+            return Err(FaultTraceError::semantic(format!(
+                "mtbf must be a positive finite number of seconds, got {mtbf_secs}"
+            )));
+        }
+        if !(mttr_secs.is_finite() && mttr_secs > 0.0) {
+            return Err(FaultTraceError::semantic(format!(
+                "mttr must be a positive finite number of seconds, got {mttr_secs}"
+            )));
+        }
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        // Exponential draw: -mean * ln(1 - u), u uniform in [0, 1); at
+        // least one second so virtual time always advances.
+        let mut exp = |mean: f64| -> u64 {
+            let u: f64 = rng.random();
+            let secs = -mean * (1.0 - u).ln();
+            (secs.ceil() as u64).max(1)
+        };
+        let mut events = Vec::new();
+        for node in 0..num_nodes {
+            let mut t: u64 = 0;
+            loop {
+                t = t.saturating_add(exp(mtbf_secs));
+                if t >= horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    t,
+                    node,
+                    kind: FaultKind::Fail,
+                });
+                t = t.saturating_add(exp(mttr_secs));
+                events.push(FaultEvent {
+                    t,
+                    node,
+                    kind: FaultKind::Recover,
+                });
+            }
+        }
+        Ok(FaultTrace::new(events))
+    }
+}

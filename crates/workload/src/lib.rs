@@ -33,12 +33,14 @@
 //! assert!(log.jobs.iter().all(|j| j.nodes <= 512));
 //! ```
 
+pub mod fault;
 mod generate;
 mod model;
 pub mod stats;
 pub mod swf;
 
 pub use commsched_core::{JobId, JobNature};
+pub use fault::{FaultEvent, FaultKind, FaultTrace, FaultTraceError};
 pub use generate::{LogSpec, MixSet};
 pub use model::{Job, JobLog, SystemModel};
 pub use stats::LogProfile;

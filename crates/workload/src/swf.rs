@@ -23,18 +23,38 @@ const F_TIME_REQ: usize = 8;
 const F_STATUS: usize = 10;
 const FIELDS: usize = 18;
 
-/// A parse failure, with the 1-based line number.
+/// SWF column name for a consumed 0-based field index (Feitelson et al.).
+fn field_name(i: usize) -> &'static str {
+    match i {
+        F_JOB => "job_number",
+        F_SUBMIT => "submit_time",
+        F_RUN => "run_time",
+        F_PROCS_USED => "allocated_processors",
+        F_PROCS_REQ => "requested_processors",
+        F_TIME_REQ => "requested_time",
+        F_STATUS => "status",
+        _ => "unknown",
+    }
+}
+
+/// A parse failure, with the 1-based line number and offending field.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwfError {
-    /// Line the error occurred on.
+    /// Line the error occurred on (1-based; 0 when not line-specific).
     pub line: usize,
+    /// SWF column name the error refers to, when a single field is at fault.
+    pub field: Option<&'static str>,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for SwfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SWF line {}: {}", self.line, self.message)
+        write!(f, "SWF line {}", self.line)?;
+        if let Some(field) = self.field {
+            write!(f, " field '{field}'")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -49,7 +69,13 @@ impl std::error::Error for SwfError {}
 /// * All jobs come out compute-intensive with no pattern — callers assign
 ///   natures with [`assign_natures`], as the paper does (§5.1).
 pub fn parse(text: &str, name: &str, procs_per_node: usize) -> Result<JobLog, SwfError> {
-    assert!(procs_per_node >= 1);
+    if procs_per_node == 0 {
+        return Err(SwfError {
+            line: 0,
+            field: None,
+            message: "procs_per_node must be at least 1".into(),
+        });
+    }
     let mut jobs = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -60,13 +86,15 @@ pub fn parse(text: &str, name: &str, procs_per_node: usize) -> Result<JobLog, Sw
         if fields.len() < FIELDS {
             return Err(SwfError {
                 line: lineno + 1,
+                field: None,
                 message: format!("expected {FIELDS} fields, found {}", fields.len()),
             });
         }
         let get = |i: usize| -> Result<i64, SwfError> {
             fields[i].parse().map_err(|_| SwfError {
                 line: lineno + 1,
-                message: format!("field {} is not an integer: {:?}", i + 1, fields[i]),
+                field: Some(field_name(i)),
+                message: format!("column {} is not an integer: {:?}", i + 1, fields[i]),
             })
         };
         let id = get(F_JOB)?;
@@ -121,7 +149,8 @@ pub fn emit(log: &JobLog) -> String {
 
 /// Assign natures/patterns to a parsed log the way [`crate::LogSpec`]
 /// does for synthetic ones: `pct`% of jobs (chosen by a seeded shuffle)
-/// become communication-intensive with the given components.
+/// become communication-intensive with the given components. Percentages
+/// above 100 are clamped to 100.
 pub fn assign_natures(
     log: &mut JobLog,
     pct: u8,
@@ -129,7 +158,7 @@ pub fn assign_natures(
     seed: u64,
 ) {
     use rand::prelude::*;
-    assert!(pct <= 100);
+    let pct = pct.min(100);
     let n = log.jobs.len();
     let n_comm = n * pct as usize / 100;
     let mut idx: Vec<usize> = (0..n).collect();

@@ -338,3 +338,170 @@ fn window_and_normalize() {
     assert!(e.jobs.is_empty());
     e.normalize_submit();
 }
+
+// ------------------------------------------------------------ fault traces
+
+mod fault_traces {
+    use crate::fault::{FaultEvent, FaultKind, FaultTrace};
+
+    #[test]
+    fn parse_emit_round_trip() {
+        let text = "\
+# a comment
+10 3 fail
+
+20 3 recover   # trailing comment
+15 0 drain
+";
+        let trace = FaultTrace::parse(text).unwrap();
+        assert_eq!(trace.len(), 3);
+        // Canonical order: by (t, node, kind).
+        assert_eq!(
+            trace.events()[0],
+            FaultEvent {
+                t: 10,
+                node: 3,
+                kind: FaultKind::Fail
+            }
+        );
+        assert_eq!(trace.events()[1].t, 15);
+        let reparsed = FaultTrace::parse(&trace.emit()).unwrap();
+        assert_eq!(trace, reparsed);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_field() {
+        let err = FaultTrace::parse("10 3 fail\nnope 0 fail").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert_eq!(err.field, Some("time"));
+
+        let err = FaultTrace::parse("10 x fail").unwrap_err();
+        assert_eq!(err.field, Some("node"));
+
+        let err = FaultTrace::parse("10 3 explode").unwrap_err();
+        assert_eq!(err.field, Some("kind"));
+        assert!(err.to_string().contains("line 1"));
+
+        let err = FaultTrace::parse("10 3").unwrap_err();
+        assert_eq!(err.field, Some("kind"));
+
+        let err = FaultTrace::parse("10 3 fail extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        let trace = FaultTrace::parse("5 7 fail").unwrap();
+        assert!(trace.validate(8).is_ok());
+        let err = trace.validate(7).unwrap_err();
+        assert!(err.message.contains("node 7"));
+    }
+
+    #[test]
+    fn mtbf_generator_is_deterministic_and_well_formed() {
+        let a = FaultTrace::mtbf(16, 5_000.0, 600.0, 50_000, 42).unwrap();
+        let b = FaultTrace::mtbf(16, 5_000.0, 600.0, 50_000, 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultTrace::mtbf(16, 5_000.0, 600.0, 50_000, 43).unwrap();
+        assert_ne!(a, c);
+        assert!(!a.is_empty(), "a 10x-horizon MTBF should produce churn");
+
+        // Sorted canonically, every fail inside the horizon, and per node
+        // the events alternate fail/recover starting with fail.
+        let events = a.events();
+        for w in events.windows(2) {
+            assert!((w[0].t, w[0].node, w[0].kind) <= (w[1].t, w[1].node, w[1].kind));
+        }
+        for node in 0..16 {
+            let mine: Vec<_> = events.iter().filter(|e| e.node == node).collect();
+            for (i, e) in mine.iter().enumerate() {
+                let expect = if i % 2 == 0 {
+                    FaultKind::Fail
+                } else {
+                    FaultKind::Recover
+                };
+                assert_eq!(e.kind, expect, "node {node} event {i}");
+            }
+            for e in &mine {
+                if e.kind == FaultKind::Fail {
+                    assert!(e.t < 50_000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mtbf_rejects_degenerate_parameters() {
+        assert!(FaultTrace::mtbf(4, 0.0, 600.0, 1000, 1).is_err());
+        assert!(FaultTrace::mtbf(4, -5.0, 600.0, 1000, 1).is_err());
+        assert!(FaultTrace::mtbf(4, f64::NAN, 600.0, 1000, 1).is_err());
+        assert!(FaultTrace::mtbf(4, 5000.0, f64::INFINITY, 1000, 1).is_err());
+        // Zero nodes or zero horizon is legal and empty.
+        assert!(FaultTrace::mtbf(0, 5000.0, 600.0, 1000, 1)
+            .unwrap()
+            .is_empty());
+        assert!(FaultTrace::mtbf(4, 5000.0, 600.0, 0, 1).unwrap().is_empty());
+    }
+}
+
+// --------------------------------------------------------------- swf fuzz
+
+mod swf_fuzz {
+    use super::swf;
+
+    #[test]
+    fn error_names_the_offending_field() {
+        // 18 fields with a bad run_time (index 3).
+        let line = "1 0 0 oops 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        let err = swf::parse(line, "t", 1).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.field, Some("run_time"));
+        assert!(err.to_string().contains("field 'run_time'"));
+
+        // Bad submit time (index 1).
+        let line = "1 ? 0 10 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        let err = swf::parse(line, "t", 1).unwrap_err();
+        assert_eq!(err.field, Some("submit_time"));
+    }
+
+    #[test]
+    fn truncated_and_garbage_lines_error_not_panic() {
+        let cases: &[&str] = &[
+            "1 2 3",                                         // truncated
+            "only one",                                      // way short
+            "\u{0} \u{1} \u{2}",                             // control garbage
+            "1 0 0 10 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1", // 17 fields
+            "NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN NaN",
+            "9999999999999999999999999999 0 0 10 4 -1 -1 4 100 -1 1 -1 -1 -1 -1 -1 -1 -1",
+        ];
+        for case in cases {
+            let res = swf::parse(case, "fuzz", 4);
+            assert!(res.is_err(), "{case:?} should fail to parse");
+        }
+        // Comments, blank lines, and an empty document are fine.
+        assert!(swf::parse("; header only\n\n", "ok", 4)
+            .unwrap()
+            .jobs
+            .is_empty());
+        // procs_per_node of zero is a typed error, not a panic.
+        assert!(swf::parse("", "ok", 0).is_err());
+    }
+
+    #[test]
+    fn fuzz_random_byte_lines_never_panic() {
+        // Cheap deterministic fuzz: pseudo-random ASCII lines must either
+        // parse or produce a typed SwfError, never panic.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            let mut line = String::new();
+            for _ in 0..40 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = (x >> 33) as u8;
+                line.push((b % 94 + 32) as char); // printable ASCII
+            }
+            let _ = swf::parse(&line, "fuzz", 4);
+        }
+    }
+}
