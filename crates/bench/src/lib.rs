@@ -21,6 +21,7 @@
 //! `Scale::jobs` so the same code drives both quick CI runs and the full
 //! 1000-job replication.
 
+#![forbid(unsafe_code)]
 pub mod baseline;
 pub mod experiments;
 pub mod perf;

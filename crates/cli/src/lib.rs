@@ -15,6 +15,8 @@
 //! commsched patterns [RANKS]    # print collective schedules
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod args;
 mod cmd;
 

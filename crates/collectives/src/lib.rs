@@ -44,6 +44,8 @@
 //! assert!(steps[0].pairs.contains(&(0, 4)));
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod schedule;
 
 pub use schedule::{CollectiveSpec, Pattern, Step};

@@ -2,6 +2,7 @@
 
 use crate::state::ClusterState;
 use commsched_collectives::CollectiveSpec;
+use commsched_num::{f64_of_u64, f64_of_usize, i32_of_u32};
 use commsched_topology::{NodeId, Tree};
 use std::collections::HashMap;
 
@@ -73,7 +74,7 @@ impl CostModel {
         comm_b: u32,
     ) -> f64 {
         let comm_a = f64::from(comm_a);
-        let nodes_a = tree.leaf_size(a) as f64;
+        let nodes_a = f64_of_usize(tree.leaf_size(a));
         if a == b {
             // Eq. 2: both endpoints under one leaf switch.
             return comm_a / nodes_a;
@@ -81,9 +82,9 @@ impl CostModel {
         // Eq. 3: two leaf terms plus the discounted pooled term for the
         // common upper switch.
         let comm_b = f64::from(comm_b);
-        let nodes_b = tree.leaf_size(b) as f64;
+        let nodes_b = f64_of_usize(tree.leaf_size(b));
         let level = tree.leaf_lca_level(a, b);
-        let discount = self.trunk_discount.powi(level as i32 - 1);
+        let discount = self.trunk_discount.powi(i32_of_u32(level) - 1);
         comm_a / nodes_a + comm_b / nodes_b + discount * (comm_a + comm_b) / (nodes_a + nodes_b)
     }
 
@@ -153,7 +154,7 @@ impl CostModel {
                 }
             }
             total += if self.hop_bytes {
-                worst * step.msize as f64
+                worst * f64_of_u64(step.msize)
             } else {
                 worst
             };

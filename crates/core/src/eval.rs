@@ -27,6 +27,7 @@
 use crate::cost::CostModel;
 use crate::state::ClusterState;
 use commsched_collectives::{CollectiveSpec, Pattern, Step};
+use commsched_num::f64_of_u64;
 use commsched_topology::{NodeId, Tree};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -205,7 +206,7 @@ impl PlacementEvaluator {
                 }
             }
             raw_hops += worst;
-            hop_bytes += worst * step.msize as f64;
+            hop_bytes += worst * f64_of_u64(step.msize);
         }
         EvalTotals {
             raw_hops,

@@ -37,6 +37,8 @@
 //! assert_eq!(per_leaf, [128, 128, 64, 64, 64, 32, 32]); // Table 2
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod cost;
 mod eval;
 pub mod mapping;

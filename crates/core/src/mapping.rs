@@ -158,7 +158,9 @@ fn leaf_groups(tree: &Tree, sorted: &[NodeId]) -> Vec<Vec<NodeId>> {
             groups.push(Vec::new());
             last_leaf = k;
         }
-        groups.last_mut().expect("just pushed").push(n);
+        if let Some(group) = groups.last_mut() {
+            group.push(n);
+        }
     }
     groups
 }
@@ -180,6 +182,13 @@ fn round_robin(tree: &Tree, sorted: &[NodeId]) -> Vec<NodeId> {
 /// *aligned* power-of-two rank block that fits it; leftovers fill
 /// whatever rank slots remain.
 fn aligned_blocks(tree: &Tree, sorted: &[NodeId]) -> Vec<NodeId> {
+    // The buddy invariants below guarantee `Some`; if they were ever
+    // violated the plain block layout is a safe, deterministic fallback —
+    // a worse mapping, never a crash.
+    aligned_blocks_impl(tree, sorted).unwrap_or_else(|| sorted.to_vec())
+}
+
+fn aligned_blocks_impl(tree: &Tree, sorted: &[NodeId]) -> Option<Vec<NodeId>> {
     let n = sorted.len();
     let mut groups = leaf_groups(tree, sorted);
     // Largest groups claim blocks first.
@@ -226,11 +235,11 @@ fn aligned_blocks(tree: &Tree, sorted: &[NodeId]) -> Vec<NodeId> {
                 // No block of this size left anywhere: fall back to
                 // single-slot placement for the rest of the group.
                 chunk = 1;
-                let Some(j) = free_blocks.iter().position(|&(_, len)| len >= 1) else {
-                    unreachable!("total free slots always equal unplaced ranks");
-                };
+                // Total free slots always equal unplaced ranks, so a
+                // single-slot block must exist here.
+                let j = free_blocks.iter().position(|&(_, len)| len >= 1)?;
                 let (start, len) = free_blocks.swap_remove(j);
-                layout[start] = Some(group.pop().expect("group non-empty"));
+                layout[start] = Some(group.pop()?);
                 if len > 1 {
                     // Return the tail as aligned sub-blocks.
                     push_aligned(&mut free_blocks, start + 1, len - 1);
@@ -244,16 +253,14 @@ fn aligned_blocks(tree: &Tree, sorted: &[NodeId]) -> Vec<NodeId> {
                 free_blocks.push((start + len, len));
             }
             for slot in layout.iter_mut().skip(start).take(chunk) {
-                *slot = Some(group.pop().expect("group holds >= chunk nodes"));
+                *slot = Some(group.pop()?);
             }
             let _ = &mut start;
             want -= chunk;
         }
     }
-    layout
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    // `collect` over options doubles as the "every slot filled" check.
+    layout.into_iter().collect()
 }
 
 /// Decompose `[start, start+len)` into maximal aligned power-of-two blocks.

@@ -1,9 +1,10 @@
 //! Cluster occupancy state: which nodes are busy, and the per-leaf counters
 //! (`L_nodes`, `L_busy`, `L_comm`) that drive the paper's Eqs. 1–3.
 
+use commsched_num::{f64_of_usize, u32_of_usize, usize_of_u32};
 use commsched_topology::{NodeId, SwitchId, Tree};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,7 +136,9 @@ pub struct ClusterState {
     down_total: usize,
     /// Total draining nodes (busy, will go down on release).
     draining_total: usize,
-    allocs: HashMap<JobId, Allocation>,
+    /// Ordered so that iteration (serialization, invariant sweeps) is
+    /// deterministic regardless of insertion history.
+    allocs: BTreeMap<JobId, Allocation>,
     /// Cache-invalidation token (see [`ClusterState::version`]). Not part
     /// of the state's identity: excluded from `PartialEq`.
     #[serde(skip)]
@@ -167,12 +170,12 @@ impl ClusterState {
         let leaves = tree.num_leaves();
         let mut leaf_free = vec![0u32; leaves];
         for (k, lf) in leaf_free.iter_mut().enumerate() {
-            *lf = tree.leaf_size(k) as u32;
+            *lf = u32_of_usize(tree.leaf_size(k));
         }
         let switch_free = tree
             .switches()
             .iter()
-            .map(|s| s.subtree_nodes as u32)
+            .map(|s| u32_of_usize(s.subtree_nodes))
             .collect();
         ClusterState {
             node_free: vec![true; tree.num_nodes()],
@@ -185,7 +188,7 @@ impl ClusterState {
             leaf_down: vec![0; leaves],
             down_total: 0,
             draining_total: 0,
-            allocs: HashMap::new(),
+            allocs: BTreeMap::new(),
             version: next_version(),
         }
     }
@@ -292,7 +295,7 @@ impl ClusterState {
     /// free — the most attractive leaf for a communication-intensive job.
     pub fn communication_ratio(&self, tree: &Tree, k: usize) -> f64 {
         let busy = f64::from(self.leaf_busy[k]);
-        let nodes = tree.leaf_size(k) as f64;
+        let nodes = f64_of_usize(tree.leaf_size(k));
         if self.leaf_busy[k] == 0 {
             0.0
         } else {
@@ -305,7 +308,7 @@ impl ClusterState {
     #[inline]
     pub fn subtree_free(&self, tree: &Tree, s: SwitchId) -> usize {
         let _ = tree; // counters are maintained against the same tree
-        self.switch_free[s.0] as usize
+        usize_of_u32(self.switch_free[s.0])
     }
 
     /// Reference implementation of [`ClusterState::subtree_free`]: recount
@@ -314,7 +317,7 @@ impl ClusterState {
     pub fn subtree_free_naive(&self, tree: &Tree, s: SwitchId) -> usize {
         tree.leaf_ordinals_under(s)
             .iter()
-            .map(|&k| self.leaf_free[k] as usize)
+            .map(|&k| usize_of_u32(self.leaf_free[k]))
             .sum()
     }
 
@@ -574,7 +577,8 @@ impl ClusterState {
                     self.leaf_free[k]
                 ));
             }
-            if self.leaf_free[k] + self.leaf_busy[k] + self.leaf_down[k] != tree.leaf_size(k) as u32
+            if self.leaf_free[k] + self.leaf_busy[k] + self.leaf_down[k]
+                != u32_of_usize(tree.leaf_size(k))
             {
                 return Err(format!("leaf {k}: free + busy + down != size"));
             }
@@ -626,7 +630,7 @@ impl ClusterState {
         for id in 0..tree.num_switches() {
             let s = SwitchId(id);
             let naive = self.subtree_free_naive(tree, s);
-            if self.switch_free[id] as usize != naive {
+            if usize_of_u32(self.switch_free[id]) != naive {
                 return Err(format!(
                     "switch {id}: counter {} free, recounted {naive}",
                     self.switch_free[id]

@@ -1,0 +1,350 @@
+//! `detlint.toml` — rule scoping and the committed allowlist.
+//!
+//! Parsed with a hand-rolled TOML-subset reader (the workspace vendors no
+//! TOML crate): `[section]` and `[[array-of-tables]]` headers, `key = "str"`
+//! and `key = ["a", "b"]` values (arrays may span lines), `#` comments.
+//! That subset is all the config needs; anything else is a hard error so
+//! a typo cannot silently widen the allowlist.
+
+use std::fmt;
+
+/// One committed allowlist entry. Matches a diagnostic when the rule and
+/// file agree and, if `contains` is set, the flagged source line contains
+/// that substring. Every entry must carry a human-written reason.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub contains: Option<String>,
+    pub reason: String,
+}
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crates whose non-test code is subject to R1 (panic-freedom).
+    pub r1_crates: Vec<String>,
+    /// Workspace-relative files subject to N1 (checked casts).
+    pub n1_files: Vec<String>,
+    /// Workspace-relative dir prefixes excluded from D2 (wall-clock).
+    pub d2_exclude_dirs: Vec<String>,
+    /// Committed allowlist.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// A config-file parse error with a 1-based line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip a trailing `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse one TOML basic string starting at `s` (which begins with `"`).
+/// Returns (value, rest-after-closing-quote).
+fn parse_string(s: &str, lineno: usize) -> Result<(String, &str), ConfigError> {
+    let mut out = String::new();
+    let mut it = s.char_indices();
+    match it.next() {
+        Some((_, '"')) => {}
+        _ => return Err(err(lineno, "expected opening quote")),
+    }
+    let mut escaped = false;
+    for (idx, c) in it {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => return Err(err(lineno, format!("unsupported escape \\{other}"))),
+            }
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Ok((out, &s[idx + 1..])),
+            other => out.push(other),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Section {
+    None,
+    RuleR1,
+    RuleN1,
+    RuleD2,
+    Allow,
+    /// A recognised-but-unused `[rules.*]` table; keys are rejected.
+    Unknown(String),
+}
+
+/// Parse the config text. `source` is used only for error messages.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+    // Pending allow entry being filled by `key = value` lines.
+    let mut pending: Option<(usize, AllowEntry)> = None;
+    // Multiline array accumulation: (key, items, start-line).
+    let mut open_array: Option<(String, Vec<String>, usize)> = None;
+
+    let flush_allow =
+        |cfg: &mut Config, pending: &mut Option<(usize, AllowEntry)>| -> Result<(), ConfigError> {
+            if let Some((start, entry)) = pending.take() {
+                if entry.rule.is_empty() || entry.file.is_empty() {
+                    return Err(err(start, "[[allow]] entry needs both `rule` and `file`"));
+                }
+                if entry.reason.trim().is_empty() {
+                    return Err(err(
+                        start,
+                        format!(
+                            "[[allow]] entry for {} ({}) has no `reason`",
+                            entry.file, entry.rule
+                        ),
+                    ));
+                }
+                cfg.allow.push(entry.clone());
+            }
+            Ok(())
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+
+        if let Some((key, mut items, start)) = open_array.take() {
+            // Continue a multiline array until the closing bracket.
+            let mut rest = line;
+            loop {
+                rest = rest.trim_start_matches(',').trim();
+                if rest.is_empty() {
+                    open_array = Some((key, items, start));
+                    break;
+                }
+                if let Some(after) = rest.strip_prefix(']') {
+                    if !after.trim().is_empty() {
+                        return Err(err(lineno, "trailing text after array close"));
+                    }
+                    store_array(&mut cfg, &section, &key, items, start)?;
+                    break;
+                }
+                let (val, tail) = parse_string(rest, lineno)?;
+                items.push(val);
+                rest = tail.trim();
+            }
+            continue;
+        }
+
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            flush_allow(&mut cfg, &mut pending)?;
+            if header.trim() != "allow" {
+                return Err(err(lineno, format!("unknown array table [[{header}]]")));
+            }
+            section = Section::Allow;
+            pending = Some((
+                lineno,
+                AllowEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    contains: None,
+                    reason: String::new(),
+                },
+            ));
+            continue;
+        }
+
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            flush_allow(&mut cfg, &mut pending)?;
+            section = match header.trim() {
+                "rules.R1" => Section::RuleR1,
+                "rules.N1" => Section::RuleN1,
+                "rules.D2" => Section::RuleD2,
+                other if other.starts_with("rules.") => Section::Unknown(other.to_string()),
+                other => return Err(err(lineno, format!("unknown table [{other}]"))),
+            };
+            continue;
+        }
+
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = line[..eq].trim().to_string();
+        let value = line[eq + 1..].trim();
+
+        if let Some(body) = value.strip_prefix('[') {
+            let mut items = Vec::new();
+            let mut rest = body.trim();
+            loop {
+                rest = rest.trim_start_matches(',').trim();
+                if rest.is_empty() {
+                    // Array continues on the next line.
+                    open_array = Some((key.clone(), items, lineno));
+                    break;
+                }
+                if let Some(after) = rest.strip_prefix(']') {
+                    if !after.trim().is_empty() {
+                        return Err(err(lineno, "trailing text after array close"));
+                    }
+                    store_array(&mut cfg, &section, &key, items, lineno)?;
+                    break;
+                }
+                let (val, tail) = parse_string(rest, lineno)?;
+                items.push(val);
+                rest = tail.trim();
+            }
+            continue;
+        }
+
+        if value.starts_with('"') {
+            let (val, tail) = parse_string(value, lineno)?;
+            if !tail.trim().is_empty() {
+                return Err(err(lineno, "trailing text after string value"));
+            }
+            match (&section, key.as_str()) {
+                (Section::Allow, "rule") => {
+                    if let Some((_, entry)) = pending.as_mut() {
+                        entry.rule = val;
+                    }
+                }
+                (Section::Allow, "file") => {
+                    if let Some((_, entry)) = pending.as_mut() {
+                        entry.file = val;
+                    }
+                }
+                (Section::Allow, "contains") => {
+                    if let Some((_, entry)) = pending.as_mut() {
+                        entry.contains = Some(val);
+                    }
+                }
+                (Section::Allow, "reason") => {
+                    if let Some((_, entry)) = pending.as_mut() {
+                        entry.reason = val;
+                    }
+                }
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("unexpected key `{key}` in this section"),
+                    ))
+                }
+            }
+            continue;
+        }
+
+        return Err(err(lineno, format!("unsupported value for `{key}`")));
+    }
+
+    if let Some((_, _, start)) = open_array {
+        return Err(err(start, "unterminated array"));
+    }
+    flush_allow(&mut cfg, &mut pending)?;
+    Ok(cfg)
+}
+
+fn store_array(
+    cfg: &mut Config,
+    section: &Section,
+    key: &str,
+    items: Vec<String>,
+    lineno: usize,
+) -> Result<(), ConfigError> {
+    match (section, key) {
+        (Section::RuleR1, "crates") => cfg.r1_crates = items,
+        (Section::RuleN1, "files") => cfg.n1_files = items,
+        (Section::RuleD2, "exclude_dirs") => cfg.d2_exclude_dirs = items,
+        _ => {
+            return Err(err(
+                lineno,
+                format!("unexpected array key `{key}` in this section"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# comment
+[rules.R1]
+crates = ["core", "slurmsim"]
+
+[rules.N1]
+files = [
+    "crates/core/src/cost.rs",
+    "crates/netsim/src/sim.rs",
+]
+
+[rules.D2]
+exclude_dirs = ["crates/bench/src/bin"]
+
+[[allow]]
+rule = "D1"
+file = "crates/core/src/eval.rs"
+contains = "hop_map"
+reason = "order-independent rebuild"
+"#;
+        let cfg = parse(text).expect("parse");
+        assert_eq!(cfg.r1_crates, ["core", "slurmsim"]);
+        assert_eq!(cfg.n1_files.len(), 2);
+        assert_eq!(cfg.d2_exclude_dirs, ["crates/bench/src/bin"]);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].contains.as_deref(), Some("hop_map"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let text = "[[allow]]\nrule = \"D1\"\nfile = \"x.rs\"\n";
+        let e = parse(text).expect_err("must fail");
+        assert!(e.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        assert!(parse("[surprise]\n").is_err());
+    }
+}

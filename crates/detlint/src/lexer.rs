@@ -1,0 +1,256 @@
+//! A comment- and string-aware scrubber for Rust source.
+//!
+//! The rules must never fire on text inside comments, string literals or
+//! char literals, and the allow-comment parser must see exactly the
+//! comment text. This module produces both views in one pass: a *cleaned*
+//! copy of the source (same line structure, comment and literal contents
+//! replaced by spaces) and the per-line concatenated comment text.
+//!
+//! Handled syntax: `//` line comments (incl. doc comments), nested
+//! `/* */` block comments, plain and raw strings (`r"…"`, `r#"…"#` with
+//! any number of hashes), byte strings (`b"…"`, `br#"…"#`), char and byte
+//! char literals, escapes, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `'a`). This is a scrubber, not a full lexer — it only needs
+//! to be right about *where code is*, not what it means.
+
+/// Result of scrubbing one source file.
+pub struct Lexed {
+    /// Source with comment and literal contents blanked to spaces; byte
+    /// positions do not match the input, but line numbers do.
+    pub cleaned: String,
+    /// Comment text per 0-based line (text after `//`, or the slice of a
+    /// block comment on that line). Empty string for comment-free lines.
+    pub comments: Vec<String>,
+}
+
+/// Scrub `src` (see module docs).
+pub fn strip(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let nlines = src.lines().count().max(1) + usize::from(src.ends_with('\n'));
+    let mut cleaned = String::with_capacity(src.len());
+    let mut comments = vec![String::new(); nlines];
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let mut prev_ident = false;
+
+    // Blank one char into the cleaned view, preserving line structure.
+    let blank = |cleaned: &mut String, line: &mut usize, c: char| {
+        if c == '\n' {
+            cleaned.push('\n');
+            *line += 1;
+        } else {
+            cleaned.push(' ');
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            i += 2;
+            while i < chars.len() && chars[i] != '\n' {
+                if let Some(slot) = comments.get_mut(line) {
+                    slot.push(chars[i]);
+                }
+                i += 1;
+            }
+            cleaned.push_str("  ");
+            prev_ident = false;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            cleaned.push_str("  ");
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut cleaned, &mut line, chars[i]);
+                    blank(&mut cleaned, &mut line, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut cleaned, &mut line, chars[i]);
+                    blank(&mut cleaned, &mut line, chars[i + 1]);
+                    i += 2;
+                } else {
+                    if let Some(slot) = comments.get_mut(line) {
+                        slot.push(chars[i]);
+                    }
+                    blank(&mut cleaned, &mut line, chars[i]);
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw / byte string prefixes. Only when not glued to an identifier
+        // (`for"` cannot occur; `r` in `var` must not trigger).
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
+                j += 1;
+            }
+            if chars[j] == 'r' || chars[j] == 'b' {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') && (chars[j] == 'r' || hashes == 0) {
+                    // Emit the prefix verbatim, then blank to the close.
+                    for &p in &chars[i..=k] {
+                        cleaned.push(p);
+                    }
+                    i = k + 1;
+                    let is_raw = chars[j] == 'r';
+                    loop {
+                        if i >= chars.len() {
+                            break;
+                        }
+                        let d = chars[i];
+                        if !is_raw && d == '\\' && i + 1 < chars.len() {
+                            blank(&mut cleaned, &mut line, chars[i]);
+                            blank(&mut cleaned, &mut line, chars[i + 1]);
+                            i += 2;
+                            continue;
+                        }
+                        if d == '"' {
+                            let close = (1..=hashes).all(|h| chars.get(i + h) == Some(&'#'));
+                            if !is_raw || close {
+                                cleaned.push('"');
+                                for _ in 0..hashes {
+                                    cleaned.push('#');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        blank(&mut cleaned, &mut line, d);
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+                // Byte char literals (b'x') need no special case: the `b`
+                // is emitted as a plain char and the quote takes the
+                // char-literal path below.
+            }
+        }
+        if c == '"' {
+            cleaned.push('"');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    blank(&mut cleaned, &mut line, chars[i]);
+                    blank(&mut cleaned, &mut line, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    cleaned.push('"');
+                    i += 1;
+                    break;
+                }
+                blank(&mut cleaned, &mut line, chars[i]);
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal or lifetime?
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                cleaned.push('\'');
+                i += 1;
+                let mut guard = 0;
+                while i < chars.len() && guard < 12 {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        blank(&mut cleaned, &mut line, chars[i]);
+                        blank(&mut cleaned, &mut line, chars[i + 1]);
+                        i += 2;
+                        guard += 2;
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        cleaned.push('\'');
+                        i += 1;
+                        break;
+                    }
+                    blank(&mut cleaned, &mut line, chars[i]);
+                    i += 1;
+                    guard += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+            cleaned.push('\'');
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        cleaned.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    Lexed { cleaned, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_keeps_text() {
+        let l = strip("let x = 1; // detlint: allow(R1) — fine\nlet y = 2;\n");
+        assert!(l.cleaned.contains("let x = 1;"));
+        assert!(!l.cleaned.contains("allow"));
+        assert!(l.comments[0].contains("detlint: allow(R1)"));
+        assert!(l.comments[1].is_empty());
+    }
+
+    #[test]
+    fn strips_strings_but_not_code() {
+        let l = strip("call(\".unwrap()\"); x.unwrap();");
+        assert!(!l.cleaned.contains("\".unwrap()\""));
+        assert!(l.cleaned.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let l = strip("let s = r#\"panic!(\"#; let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!l.cleaned.contains("panic"));
+        assert!(l.cleaned.contains("fn f<'a>"));
+        let l2 = strip("let c = '\\n'; let q = 'q';");
+        assert!(!l2.cleaned.contains("\\n"));
+        assert!(!l2.cleaned.contains("'q'"));
+        assert!(l2.cleaned.contains("let c = '"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = strip("a /* outer /* inner */ still */ b");
+        assert!(l.cleaned.contains('a'));
+        assert!(l.cleaned.contains('b'));
+        assert!(!l.cleaned.contains("inner"));
+        assert!(!l.cleaned.contains("still"));
+    }
+
+    #[test]
+    fn multiline_comment_line_numbers_hold() {
+        let l = strip("a\n/* x\ny */\nb\n");
+        let lines: Vec<&str> = l.cleaned.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].trim(), "a");
+        assert_eq!(lines[3].trim(), "b");
+    }
+}

@@ -1,0 +1,203 @@
+//! detlint — the workspace determinism-and-robustness analyzer.
+//!
+//! Walks every `crates/*/src` Rust file (skipping `tests.rs` files and
+//! `tests/` module directories), scrubs comments and string literals, and
+//! enforces the project's determinism contract statically:
+//!
+//! * **D1** — no iteration over unordered hash containers
+//! * **D2** — no wall-clock / ambient state in library code
+//! * **R1** — no panic-capable calls in the panic-free crates
+//! * **N1** — no raw `as` numeric casts in hot files
+//! * **F1** — no float accumulation over unordered iterators
+//! * **A0** — every inline allow must carry a written reason
+//!
+//! Suppression is explicit and audited: either an inline
+//! `// detlint: allow(RULE) — reason` on (or directly above) the line, or
+//! a `[[allow]]` entry with a `reason` in the committed `detlint.toml`.
+//!
+//! See DESIGN.md §4.4 for the rationale behind each rule.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use rules::{Diagnostic, FileInput};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of analyzing a file set.
+pub struct Report {
+    /// All surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for a
+/// deterministic walk order. Skips `tests/` directories and `tests.rs`
+/// files — test code is exempt from every rule.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name != "tests" {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") && name != "tests.rs" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Enumerate the default scan set: every `crates/*/src` tree under `root`.
+pub fn default_targets(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Workspace-relative path with forward slashes, for stable diagnostics.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// The crate directory name a workspace-relative path belongs to
+/// (`crates/<name>/…` → `<name>`), or empty for paths outside `crates/`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Analyze `files` (absolute or root-relative paths) against `cfg`.
+pub fn run(root: &Path, cfg: &Config, files: &[PathBuf]) -> io::Result<Report> {
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in files {
+        let full = if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        };
+        let source = std::fs::read_to_string(&full)?;
+        let rel = rel_path(root, &full);
+        files_scanned += 1;
+        diagnostics.extend(rules::check_file(
+            &FileInput {
+                rel_path: &rel,
+                crate_name: crate_of(&rel),
+                source: &source,
+            },
+            cfg,
+        ));
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Human-readable rendering: one `file:line: rule: message` per finding
+/// plus a summary line.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}:{}: {}: {}", d.file, d.line, d.rule, d.message);
+    }
+    if report.is_clean() {
+        let _ = writeln!(
+            out,
+            "detlint: clean ({} files scanned)",
+            report.files_scanned
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "detlint: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable rendering (`--format json`).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"clean\": {},", report.is_clean());
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        );
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

@@ -1,0 +1,120 @@
+//! CLI for the workspace determinism analyzer.
+//!
+//! ```text
+//! detlint [--root DIR] [--config PATH] [--format text|json] [PATHS…]
+//! ```
+//!
+//! With no PATHS, scans every `crates/*/src` tree under the root.
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint [--root DIR] [--config PATH] [--format text|json] [PATHS...]"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                cli.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                );
+            }
+            "--config" => {
+                cli.config = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--config needs a value".to_string())?,
+                ));
+            }
+            "--format" => {
+                match it
+                    .next()
+                    .ok_or_else(|| "--format needs a value".to_string())?
+                    .as_str()
+                {
+                    "json" => cli.json = true,
+                    "text" => cli.json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => cli.paths.push(PathBuf::from(other)),
+        }
+    }
+    Ok(cli)
+}
+
+fn real_main() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args)?;
+
+    let config_path = cli
+        .config
+        .clone()
+        .unwrap_or_else(|| cli.root.join("detlint.toml"));
+    let cfg = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        detlint::config::parse(&text).map_err(|e| e.to_string())?
+    } else if cli.config.is_some() {
+        return Err(format!("config not found: {}", config_path.display()));
+    } else {
+        detlint::config::Config::default()
+    };
+
+    let files = if cli.paths.is_empty() {
+        detlint::default_targets(&cli.root)
+            .map_err(|e| format!("walking {}: {e}", cli.root.display()))?
+    } else {
+        cli.paths.clone()
+    };
+
+    let report =
+        detlint::run(&cli.root, &cfg, &files).map_err(|e| format!("reading sources: {e}"))?;
+    if cli.json {
+        print!("{}", detlint::render_json(&report));
+    } else {
+        print!("{}", detlint::render_text(&report));
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{}", usage());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("detlint: error: {msg}");
+                eprintln!("{}", usage());
+                ExitCode::from(2)
+            }
+        }
+    }
+}

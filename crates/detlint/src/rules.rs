@@ -1,0 +1,639 @@
+//! The five determinism/robustness rules, plus the inline-allow grammar.
+//!
+//! All checks run over the *cleaned* view from [`crate::lexer`], so string
+//! literals and comments can never trigger a rule. Lines inside
+//! `#[cfg(test)]` items (and `#[test]` functions) are masked out first —
+//! test code may unwrap and iterate however it likes.
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | D1   | iteration over an unordered hash container |
+//! | D2   | wall-clock / ambient state in library code |
+//! | R1   | panic-capable call in a panic-free crate |
+//! | N1   | raw `as` numeric cast in a hot file |
+//! | F1   | float accumulation over an unordered iterator |
+//! | A0   | inline allow comment missing its reason |
+
+use crate::config::Config;
+use crate::lexer;
+use std::collections::BTreeSet;
+
+/// One finding, in workspace-relative terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A file handed to the rule engine.
+pub struct FileInput<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Crate directory name under `crates/` (e.g. `slurmsim`).
+    pub crate_name: &'a str,
+    pub source: &'a str,
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const D1_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+const D2_TOKENS: &[&str] = &[
+    "SystemTime",
+    "Instant::now",
+    "thread_rng",
+    "rand::random",
+    "env::var(",
+];
+const R1_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+const F1_SINKS: &[&str] = &[".sum::<f64>()", ".sum::<f32>()", ".fold(0.0", ".fold(0f64"];
+const F1_PAR_SOURCES: &[&str] = &[".par_iter()", ".into_par_iter()", ".par_bridge()"];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `text[pos..]` starts with `pat` on an identifier boundary to
+/// the left (so `dont_panic!(` never matches `panic!(`).
+fn boundary_before(text: &str, pos: usize) -> bool {
+    text[..pos]
+        .chars()
+        .next_back()
+        .is_none_or(|c| !is_ident_char(c))
+}
+
+/// The identifier (path leaf) ending just before byte `pos`, e.g. the
+/// receiver of a method call whose `.` sits at `pos`.
+fn ident_before(text: &str, pos: usize) -> Option<&str> {
+    let head = &text[..pos];
+    let trimmed = head.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)?;
+    if start == end {
+        return None;
+    }
+    Some(&trimmed[start..end])
+}
+
+/// Per-line mask of code that belongs to `#[cfg(test)]` items or `#[test]`
+/// functions; those lines are invisible to every rule.
+fn test_mask(cleaned: &str) -> Vec<bool> {
+    let nlines = cleaned.lines().count() + 1;
+    let mut mask = vec![false; nlines];
+    let bytes = cleaned.as_bytes();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(off) = cleaned[from..].find(attr) {
+            let start = from + off;
+            let start_line = cleaned[..start].matches('\n').count();
+            // The attribute governs the next item: mask up to the end of
+            // its brace block, or to the first `;` if it has no block
+            // (e.g. `#[cfg(test)] use …;`).
+            let mut i = start + attr.len();
+            let mut depth = 0usize;
+            let mut entered = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    }
+                    b';' if !entered => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            let end_line = cleaned[..i.min(cleaned.len())].matches('\n').count();
+            for slot in mask
+                .iter_mut()
+                .take((end_line + 1).min(nlines))
+                .skip(start_line)
+            {
+                *slot = true;
+            }
+            from = i.min(cleaned.len()).max(start + attr.len());
+        }
+    }
+    mask
+}
+
+/// Names bound to hash containers anywhere in the file (flow-insensitive):
+/// struct fields / params (`name: HashMap<…>` / `name: &HashMap<…>`) and
+/// local bindings (`let [mut] name = HashMap::new()` and friends).
+fn collect_hash_idents(clean_lines: &[&str]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in clean_lines {
+        for ty in HASH_TYPES {
+            let mut from = 0usize;
+            while let Some(off) = line[from..].find(ty) {
+                let pos = from + off;
+                from = pos + ty.len();
+                if !boundary_before(line, pos) {
+                    continue;
+                }
+                // `name: HashMap<` (field / param), tolerating `&`/`mut`
+                // and a qualifying path (`std::collections::HashMap`).
+                let mut head = line[..pos].trim_end();
+                while let Some(h) = head.strip_suffix("::") {
+                    head = h.trim_end_matches(is_ident_char).trim_end();
+                }
+                let head = head
+                    .strip_suffix("&mut")
+                    .or_else(|| head.strip_suffix('&'))
+                    .unwrap_or(head)
+                    .trim_end();
+                if let Some(before_colon) = head.strip_suffix(':') {
+                    // Reject `::HashMap` (a path, not a declaration).
+                    if !before_colon.ends_with(':') {
+                        if let Some(name) = ident_before(line, before_colon.len()) {
+                            out.insert(name.to_string());
+                        }
+                    }
+                }
+                // `let [mut] name = … HashMap …` on one line.
+                if let Some(let_pos) = line.find("let ") {
+                    if let_pos < pos && line[let_pos..pos].contains('=') {
+                        let after = line[let_pos + 4..].trim_start();
+                        let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+                        let name: String =
+                            after.chars().take_while(|c| is_ident_char(*c)).collect();
+                        if !name.is_empty() {
+                            out.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An inline `detlint: allow(R1, N1) — reason` directive.
+#[derive(Debug, Clone)]
+struct InlineAllow {
+    rules: Vec<String>,
+    has_reason: bool,
+}
+
+fn parse_inline_allow(comment: &str) -> Option<InlineAllow> {
+    let key = "detlint: allow(";
+    let start = comment.find(key)?;
+    let rest = &comment[start + key.len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = ["—", "-", ":", "–"]
+        .iter()
+        .any(|sep| tail.strip_prefix(sep).is_some_and(|t| !t.trim().is_empty()));
+    Some(InlineAllow { rules, has_reason })
+}
+
+/// Run every rule over one file.
+pub fn check_file(input: &FileInput<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::strip(input.source);
+    let clean_lines: Vec<&str> = lexed.cleaned.lines().collect();
+    let orig_lines: Vec<&str> = input.source.lines().collect();
+    let mask = test_mask(&lexed.cleaned);
+    let hash_idents = collect_hash_idents(&clean_lines);
+
+    let allows: Vec<Option<InlineAllow>> = lexed
+        .comments
+        .iter()
+        .map(|c| parse_inline_allow(c))
+        .collect();
+
+    let r1_active = cfg.r1_crates.iter().any(|c| c == input.crate_name);
+    let n1_active = cfg.n1_files.iter().any(|f| f == input.rel_path);
+    let d2_active = !cfg
+        .d2_exclude_dirs
+        .iter()
+        .any(|d| input.rel_path.starts_with(d.as_str()));
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut push = |line_idx: usize, rule: &'static str, message: String| {
+        raw.push(Diagnostic {
+            file: input.rel_path.to_string(),
+            line: line_idx + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in clean_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+
+        // --- D1: unordered-container iteration -------------------------
+        for m in D1_METHODS {
+            let mut from = 0usize;
+            while let Some(off) = line[from..].find(m) {
+                let pos = from + off;
+                from = pos + m.len();
+                if let Some(recv) = ident_before(line, pos) {
+                    if hash_idents.contains(recv) {
+                        push(
+                            idx,
+                            "D1",
+                            format!(
+                                "iteration over unordered container `{recv}` via `{}` — \
+                                 use BTreeMap/BTreeSet or collect-and-sort",
+                                m.trim_end_matches('(')
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(for_pos) = find_keyword(line, "for") {
+            if let Some(in_rel) = find_keyword(&line[for_pos..], "in") {
+                let expr = line[for_pos + in_rel + 2..]
+                    .split('{')
+                    .next()
+                    .unwrap_or("")
+                    .trim();
+                let expr = expr
+                    .trim_start_matches('&')
+                    .trim_start_matches("mut ")
+                    .trim();
+                if !expr.is_empty() && expr.chars().all(|c| is_ident_char(c) || c == '.') {
+                    let leaf = expr.rsplit('.').next().unwrap_or(expr);
+                    if hash_idents.contains(leaf) {
+                        push(
+                            idx,
+                            "D1",
+                            format!(
+                                "`for … in` over unordered container `{leaf}` — \
+                                 use BTreeMap/BTreeSet or collect-and-sort"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- D2: ambient state ------------------------------------------
+        if d2_active {
+            for tok in D2_TOKENS {
+                let mut from = 0usize;
+                while let Some(off) = line[from..].find(tok) {
+                    let pos = from + off;
+                    from = pos + tok.len();
+                    if boundary_before(line, pos) {
+                        push(
+                            idx,
+                            "D2",
+                            format!(
+                                "ambient state `{}` in library code — the simulator \
+                                 runs in virtual time; inject clocks and seeds \
+                                 explicitly",
+                                tok.trim_end_matches('(')
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- R1: panic-capable calls ------------------------------------
+        if r1_active {
+            for pat in R1_PATTERNS {
+                let mut from = 0usize;
+                while let Some(off) = line[from..].find(pat) {
+                    let pos = from + off;
+                    from = pos + pat.len();
+                    if pat.starts_with('.') || boundary_before(line, pos) {
+                        push(
+                            idx,
+                            "R1",
+                            format!(
+                                "`{}` in non-test code of a panic-free crate — \
+                                 return a typed error or justify with \
+                                 `detlint: allow(R1)`",
+                                pat.trim_end_matches('(')
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- N1: raw `as` casts in hot files ----------------------------
+        if n1_active {
+            let mut from = 0usize;
+            while let Some(off) = line[from..].find(" as ") {
+                let pos = from + off;
+                from = pos + 4;
+                let after = &line[pos + 4..];
+                let ty: String = after.chars().take_while(|c| is_ident_char(*c)).collect();
+                if NUMERIC_TYPES.contains(&ty.as_str()) {
+                    push(
+                        idx,
+                        "N1",
+                        format!(
+                            "raw `as {ty}` cast in a hot file — use a commsched-num \
+                             checked helper"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // --- F1: float accumulation over unordered iteration ------------
+        for sink in F1_SINKS {
+            if !line.contains(sink) {
+                continue;
+            }
+            // Statement window: this line plus preceding lines back to the
+            // previous statement/block boundary (max 8 lines).
+            let mut window: Vec<usize> = vec![idx];
+            for back in (idx.saturating_sub(8)..idx).rev() {
+                let t = clean_lines[back].trim_end();
+                if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+                    break;
+                }
+                window.push(back);
+            }
+            let unordered = window.iter().any(|&w| {
+                let wl = clean_lines[w];
+                F1_PAR_SOURCES.iter().any(|p| wl.contains(p))
+                    || D1_METHODS.iter().any(|m| {
+                        let mut f = 0usize;
+                        while let Some(off) = wl[f..].find(m) {
+                            let p = f + off;
+                            f = p + m.len();
+                            if let Some(recv) = ident_before(wl, p) {
+                                if hash_idents.contains(recv) {
+                                    return true;
+                                }
+                            }
+                        }
+                        false
+                    })
+            });
+            if unordered {
+                push(
+                    idx,
+                    "F1",
+                    format!(
+                        "float accumulation `{sink}` over an unordered iterator — \
+                         rounding depends on visit order; sort the source first"
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- Apply inline allows and the committed allowlist ----------------
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut a0_lines: BTreeSet<usize> = BTreeSet::new();
+    'diag: for d in raw {
+        let idx = d.line - 1;
+        // An allow may sit on the violating line itself or in the block
+        // of comment-only lines directly above it (so a wrapped reason
+        // keeps working: the marker is the first line of the block).
+        let mut probes = vec![idx];
+        let mut p = idx;
+        while p > 0 {
+            p -= 1;
+            let comment_only = lexed.comments.get(p).is_some_and(|c| !c.is_empty())
+                && clean_lines.get(p).is_none_or(|l| l.trim().is_empty());
+            if !comment_only {
+                break;
+            }
+            probes.push(p);
+        }
+        for probe in probes {
+            if let Some(Some(a)) = allows.get(probe) {
+                if a.rules.iter().any(|r| r == d.rule) {
+                    if a.has_reason {
+                        continue 'diag;
+                    }
+                    a0_lines.insert(probe);
+                }
+            }
+        }
+        let src_line = orig_lines.get(idx).copied().unwrap_or("");
+        let allowed = cfg.allow.iter().any(|e| {
+            e.rule == d.rule
+                && e.file == d.file
+                && e.contains.as_deref().is_none_or(|c| src_line.contains(c))
+        });
+        if allowed {
+            continue;
+        }
+        out.push(d);
+    }
+    for line_idx in a0_lines {
+        out.push(Diagnostic {
+            file: input.rel_path.to_string(),
+            line: line_idx + 1,
+            rule: "A0",
+            message: "allow comment has no reason — write \
+                      `// detlint: allow(RULE) — <why this is sound>`"
+                .to_string(),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Find `kw` as a standalone word in `s`; returns its byte offset.
+fn find_keyword(s: &str, kw: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(off) = s[from..].find(kw) {
+        let pos = from + off;
+        from = pos + kw.len();
+        let left_ok = boundary_before(s, pos);
+        let right_ok = s[pos + kw.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if left_ok && right_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        check_file(
+            &FileInput {
+                rel_path: path,
+                crate_name: krate,
+                source: src,
+            },
+            cfg,
+        )
+    }
+
+    fn r1_cfg() -> Config {
+        Config {
+            r1_crates: vec!["core".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn d1_flags_hash_iteration_but_not_btree() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u32, u32>, b: std::collections::BTreeMap<u32, u32> }\n\
+                   fn f(s: &S) -> u32 { s.m.values().sum::<u32>() + s.b.values().sum::<u32>() }\n";
+        let ds = check("crates/x/src/lib.rs", "x", src, &Config::default());
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "D1");
+        assert_eq!(ds[0].line, 3);
+        assert!(ds[0].message.contains('m'));
+    }
+
+    #[test]
+    fn d1_flags_for_loop_over_map_ref() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) {\n\
+                   for (k, v) in m { let _ = (k, v); }\n}\n";
+        let ds = check("crates/x/src/lib.rs", "x", src, &Config::default());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 2);
+    }
+
+    #[test]
+    fn r1_only_in_configured_crates_and_not_unwrap_or() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(3) }\n\
+                   fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        let ds = check("crates/core/src/a.rs", "core", src, &r1_cfg());
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].line, 2);
+        let ds2 = check("crates/other/src/a.rs", "other", src, &r1_cfg());
+        assert!(ds2.is_empty());
+    }
+
+    #[test]
+    fn inline_allow_with_reason_suppresses_without_reason_flags_a0() {
+        let good = "fn g(o: Option<u32>) -> u32 {\n\
+                    // detlint: allow(R1) — input is pre-validated by caller\n\
+                    o.unwrap()\n}\n";
+        assert!(check("crates/core/src/a.rs", "core", good, &r1_cfg()).is_empty());
+        let bad = "fn g(o: Option<u32>) -> u32 {\n\
+                   // detlint: allow(R1)\n\
+                   o.unwrap()\n}\n";
+        let ds = check("crates/core/src/a.rs", "core", bad, &r1_cfg());
+        assert!(ds.iter().any(|d| d.rule == "A0"));
+        assert!(ds.iter().any(|d| d.rule == "R1"));
+    }
+
+    #[test]
+    fn wrapped_allow_comment_block_still_suppresses() {
+        // The reason wraps onto a second comment line; the marker is the
+        // first line of the contiguous comment block above the call.
+        let src = "fn g(o: Option<u32>) -> u32 {\n\
+                   // detlint: allow(R1) — the caller validated this input\n\
+                   // two lines ago, so None is impossible here.\n\
+                   o.unwrap()\n}\n";
+        assert!(check("crates/core/src/a.rs", "core", src, &r1_cfg()).is_empty());
+        // A comment block separated from the call by code does not leak.
+        let sep = "fn g(o: Option<u32>) -> u32 {\n\
+                   // detlint: allow(R1) — only covers the next statement\n\
+                   let _x = 1;\n\
+                   o.unwrap()\n}\n";
+        let ds = check("crates/core/src/a.rs", "core", sep, &r1_cfg());
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].rule, "R1");
+    }
+
+    #[test]
+    fn cfg_test_code_is_invisible() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(check("crates/core/src/a.rs", "core", src, &r1_cfg()).is_empty());
+    }
+
+    #[test]
+    fn n1_only_in_listed_files() {
+        let src = "fn f(x: u64) -> f64 { x as f64 }\n";
+        let cfg = Config {
+            n1_files: vec!["crates/core/src/hot.rs".to_string()],
+            ..Config::default()
+        };
+        assert_eq!(check("crates/core/src/hot.rs", "core", src, &cfg).len(), 1);
+        assert!(check("crates/core/src/cold.rs", "core", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn f1_needs_an_unordered_source_in_the_statement() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   m.values().copied().sum::<f64>()\n}\n\
+                   fn g(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n";
+        let ds = check("crates/x/src/lib.rs", "x", src, &Config::default());
+        assert!(ds.iter().any(|d| d.rule == "F1" && d.line == 2), "{ds:?}");
+        assert!(!ds.iter().any(|d| d.rule == "F1" && d.line == 4));
+    }
+
+    #[test]
+    fn d2_respects_exclude_dirs() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let cfg = Config {
+            d2_exclude_dirs: vec!["crates/bench/src/bin".to_string()],
+            ..Config::default()
+        };
+        assert_eq!(check("crates/core/src/a.rs", "core", src, &cfg).len(), 1);
+        assert!(check("crates/bench/src/bin/run.rs", "bench", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn config_allowlist_suppresses_matching_line() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> usize { m.iter().count() }\n";
+        let cfg = Config {
+            allow: vec![crate::config::AllowEntry {
+                rule: "D1".to_string(),
+                file: "crates/x/src/lib.rs".to_string(),
+                contains: Some("m.iter()".to_string()),
+                reason: "count is order-independent".to_string(),
+            }],
+            ..Config::default()
+        };
+        assert!(check("crates/x/src/lib.rs", "x", src, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests over the committed fixture corpus: exact diagnostics
+//! per rule, allow handling (inline and config), JSON shape, and the
+//! binary's exit codes.
+
+use detlint::config::Config;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(format!("crates/detlint/tests/fixtures/{name}"))
+}
+
+fn fixture_config() -> Config {
+    let text =
+        std::fs::read_to_string(repo_root().join(fixture("detlint.toml"))).expect("fixture config");
+    detlint::config::parse(&text).expect("fixture config parses")
+}
+
+/// (file, line, rule) triples of a report, in output order.
+fn triples(report: &detlint::Report) -> Vec<(String, usize, String)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule.to_string()))
+        .collect()
+}
+
+fn scan(names: &[&str]) -> detlint::Report {
+    let files: Vec<PathBuf> = names.iter().map(|n| fixture(n)).collect();
+    detlint::run(&repo_root(), &fixture_config(), &files).expect("scan fixtures")
+}
+
+#[test]
+fn each_rule_fixture_yields_exactly_its_expected_diagnostics() {
+    let expected: &[(&str, &[(usize, &str)])] = &[
+        ("d1.rs", &[(9, "D1")]),
+        ("d2.rs", &[(4, "D2"), (8, "D2")]),
+        ("r1.rs", &[(4, "R1")]),
+        ("n1.rs", &[(4, "N1")]),
+        ("f1.rs", &[(4, "F1")]),
+    ];
+    for (name, wanted) in expected {
+        let report = scan(&[name]);
+        let got = triples(&report);
+        let want: Vec<(String, usize, String)> = wanted
+            .iter()
+            .map(|&(line, rule)| {
+                (
+                    format!("crates/detlint/tests/fixtures/{name}"),
+                    line,
+                    rule.to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(got, want, "unexpected diagnostics for {name}");
+    }
+}
+
+#[test]
+fn clean_and_config_allowlisted_fixtures_are_silent() {
+    let report = scan(&["clean.rs", "allowed.rs"]);
+    assert!(report.is_clean(), "{:?}", triples(&report));
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn text_rendering_matches_the_documented_format() {
+    let report = scan(&["r1.rs"]);
+    let text = detlint::render_text(&report);
+    let first = text.lines().next().expect("one diagnostic line");
+    assert!(
+        first.starts_with("crates/detlint/tests/fixtures/r1.rs:4: R1: "),
+        "{first}"
+    );
+    assert!(text.contains("detlint: 1 violation(s) in 1 files scanned"));
+}
+
+#[test]
+fn json_rendering_has_the_documented_shape() {
+    let report = scan(&[
+        "d1.rs",
+        "d2.rs",
+        "f1.rs",
+        "n1.rs",
+        "r1.rs",
+        "clean.rs",
+        "allowed.rs",
+    ]);
+    let json = detlint::render_json(&report);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["files_scanned"].as_u64(), Some(7));
+    assert_eq!(v["clean"].as_bool(), Some(false));
+    let diags = v["diagnostics"].as_array().expect("diagnostics array");
+    assert_eq!(diags.len(), 6);
+    for d in diags {
+        assert!(d["file"].is_string());
+        assert!(d["line"].is_u64());
+        assert!(d["rule"].is_string());
+        assert!(d["message"].is_string());
+    }
+    // Sorted by (file, line, rule): d1, d2×2, f1, n1, r1.
+    let rules: Vec<&str> = diags.iter().map(|d| d["rule"].as_str().unwrap()).collect();
+    assert_eq!(rules, ["D1", "D2", "D2", "F1", "N1", "R1"]);
+}
+
+#[test]
+fn allow_without_reason_is_reported_as_a0_and_does_not_suppress() {
+    let root = repo_root();
+    let dir = root.join("target/detlint-test");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("no_reason.rs");
+    std::fs::write(
+        &path,
+        "pub fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n\
+         // detlint: allow(D1)\n\
+         m.iter().count()\n}\n",
+    )
+    .expect("write scratch fixture");
+    let report = detlint::run(&root, &Config::default(), &[path]).expect("scan");
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"A0"), "{rules:?}");
+    assert!(rules.contains(&"D1"), "{rules:?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_detlint");
+    let root = repo_root();
+    let cfg = fixture("detlint.toml");
+
+    let dirty = Command::new(bin)
+        .current_dir(&root)
+        .args(["--config"])
+        .arg(&cfg)
+        .arg(fixture("r1.rs"))
+        .output()
+        .expect("run detlint on dirty fixture");
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("r1.rs:4: R1:"), "{stdout}");
+
+    let clean = Command::new(bin)
+        .current_dir(&root)
+        .args(["--config"])
+        .arg(&cfg)
+        .arg(fixture("clean.rs"))
+        .output()
+        .expect("run detlint on clean fixture");
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+
+    let missing = Command::new(bin)
+        .current_dir(&root)
+        .args(["--config", "does-not-exist.toml"])
+        .arg(fixture("clean.rs"))
+        .output()
+        .expect("run detlint with missing config");
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+}

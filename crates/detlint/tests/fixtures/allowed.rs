@@ -1,0 +1,8 @@
+//! Fixture for the committed-allowlist path: the D1 hit below is
+//! suppressed by a `[[allow]]` entry in `fixtures/detlint.toml`.
+
+use std::collections::HashMap;
+
+pub fn lookup_order(map: &HashMap<u32, u64>) -> usize {
+    map.iter().count()
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: no rule fires anywhere in this file.
+
+use std::collections::BTreeMap;
+
+pub fn total(map: &BTreeMap<u32, u64>) -> u64 {
+    map.values().sum()
+}
+
+pub fn safe_get(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}

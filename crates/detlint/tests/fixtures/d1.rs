@@ -1,0 +1,24 @@
+//! D1 fixture: iteration over unordered hash containers.
+//!
+//! `flagged` must produce one D1 diagnostic; `allowed` carries an inline
+//! justification; `ordered` uses a BTreeMap and stays silent.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn flagged(map: &HashMap<u32, u64>) -> u64 {
+    map.values().sum()
+}
+
+pub fn allowed(counts: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    // detlint: allow(D1) — addition over u64 is commutative and exact,
+    // so the visit order cannot change the result.
+    for (_k, v) in counts.iter() {
+        total += *v;
+    }
+    total
+}
+
+pub fn ordered(sorted: &BTreeMap<u32, u64>) -> u64 {
+    sorted.values().sum()
+}

@@ -1,0 +1,18 @@
+//! D2 fixture: wall-clock and ambient state in library code.
+
+pub fn flagged_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn flagged_env() -> Option<String> {
+    std::env::var("COMMSCHED_HOME").ok()
+}
+
+pub fn allowed_env() -> Option<String> {
+    // detlint: allow(D2) — trace destination only; never affects results
+    std::env::var("COMMSCHED_TRACE").ok()
+}
+
+pub fn clean_time(seconds: f64) -> f64 {
+    seconds * 2.0
+}

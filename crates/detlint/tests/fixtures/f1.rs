@@ -1,0 +1,14 @@
+//! F1 fixture: float accumulation over unordered iterators.
+
+pub fn flagged(v: &[f64]) -> f64 {
+    v.par_iter().sum::<f64>()
+}
+
+pub fn allowed(v: &[f64]) -> f64 {
+    // detlint: allow(F1) — inputs are small integers; addition is exact
+    v.par_iter().sum::<f64>()
+}
+
+pub fn clean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}

@@ -1,0 +1,14 @@
+//! N1 fixture: raw numeric `as` casts in a hot file.
+
+pub fn flagged(x: u64) -> f64 {
+    x as f64
+}
+
+pub fn allowed(x: u32) -> u64 {
+    // detlint: allow(N1) — widening u32→u64 can never lose information
+    x as u64
+}
+
+pub fn clean(x: u32) -> u64 {
+    u64::from(x)
+}

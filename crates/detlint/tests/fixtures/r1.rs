@@ -1,0 +1,14 @@
+//! R1 fixture: panic-capable calls in a panic-free crate.
+
+pub fn flagged(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    // detlint: allow(R1) — every fixture value is Some in this corpus
+    v.expect("always present")
+}
+
+pub fn clean(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -26,6 +26,8 @@
 //! assert_eq!(compress(&hosts), "n[0-2,5]");
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod parse;
 
 pub use parse::{compress, expand, expand_into, HostlistError};

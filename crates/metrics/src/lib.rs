@@ -6,6 +6,8 @@
 //! correlation for the §5.3 validation) and small text renderers for the
 //! tables and figure series the benchmark harness regenerates.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod hist;
 mod render;
 mod stats;

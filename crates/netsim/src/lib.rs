@@ -40,6 +40,8 @@
 //! assert!(alone[0].end > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod sim;
 
 pub use sim::{

@@ -26,6 +26,7 @@
 //!   property-tested for exact rate equality.
 
 use commsched_collectives::{CollectiveSpec, Pattern, Step};
+use commsched_num::{f64_of_u64, i32_of_u32, u32_of_usize, usize_of_u32};
 use commsched_topology::{NodeId, SwitchId, Tree};
 use serde::{Deserialize, Serialize};
 
@@ -225,7 +226,7 @@ struct RouteArena {
 impl RouteArena {
     #[inline]
     fn slice(&self, route: (u32, u32)) -> &[LinkId] {
-        &self.links[route.0 as usize..route.1 as usize]
+        &self.links[usize_of_u32(route.0)..usize_of_u32(route.1)]
     }
 
     /// Copying compaction: drop dead segments once they dominate the
@@ -237,9 +238,9 @@ impl RouteArena {
         }
         let mut packed = Vec::with_capacity(self.links.len() - self.dead);
         for f in flows.iter_mut() {
-            let start = packed.len() as u32;
-            packed.extend_from_slice(&self.links[f.route.0 as usize..f.route.1 as usize]);
-            f.route = (start, packed.len() as u32);
+            let start = u32_of_usize(packed.len());
+            packed.extend_from_slice(&self.links[usize_of_u32(f.route.0)..usize_of_u32(f.route.1)]);
+            f.route = (start, u32_of_usize(packed.len()));
         }
         self.links = packed;
         self.dead = 0;
@@ -293,8 +294,8 @@ impl RunState {
         self.flows[f].active = true;
         let (a, b) = self.flows[f].route;
         for i in a..b {
-            let l = self.arena.links[i as usize].0;
-            self.link_flows[l].push(f as u32);
+            let l = self.arena.links[usize_of_u32(i)].0;
+            self.link_flows[l].push(u32_of_usize(f));
             self.mark_dirty(l);
         }
     }
@@ -305,30 +306,34 @@ impl RunState {
         let (a, b) = self.flows[f].route;
         if self.flows[f].active {
             for i in a..b {
-                let l = self.arena.links[i as usize].0;
+                let l = self.arena.links[usize_of_u32(i)].0;
                 let pos = self.link_flows[l]
                     .iter()
-                    .position(|&x| x == f as u32)
+                    .position(|&x| x == u32_of_usize(f))
+                    // detlint: allow(R1) — activate() indexed this flow on
+                    // every link of its route; absence is memory corruption.
                     .expect("active flow is indexed on each of its links");
                 self.link_flows[l].swap_remove(pos);
                 self.mark_dirty(l);
             }
         }
-        self.arena.dead += (b - a) as usize;
+        self.arena.dead += usize_of_u32(b - a);
         self.flows.swap_remove(f);
         // The flow formerly at the tail now sits at `f`; repoint its index
         // entries.
         if f < self.flows.len() {
-            let old = self.flows.len() as u32;
+            let old = u32_of_usize(self.flows.len());
             if self.flows[f].active {
                 let (a, b) = self.flows[f].route;
                 for i in a..b {
-                    let l = self.arena.links[i as usize].0;
+                    let l = self.arena.links[usize_of_u32(i)].0;
                     let pos = self.link_flows[l]
                         .iter()
                         .position(|&x| x == old)
+                        // detlint: allow(R1) — the tail flow was active, so
+                        // it is indexed on each of its links by construction.
                         .expect("moved flow is indexed on each of its links");
-                    self.link_flows[l][pos] = f as u32;
+                    self.link_flows[l][pos] = u32_of_usize(f);
                 }
             }
         }
@@ -406,7 +411,7 @@ impl<'t> FlowSim<'t> {
         let mut capacity = vec![cfg.node_bandwidth; switch_base + 2 * tree.num_switches()];
         for s in 0..tree.num_switches() {
             let level = tree.switch(SwitchId(s)).level;
-            let cap = cfg.node_bandwidth * cfg.trunk_factor.powi(level as i32);
+            let cap = cfg.node_bandwidth * cfg.trunk_factor.powi(i32_of_u32(level));
             capacity[switch_base + 2 * s] = cap;
             capacity[switch_base + 2 * s + 1] = cap;
         }
@@ -466,12 +471,14 @@ impl<'t> FlowSim<'t> {
     /// Append the route from `src` to `dst` — up-links to the LCA, then
     /// down-links — to the arena buffer, returning the written range.
     fn route_into(&self, src: NodeId, dst: NodeId, arena: &mut Vec<LinkId>) -> (u32, u32) {
-        let start = arena.len() as u32;
+        let start = u32_of_usize(arena.len());
         arena.push(self.node_up(src));
         let lca = self.tree.lca(src, dst);
         let mut s = self.tree.leaf_of(src);
         while s != lca {
             arena.push(self.switch_up(s));
+            // detlint: allow(R1) — the walk stops at the LCA, which is a
+            // strict ancestor, so every switch visited has a parent.
             s = self.tree.switch(s).parent.expect("LCA above leaf");
         }
         // Down-links are discovered leaf-upward; reverse in place to get
@@ -480,6 +487,7 @@ impl<'t> FlowSim<'t> {
         let mut d = self.tree.leaf_of(dst);
         while d != lca {
             arena.push(self.switch_down(d));
+            // detlint: allow(R1) — same LCA-ancestor argument as above.
             d = self.tree.switch(d).parent.expect("LCA above leaf");
         }
         arena[down_start..].reverse();
@@ -492,7 +500,7 @@ impl<'t> FlowSim<'t> {
                 arena.push(LinkId(self.backplane_base + b));
             }
         }
-        (start, arena.len() as u32)
+        (start, u32_of_usize(arena.len()))
     }
 
     /// BFS one connected component of the flow/link sharing graph into
@@ -505,7 +513,7 @@ impl<'t> FlowSim<'t> {
             let l = sc.affected_links[head];
             head += 1;
             for k in 0..rs.link_flows[l].len() {
-                let f = rs.link_flows[l][k] as usize;
+                let f = usize_of_u32(rs.link_flows[l][k]);
                 if sc.flow_epoch[f] == epoch {
                     continue;
                 }
@@ -513,7 +521,7 @@ impl<'t> FlowSim<'t> {
                 sc.affected_flows.push(f);
                 let (a, b) = rs.flows[f].route;
                 for i in a..b {
-                    let l2 = rs.arena.links[i as usize].0;
+                    let l2 = rs.arena.links[usize_of_u32(i)].0;
                     if sc.link_epoch[l2] != epoch {
                         sc.link_epoch[l2] = epoch;
                         sc.affected_links.push(l2);
@@ -543,7 +551,7 @@ impl<'t> FlowSim<'t> {
     fn waterfill(&self, rs: &mut RunState, sc: &mut SolverScratch) {
         for &l in &sc.affected_links {
             sc.residual[l] = self.capacity[l];
-            sc.load[l] = rs.link_flows[l].len() as u32;
+            sc.load[l] = u32_of_usize(rs.link_flows[l].len());
         }
         sc.frozen.clear();
         sc.frozen.resize(sc.affected_flows.len(), false);
@@ -567,7 +575,7 @@ impl<'t> FlowSim<'t> {
                     continue;
                 }
                 let f = sc.affected_flows[k];
-                let route = (rs.flows[f].route.0 as usize)..(rs.flows[f].route.1 as usize);
+                let route = usize_of_u32(rs.flows[f].route.0)..usize_of_u32(rs.flows[f].route.1);
                 let bottlenecked = rs.arena.links[route].iter().any(|l| {
                     sc.load[l.0] > 0
                         && sc.residual[l.0] / f64::from(sc.load[l.0]) <= share * (1.0 + 1e-12)
@@ -589,7 +597,7 @@ impl<'t> FlowSim<'t> {
                 sc.frozen[k] = true;
                 let f = sc.affected_flows[k];
                 rs.flows[f].rate = share;
-                let route = (rs.flows[f].route.0 as usize)..(rs.flows[f].route.1 as usize);
+                let route = usize_of_u32(rs.flows[f].route.0)..usize_of_u32(rs.flows[f].route.1);
                 for l in &rs.arena.links[route] {
                     sc.residual[l.0] = (sc.residual[l.0] - share).max(0.0);
                     sc.load[l.0] -= 1;
@@ -649,9 +657,8 @@ impl<'t> FlowSim<'t> {
                 }
             }
         }
-        debug_assert!(
-            (0..self.capacity.len()).all(|l| sc.naive_load[l] as usize == rs.link_flows[l].len())
-        );
+        debug_assert!((0..self.capacity.len())
+            .all(|l| usize_of_u32(sc.naive_load[l]) == rs.link_flows[l].len()));
         for flow in rs.flows.iter_mut() {
             if !flow.active {
                 flow.rate = 0.0;
@@ -672,7 +679,7 @@ impl<'t> FlowSim<'t> {
             sc.affected_flows.push(f);
             let (a, b) = rs.flows[f].route;
             for i in a..b {
-                let l = rs.arena.links[i as usize].0;
+                let l = rs.arena.links[usize_of_u32(i)].0;
                 if sc.link_epoch[l] != epoch {
                     sc.link_epoch[l] = epoch;
                     sc.affected_links.push(l);
@@ -718,7 +725,7 @@ impl<'t> FlowSim<'t> {
 
         let mut stats = LinkStats {
             node_bytes: 0.0,
-            trunk_bytes_per_level: vec![0.0; self.tree.height() as usize],
+            trunk_bytes_per_level: vec![0.0; usize_of_u32(self.tree.height())],
             backplane_bytes: 0.0,
             busiest_utilization: 0.0,
             span,
@@ -730,7 +737,7 @@ impl<'t> FlowSim<'t> {
                 stats.backplane_bytes += b;
             } else {
                 let sw = (l - self.switch_base) / 2;
-                let level = self.tree.switch(SwitchId(sw)).level as usize;
+                let level = usize_of_u32(self.tree.switch(SwitchId(sw)).level);
                 if level <= stats.trunk_bytes_per_level.len() {
                     stats.trunk_bytes_per_level[level - 1] += b;
                 }
@@ -856,7 +863,7 @@ impl<'t> FlowSim<'t> {
                     let route = sim.route_into(na, nb, &mut rs.arena.links);
                     rs.flows.push(Flow {
                         route,
-                        remaining: step.msize as f64,
+                        remaining: f64_of_u64(step.msize),
                         rate: 0.0,
                         job_idx: j,
                         active: false,
@@ -869,7 +876,7 @@ impl<'t> FlowSim<'t> {
                         let route = sim.route_into(nb, na, &mut rs.arena.links);
                         rs.flows.push(Flow {
                             route,
-                            remaining: step.msize as f64,
+                            remaining: f64_of_u64(step.msize),
                             rate: 0.0,
                             job_idx: j,
                             active: false,

@@ -5,6 +5,10 @@ use commsched_core::{
     AdaptiveSelector, AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature,
     NodeSelector, PlacementEvaluator, SelectorKind,
 };
+use commsched_num::{
+    f64_of_u64, f64_of_usize, i64_of_usize, u32_of_usize, u64_of_f64, u64_of_usize, usize_of_u32,
+    usize_of_u64,
+};
 use commsched_topology::NodeId;
 use commsched_topology::Tree;
 use commsched_workload::fault::{FaultKind, FaultTrace};
@@ -221,6 +225,11 @@ pub enum EngineError {
     },
     /// The fault trace failed validation.
     InvalidFaultTrace(String),
+    /// An internal bookkeeping invariant broke mid-run (e.g. a release or
+    /// node-down transition that the cluster state rejected). Surfaced as
+    /// an error instead of a panic so a sweep over many configurations
+    /// reports the bad run and keeps going.
+    StateInconsistency(String),
 }
 
 impl fmt::Display for EngineError {
@@ -242,6 +251,9 @@ impl fmt::Display for EngineError {
                 "node {node} is out of range for a machine of {machine} nodes"
             ),
             Self::InvalidFaultTrace(msg) => write!(f, "invalid fault trace: {msg}"),
+            Self::StateInconsistency(msg) => {
+                write!(f, "internal state inconsistency: {msg}")
+            }
         }
     }
 }
@@ -304,7 +316,7 @@ impl JobOutcome {
 
     /// Node-hours (§5.4 metric 4).
     pub fn node_hours(&self) -> f64 {
-        self.nodes as f64 * self.exec() as f64 / 3600.0
+        f64_of_usize(self.nodes) * f64_of_u64(self.exec()) / 3600.0
     }
 }
 
@@ -335,12 +347,20 @@ pub struct RunSummary {
 impl RunSummary {
     /// Total execution hours over all jobs (Table 3's "Execution Time").
     pub fn total_exec_hours(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.exec() as f64).sum::<f64>() / 3600.0
+        self.outcomes
+            .iter()
+            .map(|o| f64_of_u64(o.exec()))
+            .sum::<f64>()
+            / 3600.0
     }
 
     /// Total wait hours over all jobs (Table 3's "Wait Time").
     pub fn total_wait_hours(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.wait() as f64).sum::<f64>() / 3600.0
+        self.outcomes
+            .iter()
+            .map(|o| f64_of_u64(o.wait()))
+            .sum::<f64>()
+            / 3600.0
     }
 
     /// Mean turnaround in hours (Figure 9 left).
@@ -350,9 +370,9 @@ impl RunSummary {
         }
         self.outcomes
             .iter()
-            .map(|o| o.turnaround() as f64)
+            .map(|o| f64_of_u64(o.turnaround()))
             .sum::<f64>()
-            / self.outcomes.len() as f64
+            / f64_of_usize(self.outcomes.len())
             / 3600.0
     }
 
@@ -361,7 +381,8 @@ impl RunSummary {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(|o| o.node_hours()).sum::<f64>() / self.outcomes.len() as f64
+        self.outcomes.iter().map(|o| o.node_hours()).sum::<f64>()
+            / f64_of_usize(self.outcomes.len())
     }
 
     /// Total Eq. 6 communication cost over communication-intensive jobs
@@ -376,7 +397,7 @@ impl RunSummary {
         if self.makespan == 0 {
             return 0.0;
         }
-        self.outcomes.len() as f64 / (self.makespan as f64 / 3600.0)
+        f64_of_usize(self.outcomes.len()) / (f64_of_u64(self.makespan) / 3600.0)
     }
 
     /// Outcome for a given job id.
@@ -393,7 +414,7 @@ impl RunSummary {
     pub fn lost_node_hours(&self) -> f64 {
         self.outcomes
             .iter()
-            .map(|o| o.lost_node_seconds as f64)
+            .map(|o| f64_of_u64(o.lost_node_seconds))
             .sum::<f64>()
             / 3600.0
     }
@@ -410,7 +431,7 @@ impl RunSummary {
         if buckets == 0 || machine_nodes == 0 || self.makespan == 0 {
             return Vec::new();
         }
-        let width = self.makespan.div_ceil(buckets as u64).max(1);
+        let width = self.makespan.div_ceil(u64_of_usize(buckets)).max(1);
         let mut busy = vec![0.0f64; buckets];
         for o in &self.outcomes {
             let (s, e) = (o.start, o.end);
@@ -418,20 +439,20 @@ impl RunSummary {
                 // Rejected (and zero-length) outcomes occupy nothing.
                 continue;
             }
-            let first = (s / width) as usize;
-            let last = (((e - 1) / width) as usize).min(buckets - 1);
+            let first = usize_of_u64(s / width);
+            let last = usize_of_u64((e - 1) / width).min(buckets - 1);
             for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
-                let b_start = b as u64 * width;
+                let b_start = u64_of_usize(b) * width;
                 let b_end = b_start + width;
                 let overlap = e.min(b_end).saturating_sub(s.max(b_start));
-                *slot += o.nodes as f64 * overlap as f64;
+                *slot += f64_of_usize(o.nodes) * f64_of_u64(overlap);
             }
         }
         busy.iter()
             .enumerate()
             .map(|(b, &ns)| {
-                let cap = machine_nodes as f64 * width as f64;
-                (b as u64 * width, ns / cap)
+                let cap = f64_of_usize(machine_nodes) * f64_of_u64(width);
+                (u64_of_usize(b) * width, ns / cap)
             })
             .collect()
     }
@@ -609,9 +630,10 @@ impl<'t> Engine<'t> {
         let default_nodes = if self.cfg.selector == SelectorKind::Default {
             nodes.clone()
         } else {
-            DefaultTreeSelector
-                .select(self.tree, state, &req)
-                .expect("default succeeds whenever another selector does")
+            // The default selector succeeds whenever another selector
+            // does; if that invariant ever broke, declining the placement
+            // (None) is strictly safer than crashing the run.
+            DefaultTreeSelector.select(self.tree, state, &req).ok()?
         };
 
         // Evaluate Eq. 6 under both models for every collective component
@@ -681,6 +703,8 @@ impl<'t> Engine<'t> {
         };
         // Lock order: always after selector.select() has returned (the
         // adaptive selector takes the same lock inside select()).
+        // detlint: allow(R1) — a poisoned mutex means another thread already
+        // panicked mid-evaluation; propagating is the only sound response.
         let mut ev = self.eval.lock().expect("evaluator mutex poisoned");
         let actual = eval_all(&mut ev, &nodes);
         let default = eval_all(&mut ev, &default_nodes);
@@ -689,8 +713,8 @@ impl<'t> Engine<'t> {
         let mut cost_actual = 0.0;
         let mut cost_default = 0.0;
         let mut comm_adj = 0.0;
-        let comm_orig = job.runtime as f64 * job.comm_fraction();
-        let mut adjusted = job.runtime as f64 * (1.0 - job.comm_fraction());
+        let comm_orig = f64_of_u64(job.runtime) * job.comm_fraction();
+        let mut adjusted = f64_of_u64(job.runtime) * (1.0 - job.comm_fraction());
         for (i, &(_, fraction)) in job.comm.iter().enumerate() {
             // Reported cost: Eq. 6 as printed (raw hops by default).
             cost_actual += actual[i].0;
@@ -699,7 +723,7 @@ impl<'t> Engine<'t> {
             let (ca, cd) = (actual[i].1, default[i].1);
             let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
             let ratio = if self.cfg.adjust_runtimes { ratio } else { 1.0 };
-            let part = job.runtime as f64 * fraction * ratio;
+            let part = f64_of_u64(job.runtime) * fraction * ratio;
             comm_adj += part;
             adjusted += part;
         }
@@ -712,7 +736,7 @@ impl<'t> Engine<'t> {
             nodes,
             cost_actual,
             cost_default,
-            adjusted: adjusted.round().max(1.0) as u64,
+            adjusted: u64_of_f64(adjusted.round().max(1.0)),
             comm_ratio,
         })
     }
@@ -784,14 +808,14 @@ impl<'t> Engine<'t> {
             // whole-run drain goes straight to Down.
             state
                 .set_down(self.tree, n)
-                .expect("fresh state has all nodes up and free");
+                .map_err(|e| EngineError::StateInconsistency(format!("draining {n:?}: {e}")))?;
         }
         let mut events: BinaryHeap<Reverse<(u64, EventKind)>> = BinaryHeap::new();
         for (i, j) in log.jobs.iter().enumerate() {
             events.push(Reverse((j.submit, EventKind::Submit(i))));
         }
         for (k, e) in self.faults.events().iter().enumerate() {
-            events.push(Reverse((e.t, EventKind::Fault(k as u32))));
+            events.push(Reverse((e.t, EventKind::Fault(u32_of_usize(k)))));
         }
 
         // FIFO queue of log indices; pending[0] is the queue head.
@@ -823,11 +847,13 @@ impl<'t> Engine<'t> {
                             // Stale finish of an attempt killed by a fault.
                             continue;
                         }
-                        state.release(self.tree, id).expect("running job releases");
+                        state.release(self.tree, id).map_err(|e| {
+                            EngineError::StateInconsistency(format!("releasing {id}: {e}"))
+                        })?;
                         running.retain(|&(_, i, a)| log.jobs[i].id != id || a != att);
                     }
                     EventKind::Fault(k) => self.apply_fault(
-                        k as usize,
+                        usize_of_u32(k),
                         now,
                         log,
                         &mut state,
@@ -837,7 +863,7 @@ impl<'t> Engine<'t> {
                         &mut outcomes,
                         &mut retries,
                         &mut lost,
-                    ),
+                    )?,
                     EventKind::Submit(i) => {
                         let job = &log.jobs[i];
                         if job.nodes > capacity {
@@ -863,7 +889,7 @@ impl<'t> Engine<'t> {
                 &mut outcomes,
                 &retries,
                 &lost,
-            );
+            )?;
             makespan = makespan.max(now);
         }
 
@@ -903,7 +929,7 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &mut [u32],
         lost: &mut [u64],
-    ) {
+    ) -> Result<(), EngineError> {
         use commsched_core::NodeHealth;
 
         let e = self.faults.events()[k];
@@ -918,15 +944,22 @@ impl<'t> Engine<'t> {
                     if let Some(pos) = pos {
                         let (_, i, _) = running[pos];
                         running.remove(pos);
-                        let alloc = state
-                            .release(self.tree, victim)
-                            .expect("victim holds an allocation");
-                        let opos = outcomes
-                            .iter()
-                            .rposition(|o| o.id == victim)
-                            .expect("running job has an outcome");
+                        let alloc = state.release(self.tree, victim).map_err(|e| {
+                            EngineError::StateInconsistency(format!(
+                                "releasing fault victim {victim}: {e}"
+                            ))
+                        })?;
+                        let opos =
+                            outcomes
+                                .iter()
+                                .rposition(|o| o.id == victim)
+                                .ok_or_else(|| {
+                                    EngineError::StateInconsistency(format!(
+                                        "running job {victim} has no outcome record"
+                                    ))
+                                })?;
                         let started = outcomes[opos].start;
-                        let wasted = (now - started) * alloc.nodes.len() as u64;
+                        let wasted = (now - started) * u64_of_usize(alloc.nodes.len());
                         lost[i] = lost[i].saturating_add(wasted);
                         // None = cancel; Some(None) = requeue at the front;
                         // Some(Some(backoff)) = requeue at the back.
@@ -966,26 +999,27 @@ impl<'t> Engine<'t> {
                 // The kill freed the node — unless it was draining, in
                 // which case release already completed the drain to Down.
                 if state.health(n) != NodeHealth::Down {
-                    state
-                        .set_down(self.tree, n)
-                        .expect("failed node is free after its job was killed");
+                    state.set_down(self.tree, n).map_err(|e| {
+                        EngineError::StateInconsistency(format!("failing node {n:?}: {e}"))
+                    })?;
                 }
             }
             FaultKind::Recover => {
                 if state.health(n) != NodeHealth::Up {
-                    state
-                        .set_up(self.tree, n)
-                        .expect("down or draining node recovers");
+                    state.set_up(self.tree, n).map_err(|e| {
+                        EngineError::StateInconsistency(format!("recovering node {n:?}: {e}"))
+                    })?;
                 }
             }
             FaultKind::Drain => {
                 if state.health(n) != NodeHealth::Down {
-                    state
-                        .set_draining(self.tree, n)
-                        .expect("non-down node drains");
+                    state.set_draining(self.tree, n).map_err(|e| {
+                        EngineError::StateInconsistency(format!("draining node {n:?}: {e}"))
+                    })?;
                 }
             }
         }
+        Ok(())
     }
 
     /// One pass of the scheduler: start the head while it fits, then EASY
@@ -1003,23 +1037,28 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &[u32],
         lost: &[u64],
-    ) {
+    ) -> Result<(), EngineError> {
         let start_job = |i: usize,
                          state: &mut ClusterState,
                          running: &mut Vec<(u64, usize, u32)>,
                          events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
                          outcomes: &mut Vec<JobOutcome>|
-         -> bool {
+         -> Result<bool, EngineError> {
             let job = &log.jobs[i];
             let Some(mut placed) = self.place(state, job, selector) else {
-                return false;
+                return Ok(false);
             };
             if self.cfg.enforce_walltime {
                 placed.adjusted = placed.adjusted.min(job.walltime);
             }
             state
                 .allocate(self.tree, job.id, &placed.nodes, job.nature)
-                .expect("selector returned free nodes");
+                .map_err(|e| {
+                    EngineError::StateInconsistency(format!(
+                        "allocating {} on selector-chosen nodes: {e}",
+                        job.id
+                    ))
+                })?;
             let end = now + placed.adjusted;
             running.push((now + job.walltime.max(placed.adjusted), i, retries[i]));
             events.push(Reverse((end, EventKind::Finish(job.id, retries[i]))));
@@ -1039,13 +1078,13 @@ impl<'t> Engine<'t> {
                 retries: retries[i],
                 lost_node_seconds: lost[i],
             });
-            true
+            Ok(true)
         };
 
         // Start head-of-queue jobs while they fit.
         while let Some(&head) = pending.first() {
             if log.jobs[head].nodes <= state.free_total()
-                && start_job(head, state, running, events, outcomes)
+                && start_job(head, state, running, events, outcomes)?
             {
                 pending.remove(0);
             } else {
@@ -1054,13 +1093,12 @@ impl<'t> Engine<'t> {
         }
 
         if pending.is_empty() || self.cfg.backfill == BackfillPolicy::None {
-            return;
+            return Ok(());
         }
         if self.cfg.backfill == BackfillPolicy::Conservative {
-            self.conservative_backfill_pass(
+            return self.conservative_backfill_pass(
                 now, log, state, pending, running, events, outcomes, &start_job,
             );
-            return;
         }
 
         // EASY reservation for the head: find the shadow time when enough
@@ -1091,12 +1129,13 @@ impl<'t> Engine<'t> {
             let job = &log.jobs[i];
             let fits_now = job.nodes <= state.free_total();
             let harmless = now.saturating_add(job.walltime) <= shadow || job.nodes <= extra;
-            if fits_now && harmless && start_job(i, state, running, events, outcomes) {
+            if fits_now && harmless && start_job(i, state, running, events, outcomes)? {
                 pending.remove(k);
             } else {
                 k += 1;
             }
         }
+        Ok(())
     }
 
     /// Conservative backfilling: build a future-availability profile from
@@ -1115,14 +1154,15 @@ impl<'t> Engine<'t> {
         events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
         outcomes: &mut Vec<JobOutcome>,
         start_job: &F,
-    ) where
+    ) -> Result<(), EngineError>
+    where
         F: Fn(
             usize,
             &mut ClusterState,
             &mut Vec<(u64, usize, u32)>,
             &mut BinaryHeap<Reverse<(u64, EventKind)>>,
             &mut Vec<JobOutcome>,
-        ) -> bool,
+        ) -> Result<bool, EngineError>,
     {
         use std::collections::BTreeMap;
 
@@ -1130,14 +1170,14 @@ impl<'t> Engine<'t> {
             // Availability deltas at future instants (all keys >= now).
             let mut deltas: BTreeMap<u64, i64> = BTreeMap::new();
             for &(wall_end, i, _) in running.iter() {
-                *deltas.entry(wall_end.max(now)).or_insert(0) += log.jobs[i].nodes as i64;
+                *deltas.entry(wall_end.max(now)).or_insert(0) += i64_of_usize(log.jobs[i].nodes);
             }
-            let base = state.free_total() as i64;
+            let base = i64_of_usize(state.free_total());
 
             for k in 0..pending.len() {
                 let i = pending[k];
                 let job = &log.jobs[i];
-                let need = job.nodes as i64;
+                let need = i64_of_usize(job.nodes);
                 let dur = job.walltime.max(1);
                 let Some(s) = earliest_fit(&deltas, base, now, dur, need) else {
                     // With failed nodes the job may not fit even the fully
@@ -1146,8 +1186,8 @@ impl<'t> Engine<'t> {
                     continue;
                 };
                 if s == now
-                    && need <= state.free_total() as i64
-                    && start_job(i, state, running, events, outcomes)
+                    && need <= i64_of_usize(state.free_total())
+                    && start_job(i, state, running, events, outcomes)?
                 {
                     pending.remove(k);
                     // The profile base changed; rebuild and rescan.
@@ -1159,6 +1199,7 @@ impl<'t> Engine<'t> {
             }
             break;
         }
+        Ok(())
     }
 }
 

@@ -33,6 +33,8 @@
 //! assert_eq!(summary.outcomes.len(), 50);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod engine;
 pub mod individual;
 

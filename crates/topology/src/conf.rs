@@ -133,11 +133,12 @@ impl Tree {
         let mut uppers = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if let Some(raw) = parse_line(line, i + 1)? {
+                // parse_line guarantees nodes XOR switches is populated.
                 if let Some(nodes) = raw.nodes {
                     leaf_names.push(raw.name);
                     leaf_nodes.push(nodes);
-                } else {
-                    uppers.push((raw.name, raw.switches.unwrap()));
+                } else if let Some(switches) = raw.switches {
+                    uppers.push((raw.name, switches));
                 }
             }
         }

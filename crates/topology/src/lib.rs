@@ -32,6 +32,8 @@
 //! assert_eq!(tree.distance(NodeId(0), NodeId(4)), 4); // via s2
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod build;
 mod conf;
 mod tree;

@@ -117,7 +117,7 @@ impl Tree {
         leaf_nodes: Vec<Vec<String>>,
         uppers: Vec<(String, Vec<String>)>,
     ) -> Result<Self, TreeError> {
-        use std::collections::HashMap;
+        use std::collections::{BTreeMap, BTreeSet};
 
         assert_eq!(leaf_names.len(), leaf_nodes.len());
         if leaf_names.is_empty() {
@@ -126,11 +126,13 @@ impl Tree {
 
         let num_leaves = leaf_names.len();
         let mut switches: Vec<Switch> = Vec::with_capacity(num_leaves + uppers.len());
-        let mut by_name: HashMap<String, SwitchId> = HashMap::new();
+        // Ordered containers: switch/node numbering must never depend on
+        // hash order, even if a future refactor iterates these.
+        let mut by_name: BTreeMap<String, SwitchId> = BTreeMap::new();
 
         let mut node_names = Vec::new();
         let mut node_leaf = Vec::new();
-        let mut seen_nodes: HashMap<String, ()> = HashMap::new();
+        let mut seen_nodes: BTreeSet<String> = BTreeSet::new();
         let mut leaves = Vec::with_capacity(num_leaves);
 
         for (k, (name, nodes)) in leaf_names.into_iter().zip(leaf_nodes).enumerate() {
@@ -140,7 +142,7 @@ impl Tree {
             }
             let mut node_ids = Vec::with_capacity(nodes.len());
             for n in nodes {
-                if seen_nodes.insert(n.clone(), ()).is_some() {
+                if !seen_nodes.insert(n.clone()) {
                     return Err(TreeError::DuplicateNode(n));
                 }
                 let nid = NodeId(node_names.len());

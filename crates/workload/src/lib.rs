@@ -33,6 +33,8 @@
 //! assert!(log.jobs.iter().all(|j| j.nodes <= 512));
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod fault;
 mod generate;
 mod model;

@@ -40,6 +40,8 @@
 //! assert_eq!(alloc.len(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub use commsched_collectives as collectives;
 pub use commsched_core as core;
 pub use commsched_hostlist as hostlist;
