@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]
+//!       [--report-out FILE]
 //!
-//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults | all
+//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace | all
 //! --jobs N    jobs per synthetic log (default 1000, the paper's size)
 //! --seed S    base RNG seed (default 42)
 //! --out DIR   write <name>.txt and <name>.json under DIR (default results/)
 //! --quick     shorthand for --jobs 150
+//! --report-out FILE  write a machine-readable RunReport of the repro run
+//!                    itself (experiments run, output sizes) — derived only
+//!                    from experiment outputs, so it is seed-deterministic
 //! ```
 //!
 //! Build with `--release`; the full Table 3 grid runs 24 thousand-job
 //! simulations (a few minutes on a laptop, parallelized with rayon).
 
 use commsched_bench::{experiments, Scale};
+use commsched_metrics::Registry;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +27,7 @@ fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut scale = Scale::paper();
     let mut out_dir = PathBuf::from("results");
+    let mut report_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +45,10 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a directory"),
             },
             "--quick" => scale.jobs = Scale::quick().jobs,
+            "--report-out" => match args.next() {
+                Some(f) => report_out = Some(PathBuf::from(f)),
+                None => return usage("--report-out needs a file"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
             other => names.push(other.to_string()),
@@ -64,6 +74,18 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
+
+    // RunReport of the repro run itself: everything observed here derives
+    // from experiment outputs (never wall-clock), so the report is a
+    // deterministic function of (experiments, jobs, seed).
+    let mut reg = Registry::new();
+    let c_runs = reg.counter("experiments.run");
+    let h_txt = reg.hist("experiment.text_bytes");
+    let h_json = reg.hist("experiment.json_bytes");
+    let g_jobs = reg.gauge("scale.jobs");
+    let g_seed = reg.gauge("scale.seed");
+    reg.set(g_jobs, scale.jobs as f64);
+    reg.set(g_seed, scale.seed as f64);
 
     for (name, run) in selected {
         eprintln!(
@@ -96,6 +118,18 @@ fn main() -> ExitCode {
             txt.display(),
             json.display()
         );
+        reg.inc(c_runs, 1);
+        reg.observe(h_txt, result.text.len() as f64);
+        let json_len = serde_json::to_string(&result.json).map_or(0, |s| s.len());
+        reg.observe(h_json, json_len as f64);
+    }
+
+    if let Some(path) = report_out {
+        if let Err(e) = std::fs::write(&path, reg.snapshot().to_json_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote run report to {}", path.display());
     }
     ExitCode::SUCCESS
 }
@@ -105,8 +139,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]\n\
-         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults (default: all)"
+        "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick] [--report-out FILE]\n\
+         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace (default: all)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

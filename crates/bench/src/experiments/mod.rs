@@ -13,6 +13,7 @@ mod seeds;
 mod table2;
 mod table3;
 mod table4;
+mod trace;
 
 pub use ablation::ablation;
 pub use corr::corr;
@@ -27,6 +28,7 @@ pub use seeds::seeds;
 pub use table2::table2;
 pub use table3::table3;
 pub use table4::table4;
+pub use trace::{run_golden, trace, GOLDEN_SCENARIOS};
 
 use crate::{ExperimentResult, Scale};
 
@@ -49,5 +51,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("mapping", mapping),
         ("seeds", seeds),
         ("faults", faults),
+        ("trace", trace),
     ]
 }

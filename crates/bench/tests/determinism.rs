@@ -62,3 +62,34 @@ fn faults_sweep_identical_across_thread_counts() {
         );
     }
 }
+
+/// The golden-trace scenarios are what the conformance suite pins to exact
+/// bytes, so they must be bit-identical at any thread count — trace bytes
+/// and RunReport bytes alike, whether or not rayon is even involved.
+#[test]
+fn golden_traces_identical_across_thread_counts() {
+    use commsched_bench::experiments::{run_golden, GOLDEN_SCENARIOS};
+    let pool = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+    };
+    for name in GOLDEN_SCENARIOS {
+        let (trace1, report1) =
+            pool(1).install(|| run_golden(name, 24, 7).expect("known scenario"));
+        assert!(!trace1.is_empty(), "{name}: empty trace");
+        for threads in [2usize, 4] {
+            let (trace_n, report_n) =
+                pool(threads).install(|| run_golden(name, 24, 7).expect("known scenario"));
+            assert_eq!(
+                trace1, trace_n,
+                "{name}: trace differs between 1 and {threads} threads"
+            );
+            assert_eq!(
+                report1, report_n,
+                "{name}: report differs between 1 and {threads} threads"
+            );
+        }
+    }
+}

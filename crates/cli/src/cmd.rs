@@ -3,9 +3,10 @@
 use crate::args::Parsed;
 use commsched_collectives::{CollectiveSpec, Pattern};
 use commsched_core::SelectorKind;
-use commsched_metrics::Table;
+use commsched_metrics::{Registry, Table};
 use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, FailurePolicy, JobStatus};
 use commsched_topology::{SystemPreset, Tree};
+use commsched_trace::{chrome_trace, Capture, ClassMask};
 use commsched_workload::{swf, FaultTrace, JobLog, LogProfile, LogSpec, SystemModel};
 use std::io::Write;
 
@@ -211,6 +212,17 @@ pub fn log(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     }
 }
 
+/// Insert a selector name into `path` before its extension, so compare
+/// runs can write one trace/report per selector: `trace.jsonl` becomes
+/// `trace.adaptive.jsonl`.
+fn with_selector(path: &str, name: &str) -> String {
+    let after_slash = path.rfind('/').map_or(0, |s| s + 1);
+    match path.rfind('.') {
+        Some(dot) if dot > after_slash => format!("{}.{name}{}", &path[..dot], &path[dot..]),
+        _ => format!("{path}.{name}"),
+    }
+}
+
 /// `commsched run` / `commsched compare`.
 pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
     let tree = load_tree(p)?;
@@ -237,6 +249,20 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
     }
     let faults = load_faults(p, tree.num_nodes(), &log)?;
     let failure_policy = load_failure_policy(p)?;
+
+    // Observability: any of these flags switches the engine call to the
+    // instrumented path; with none given the plain `run()` is used so the
+    // default output stays byte-identical.
+    let trace_out = p.get("trace-out").map(str::to_string);
+    let report_out = p.get("report-out").map(str::to_string);
+    let trace_mask = match p.get("trace-filter") {
+        Some(_) if trace_out.is_none() => {
+            return Err("--trace-filter needs --trace-out".into());
+        }
+        Some(spec) => ClassMask::parse(spec)?,
+        None => ClassMask::ALL,
+    };
+    let observed = trace_out.is_some() || report_out.is_some();
 
     // Engine knobs.
     let backfill = match p.get("backfill").unwrap_or("easy") {
@@ -275,6 +301,7 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
     );
     let mut timelines: Vec<(SelectorKind, Vec<(u64, f64)>)> = Vec::new();
     let mut fault_lines: Vec<String> = Vec::new();
+    let mut obs_lines: Vec<String> = Vec::new();
     for kind in selectors {
         let mut cfg = EngineConfig::new(kind);
         cfg.backfill = backfill;
@@ -289,7 +316,50 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
         if let Some(f) = &faults {
             engine = engine.with_faults(f.clone());
         }
-        let summary = engine.run(&log).map_err(|e| e.to_string())?;
+        let summary = if observed {
+            // Only capture events when a trace sink was requested; a bare
+            // --report-out keeps the mask empty (counters still collect).
+            let mut cap = Capture::with_mask(if trace_out.is_some() {
+                trace_mask
+            } else {
+                ClassMask::NONE
+            });
+            let mut reg = Registry::new();
+            let summary = engine
+                .run_observed(&log, &mut cap, &mut reg)
+                .map_err(|e| e.to_string())?;
+            if let Some(path) = &trace_out {
+                let path = if compare {
+                    with_selector(path, kind.name())
+                } else {
+                    path.clone()
+                };
+                let text = if path.ends_with(".json") {
+                    chrome_trace(&cap.events)
+                } else {
+                    cap.to_jsonl()
+                };
+                std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                obs_lines.push(format!(
+                    "{}: wrote {} trace events to {path}",
+                    kind.name(),
+                    cap.events.len()
+                ));
+            }
+            if let Some(path) = &report_out {
+                let path = if compare {
+                    with_selector(path, kind.name())
+                } else {
+                    path.clone()
+                };
+                std::fs::write(&path, reg.snapshot().to_json_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                obs_lines.push(format!("{}: wrote run report to {path}", kind.name()));
+            }
+            summary
+        } else {
+            engine.run(&log).map_err(|e| e.to_string())?
+        };
         if faults.is_some() || p.switch("reject-oversized") {
             fault_lines.push(format!(
                 "{}: {} completed, {} cancelled, {} rejected; {} requeues, \
@@ -334,6 +404,9 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
         for line in &fault_lines {
             writeln!(out, "  {line}").map_err(|e| e.to_string())?;
         }
+    }
+    for line in &obs_lines {
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
     }
     for (kind, timeline) in timelines {
         writeln!(out, "utilization over time — {}:", kind.name()).map_err(|e| e.to_string())?;

@@ -71,7 +71,9 @@ USAGE:
   commsched run     (--preset NAME | --conf FILE) [--selector SEL] <workload>
                     [--backfill none|easy|conservative] [--drain N]
                     [--utilization BUCKETS] [<faults>] [--reject-oversized]
+                    [<observe>]
   commsched compare (--preset NAME | --conf FILE) <workload> [<faults>]
+                    [<observe>]   # one trace/report file per selector
   commsched individual (--preset NAME | --conf FILE) <workload>
                     [--warmup FRAC] [--probes N]
   commsched patterns [RANKS]
@@ -81,6 +83,10 @@ USAGE:
   <faults>   = (--fault-trace FILE | --mtbf SECS [--mttr SECS] [--fault-seed S])
                [--failure-policy cancel|requeue|requeue-front]
                [--max-retries N] [--backoff SECS]
+  <observe>  = [--trace-out FILE] [--trace-filter job,fault,net|all]
+               [--report-out FILE]
+               trace files ending in .json use the Chrome trace_event
+               format (open in ui.perfetto.dev); anything else is JSONL
 
   NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
   NAME (systems): intrepid | theta | mira

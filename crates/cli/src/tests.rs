@@ -465,3 +465,107 @@ fn reject_oversized_turns_abort_into_outcomes() {
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("rejected"), "{out}");
 }
+
+// ---------------------------------------------------------- observability
+
+fn tmp_path(stem: &str, ext: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("commsched-cli-{}-{stem}.{ext}", std::process::id()))
+}
+
+#[test]
+fn trace_filter_requires_trace_out() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--trace-filter",
+        "job",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("--trace-filter needs --trace-out"), "{err}");
+}
+
+#[test]
+fn trace_out_is_deterministic_and_leaves_summary_unchanged() {
+    let trace = tmp_path("trace-det", "jsonl");
+    let base = &[
+        "run", "--preset", "theta", "--system", "theta", "--jobs", "20", "--seed", "3",
+    ];
+    let (code, plain, _) = run_cli(base);
+    assert_eq!(code, 0, "{plain}");
+
+    let mut traced_args: Vec<&str> = base.to_vec();
+    let trace_s = trace.to_string_lossy().into_owned();
+    traced_args.extend_from_slice(&["--trace-out", &trace_s]);
+    let (code, traced, _) = run_cli(&traced_args);
+    assert_eq!(code, 0, "{traced}");
+    let first = std::fs::read_to_string(&trace).unwrap();
+    assert!(!first.is_empty());
+    assert!(
+        first.lines().all(|l| l.starts_with("{\"t_us\":")),
+        "bad jsonl"
+    );
+    // The summary table is unchanged apart from the trailing "wrote" line.
+    assert!(
+        traced.starts_with(&plain),
+        "observed run changed the summary"
+    );
+
+    // Same seed, same bytes.
+    let (code, _, _) = run_cli(&traced_args);
+    assert_eq!(code, 0);
+    assert_eq!(std::fs::read_to_string(&trace).unwrap(), first);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn compare_writes_per_selector_reports() {
+    let report = tmp_path("cmp-report", "json");
+    let report_s = report.to_string_lossy().into_owned();
+    let (code, out, _) = run_cli(&[
+        "compare",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "10",
+        "--report-out",
+        &report_s,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    for sel in ["default", "greedy", "balanced", "adaptive"] {
+        let p = report_s.replace(".json", &format!(".{sel}.json"));
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|_| panic!("missing {p}"));
+        assert!(text.contains("\"jobs.submitted\": 10"), "{text}");
+        let _ = std::fs::remove_file(&p);
+    }
+}
+
+#[test]
+fn chrome_export_for_json_extension() {
+    let trace = tmp_path("chrome", "json");
+    let trace_s = trace.to_string_lossy().into_owned();
+    let (code, out, _) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--trace-out",
+        &trace_s,
+        "--trace-filter",
+        "job,fault",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+    assert!(text.contains("\"name\":\"queued\""), "{text}");
+    let _ = std::fs::remove_file(&trace);
+}

@@ -9,10 +9,14 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod hist;
+mod registry;
 mod render;
 mod stats;
 
 pub use hist::{mean_ci95, Histogram};
+pub use registry::{
+    CounterId, GaugeId, HistId, LogHistogram, Registry, RunReport, RUN_REPORT_VERSION,
+};
 pub use render::{Series, Table};
 pub use stats::{mean, median, peak_to_mean, pearson, percentage_improvement, percentile, stddev};
 

@@ -132,6 +132,157 @@ mod properties {
     }
 }
 
+mod registry_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn registry_handles_and_counters() {
+        let mut r = Registry::new();
+        let c = r.counter("jobs.started");
+        assert_eq!(r.counter("jobs.started"), c); // find, not duplicate
+        r.inc(c, 2);
+        r.inc(c, 3);
+        assert_eq!(r.counter_value("jobs.started"), Some(5));
+        assert_eq!(r.counter_value("missing"), None);
+        let g = r.gauge("makespan_s");
+        r.set(g, 1234.5);
+        let h = r.hist("job.wait_s");
+        r.observe(h, 10.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("jobs.started".to_string(), 5)]);
+        assert_eq!(snap.gauges, vec![("makespan_s".to_string(), 1234.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_sorts_by_name() {
+        let mut r = Registry::new();
+        r.counter("zeta");
+        r.counter("alpha");
+        r.counter("mid");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite() {
+        let mut h = LogHistogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(3.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 3.0);
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let mut r = Registry::new();
+        let c = r.counter("jobs.completed");
+        r.inc(c, 17);
+        let g = r.gauge("lost_node_seconds");
+        r.set(g, 960.0);
+        let h = r.hist("job.exec_s");
+        for x in [30.0, 600.0, 601.5, 4000.0, 0.0, -2.5] {
+            r.observe(h, x);
+        }
+        let report = r.snapshot();
+        let text = report.to_json_pretty();
+        let back = RunReport::from_json(&text).expect("round trip parses");
+        assert_eq!(back, report);
+        // Serialization is deterministic: re-rendering gives the same bytes.
+        assert_eq!(back.to_json_pretty(), text);
+    }
+
+    #[test]
+    fn report_rejects_unknown_version() {
+        let mut r = Registry::new();
+        r.counter("x");
+        let text = r
+            .snapshot()
+            .to_json_pretty()
+            .replace("\"version\": 1", "\"version\": 999");
+        assert!(RunReport::from_json(&text).is_err());
+    }
+
+    proptest! {
+        /// Every quantile lands inside the observed [min, max], and q0/q100
+        /// are exactly the extremes.
+        #[test]
+        fn quantile_bounds(
+            xs in proptest::collection::vec(-1e9f64..1e9, 1..200),
+            q in 0.0f64..1.0,
+        ) {
+            let mut h = LogHistogram::new();
+            for &x in &xs {
+                h.observe(x);
+            }
+            let (min, max) = (h.min(), h.max());
+            prop_assert_eq!(h.quantile(0.0), min);
+            prop_assert_eq!(h.quantile(1.0), max);
+            let v = h.quantile(q);
+            prop_assert!((min..=max).contains(&v), "q{} = {} outside [{}, {}]", q, v, min, max);
+        }
+
+        /// Merge is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c). Samples are
+        /// small integers so the floating-point sums are exact.
+        #[test]
+        fn merge_associativity(
+            a in proptest::collection::vec(-1000i64..1000, 0..40),
+            b in proptest::collection::vec(-1000i64..1000, 0..40),
+            c in proptest::collection::vec(-1000i64..1000, 0..40),
+        ) {
+            let hist_of = |xs: &[i64]| {
+                let mut h = LogHistogram::new();
+                for &x in xs {
+                    h.observe(x as f64);
+                }
+                h
+            };
+            let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+            // And merging all three one-by-one matches observing everything.
+            let all: Vec<i64> = a.iter().chain(&b).chain(&c).copied().collect();
+            prop_assert_eq!(&left, &hist_of(&all));
+        }
+
+        /// Reports survive a JSON round trip for arbitrary histogram
+        /// contents (quantiles are recomputed from buckets, not trusted).
+        #[test]
+        fn report_round_trip_any_samples(
+            xs in proptest::collection::vec(-1e12f64..1e12, 0..60),
+        ) {
+            let mut r = Registry::new();
+            let h = r.hist("samples");
+            for &x in &xs {
+                r.observe(h, x);
+            }
+            let report = r.snapshot();
+            let back = RunReport::from_json(&report.to_json_pretty());
+            prop_assert_eq!(back.as_ref(), Ok(&report));
+        }
+    }
+}
+
 mod hist_tests {
     use super::*;
 

@@ -26,8 +26,9 @@
 //!   property-tested for exact rate equality.
 
 use commsched_collectives::{CollectiveSpec, Pattern, Step};
-use commsched_num::{f64_of_u64, i32_of_u32, u32_of_usize, usize_of_u32};
+use commsched_num::{f64_of_u64, i32_of_u32, u32_of_usize, u64_of_f64, u64_of_usize, usize_of_u32};
 use commsched_topology::{NodeId, SwitchId, Tree};
+use commsched_trace::{EventClass, EventKind as TK, Recorder, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Link capacities and protocol overheads.
@@ -614,15 +615,18 @@ impl<'t> FlowSim<'t> {
     /// graph, and the per-component waterfill is a pure function of the
     /// component, so an untouched component would recompute to exactly the
     /// rates it already holds.
-    fn solve_incremental(&self, rs: &mut RunState, sc: &mut SolverScratch) {
+    /// Returns `(components re-solved, flows re-rated)` — observability
+    /// counts that fall out of the work already done.
+    fn solve_incremental(&self, rs: &mut RunState, sc: &mut SolverScratch) -> (u64, u64) {
         if rs.dirty_links.is_empty() {
-            return;
+            return (0, 0);
         }
         sc.next_epoch();
         if sc.flow_epoch.len() < rs.flows.len() {
             sc.flow_epoch.resize(rs.flows.len(), 0);
         }
         let epoch = sc.epoch;
+        let (mut components, mut rerated) = (0u64, 0u64);
         for di in 0..rs.dirty_links.len() {
             let l = rs.dirty_links[di];
             if sc.link_epoch[l] == epoch {
@@ -635,9 +639,12 @@ impl<'t> FlowSim<'t> {
             self.collect_component(rs, sc, 0);
             if !sc.affected_flows.is_empty() {
                 self.waterfill(rs, sc);
+                components += 1;
+                rerated += u64_of_usize(sc.affected_flows.len());
             }
         }
         rs.clear_dirty();
+        (components, rerated)
     }
 
     /// The retained reference solver: rebuild every per-link load from
@@ -645,7 +652,9 @@ impl<'t> FlowSim<'t> {
     /// pre-optimization O(links + flows) + O(rounds × links × flows)
     /// fixpoint the incremental solver is benchmarked and property-tested
     /// against. Inactive flows are pinned at rate 0.
-    fn solve_naive(&self, rs: &mut RunState, sc: &mut SolverScratch) {
+    /// Returns `(components re-solved, flows re-rated)`, like
+    /// [`FlowSim::solve_incremental`].
+    fn solve_naive(&self, rs: &mut RunState, sc: &mut SolverScratch) -> (u64, u64) {
         // The from-scratch rebuild the maintained `link_flows` index
         // replaces; checked against it, and kept as real paid work so the
         // benchmark comparison is honest.
@@ -669,6 +678,7 @@ impl<'t> FlowSim<'t> {
             sc.flow_epoch.resize(rs.flows.len(), 0);
         }
         let epoch = sc.epoch;
+        let (mut components, mut rerated) = (0u64, 0u64);
         for f in 0..rs.flows.len() {
             if !rs.flows[f].active || sc.flow_epoch[f] == epoch {
                 continue;
@@ -687,8 +697,11 @@ impl<'t> FlowSim<'t> {
             }
             self.collect_component(rs, sc, 0);
             self.waterfill(rs, sc);
+            components += 1;
+            rerated += u64_of_usize(sc.affected_flows.len());
         }
         rs.clear_dirty();
+        (components, rerated)
     }
 
     /// Simulate the workloads to completion and report per-job results.
@@ -697,7 +710,22 @@ impl<'t> FlowSim<'t> {
     /// is `commsched-slurmsim`'s business) and run their iterations back to
     /// back. Completed jobs are reported in workload order.
     pub fn run(&self, workloads: Vec<Workload>) -> Vec<JobResult> {
-        self.run_impl(workloads, &[], None, None)
+        self.run_impl(workloads, &[], None, None, &mut Tracer::off())
+    }
+
+    /// Like [`FlowSim::run`], emitting solver records (`net_solve`,
+    /// `net_rates`, `net_links` events) to `recorder` after every rate
+    /// re-solve. Timestamps are the simulation clock in microseconds, so a
+    /// netsim trace interleaves cleanly with a scheduler trace. With a
+    /// masked-out sink the per-event cost is one integer test; the
+    /// link-occupancy scan behind `net_links` runs only when the `net`
+    /// class is recorded.
+    pub fn run_traced(
+        &self,
+        workloads: Vec<Workload>,
+        recorder: &mut dyn Recorder,
+    ) -> Vec<JobResult> {
+        self.run_impl(workloads, &[], None, None, &mut Tracer::new(recorder))
     }
 
     /// Like [`FlowSim::run`], with externally imposed job teardowns.
@@ -708,13 +736,13 @@ impl<'t> FlowSim<'t> {
     /// `kills` slice this is identical to [`FlowSim::run`], event for
     /// event.
     pub fn run_with_kills(&self, workloads: Vec<Workload>, kills: &[KillEvent]) -> Vec<JobResult> {
-        self.run_impl(workloads, kills, None, None)
+        self.run_impl(workloads, kills, None, None, &mut Tracer::off())
     }
 
     /// Like [`FlowSim::run`], additionally accounting bytes per link class.
     pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
         let mut bytes = vec![0.0f64; self.capacity.len()];
-        let results = self.run_impl(workloads, &[], Some(&mut bytes), None);
+        let results = self.run_impl(workloads, &[], Some(&mut bytes), None, &mut Tracer::off());
         let span = results.iter().map(|r| r.end).fold(0.0f64, f64::max)
             - results
                 .iter()
@@ -758,7 +786,7 @@ impl<'t> FlowSim<'t> {
         workloads: Vec<Workload>,
     ) -> (Vec<JobResult>, Vec<Vec<f64>>) {
         let mut trace = Vec::new();
-        let results = self.run_impl(workloads, &[], None, Some(&mut trace));
+        let results = self.run_impl(workloads, &[], None, Some(&mut trace), &mut Tracer::off());
         (results, trace)
     }
 
@@ -768,6 +796,7 @@ impl<'t> FlowSim<'t> {
         kills: &[KillEvent],
         mut link_bytes: Option<&mut Vec<f64>>,
         mut rate_trace: Option<&mut Vec<Vec<f64>>>,
+        tracer: &mut Tracer<'_>,
     ) -> Vec<JobResult> {
         let mut jobs: Vec<ActiveJob> = workloads
             .iter()
@@ -964,12 +993,69 @@ impl<'t> FlowSim<'t> {
                 }
             }
 
-            match self.solver {
+            let dirty = rs.dirty_links.len();
+            let (components, rerated) = match self.solver {
                 SolverKind::Incremental => self.solve_incremental(&mut rs, &mut sc),
                 SolverKind::Naive => self.solve_naive(&mut rs, &mut sc),
-            }
+            };
             if let Some(trace) = rate_trace.as_deref_mut() {
                 trace.push(rs.flows.iter().map(|f| f.rate).collect());
+            }
+            if dirty > 0 && tracer.enabled(EventClass::Net) {
+                // Simulation seconds → whole microseconds; the trace clock
+                // shared with the scheduling engine.
+                let t_us = u64_of_f64((now * 1e6).round());
+                tracer.emit(
+                    t_us,
+                    TK::NetSolve {
+                        components,
+                        flows: rerated,
+                        dirty_links: u64_of_usize(dirty),
+                    },
+                );
+                let mut active = 0u64;
+                let mut min_rate = f64::INFINITY;
+                let mut max_rate = 0.0f64;
+                for flow in &rs.flows {
+                    if flow.active {
+                        active += 1;
+                        min_rate = min_rate.min(flow.rate);
+                        max_rate = max_rate.max(flow.rate);
+                    }
+                }
+                if active > 0 {
+                    tracer.emit(
+                        t_us,
+                        TK::NetRates {
+                            flows: active,
+                            min_rate,
+                            max_rate,
+                        },
+                    );
+                }
+                // Link occupancy: a tracing-only scan, gated above.
+                let mut live = 0u64;
+                let mut saturated = 0u64;
+                for (l, on_link) in rs.link_flows.iter().enumerate() {
+                    if on_link.is_empty() {
+                        continue;
+                    }
+                    live += 1;
+                    let allocated: f64 = on_link
+                        .iter()
+                        .map(|&fi| rs.flows[usize_of_u32(fi)].rate)
+                        .sum();
+                    if allocated >= self.capacity[l] * (1.0 - 1e-9) {
+                        saturated += 1;
+                    }
+                }
+                tracer.emit(
+                    t_us,
+                    TK::NetLinks {
+                        active: live,
+                        saturated,
+                    },
+                );
             }
 
             // Next event: flow completion, gate opening, or arrival.

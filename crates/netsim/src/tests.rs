@@ -875,3 +875,101 @@ mod kills {
         }
     }
 }
+
+mod traced {
+    use super::*;
+    use commsched_trace::{Capture, ClassMask, EventKind as TK, NullRecorder};
+
+    fn overlapping_workloads() -> Vec<Workload> {
+        vec![
+            wl(
+                1,
+                &[0, 1, 2, 3],
+                CollectiveSpec::new(Pattern::Rhvd, 1 << 20),
+                0.0,
+                2,
+            ),
+            wl(
+                2,
+                &[2, 3, 4, 5],
+                CollectiveSpec::new(Pattern::Rd, 1 << 19),
+                0.5,
+                2,
+            ),
+            wl(
+                3,
+                &[6, 7],
+                CollectiveSpec::new(Pattern::Ring, 1 << 18),
+                1.0,
+                1,
+            ),
+        ]
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, unit_config());
+        let plain = sim.run(overlapping_workloads());
+        let mut cap = Capture::new();
+        let traced = sim.run_traced(overlapping_workloads(), &mut cap);
+        assert_eq!(plain, traced);
+        assert!(!cap.events.is_empty());
+
+        // Every solve record is internally consistent and time-ordered.
+        let mut last_t = 0;
+        for (i, ev) in cap.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert!(ev.t_us >= last_t);
+            last_t = ev.t_us;
+            match ev.kind {
+                TK::NetSolve {
+                    components,
+                    flows,
+                    dirty_links,
+                } => {
+                    assert!(dirty_links > 0, "solves are only recorded when dirty");
+                    assert!(components <= flows, "each component has >= 1 flow");
+                }
+                TK::NetRates {
+                    flows,
+                    min_rate,
+                    max_rate,
+                } => {
+                    assert!(flows > 0);
+                    assert!(min_rate <= max_rate);
+                    assert!(max_rate <= 1.0e6 + 1.0, "rates bounded by link capacity");
+                }
+                TK::NetLinks { active, saturated } => {
+                    assert!(saturated <= active);
+                }
+                other => panic!("unexpected event class in a netsim trace: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, unit_config());
+        let mut a = Capture::new();
+        let mut b = Capture::new();
+        sim.run_traced(overlapping_workloads(), &mut a);
+        sim.run_traced(overlapping_workloads(), &mut b);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn masked_sink_skips_net_events() {
+        let tree = Tree::regular_two_level(2, 4);
+        let sim = FlowSim::new(&tree, unit_config());
+        // A job-only sink records nothing from netsim...
+        let mut cap = Capture::with_mask(ClassMask::JOB);
+        let with_mask = sim.run_traced(overlapping_workloads(), &mut cap);
+        assert!(cap.events.is_empty());
+        // ...and a null sink changes nothing about the results.
+        let with_null = sim.run_traced(overlapping_workloads(), &mut NullRecorder);
+        assert_eq!(with_mask, with_null);
+        assert_eq!(with_null, sim.run(overlapping_workloads()));
+    }
+}

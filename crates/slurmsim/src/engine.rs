@@ -5,12 +5,14 @@ use commsched_core::{
     AdaptiveSelector, AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature,
     NodeSelector, PlacementEvaluator, SelectorKind,
 };
+use commsched_metrics::{CounterId, Registry};
 use commsched_num::{
     f64_of_u64, f64_of_usize, i64_of_usize, u32_of_usize, u64_of_f64, u64_of_usize, usize_of_u32,
     usize_of_u64,
 };
 use commsched_topology::NodeId;
 use commsched_topology::Tree;
+use commsched_trace::{EndStatus, EventKind as TK, FaultClass, NullRecorder, Recorder, Tracer};
 use commsched_workload::fault::{FaultKind, FaultTrace};
 use commsched_workload::{Job, JobLog};
 use serde::{Deserialize, Serialize};
@@ -536,6 +538,89 @@ pub(crate) struct Placed {
     pub comm_ratio: f64,
 }
 
+/// Virtual seconds → trace microseconds. Saturating: overflowing u64
+/// microseconds would need a ~584-millennium virtual run, but the hardened
+/// CI profile checks overflow, so the conversion must be total.
+fn us(t: u64) -> u64 {
+    t.saturating_mul(1_000_000)
+}
+
+/// The observation bundle threaded through a run: the event tracer plus
+/// the registry counters the engine bumps as it goes. With the default
+/// [`NullRecorder`] every emit site reduces to one masked-bit test and
+/// every counter bump to a `Vec` index — cheap enough to leave in the
+/// hot path unconditionally.
+struct Obs<'a, 'r> {
+    tr: Tracer<'r>,
+    reg: &'a mut Registry,
+    c_submitted: CounterId,
+    c_started: CounterId,
+    c_backfilled: CounterId,
+    c_completed: CounterId,
+    c_cancelled: CounterId,
+    c_rejected: CounterId,
+    c_requeued: CounterId,
+    c_faults: CounterId,
+    c_passes: CounterId,
+}
+
+impl<'a, 'r> Obs<'a, 'r> {
+    fn new(reg: &'a mut Registry, tr: Tracer<'r>) -> Self {
+        // Register every counter up front so a run report always carries
+        // the full set, zeros included.
+        let c_submitted = reg.counter("jobs.submitted");
+        let c_started = reg.counter("jobs.started");
+        let c_backfilled = reg.counter("jobs.backfilled");
+        let c_completed = reg.counter("jobs.completed");
+        let c_cancelled = reg.counter("jobs.cancelled");
+        let c_rejected = reg.counter("jobs.rejected");
+        let c_requeued = reg.counter("jobs.requeued");
+        let c_faults = reg.counter("faults.applied");
+        let c_passes = reg.counter("sched.passes");
+        Obs {
+            tr,
+            reg,
+            c_submitted,
+            c_started,
+            c_backfilled,
+            c_completed,
+            c_cancelled,
+            c_rejected,
+            c_requeued,
+            c_faults,
+            c_passes,
+        }
+    }
+
+    /// Emit the place/start pair for the outcome a successful
+    /// `start_job` just pushed.
+    fn note_start(&mut self, now: u64, o: &JobOutcome, attempt: u32, backfilled: bool) {
+        self.tr.emit(
+            us(now),
+            TK::JobPlace {
+                job: o.id.0,
+                attempt,
+                nodes: u64_of_usize(o.nodes),
+                cost_actual: o.cost_actual,
+                cost_default: o.cost_default,
+            },
+        );
+        self.tr.emit(
+            us(now),
+            TK::JobStart {
+                job: o.id.0,
+                attempt,
+                nodes: u64_of_usize(o.nodes),
+                backfilled,
+            },
+        );
+        self.reg.inc(self.c_started, 1);
+        if backfilled {
+            self.reg.inc(self.c_backfilled, 1);
+        }
+    }
+}
+
 /// The engine. Borrows the topology; cheap to construct per run.
 pub struct Engine<'t> {
     tree: &'t Tree,
@@ -799,6 +884,24 @@ impl<'t> Engine<'t> {
     /// Continuous run: replay the whole log (§5.4), interleaving any
     /// injected fault events.
     pub fn run(&self, log: &JobLog) -> Result<RunSummary, EngineError> {
+        // The unobserved run is the observed run with the zero-cost null
+        // sink — byte-identical results by construction.
+        self.run_observed(log, &mut NullRecorder, &mut Registry::new())
+    }
+
+    /// [`Engine::run`] with observability: every job lifecycle transition
+    /// is emitted to `recorder` as a virtual-time [`commsched_trace::Event`]
+    /// and run counters/distributions accumulate in `registry` (snapshot it
+    /// afterwards for a machine-readable report). Events derive only from
+    /// virtual time and seeded state, so the trace is byte-identical across
+    /// repeat runs and thread counts.
+    pub fn run_observed(
+        &self,
+        log: &JobLog,
+        recorder: &mut dyn Recorder,
+        registry: &mut Registry,
+    ) -> Result<RunSummary, EngineError> {
+        let mut obs = Obs::new(registry, Tracer::new(recorder));
         self.validate(log)?;
         let capacity = self.tree.num_nodes() - self.drained.len();
         let selector = self.build_selector();
@@ -851,6 +954,15 @@ impl<'t> Engine<'t> {
                             EngineError::StateInconsistency(format!("releasing {id}: {e}"))
                         })?;
                         running.retain(|&(_, i, a)| log.jobs[i].id != id || a != att);
+                        obs.tr.emit(
+                            us(now),
+                            TK::JobFinish {
+                                job: id.0,
+                                attempt: att,
+                                status: EndStatus::Completed,
+                            },
+                        );
+                        obs.reg.inc(obs.c_completed, 1);
                     }
                     EventKind::Fault(k) => self.apply_fault(
                         usize_of_u32(k),
@@ -863,15 +975,36 @@ impl<'t> Engine<'t> {
                         &mut outcomes,
                         &mut retries,
                         &mut lost,
+                        &mut obs,
                     )?,
                     EventKind::Submit(i) => {
                         let job = &log.jobs[i];
+                        if retries[i] == 0 {
+                            // First entry; requeue re-submissions skip this.
+                            obs.tr.emit(
+                                us(now),
+                                TK::JobSubmit {
+                                    job: job.id.0,
+                                    nodes: u64_of_usize(job.nodes),
+                                },
+                            );
+                            obs.reg.inc(obs.c_submitted, 1);
+                        }
                         if job.nodes > capacity {
                             // Only reachable under OversizedPolicy::Reject —
                             // Abort already returned from validate().
                             outcomes.push(Self::rejected_outcome(job, 0, 0));
+                            obs.tr.emit(us(now), TK::JobReject { job: job.id.0 });
+                            obs.reg.inc(obs.c_rejected, 1);
                         } else {
                             pending.push(i);
+                            obs.tr.emit(
+                                us(now),
+                                TK::JobEligible {
+                                    job: job.id.0,
+                                    attempt: retries[i],
+                                },
+                            );
                         }
                     }
                 }
@@ -889,6 +1022,7 @@ impl<'t> Engine<'t> {
                 &mut outcomes,
                 &retries,
                 &lost,
+                &mut obs,
             )?;
             makespan = makespan.max(now);
         }
@@ -900,11 +1034,37 @@ impl<'t> Engine<'t> {
         // the full machine, so a failure-free queue always drains.
         for &i in &pending {
             outcomes.push(Self::rejected_outcome(&log.jobs[i], retries[i], lost[i]));
+            obs.tr.emit(
+                us(makespan),
+                TK::JobReject {
+                    job: log.jobs[i].id.0,
+                },
+            );
+            obs.reg.inc(obs.c_rejected, 1);
         }
         pending.clear();
         debug_assert!(running.is_empty(), "jobs left running");
         debug_assert_eq!(outcomes.len(), log.jobs.len());
         let makespan = outcomes.iter().map(|o| o.end).max().unwrap_or(makespan);
+
+        // End-of-run distributions and totals, in outcome (completion)
+        // order — a pure function of the outcomes, so reports stay
+        // deterministic.
+        let h_wait = obs.reg.hist("job.wait_s");
+        let h_exec = obs.reg.hist("job.exec_s");
+        let mut lost_total = 0u64;
+        for o in &outcomes {
+            if o.status == JobStatus::Completed {
+                obs.reg.observe(h_wait, f64_of_u64(o.wait()));
+                obs.reg.observe(h_exec, f64_of_u64(o.exec()));
+            }
+            lost_total = lost_total.saturating_add(o.lost_node_seconds);
+        }
+        let g_makespan = obs.reg.gauge("makespan_s");
+        obs.reg.set(g_makespan, f64_of_u64(makespan));
+        let g_lost = obs.reg.gauge("lost_node_seconds");
+        obs.reg.set(g_lost, f64_of_u64(lost_total));
+
         Ok(RunSummary {
             selector: self.cfg.selector.name().to_string(),
             outcomes,
@@ -929,11 +1089,24 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &mut [u32],
         lost: &mut [u64],
+        obs: &mut Obs<'_, '_>,
     ) -> Result<(), EngineError> {
         use commsched_core::NodeHealth;
 
         let e = self.faults.events()[k];
         let n = NodeId(e.node);
+        obs.tr.emit(
+            us(now),
+            TK::Fault {
+                node: u64_of_usize(e.node),
+                kind: match e.kind {
+                    FaultKind::Fail => FaultClass::Fail,
+                    FaultKind::Recover => FaultClass::Recover,
+                    FaultKind::Drain => FaultClass::Drain,
+                },
+            },
+        );
+        obs.reg.inc(obs.c_faults, 1);
         match e.kind {
             FaultKind::Fail => {
                 if let Some(victim) = state.job_on(n) {
@@ -979,13 +1152,47 @@ impl<'t> Engine<'t> {
                                 o.status = JobStatus::Cancelled;
                                 o.retries = retries[i];
                                 o.lost_node_seconds = lost[i];
+                                obs.tr.emit(
+                                    us(now),
+                                    TK::JobFinish {
+                                        job: victim.0,
+                                        attempt: retries[i],
+                                        status: EndStatus::Cancelled,
+                                    },
+                                );
+                                obs.reg.inc(obs.c_cancelled, 1);
                             }
                             Some(None) => {
+                                obs.tr.emit(
+                                    us(now),
+                                    TK::JobRequeue {
+                                        job: victim.0,
+                                        attempt: retries[i],
+                                        resubmit_us: us(now),
+                                    },
+                                );
+                                obs.reg.inc(obs.c_requeued, 1);
                                 retries[i] += 1;
                                 outcomes.remove(opos);
                                 pending.insert(0, i);
+                                obs.tr.emit(
+                                    us(now),
+                                    TK::JobEligible {
+                                        job: victim.0,
+                                        attempt: retries[i],
+                                    },
+                                );
                             }
                             Some(Some(backoff)) => {
+                                obs.tr.emit(
+                                    us(now),
+                                    TK::JobRequeue {
+                                        job: victim.0,
+                                        attempt: retries[i],
+                                        resubmit_us: us(now.saturating_add(backoff)),
+                                    },
+                                );
+                                obs.reg.inc(obs.c_requeued, 1);
                                 retries[i] += 1;
                                 outcomes.remove(opos);
                                 events.push(Reverse((
@@ -1037,7 +1244,9 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &[u32],
         lost: &[u64],
+        obs: &mut Obs<'_, '_>,
     ) -> Result<(), EngineError> {
+        obs.reg.inc(obs.c_passes, 1);
         let start_job = |i: usize,
                          state: &mut ClusterState,
                          running: &mut Vec<(u64, usize, u32)>,
@@ -1087,6 +1296,9 @@ impl<'t> Engine<'t> {
                 && start_job(head, state, running, events, outcomes)?
             {
                 pending.remove(0);
+                if let Some(o) = outcomes.last() {
+                    obs.note_start(now, o, retries[head], false);
+                }
             } else {
                 break;
             }
@@ -1097,7 +1309,7 @@ impl<'t> Engine<'t> {
         }
         if self.cfg.backfill == BackfillPolicy::Conservative {
             return self.conservative_backfill_pass(
-                now, log, state, pending, running, events, outcomes, &start_job,
+                now, log, state, pending, running, events, outcomes, retries, obs, &start_job,
             );
         }
 
@@ -1131,6 +1343,9 @@ impl<'t> Engine<'t> {
             let harmless = now.saturating_add(job.walltime) <= shadow || job.nodes <= extra;
             if fits_now && harmless && start_job(i, state, running, events, outcomes)? {
                 pending.remove(k);
+                if let Some(o) = outcomes.last() {
+                    obs.note_start(now, o, retries[i], true);
+                }
             } else {
                 k += 1;
             }
@@ -1153,6 +1368,8 @@ impl<'t> Engine<'t> {
         running: &mut Vec<(u64, usize, u32)>,
         events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
         outcomes: &mut Vec<JobOutcome>,
+        retries: &[u32],
+        obs: &mut Obs<'_, '_>,
         start_job: &F,
     ) -> Result<(), EngineError>
     where
@@ -1190,6 +1407,9 @@ impl<'t> Engine<'t> {
                     && start_job(i, state, running, events, outcomes)?
                 {
                     pending.remove(k);
+                    if let Some(o) = outcomes.last() {
+                        obs.note_start(now, o, retries[i], k > 0);
+                    }
                     // The profile base changed; rebuild and rescan.
                     continue 'restart;
                 }

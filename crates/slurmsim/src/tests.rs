@@ -1260,3 +1260,170 @@ mod faults {
         }
     }
 }
+
+mod observed {
+    use super::*;
+    use crate::{FailurePolicy, JobStatus};
+    use commsched_metrics::Registry;
+    use commsched_trace::{Capture, EventKind as TK, NullRecorder};
+    use commsched_workload::fault::{FaultEvent, FaultKind, FaultTrace};
+
+    fn faulty_setup() -> (Tree, JobLog, FaultTrace) {
+        let tree = Tree::regular_two_level(3, 6);
+        let log = LogSpec::new(
+            SystemModel {
+                total_nodes: 18,
+                min_request: 1,
+                max_request: 12,
+                ..SystemModel::theta()
+            },
+            30,
+            11,
+        )
+        .comm_percent(60)
+        .generate();
+        let faults = FaultTrace::new(vec![
+            FaultEvent {
+                t: 500,
+                node: 2,
+                kind: FaultKind::Fail,
+            },
+            FaultEvent {
+                t: 900,
+                node: 2,
+                kind: FaultKind::Recover,
+            },
+            FaultEvent {
+                t: 1400,
+                node: 7,
+                kind: FaultKind::Fail,
+            },
+            FaultEvent {
+                t: 2000,
+                node: 7,
+                kind: FaultKind::Recover,
+            },
+        ]);
+        (tree, log, faults)
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let (tree, log, faults) = faulty_setup();
+        let cfg =
+            EngineConfig::new(SelectorKind::Balanced).with_failure_policy(FailurePolicy::Requeue {
+                max_retries: 2,
+                backoff: 30,
+            });
+        let plain = Engine::new(&tree, cfg)
+            .with_faults(faults.clone())
+            .run(&log)
+            .unwrap();
+        let mut cap = Capture::new();
+        let mut reg = Registry::new();
+        let observed = Engine::new(&tree, cfg)
+            .with_faults(faults)
+            .run_observed(&log, &mut cap, &mut reg)
+            .unwrap();
+        assert_eq!(plain, observed);
+        assert!(!cap.events.is_empty());
+
+        // Counters reconcile with the summary.
+        assert_eq!(
+            reg.counter_value("jobs.submitted"),
+            Some(log.jobs.len() as u64)
+        );
+        assert_eq!(
+            reg.counter_value("jobs.completed"),
+            Some(observed.count_status(JobStatus::Completed) as u64)
+        );
+        assert_eq!(
+            reg.counter_value("jobs.cancelled"),
+            Some(observed.count_status(JobStatus::Cancelled) as u64)
+        );
+        assert_eq!(
+            reg.counter_value("jobs.rejected"),
+            Some(observed.count_status(JobStatus::Rejected) as u64)
+        );
+        assert_eq!(
+            reg.counter_value("jobs.requeued"),
+            Some(observed.total_retries())
+        );
+        assert_eq!(reg.counter_value("faults.applied"), Some(4));
+        let report = reg.snapshot();
+        let wait = &report
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "job.wait_s")
+            .unwrap()
+            .1;
+        assert_eq!(
+            wait.count(),
+            observed.count_status(JobStatus::Completed) as u64
+        );
+    }
+
+    #[test]
+    fn null_recorder_emits_nothing_and_changes_nothing() {
+        let (tree, log, faults) = faulty_setup();
+        let cfg = EngineConfig::new(SelectorKind::Adaptive);
+        let mut reg = Registry::new();
+        let a = Engine::new(&tree, cfg)
+            .with_faults(faults.clone())
+            .run_observed(&log, &mut NullRecorder, &mut reg)
+            .unwrap();
+        let b = Engine::new(&tree, cfg)
+            .with_faults(faults)
+            .run(&log)
+            .unwrap();
+        assert_eq!(a, b);
+        // The registry still fills (counters are independent of tracing).
+        assert!(reg.counter_value("jobs.started").unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_is_ordered_and_spans_pair_up() {
+        let (tree, log, faults) = faulty_setup();
+        let cfg = EngineConfig::new(SelectorKind::Greedy)
+            .with_failure_policy(FailurePolicy::RequeueFront);
+        let mut cap = Capture::new();
+        let mut reg = Registry::new();
+        Engine::new(&tree, cfg)
+            .with_faults(faults)
+            .run_observed(&log, &mut cap, &mut reg)
+            .unwrap();
+
+        let mut last_t = 0;
+        let mut open: Vec<(u64, u32)> = Vec::new(); // running (job, attempt)
+        for (i, ev) in cap.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64, "dense sequence numbers");
+            assert!(ev.t_us >= last_t, "timestamps never go backwards");
+            last_t = ev.t_us;
+            match ev.kind {
+                TK::JobStart { job, attempt, .. } => {
+                    // The immediately preceding event is this attempt's place.
+                    match cap.events[i - 1].kind {
+                        TK::JobPlace {
+                            job: pj,
+                            attempt: pa,
+                            ..
+                        } => {
+                            assert_eq!((pj, pa), (job, attempt));
+                        }
+                        other => panic!("start not preceded by place: {other:?}"),
+                    }
+                    open.push((job, attempt));
+                }
+                TK::JobFinish { job, attempt, .. } | TK::JobRequeue { job, attempt, .. } => {
+                    let pos = open
+                        .iter()
+                        .position(|&(j, a)| (j, a) == (job, attempt))
+                        .expect("finish/requeue closes an open span");
+                    open.remove(pos);
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "all started attempts terminate");
+    }
+}

@@ -1,0 +1,139 @@
+//! Chrome `trace_event` export: render a captured event list so it opens
+//! directly in `about:tracing` or <https://ui.perfetto.dev>.
+//!
+//! Mapping: each job is a thread (`tid` = job id + 1) in one process
+//! (`pid` 1). A job's wait in the queue is a `queued` span (begun at
+//! `eligible`, ended at `start`) and each execution attempt is a
+//! `run#<attempt>` span (ended by `finish` or `requeue`). Faults are
+//! instant events on the reserved `tid` 0, and network-solver records
+//! become counter tracks. Timestamps are virtual microseconds, which is
+//! exactly the unit the format expects.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Open {
+    Queued,
+    Running,
+}
+
+fn push_record(out: &mut String, first: &mut bool, body: &str) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str("    ");
+    out.push_str(body);
+}
+
+/// Render `events` (in emission order) as a Chrome `trace_event` JSON
+/// document. Spans left open by a truncated or filtered trace are simply
+/// not closed — the viewers tolerate that.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    // Open span per job, so filtered traces never emit unbalanced "E"s.
+    let mut open: BTreeMap<u64, Open> = BTreeMap::new();
+
+    for ev in events {
+        let ts = ev.t_us;
+        match ev.kind {
+            EventKind::JobSubmit { job, nodes } => {
+                let tid = job + 1;
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"submit\",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"nodes\":{nodes}}}}}"
+                ));
+            }
+            EventKind::JobEligible { job, attempt } => {
+                let tid = job + 1;
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"queued\",\"cat\":\"job\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"attempt\":{attempt}}}}}"
+                ));
+                open.insert(job, Open::Queued);
+            }
+            EventKind::JobStart {
+                job,
+                attempt,
+                nodes,
+                backfilled,
+            } => {
+                let tid = job + 1;
+                if open.remove(&job) == Some(Open::Queued) {
+                    push_record(&mut out, &mut first, &format!(
+                        "{{\"name\":\"queued\",\"cat\":\"job\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}"
+                    ));
+                }
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"run#{attempt}\",\"cat\":\"job\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"nodes\":{nodes},\"backfilled\":{backfilled}}}}}"
+                ));
+                open.insert(job, Open::Running);
+            }
+            EventKind::JobFinish {
+                job,
+                attempt,
+                status,
+            } => {
+                let tid = job + 1;
+                if open.remove(&job) == Some(Open::Running) {
+                    push_record(&mut out, &mut first, &format!(
+                        "{{\"name\":\"run#{attempt}\",\"cat\":\"job\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"status\":\"{}\"}}}}",
+                        status.as_str()
+                    ));
+                }
+            }
+            EventKind::JobRequeue { job, attempt, .. } => {
+                let tid = job + 1;
+                if open.remove(&job) == Some(Open::Running) {
+                    push_record(&mut out, &mut first, &format!(
+                        "{{\"name\":\"run#{attempt}\",\"cat\":\"job\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"status\":\"requeued\"}}}}"
+                    ));
+                }
+            }
+            EventKind::JobReject { job } => {
+                let tid = job + 1;
+                open.remove(&job);
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"reject\",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}"
+                ));
+            }
+            EventKind::JobPlace { .. } => {
+                // Placement detail lives in the JSONL trace; the start span
+                // that follows carries the visual information.
+            }
+            EventKind::Fault { node, kind } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"fault:{} n{node}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":1,\"tid\":0}}",
+                    kind.as_str()
+                ));
+            }
+            EventKind::NetSolve { flows, .. } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"net flows re-rated\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"flows\":{flows}}}}}"
+                ));
+            }
+            EventKind::NetRates { flows, .. } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"net active flows\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"flows\":{flows}}}}}"
+                ));
+            }
+            EventKind::NetLinks { active, saturated } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"net links\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"active\":{active},\"saturated\":{saturated}}}}}"
+                ));
+            }
+        }
+    }
+
+    let mut tail = String::new();
+    let _ = write!(
+        tail,
+        "\n  ],\n  \"displayTimeUnit\":\"ms\",\n  \"otherData\":{{\"events\":{}}}\n}}\n",
+        events.len()
+    );
+    out.push_str(&tail);
+    out
+}

@@ -1,0 +1,198 @@
+//! Recorder sinks and the event-class mask.
+
+use crate::event::{Event, EventClass};
+use std::io;
+
+/// A set of [`EventClass`]es a sink wants to receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMask(u8);
+
+impl ClassMask {
+    /// No classes — the zero-cost default.
+    pub const NONE: ClassMask = ClassMask(0);
+    /// Every class.
+    pub const ALL: ClassMask = ClassMask(1 | 2 | 4);
+    /// Job lifecycle events only.
+    pub const JOB: ClassMask = ClassMask(1);
+    /// Fault events only.
+    pub const FAULT: ClassMask = ClassMask(2);
+    /// Network-solver events only.
+    pub const NET: ClassMask = ClassMask(4);
+
+    /// Does the mask include `class`?
+    #[inline]
+    pub fn contains(self, class: EventClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: ClassMask) -> ClassMask {
+        ClassMask(self.0 | other.0)
+    }
+
+    /// Parse a `--trace-filter` spec: comma-separated class names out of
+    /// `job`, `fault`, `net`, or `all`. Empty input means `all`.
+    pub fn parse(spec: &str) -> Result<ClassMask, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(ClassMask::ALL);
+        }
+        let mut mask = ClassMask::NONE;
+        for part in spec.split(',') {
+            mask = mask.union(match part.trim() {
+                "job" | "jobs" => ClassMask::JOB,
+                "fault" | "faults" => ClassMask::FAULT,
+                "net" => ClassMask::NET,
+                "all" => ClassMask::ALL,
+                other => {
+                    return Err(format!(
+                        "unknown trace class {other:?} (job | fault | net | all)"
+                    ))
+                }
+            });
+        }
+        Ok(mask)
+    }
+}
+
+/// An event sink. [`crate::Tracer`] reads [`Recorder::mask`] once at
+/// construction and filters before calling [`Recorder::record`], so a
+/// sink only ever sees classes it asked for.
+pub trait Recorder {
+    /// Which event classes this sink wants. Defaults to all.
+    fn mask(&self) -> ClassMask {
+        ClassMask::ALL
+    }
+
+    /// Consume one event.
+    fn record(&mut self, ev: &Event);
+}
+
+/// The zero-cost sink: masks everything, records nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn mask(&self) -> ClassMask {
+        ClassMask::NONE
+    }
+
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// In-memory sink: keeps every event for post-processing.
+#[derive(Debug, Default, Clone)]
+pub struct Capture {
+    mask: ClassMask,
+    /// The recorded events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl Capture {
+    /// Capture all classes.
+    pub fn new() -> Self {
+        Capture {
+            mask: ClassMask::ALL,
+            events: Vec::new(),
+        }
+    }
+
+    /// Capture only the classes in `mask`.
+    pub fn with_mask(mask: ClassMask) -> Self {
+        Capture {
+            mask,
+            events: Vec::new(),
+        }
+    }
+
+    /// The canonical JSONL rendering of the captured events: one
+    /// [`Event::to_json_line`] per line, each newline-terminated — byte
+    /// identical to what a [`JsonlRecorder`] would have written.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for ClassMask {
+    fn default() -> Self {
+        ClassMask::ALL
+    }
+}
+
+impl Recorder for Capture {
+    fn mask(&self) -> ClassMask {
+        self.mask
+    }
+
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+}
+
+/// Streaming sink: writes one JSON line per event to any `io::Write`.
+///
+/// `record` cannot return an error, so the first write failure is stored
+/// and every later event is dropped; callers check [`JsonlRecorder::take_error`]
+/// when the run finishes.
+pub struct JsonlRecorder<W: io::Write> {
+    mask: ClassMask,
+    w: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlRecorder<W> {
+    /// Stream all classes to `w`.
+    pub fn new(w: W) -> Self {
+        JsonlRecorder {
+            mask: ClassMask::ALL,
+            w,
+            error: None,
+        }
+    }
+
+    /// Stream only the classes in `mask` to `w`.
+    pub fn with_mask(w: W, mask: ClassMask) -> Self {
+        JsonlRecorder {
+            mask,
+            w,
+            error: None,
+        }
+    }
+
+    /// The first write error, if any occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flush and return the underlying writer (and any pending error).
+    pub fn into_inner(mut self) -> (W, Option<io::Error>) {
+        if self.error.is_none() {
+            if let Err(e) = self.w.flush() {
+                self.error = Some(e);
+            }
+        }
+        (self.w, self.error)
+    }
+}
+
+impl<W: io::Write> Recorder for JsonlRecorder<W> {
+    fn mask(&self) -> ClassMask {
+        self.mask
+    }
+
+    fn record(&mut self, ev: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = ev.to_json_line();
+        line.push('\n');
+        if let Err(e) = self.w.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`workload`] — SWF job logs and Intrepid/Theta/Mira-like generators.
 //! * [`core`] — the paper's allocators and contention/cost model.
 //! * [`slurmsim`] — SLURM-like discrete-event scheduling engine.
-//! * [`metrics`] — evaluation metrics and table/series rendering.
+//! * [`metrics`] — evaluation metrics, table/series rendering, and the
+//!   counter/gauge/histogram registry behind machine-readable run reports.
+//! * [`trace`] — deterministic virtual-time event tracing (JSONL and
+//!   Chrome `trace_event` export) with zero-cost null recording.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@ pub use commsched_metrics as metrics;
 pub use commsched_netsim as netsim;
 pub use commsched_slurmsim as slurmsim;
 pub use commsched_topology as topology;
+pub use commsched_trace as trace;
 pub use commsched_workload as workload;
 
 /// One-stop imports for the common API surface.
@@ -59,7 +63,9 @@ pub mod prelude {
         DefaultTreeSelector, GreedySelector, JobNature, MappingStrategy, NodeSelector,
         SelectorKind,
     };
+    pub use commsched_metrics::{Registry, RunReport};
     pub use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, JobOutcome, RunSummary};
     pub use commsched_topology::{NodeId, SwitchId, Tree};
+    pub use commsched_trace::{Capture, ClassMask, NullRecorder, Recorder, Tracer};
     pub use commsched_workload::{Job, JobId, JobLog, LogSpec, SystemModel};
 }

@@ -234,3 +234,117 @@ fn prelude_covers_the_working_surface() {
     let layout = map_ranks(&tree, &nodes, MappingStrategy::AlignedBlocks);
     assert_eq!(layout.len(), 4);
 }
+
+#[test]
+fn trace_reconciles_with_lost_node_accounting() {
+    // A faulted, requeue-heavy run traced end to end: the node-seconds the
+    // engine says failures destroyed must be recoverable from the trace
+    // alone, by pairing each start span with the requeue/cancel that kills
+    // it. Any drift between the two is a bug in one of them.
+    use commsched::metrics::Registry;
+    use commsched::slurmsim::{FailurePolicy, JobStatus};
+    use commsched::trace::{Capture, EventKind};
+    use commsched::workload::FaultTrace;
+
+    let tree = Tree::regular_two_level(3, 6); // 18 nodes
+    let log = LogSpec::new(toy_system(18, 12), 40, 11)
+        .comm_percent(70)
+        .generate();
+    let horizon = log
+        .jobs
+        .iter()
+        .map(|j| j.submit + j.walltime)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let faults = FaultTrace::mtbf(18, 20_000.0, 2_000.0, horizon, 0xFA17).unwrap();
+
+    let mut cfg = EngineConfig::new(SelectorKind::Adaptive);
+    cfg.backfill = BackfillPolicy::Easy;
+    cfg.failure_policy = FailurePolicy::Requeue {
+        max_retries: 2,
+        backoff: 30,
+    };
+    let engine = Engine::new(&tree, cfg).with_faults(faults);
+    let mut cap = Capture::new();
+    let mut reg = Registry::new();
+    let summary = engine.run_observed(&log, &mut cap, &mut reg).unwrap();
+
+    // Pair every start span with whatever closes it and total the work a
+    // kill destroyed: (kill_time - start_time) * allocated nodes.
+    let mut open: Vec<(u64, u32, u64, u64)> = Vec::new(); // (job, attempt, t_us, nodes)
+    let mut lost_from_trace = 0u64;
+    let mut requeues = 0u64;
+    for ev in &cap.events {
+        match ev.kind {
+            EventKind::JobStart {
+                job,
+                attempt,
+                nodes,
+                ..
+            } => open.push((job, attempt, ev.t_us, nodes)),
+            EventKind::JobRequeue { job, attempt, .. } => {
+                requeues += 1;
+                let k = open
+                    .iter()
+                    .position(|&(j, a, _, _)| (j, a) == (job, attempt))
+                    .expect("requeue closes an open span");
+                let (_, _, start_us, nodes) = open.remove(k);
+                lost_from_trace += (ev.t_us - start_us) / 1_000_000 * nodes;
+            }
+            EventKind::JobFinish {
+                job,
+                attempt,
+                status,
+            } => {
+                let k = open
+                    .iter()
+                    .position(|&(j, a, _, _)| (j, a) == (job, attempt))
+                    .expect("finish closes an open span");
+                let (_, _, start_us, nodes) = open.remove(k);
+                if status == commsched::trace::EndStatus::Cancelled {
+                    lost_from_trace += (ev.t_us - start_us) / 1_000_000 * nodes;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        open.is_empty(),
+        "every span is closed by the end of the run"
+    );
+
+    let lost_from_engine: u64 = summary.outcomes.iter().map(|o| o.lost_node_seconds).sum();
+    assert!(
+        lost_from_engine > 0,
+        "scenario must actually lose work to failures"
+    );
+    assert_eq!(
+        lost_from_trace, lost_from_engine,
+        "trace-derived lost node-seconds must match the engine's accounting"
+    );
+    assert_eq!(
+        requeues,
+        summary.total_retries(),
+        "one requeue event per retry"
+    );
+
+    // The RunReport agrees with both.
+    assert_eq!(
+        reg.counter_value("jobs.requeued"),
+        Some(requeues),
+        "registry counter tracks requeue events"
+    );
+    let report = reg.snapshot().to_json_pretty();
+    assert!(
+        report.contains(&format!("\"lost_node_seconds\": {lost_from_engine}.0")),
+        "report gauge carries the same total: {report}"
+    );
+    assert_eq!(
+        summary.count_status(JobStatus::Completed)
+            + summary.count_status(JobStatus::Cancelled)
+            + summary.count_status(JobStatus::Rejected),
+        log.jobs.len(),
+        "every job ends in exactly one terminal state"
+    );
+}
