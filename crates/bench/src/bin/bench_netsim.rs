@@ -8,10 +8,13 @@
 //!    [`commsched_bench::perf::NetsimCase`]. The two solvers are asserted
 //!    bit-identical on every scenario before timing means anything.
 //! 2. **Sweep harness** — a reduced Figure 6 sweep (3 systems × 5 mixes ×
-//!    4 selectors) under rayon thread pools of 1 and 4 threads, asserting
-//!    the rendered output is identical at both counts. The wall-clock
-//!    ratio only shows a gain on multi-core hosts, so `host_cpus` is
-//!    recorded alongside it.
+//!    4 selectors) under rayon thread pools of 1, 2 and 4 threads,
+//!    asserting the rendered output is identical at every count. The
+//!    1-vs-4-thread wall-clock ratio is the `parallel_speedup` gate: on a
+//!    multi-core host (`host_cpus > 1`) a ratio <= 1.0 means the
+//!    persistent pool is not paying for itself and the run fails (exit 1);
+//!    on a single-core host the gate is recorded as skipped, because no
+//!    scheduler can conjure parallel speedup out of one CPU.
 //!
 //! ```text
 //! cargo run --release -p commsched-bench --bin bench_netsim [out.json]
@@ -123,24 +126,47 @@ fn main() {
         ));
     }
 
-    // Reduced Figure 6 sweep under 1 vs 4 threads. The outputs must match
-    // exactly (the vendored rayon concatenates results in source order);
-    // the wall-clock ratio depends on the host's core count.
+    // Reduced Figure 6 sweep under 1, 2 and 4 threads. The outputs must
+    // match exactly (the vendored rayon stitches chunk results in source
+    // order); the wall-clock ratios depend on the host's core count.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (ns_1, res_1) = sweep_under(1);
+    let (ns_2, res_2) = sweep_under(2);
     let (ns_4, res_4) = sweep_under(4);
-    assert_eq!(res_1.text, res_4.text, "sweep text differs across threads");
-    assert_eq!(res_1.json, res_4.json, "sweep json differs across threads");
+    for (threads, res) in [(2usize, &res_2), (4, &res_4)] {
+        assert_eq!(
+            res_1.text, res.text,
+            "sweep text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            res_1.json, res.json,
+            "sweep json differs between 1 and {threads} threads"
+        );
+    }
     let parallel_speedup = ns_1 / ns_4;
     eprintln!(
-        "fig6 sweep ({} jobs/log): 1 thread {:.2} s, 4 threads {:.2} s, ratio {parallel_speedup:.2}x (host has {host_cpus} cpu(s))",
+        "fig6 sweep ({} jobs/log): 1 thread {:.2} s, 2 threads {:.2} s, 4 threads {:.2} s, 1->4 ratio {parallel_speedup:.2}x (host has {host_cpus} cpu(s))",
         SWEEP_SCALE.jobs,
         ns_1 / 1e9,
+        ns_2 / 1e9,
         ns_4 / 1e9
     );
 
+    // The speedup gate: a multi-core host that sees no gain from 4
+    // threads means the pool's overhead ate the parallelism — hard-fail
+    // so CI catches the regression. A single-core host has nothing to
+    // speed up, so the gate is honestly recorded as skipped.
+    let gate_failed = host_cpus > 1 && parallel_speedup <= 1.0;
+    let gate = if host_cpus == 1 {
+        "skipped (host_cpus=1)".to_string()
+    } else if gate_failed {
+        format!("failed (parallel_speedup={parallel_speedup:.2} <= 1.0)")
+    } else {
+        "passed".to_string()
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"flow-level network simulation: incremental vs retained-naive max-min solver, and fig6 sweep scaling\",\n  \"iters\": {ITERS},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"sweep\": {{\n    \"experiment\": \"fig6\",\n    \"jobs_per_log\": {},\n    \"iters\": {SWEEP_ITERS},\n    \"threads_1_median_ns\": {ns_1:.0},\n    \"threads_4_median_ns\": {ns_4:.0},\n    \"parallel_speedup\": {parallel_speedup:.2},\n    \"identical_across_threads\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"flow-level network simulation: incremental vs retained-naive max-min solver, and fig6 sweep scaling\",\n  \"iters\": {ITERS},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"sweep\": {{\n    \"experiment\": \"fig6\",\n    \"jobs_per_log\": {},\n    \"iters\": {SWEEP_ITERS},\n    \"threads_1_median_ns\": {ns_1:.0},\n    \"threads_2_median_ns\": {ns_2:.0},\n    \"threads_4_median_ns\": {ns_4:.0},\n    \"parallel_speedup\": {parallel_speedup:.2},\n    \"identical_across_threads\": true,\n    \"gate\": \"{gate}\"\n  }}\n}}\n",
         entries.join(",\n"),
         SWEEP_SCALE.jobs
     );
@@ -149,4 +175,11 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out}");
+    if gate_failed {
+        eprintln!(
+            "error: parallel speedup gate failed: {parallel_speedup:.2}x at 4 threads on a \
+             {host_cpus}-cpu host (the persistent pool must beat sequential on multi-core)"
+        );
+        std::process::exit(1);
+    }
 }

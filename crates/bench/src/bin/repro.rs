@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]
-//!       [--report-out FILE]
+//!       [--threads N] [--report-out FILE]
 //!
 //! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace | all
 //! --jobs N    jobs per synthetic log (default 1000, the paper's size)
 //! --seed S    base RNG seed (default 42)
 //! --out DIR   write <name>.txt and <name>.json under DIR (default results/)
 //! --quick     shorthand for --jobs 150
+//! --threads N worker threads for the sweeps (default: RAYON_NUM_THREADS,
+//!             then the host's CPU count; never changes output bytes)
 //! --report-out FILE  write a machine-readable RunReport of the repro run
 //!                    itself (experiments run, output sizes) — derived only
 //!                    from experiment outputs, so it is seed-deterministic
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::paper();
     let mut out_dir = PathBuf::from("results");
     let mut report_out: Option<PathBuf> = None;
+    let mut threads: usize = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +48,10 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a directory"),
             },
             "--quick" => scale.jobs = Scale::quick().jobs,
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
             "--report-out" => match args.next() {
                 Some(f) => report_out = Some(PathBuf::from(f)),
                 None => return usage("--report-out needs a file"),
@@ -75,6 +82,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // `--threads 0` (unset) builds a pool at the ambient default, so
+    // installing it is behavior-preserving; thread count affects
+    // wall-clock only, never output bytes.
+    let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot build thread pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // RunReport of the repro run itself: everything observed here derives
     // from experiment outputs (never wall-clock), so the report is a
     // deterministic function of (experiments, jobs, seed).
@@ -93,7 +111,7 @@ fn main() -> ExitCode {
             scale.jobs, scale.seed
         );
         let t0 = std::time::Instant::now();
-        let result = run(scale);
+        let result = pool.install(|| run(scale));
         let dt = t0.elapsed();
         println!("\n{}", result.text);
         let txt = out_dir.join(format!("{name}.txt"));
@@ -139,7 +157,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick] [--report-out FILE]\n\
+        "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick] [--threads N] [--report-out FILE]\n\
          experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace (default: all)"
     );
     if err.is_empty() {

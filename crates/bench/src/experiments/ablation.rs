@@ -26,10 +26,16 @@ use serde_json::json;
 pub fn ablation(scale: Scale) -> ExperimentResult {
     let system = SystemModel::theta();
     let tree = SystemPreset::Theta.build();
-    let log_rhvd = build_log(system, scale, 90, LogShape::Pattern(Pattern::Rhvd));
-    let log_rd = build_log(system, scale, 90, LogShape::Pattern(Pattern::Rd));
+    let logs: Vec<_> = [Pattern::Rhvd, Pattern::Rd]
+        .into_par_iter()
+        .map(|p| build_log(system, scale, 90, LogShape::Pattern(p)))
+        .collect();
+    let (log_rhvd, log_rd) = (&logs[0], &logs[1]);
 
-    // --- backfill policy sweep (default selector, pure replay) ---
+    // All four ablation studies produce independent engine runs over the
+    // two shared logs, so they fan out as ONE flat work list (12 runs)
+    // instead of four back-to-back 2–3-item bursts. Rows are sliced back
+    // out of the flat results by position.
     let backfill_cfgs = [
         (
             "fifo",
@@ -41,12 +47,58 @@ pub fn ablation(scale: Scale) -> ExperimentResult {
             EngineConfig::new(SelectorKind::Default).conservative_backfill(),
         ),
     ];
+    let ratio_models = [
+        ("hops", commsched_core::CostModel::HOPS),
+        ("hop-bytes", commsched_core::CostModel::HOP_BYTES),
+    ];
+    let discounts = [0.25f64, 0.5, 1.0];
+    let feedback_cfgs = [
+        (
+            "replay",
+            EngineConfig::new(SelectorKind::Balanced).without_adjustment(),
+        ),
+        ("eq7", EngineConfig::new(SelectorKind::Balanced)),
+    ];
+
+    let mut work: Vec<(EngineConfig, &commsched_workload::JobLog)> = Vec::new();
+    // --- backfill policy sweep (default selector, pure replay) ---
+    for (_, cfg) in &backfill_cfgs {
+        work.push((cfg.without_adjustment(), log_rhvd));
+    }
+    // --- ratio model: hops vs hop-bytes, balanced selector, both logs ---
+    for (_, model) in &ratio_models {
+        let mut cfg = EngineConfig::new(SelectorKind::Balanced);
+        cfg.ratio_model = *model;
+        work.push((cfg, log_rhvd));
+        work.push((cfg, log_rd));
+    }
+    // --- contention trunk discount: paper's 1/2 vs flat vs steep ---
+    for &d in &discounts {
+        let mut cfg = EngineConfig::new(SelectorKind::Adaptive);
+        cfg.ratio_model = commsched_core::CostModel {
+            trunk_discount: d,
+            ..commsched_core::CostModel::HOP_BYTES
+        };
+        work.push((cfg, log_rhvd));
+    }
+    // --- Eq. 7 feedback on/off, balanced selector ---
+    for (_, cfg) in &feedback_cfgs {
+        work.push((*cfg, log_rhvd));
+    }
+
+    let runs: Vec<_> = work
+        .par_iter()
+        .map(|&(cfg, log)| {
+            Engine::new(&tree, cfg)
+                .run(log)
+                .expect("log fits the Theta preset")
+        })
+        .collect();
+
     let backfill_rows: Vec<(String, f64, f64)> = backfill_cfgs
-        .into_par_iter()
-        .map(|(name, cfg)| {
-            let s = Engine::new(&tree, cfg.without_adjustment())
-                .run(&log_rhvd)
-                .unwrap();
+        .iter()
+        .zip(&runs[0..3])
+        .map(|((name, _), s)| {
             (
                 name.to_string(),
                 s.total_wait_hours(),
@@ -54,54 +106,27 @@ pub fn ablation(scale: Scale) -> ExperimentResult {
             )
         })
         .collect();
-
-    // --- ratio model: hops vs hop-bytes, balanced selector ---
-    let ratio_rows: Vec<(String, f64, f64)> = [
-        ("hops", commsched_core::CostModel::HOPS),
-        ("hop-bytes", commsched_core::CostModel::HOP_BYTES),
-    ]
-    .into_par_iter()
-    .map(|(name, model)| {
-        let mut cfg = EngineConfig::new(SelectorKind::Balanced);
-        cfg.ratio_model = model;
-        let rhvd = Engine::new(&tree, cfg).run(&log_rhvd).unwrap();
-        let rd = Engine::new(&tree, cfg).run(&log_rd).unwrap();
-        (
-            name.to_string(),
-            rhvd.total_exec_hours(),
-            rd.total_exec_hours(),
-        )
-    })
-    .collect();
-
-    // --- contention trunk discount: paper's 1/2 vs flat vs steep ---
-    let discount_rows: Vec<(String, f64)> = [0.25f64, 0.5, 1.0]
-        .into_par_iter()
-        .map(|d| {
-            let mut cfg = EngineConfig::new(SelectorKind::Adaptive);
-            cfg.ratio_model = commsched_core::CostModel {
-                trunk_discount: d,
-                ..commsched_core::CostModel::HOP_BYTES
-            };
-            let s = Engine::new(&tree, cfg).run(&log_rhvd).unwrap();
-            (format!("{d}"), s.total_exec_hours())
+    let ratio_rows: Vec<(String, f64, f64)> = ratio_models
+        .iter()
+        .zip(runs[3..7].chunks(2))
+        .map(|((name, _), pair)| {
+            (
+                name.to_string(),
+                pair[0].total_exec_hours(),
+                pair[1].total_exec_hours(),
+            )
         })
         .collect();
-
-    // --- Eq. 7 feedback on/off, balanced selector ---
-    let feedback_rows: Vec<(String, f64, f64)> = [
-        (
-            "replay",
-            EngineConfig::new(SelectorKind::Balanced).without_adjustment(),
-        ),
-        ("eq7", EngineConfig::new(SelectorKind::Balanced)),
-    ]
-    .into_par_iter()
-    .map(|(name, cfg)| {
-        let s = Engine::new(&tree, cfg).run(&log_rhvd).unwrap();
-        (name.to_string(), s.total_exec_hours(), s.total_wait_hours())
-    })
-    .collect();
+    let discount_rows: Vec<(String, f64)> = discounts
+        .iter()
+        .zip(&runs[7..10])
+        .map(|(d, s)| (format!("{d}"), s.total_exec_hours()))
+        .collect();
+    let feedback_rows: Vec<(String, f64, f64)> = feedback_cfgs
+        .iter()
+        .zip(&runs[10..12])
+        .map(|((name, _), s)| (name.to_string(), s.total_exec_hours(), s.total_wait_hours()))
+        .collect();
 
     let mut t1 = Table::new(
         ["backfill", "wait(h)", "turnaround(h)"]

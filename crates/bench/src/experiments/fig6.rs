@@ -2,12 +2,11 @@
 //! experiment sets A–E on the Theta log (with the Intrepid/Mira numbers the
 //! text quotes included in the JSON).
 
-use crate::{build_log, run_all_selectors, ExperimentResult, LogShape, Scale};
+use crate::{run_sweep, ExperimentResult, LogShape, Scale, SweepCell};
 use commsched_core::SelectorKind;
 use commsched_metrics::Table;
 use commsched_topology::SystemPreset;
 use commsched_workload::{MixSet, SystemModel};
-use rayon::prelude::*;
 use serde_json::json;
 
 /// One (system, mix) row: % exec-time reduction per proposed selector.
@@ -28,33 +27,45 @@ pub fn fig6(scale: Scale) -> ExperimentResult {
         (SystemModel::intrepid(), SystemPreset::Intrepid),
         (SystemModel::mira(), SystemPreset::Mira),
     ];
-    let rows: Vec<MixRow> = systems
-        .into_par_iter()
-        .flat_map(|(system, preset)| {
-            let tree = preset.build();
-            MixSet::ALL
-                .into_par_iter()
-                .map(move |set| {
-                    let log = build_log(system, scale, 90, LogShape::Mix(set));
-                    let runs = run_all_selectors(&tree, &log);
-                    let d = runs[0].total_exec_hours();
-                    let reduction_pct = runs[1..]
-                        .iter()
-                        .map(|r| {
-                            if d == 0.0 {
-                                0.0
-                            } else {
-                                100.0 * (d - r.total_exec_hours()) / d
-                            }
-                        })
-                        .collect();
-                    MixRow {
-                        system: system.name.to_string(),
-                        set: set.label().to_string(),
-                        reduction_pct,
+    // One tree per system, shared by its five mix cells; the 3×5 grid is
+    // a single flat work list (systems-major, like the output rows).
+    let trees: Vec<_> = systems.iter().map(|(_, preset)| preset.build()).collect();
+    let cells: Vec<SweepCell> = systems
+        .iter()
+        .zip(&trees)
+        .flat_map(|(&(system, _), tree)| {
+            MixSet::ALL.into_iter().map(move |set| SweepCell {
+                tree,
+                system,
+                comm_pct: 90,
+                shape: LogShape::Mix(set),
+                scale,
+            })
+        })
+        .collect();
+    let sets = systems
+        .iter()
+        .flat_map(|(system, _)| MixSet::ALL.into_iter().map(move |set| (system, set)));
+    let rows: Vec<MixRow> = run_sweep(&cells)
+        .into_iter()
+        .zip(sets)
+        .map(|(runs, (system, set))| {
+            let d = runs[0].total_exec_hours();
+            let reduction_pct = runs[1..]
+                .iter()
+                .map(|r| {
+                    if d == 0.0 {
+                        0.0
+                    } else {
+                        100.0 * (d - r.total_exec_hours()) / d
                     }
                 })
-                .collect::<Vec<_>>()
+                .collect();
+            MixRow {
+                system: system.name.to_string(),
+                set: set.label().to_string(),
+                reduction_pct,
+            }
         })
         .collect();
 

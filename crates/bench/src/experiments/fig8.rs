@@ -2,11 +2,10 @@
 //! pattern, 90% communication-intensive jobs, all three logs and all four
 //! allocators.
 
-use crate::{build_log, paper_systems, run_all_selectors, ExperimentResult, LogShape, Scale};
+use crate::{paper_systems, run_sweep, ExperimentResult, LogShape, Scale, SweepCell};
 use commsched_collectives::Pattern;
 use commsched_core::SelectorKind;
 use commsched_metrics::Table;
-use rayon::prelude::*;
 use serde_json::json;
 
 /// One (system, node-range) group of four average costs.
@@ -36,12 +35,25 @@ fn bucket_edges(max_request: usize) -> Vec<(usize, usize)> {
 
 /// Run the Figure 8 grid.
 pub fn fig8(scale: Scale) -> ExperimentResult {
-    let buckets: Vec<Bucket> = paper_systems()
-        .into_par_iter()
-        .flat_map(|(system, preset)| {
-            let tree = preset.build();
-            let log = build_log(system, scale, 90, LogShape::Pattern(Pattern::Binomial));
-            let runs = run_all_selectors(&tree, &log);
+    let systems = paper_systems();
+    let trees: Vec<_> = systems.iter().map(|(_, preset)| preset.build()).collect();
+    let cells: Vec<SweepCell> = systems
+        .iter()
+        .zip(&trees)
+        .map(|(&(system, _), tree)| SweepCell {
+            tree,
+            system,
+            comm_pct: 90,
+            shape: LogShape::Pattern(Pattern::Binomial),
+            scale,
+        })
+        .collect();
+    // The 3 system runs fan out as 12 flat work items; bucketing the
+    // outcomes afterwards is cheap and stays sequential.
+    let buckets: Vec<Bucket> = run_sweep(&cells)
+        .into_iter()
+        .zip(&systems)
+        .flat_map(|(runs, (system, _))| {
             bucket_edges(system.max_request)
                 .into_iter()
                 .filter_map(|(lo, hi)| {

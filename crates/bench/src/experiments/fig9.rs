@@ -2,13 +2,12 @@
 //! (RHVD) as the percentage of communication-intensive jobs varies over
 //! 30 / 60 / 90, for all four allocators.
 
-use crate::{build_log, run_all_selectors, ExperimentResult, LogShape, Scale};
+use crate::{run_sweep, ExperimentResult, LogShape, Scale, SweepCell};
 use commsched_collectives::Pattern;
 use commsched_core::SelectorKind;
 use commsched_metrics::Table;
 use commsched_topology::SystemPreset;
 use commsched_workload::SystemModel;
-use rayon::prelude::*;
 use serde_json::json;
 
 /// One %comm level's eight numbers.
@@ -28,17 +27,25 @@ pub struct Level {
 pub fn fig9(scale: Scale) -> ExperimentResult {
     let system = SystemModel::intrepid();
     let tree = SystemPreset::Intrepid.build();
-    let levels: Vec<Level> = [30u8, 60, 90]
-        .into_par_iter()
-        .map(|pct| {
-            let log = build_log(system, scale, pct, LogShape::Pattern(Pattern::Rhvd));
-            let runs = run_all_selectors(&tree, &log);
-            Level {
-                comm_pct: pct,
-                turnaround_h: runs.iter().map(|r| r.avg_turnaround_hours()).collect(),
-                node_hours: runs.iter().map(|r| r.avg_node_hours()).collect(),
-                throughput: runs.iter().map(|r| r.throughput()).collect(),
-            }
+    const LEVELS: [u8; 3] = [30, 60, 90];
+    let cells: Vec<SweepCell> = LEVELS
+        .into_iter()
+        .map(|pct| SweepCell {
+            tree: &tree,
+            system,
+            comm_pct: pct,
+            shape: LogShape::Pattern(Pattern::Rhvd),
+            scale,
+        })
+        .collect();
+    let levels: Vec<Level> = run_sweep(&cells)
+        .into_iter()
+        .zip(LEVELS)
+        .map(|(runs, pct)| Level {
+            comm_pct: pct,
+            turnaround_h: runs.iter().map(|r| r.avg_turnaround_hours()).collect(),
+            node_hours: runs.iter().map(|r| r.avg_node_hours()).collect(),
+            throughput: runs.iter().map(|r| r.throughput()).collect(),
         })
         .collect();
 

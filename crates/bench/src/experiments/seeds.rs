@@ -6,13 +6,12 @@
 //! selector's execution/wait totals as mean ± 95% CI, plus the per-seed
 //! improvement of balanced/adaptive over default.
 
-use crate::{build_log, run_all_selectors, ExperimentResult, LogShape, Scale};
+use crate::{run_sweep, ExperimentResult, LogShape, Scale, SweepCell};
 use commsched_collectives::Pattern;
 use commsched_core::SelectorKind;
 use commsched_metrics::{mean_ci95, Table};
 use commsched_topology::SystemPreset;
 use commsched_workload::SystemModel;
-use rayon::prelude::*;
 use serde_json::json;
 
 /// Independent seeds (the first is the headline seed used everywhere else).
@@ -23,17 +22,22 @@ pub fn seeds(scale: Scale) -> ExperimentResult {
     let system = SystemModel::theta();
     let tree = SystemPreset::Theta.build();
 
+    // The 5 seed cells fan out as 20 flat (seed × selector) work items.
+    let cells: Vec<SweepCell> = SEEDS
+        .iter()
+        .map(|&seed| SweepCell {
+            tree: &tree,
+            system,
+            comm_pct: 90,
+            shape: LogShape::Pattern(Pattern::Rhvd),
+            scale: Scale { seed, ..scale },
+        })
+        .collect();
     // seed -> per-selector (exec hours, wait hours)
-    let per_seed: Vec<(u64, Vec<(f64, f64)>)> = SEEDS
-        .par_iter()
-        .map(|&seed| {
-            let log = build_log(
-                system,
-                Scale { seed, ..scale },
-                90,
-                LogShape::Pattern(Pattern::Rhvd),
-            );
-            let runs = run_all_selectors(&tree, &log);
+    let per_seed: Vec<(u64, Vec<(f64, f64)>)> = run_sweep(&cells)
+        .into_iter()
+        .zip(SEEDS)
+        .map(|(runs, seed)| {
             (
                 seed,
                 runs.iter()

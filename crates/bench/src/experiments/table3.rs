@@ -2,11 +2,10 @@
 //! job logs × {RHVD, RD} × {default, greedy, balanced, adaptive}, with 90%
 //! communication-intensive jobs.
 
-use crate::{build_log, paper_systems, run_all_selectors, ExperimentResult, LogShape, Scale};
+use crate::{paper_systems, run_sweep, ExperimentResult, LogShape, Scale, SweepCell};
 use commsched_collectives::Pattern;
 use commsched_core::SelectorKind;
 use commsched_metrics::Table;
-use rayon::prelude::*;
 use serde_json::json;
 
 /// One (system, pattern) cell's eight numbers.
@@ -24,23 +23,36 @@ pub struct Cell {
 
 /// Run the full Table 3 grid.
 pub fn table3(scale: Scale) -> ExperimentResult {
-    let cells: Vec<Cell> = paper_systems()
-        .into_par_iter()
-        .flat_map(|(system, preset)| {
-            let tree = preset.build();
+    let systems = paper_systems();
+    let trees: Vec<_> = systems.iter().map(|(_, preset)| preset.build()).collect();
+    // The 3×2 grid as one flat work list (systems-major, matching rows).
+    let grid: Vec<_> = systems
+        .iter()
+        .zip(&trees)
+        .flat_map(|(&(system, _), tree)| {
             [Pattern::Rhvd, Pattern::Rd]
-                .into_par_iter()
-                .map(move |pattern| {
-                    let log = build_log(system, scale, 90, LogShape::Pattern(pattern));
-                    let runs = run_all_selectors(&tree, &log);
-                    Cell {
-                        system: system.name.to_string(),
-                        pattern: pattern.to_string(),
-                        exec_hours: runs.iter().map(|r| r.total_exec_hours()).collect(),
-                        wait_hours: runs.iter().map(|r| r.total_wait_hours()).collect(),
-                    }
-                })
-                .collect::<Vec<_>>()
+                .into_iter()
+                .map(move |pattern| (system, tree, pattern))
+        })
+        .collect();
+    let sweep_cells: Vec<SweepCell> = grid
+        .iter()
+        .map(|&(system, tree, pattern)| SweepCell {
+            tree,
+            system,
+            comm_pct: 90,
+            shape: LogShape::Pattern(pattern),
+            scale,
+        })
+        .collect();
+    let cells: Vec<Cell> = run_sweep(&sweep_cells)
+        .into_iter()
+        .zip(&grid)
+        .map(|(runs, (system, _, pattern))| Cell {
+            system: system.name.to_string(),
+            pattern: pattern.to_string(),
+            exec_hours: runs.iter().map(|r| r.total_exec_hours()).collect(),
+            wait_hours: runs.iter().map(|r| r.total_wait_hours()).collect(),
         })
         .collect();
 

@@ -92,6 +92,60 @@ pub fn run_all_selectors(tree: &Tree, log: &JobLog) -> Vec<RunSummary> {
         .collect()
 }
 
+/// One cell of a sweep grid: a system and log shape to replay on a
+/// topology. Cells carry everything [`run_sweep`] needs to build the
+/// cell's log and run it under every selector.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell<'t> {
+    /// The topology to schedule on (built once per system, shared across
+    /// the system's cells).
+    pub tree: &'t Tree,
+    /// The system whose workload model shapes the log.
+    pub system: SystemModel,
+    /// Percentage of communication-intensive jobs.
+    pub comm_pct: u8,
+    /// Collective pattern or mix set.
+    pub shape: LogShape,
+    /// Log sizing and seed.
+    pub scale: Scale,
+}
+
+/// Run a grid of sweep cells under all four selectors as one **flat**
+/// parallel work list, returning each cell's summaries in
+/// [`SelectorKind::ALL`] order.
+///
+/// Two phases, both flat: first every cell's log is generated in
+/// parallel (once per cell — the four selector runs share it), then the
+/// full `cells × selectors` product fans out as independent work items.
+/// A 15-cell grid thus exposes 60 parallel items instead of the 3–5 an
+/// outer-level `par_iter` with nested (flattened) inner calls would, so
+/// wide hosts stay busy across uneven cell costs. Work items land back
+/// in `(cell, selector)` source order, so the output is byte-identical
+/// at every thread count.
+pub fn run_sweep(cells: &[SweepCell<'_>]) -> Vec<Vec<RunSummary>> {
+    let logs: Vec<JobLog> = cells
+        .par_iter()
+        .map(|c| build_log(c.system, c.scale, c.comm_pct, c.shape))
+        .collect();
+    let work: Vec<(usize, SelectorKind)> = (0..cells.len())
+        .flat_map(|i| SelectorKind::ALL.iter().map(move |&k| (i, k)))
+        .collect();
+    let flat: Vec<RunSummary> = work
+        .par_iter()
+        .map(|&(i, kind)| {
+            Engine::new(cells[i].tree, EngineConfig::new(kind))
+                .run(&logs[i])
+                .expect("log fits the preset topology")
+        })
+        .collect();
+    let mut grouped: Vec<Vec<RunSummary>> = Vec::with_capacity(cells.len());
+    let mut flat = flat.into_iter();
+    for _ in 0..cells.len() {
+        grouped.push(flat.by_ref().take(SelectorKind::ALL.len()).collect());
+    }
+    grouped
+}
+
 /// Build the synthetic log for a (system, pattern/mix) cell.
 pub fn build_log(system: SystemModel, scale: Scale, comm_pct: u8, shape: LogShape) -> JobLog {
     let spec = LogSpec::new(system, scale.jobs, scale.seed).comm_percent(comm_pct);

@@ -3,7 +3,7 @@
 //! concatenates results in source order, so nothing downstream may depend
 //! on scheduling. This is the regression gate for the parallel sweep
 //! harness — a reduced Figure 6 sweep (3 systems × 5 mixes × 4 selectors,
-//! nested parallelism) rendered under 1, 2, and 4 worker threads.
+//! one flat work list) rendered under 1, 2, 4 and 8 worker threads.
 
 use commsched_bench::experiments::{faults, fig6};
 use commsched_bench::Scale;
@@ -20,7 +20,7 @@ fn fig6_sweep_identical_across_thread_counts() {
     };
     let base = pool(1).install(|| fig6(scale));
     let base_json = serde_json::to_string(&base.json).expect("serialize");
-    for threads in [2usize, 4] {
+    for threads in [2usize, 4, 8] {
         let run = pool(threads).install(|| fig6(scale));
         assert_eq!(
             base.text, run.text,
@@ -49,7 +49,7 @@ fn faults_sweep_identical_across_thread_counts() {
     };
     let base = pool(1).install(|| faults(scale));
     let base_json = serde_json::to_string(&base.json).expect("serialize");
-    for threads in [2usize, 4] {
+    for threads in [2usize, 4, 8] {
         let run = pool(threads).install(|| faults(scale));
         assert_eq!(
             base.text, run.text,
@@ -59,6 +59,35 @@ fn faults_sweep_identical_across_thread_counts() {
             base_json,
             serde_json::to_string(&run.json).expect("serialize"),
             "faults json differs between 1 and {threads} threads"
+        );
+    }
+}
+
+/// Table 4's individual runs exercise the chunked probe fan-out with
+/// per-chunk engine reuse — chunk geometry (a function of the thread
+/// budget) must never leak into a byte of output.
+#[test]
+fn table4_individual_runs_identical_across_thread_counts() {
+    use commsched_bench::experiments::table4;
+    let scale = Scale { jobs: 30, seed: 42 };
+    let pool = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+    };
+    let base = pool(1).install(|| table4(scale));
+    let base_json = serde_json::to_string(&base.json).expect("serialize");
+    for threads in [2usize, 4, 8] {
+        let run = pool(threads).install(|| table4(scale));
+        assert_eq!(
+            base.text, run.text,
+            "table4 text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            base_json,
+            serde_json::to_string(&run.json).expect("serialize"),
+            "table4 json differs between 1 and {threads} threads"
         );
     }
 }
@@ -79,7 +108,7 @@ fn golden_traces_identical_across_thread_counts() {
         let (trace1, report1) =
             pool(1).install(|| run_golden(name, 24, 7).expect("known scenario"));
         assert!(!trace1.is_empty(), "{name}: empty trace");
-        for threads in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             let (trace_n, report_n) =
                 pool(threads).install(|| run_golden(name, 24, 7).expect("known scenario"));
             assert_eq!(

@@ -36,7 +36,24 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
             return 2;
         }
     };
-    let result = match parsed.command.as_str() {
+    // `--threads 0` (unset) builds the pool at the ambient default, so
+    // installing it unconditionally is behavior-preserving; thread count
+    // affects wall-clock only, never output bytes.
+    let threads = match parsed.get_parsed::<usize>("threads", 0) {
+        Ok(n) => n,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}\n\n{}", usage());
+            return 2;
+        }
+    };
+    let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(err, "error: cannot build thread pool: {e}");
+            return 2;
+        }
+    };
+    let result = pool.install(|| match parsed.command.as_str() {
         "topology" => cmd::topology(&parsed, out),
         "log" => cmd::log(&parsed, out),
         "run" => cmd::run_sim(&parsed, out, false),
@@ -48,7 +65,7 @@ pub fn run(argv: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
-    };
+    });
     match result {
         Ok(()) => 0,
         Err(e) => {
@@ -87,6 +104,10 @@ USAGE:
                [--report-out FILE]
                trace files ending in .json use the Chrome trace_event
                format (open in ui.perfetto.dev); anything else is JSONL
+
+  Every command also accepts --threads N (worker threads for parallel
+  sections; default: RAYON_NUM_THREADS, then the host's CPU count).
+  Thread count never changes output bytes.
 
   NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
   NAME (systems): intrepid | theta | mira

@@ -153,6 +153,44 @@ fn compare_runs_all_selectors() {
 }
 
 #[test]
+fn threads_flag_never_changes_output() {
+    let base = run_cli(&[
+        "compare", "--preset", "theta", "--system", "theta", "--jobs", "40",
+    ]);
+    assert_eq!(base.0, 0, "{}", base.2);
+    for threads in ["1", "2", "4"] {
+        let run = run_cli(&[
+            "compare",
+            "--preset",
+            "theta",
+            "--system",
+            "theta",
+            "--jobs",
+            "40",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(run.0, 0, "{}", run.2);
+        assert_eq!(base.1, run.1, "output differs at --threads {threads}");
+    }
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--threads",
+        "many",
+    ]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("--threads"), "{err}");
+}
+
+#[test]
 fn run_single_selector() {
     let (code, out, _) = run_cli(&[
         "run",

@@ -193,6 +193,41 @@ impl ClusterState {
         }
     }
 
+    /// Restore this state to exactly what [`ClusterState::new`] would
+    /// build for `tree`, reusing the existing buffers — the allocation-free
+    /// path for sweep harnesses that run thousands of fresh states. The
+    /// version token is refreshed (tokens are process-unique), so cached
+    /// evaluations tagged with any previous life of this state can never
+    /// match the recycled one.
+    pub fn reset(&mut self, tree: &Tree) {
+        let nodes = tree.num_nodes();
+        let leaves = tree.num_leaves();
+        self.node_free.clear();
+        self.node_free.resize(nodes, true);
+        self.leaf_free.clear();
+        self.leaf_free
+            .extend((0..leaves).map(|k| u32_of_usize(tree.leaf_size(k))));
+        self.leaf_busy.clear();
+        self.leaf_busy.resize(leaves, 0);
+        self.leaf_comm.clear();
+        self.leaf_comm.resize(leaves, 0);
+        self.switch_free.clear();
+        self.switch_free.extend(
+            tree.switches()
+                .iter()
+                .map(|s| u32_of_usize(s.subtree_nodes)),
+        );
+        self.free_total = nodes;
+        self.node_health.clear();
+        self.node_health.resize(nodes, NodeHealth::Up);
+        self.leaf_down.clear();
+        self.leaf_down.resize(leaves, 0);
+        self.down_total = 0;
+        self.draining_total = 0;
+        self.allocs.clear();
+        self.version = next_version();
+    }
+
     /// Opaque memoization token: changes on every mutation (including
     /// scratch apply/revert) and is globally unique, so a cache tagged with
     /// a version may be reused exactly when the tag still matches. A clone

@@ -903,6 +903,30 @@ mod properties {
     }
 
     proptest! {
+        /// `reset` restores a churned state to exactly what `new` builds
+        /// (occupancy equality ignores the version token, which must
+        /// nevertheless be fresh) — even when the state is recycled onto a
+        /// differently-shaped tree.
+        #[test]
+        fn reset_equals_new(
+            sizes in arb_leaf_sizes(),
+            other_sizes in arb_leaf_sizes(),
+            occ in 0u8..80,
+            seed in any::<u64>(),
+        ) {
+            let (tree, mut st) = random_scenario(&sizes, occ, seed);
+            let before = st.version();
+            st.reset(&tree);
+            prop_assert_eq!(&st, &ClusterState::new(&tree));
+            prop_assert_ne!(st.version(), before);
+            st.check_invariants(&tree).unwrap();
+
+            let other = Tree::irregular_two_level(&other_sizes);
+            st.reset(&other);
+            prop_assert_eq!(&st, &ClusterState::new(&other));
+            st.check_invariants(&other).unwrap();
+        }
+
         /// Every selector returns exactly N distinct, currently-free nodes
         /// whenever N <= free_total; otherwise it errors.
         #[test]

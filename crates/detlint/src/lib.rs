@@ -71,8 +71,14 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Enumerate the default scan set: every `crates/*/src` tree under `root`.
-pub fn default_targets(root: &Path) -> io::Result<Vec<PathBuf>> {
+/// Enumerate the default scan set: every `crates/*/src` tree under `root`,
+/// plus the `src` tree of each opted-in vendored crate (`vendor_crates`
+/// entries are workspace-relative crate directories like `"vendor/rayon"`).
+/// Vendored code is opt-in because most of `vendor/` is third-party code
+/// the workspace's determinism rules were never written for — but crates
+/// this workspace *maintains* under `vendor/` (the rayon runtime) are held
+/// to the same standard as `crates/`.
+pub fn default_targets(root: &Path, vendor_crates: &[String]) -> io::Result<Vec<PathBuf>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .collect::<io::Result<Vec<_>>>()?
@@ -81,6 +87,14 @@ pub fn default_targets(root: &Path) -> io::Result<Vec<PathBuf>> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    let mut vendor_dirs: Vec<PathBuf> = vendor_crates
+        .iter()
+        .filter(|c| c.starts_with("vendor/"))
+        .map(|c| root.join(c))
+        .filter(|p| p.is_dir())
+        .collect();
+    vendor_dirs.sort();
+    crate_dirs.extend(vendor_dirs);
     let mut files = Vec::new();
     for crate_dir in crate_dirs {
         let src = crate_dir.join("src");
@@ -97,12 +111,19 @@ fn rel_path(root: &Path, path: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// The crate directory name a workspace-relative path belongs to
-/// (`crates/<name>/…` → `<name>`), or empty for paths outside `crates/`.
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` →
+/// `<name>`, `vendor/<name>/…` → `vendor/<name>` (vendored crates keep the
+/// prefix so config lists can't confuse them with first-party crates), or
+/// empty for anything else.
 fn crate_of(rel: &str) -> &str {
-    rel.strip_prefix("crates/")
-        .and_then(|r| r.split('/').next())
-        .unwrap_or("")
+    if let Some(r) = rel.strip_prefix("crates/") {
+        return r.split('/').next().unwrap_or("");
+    }
+    if let Some(r) = rel.strip_prefix("vendor/") {
+        let name_len = r.split('/').next().map_or(0, str::len);
+        return &rel[.."vendor/".len() + name_len];
+    }
+    ""
 }
 
 /// Analyze `files` (absolute or root-relative paths) against `cfg`.

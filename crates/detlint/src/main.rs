@@ -86,7 +86,16 @@ fn real_main() -> Result<bool, String> {
     };
 
     let files = if cli.paths.is_empty() {
-        detlint::default_targets(&cli.root)
+        // Vendored crates opted into R1 are part of the default scan set:
+        // a panic path in the parallel runtime is exactly as fatal to a
+        // sweep as one in the engine.
+        let vendor: Vec<String> = cfg
+            .r1_crates
+            .iter()
+            .filter(|c| c.starts_with("vendor/"))
+            .cloned()
+            .collect();
+        detlint::default_targets(&cli.root, &vendor)
             .map_err(|e| format!("walking {}: {e}", cli.root.display()))?
     } else {
         cli.paths.clone()

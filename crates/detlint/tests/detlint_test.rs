@@ -163,3 +163,45 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
         .expect("run detlint with missing config");
     assert_eq!(missing.status.code(), Some(2), "{missing:?}");
 }
+
+#[test]
+fn vendor_crates_are_scanned_and_subject_to_r1() {
+    let root = repo_root();
+    // `vendor/rayon` is in the real workspace config's R1 list, so the
+    // default scan set must include its sources …
+    let text = std::fs::read_to_string(root.join("detlint.toml")).expect("workspace config");
+    let cfg = detlint::config::parse(&text).expect("workspace config parses");
+    assert!(
+        cfg.r1_crates.iter().any(|c| c == "vendor/rayon"),
+        "{:?}",
+        cfg.r1_crates
+    );
+    let vendor: Vec<String> = cfg
+        .r1_crates
+        .iter()
+        .filter(|c| c.starts_with("vendor/"))
+        .cloned()
+        .collect();
+    let targets = detlint::default_targets(&root, &vendor).expect("walk workspace");
+    assert!(
+        targets
+            .iter()
+            .any(|p| p.ends_with("vendor/rayon/src/pool.rs")),
+        "vendor/rayon missing from default targets"
+    );
+    // … and an unwrap in vendored non-test code must be flagged as R1
+    // against the `vendor/rayon` crate name.
+    let dir = std::env::temp_dir().join(format!("detlint-vendor-{}", std::process::id()));
+    let src = dir.join("vendor/rayon/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("bad.rs"),
+        "pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n",
+    )
+    .expect("write fixture");
+    let report =
+        detlint::run(&dir, &cfg, &[PathBuf::from("vendor/rayon/src/bad.rs")]).expect("scan");
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"R1"), "{rules:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

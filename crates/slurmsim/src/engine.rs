@@ -901,11 +901,25 @@ impl<'t> Engine<'t> {
         recorder: &mut dyn Recorder,
         registry: &mut Registry,
     ) -> Result<RunSummary, EngineError> {
+        // The run's cluster state is leased from a per-thread scratch
+        // cache: sweeps replay thousands of logs, and re-allocating the
+        // per-node vectors for each would dominate steady-state cost.
+        crate::scratch::with_state(self.tree, |state| {
+            self.run_observed_on(state, log, recorder, registry)
+        })
+    }
+
+    fn run_observed_on(
+        &self,
+        state: &mut ClusterState,
+        log: &JobLog,
+        recorder: &mut dyn Recorder,
+        registry: &mut Registry,
+    ) -> Result<RunSummary, EngineError> {
         let mut obs = Obs::new(registry, Tracer::new(recorder));
         self.validate(log)?;
         let capacity = self.tree.num_nodes() - self.drained.len();
         let selector = self.build_selector();
-        let mut state = ClusterState::new(self.tree);
         for &n in &self.drained {
             // A freshly-built state has every node up and free, so a
             // whole-run drain goes straight to Down.
@@ -968,7 +982,7 @@ impl<'t> Engine<'t> {
                         usize_of_u32(k),
                         now,
                         log,
-                        &mut state,
+                        &mut *state,
                         &mut pending,
                         &mut running,
                         &mut events,
@@ -1015,7 +1029,7 @@ impl<'t> Engine<'t> {
                 now,
                 log,
                 selector.as_ref(),
-                &mut state,
+                &mut *state,
                 &mut pending,
                 &mut running,
                 &mut events,

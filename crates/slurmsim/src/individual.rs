@@ -94,45 +94,65 @@ pub fn warmup_state(tree: &Tree, log: &JobLog, fraction: f64) -> ClusterState {
 /// in [`SelectorKind::ALL`]. Jobs that cannot fit the free capacity are
 /// skipped (the paper samples jobs that fit its warm cluster).
 ///
-/// Probes are independent — each one reads the shared frozen `state` and
-/// builds its own engines — so they fan out across the rayon thread
-/// budget. Results keep probe order, so the output is identical at every
-/// thread count.
+/// Probes are independent — each one reads the shared frozen `state` — so
+/// they fan out across the rayon thread budget in contiguous chunks, and
+/// each chunk builds its four engines (and their evaluator caches) once
+/// instead of once per probe. Engine placement over a frozen state is a
+/// pure function of (state, job, config) — the evaluator memo is keyed by
+/// the state's process-unique version — so chunk geometry cannot change a
+/// single output byte, and results keep probe order at every thread
+/// count.
 pub fn individual_runs(
     tree: &Tree,
     state: &ClusterState,
     probes: &[Job],
     base_cfg: EngineConfig,
 ) -> Vec<IndividualOutcome> {
+    // A few chunks per thread so uneven probe cost rebalances.
+    let chunk_len = probes
+        .len()
+        .div_ceil((rayon::current_num_threads() * 4).max(1))
+        .max(1);
     probes
-        .par_iter()
-        .flat_map(|job| -> Option<IndividualOutcome> {
-            if job.nodes > state.free_total() {
-                return None;
-            }
-            let mut placements = Vec::with_capacity(SelectorKind::ALL.len());
-            for kind in SelectorKind::ALL {
-                let cfg = EngineConfig {
-                    selector: kind,
-                    ..base_cfg
-                };
-                let engine = Engine::new(tree, cfg);
-                let selector = engine.build_selector();
-                let Some(placed) = engine.place(state, job, selector.as_ref()) else {
-                    continue;
-                };
-                placements.push(Placement {
-                    selector: kind.name().to_string(),
-                    cost: placed.cost_actual,
-                    runtime_adjusted: placed.adjusted,
-                });
-            }
-            Some(IndividualOutcome {
-                job: job.id,
-                nodes: job.nodes,
-                runtime_original: job.runtime,
-                placements,
-            })
+        .par_chunks(chunk_len)
+        .flat_map(|chunk| {
+            let engines: Vec<_> = SelectorKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let cfg = EngineConfig {
+                        selector: kind,
+                        ..base_cfg
+                    };
+                    let engine = Engine::new(tree, cfg);
+                    let selector = engine.build_selector();
+                    (kind, engine, selector)
+                })
+                .collect();
+            chunk
+                .iter()
+                .filter_map(|job| {
+                    if job.nodes > state.free_total() {
+                        return None;
+                    }
+                    let mut placements = Vec::with_capacity(engines.len());
+                    for (kind, engine, selector) in &engines {
+                        let Some(placed) = engine.place(state, job, selector.as_ref()) else {
+                            continue;
+                        };
+                        placements.push(Placement {
+                            selector: kind.name().to_string(),
+                            cost: placed.cost_actual,
+                            runtime_adjusted: placed.adjusted,
+                        });
+                    }
+                    Some(IndividualOutcome {
+                        job: job.id,
+                        nodes: job.nodes,
+                        runtime_original: job.runtime,
+                        placements,
+                    })
+                })
+                .collect::<Vec<_>>()
         })
         .collect()
 }

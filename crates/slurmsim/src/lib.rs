@@ -37,6 +37,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod engine;
 pub mod individual;
+mod scratch;
 
 pub use engine::{
     BackfillPolicy, Engine, EngineConfig, EngineError, FailurePolicy, JobOutcome, JobStatus,

@@ -1,0 +1,48 @@
+//! Per-thread scratch arenas for sweep workloads.
+//!
+//! A continuous run allocates a full [`ClusterState`] — node, leaf and
+//! switch vectors sized to the machine — and a sweep runs thousands of
+//! them. Each thread keeps a small cache of retired states and leases
+//! one out per run, [`ClusterState::reset`] back to exactly the
+//! freshly-constructed state, so steady-state sweep iterations stop
+//! re-allocating their world.
+//!
+//! Determinism is untouched: a reset state is value-identical to
+//! `ClusterState::new`, and version tokens are process-unique, so an
+//! evaluator memo tagged with a state's previous life can never match
+//! its recycled one. Which thread ran which cell therefore cannot leak
+//! into any output byte.
+
+use commsched_core::ClusterState;
+use commsched_topology::Tree;
+use std::cell::RefCell;
+
+/// Retired states kept per thread; beyond this, drop instead of caching
+/// (bounds memory when many differently-sized topologies interleave).
+const MAX_CACHED: usize = 4;
+
+thread_local! {
+    static CACHE: RefCell<Vec<ClusterState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a cluster state freshly initialized for `tree`, drawn
+/// from (and, on success, returned to) the calling thread's cache. If
+/// `f` unwinds the state is simply not recycled — no poisoning, no
+/// cleanup obligations.
+pub(crate) fn with_state<R>(tree: &Tree, f: impl FnOnce(&mut ClusterState) -> R) -> R {
+    let mut state = match CACHE.with(|c| c.borrow_mut().pop()) {
+        Some(mut s) => {
+            s.reset(tree);
+            s
+        }
+        None => ClusterState::new(tree),
+    };
+    let out = f(&mut state);
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() < MAX_CACHED {
+            cache.push(state);
+        }
+    });
+    out
+}

@@ -1,21 +1,43 @@
 //! Offline stand-in for `rayon` with real data parallelism.
 //!
-//! The subset this workspace uses — `par_iter`/`into_par_iter`, `map`,
-//! `flat_map`, `collect` — is implemented as an eager item list plus a
-//! composed per-item closure, driven over a scoped thread team pulling
-//! indices from a shared counter. Results are concatenated in **source
-//! order**, so the output of any chain is identical at every thread
-//! count; parallelism changes wall-clock only, never bytes. That is the
-//! determinism guarantee the experiment sweeps rely on.
+//! The subset this workspace uses — `par_iter`/`into_par_iter`,
+//! `par_chunks`, `map`, `flat_map`, `collect` — is implemented as an
+//! eager item list plus a composed push-based ("sink") transformation,
+//! driven over a persistent worker pool (see [`pool`]). `collect`
+//! partitions the items into contiguous chunks, workers claim chunks
+//! from a shared counter and write into per-chunk output buffers, and
+//! the buffers are stitched back together **by chunk index** — i.e. in
+//! source order. The output of any chain is therefore identical at
+//! every thread count; parallelism changes wall-clock only, never
+//! bytes. That is the determinism guarantee the experiment sweeps rely
+//! on.
+//!
+//! Nested parallel calls — a `par_iter` inside a closure already running
+//! under another `par_iter` — execute sequentially on the worker they
+//! land on: the enclosing region already owns the machine's parallelism,
+//! and flattening (rather than splitting the budget down to 1 thread per
+//! level) both keeps the outer fan-out wide and makes pool deadlock
+//! impossible (workers never wait on the pool).
+//!
+//! A panic inside a parallel closure aborts the remaining chunks and is
+//! re-raised exactly once on the calling thread, with the original
+//! payload; the runtime itself has no panic or lock-poisoning paths
+//! (it is scanned by detlint rule R1 like the deterministic core
+//! crates).
 //!
 //! Thread count resolution, first match wins:
-//! 1. an enclosing [`ThreadPool::install`] scope (propagated, divided,
-//!    into nested parallel calls);
-//! 2. the `RAYON_NUM_THREADS` environment variable;
-//! 3. [`std::thread::available_parallelism`].
+//! 1. inside a parallel region: 1 (nested calls are flattened);
+//! 2. an enclosing [`ThreadPool::install`] scope;
+//! 3. the `RAYON_NUM_THREADS` environment variable;
+//! 4. [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+mod pool;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice};
@@ -23,15 +45,52 @@ pub mod prelude {
 
 thread_local! {
     /// Thread budget installed by [`ThreadPool::install`] (0 = none).
-    static OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True while this thread is executing inside a parallel region —
+    /// as the calling thread or as a pool worker. Nested parallel calls
+    /// then see a budget of 1 and run sequentially in place.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Flag a pool worker thread permanently: everything it runs is inside
+/// some parallel region.
+pub(crate) fn mark_worker_thread() {
+    IN_PARALLEL.with(|c| c.set(true));
+}
+
+/// RAII scope for the calling thread's `IN_PARALLEL` flag, entered for
+/// the duration of its own share of a region's work.
+struct ParallelGuard {
+    prev: bool,
+}
+
+impl ParallelGuard {
+    fn enter() -> Self {
+        ParallelGuard {
+            prev: IN_PARALLEL.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for ParallelGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|c| c.set(prev));
+    }
 }
 
 /// The number of threads parallel iterators would use here and now.
 pub fn current_num_threads() -> usize {
-    let o = OVERRIDE.with(|c| c.get());
+    if IN_PARALLEL.with(Cell::get) {
+        return 1;
+    }
+    let o = OVERRIDE.with(Cell::get);
     if o > 0 {
         return o;
     }
+    // detlint: allow(D2) — honoring RAYON_NUM_THREADS is this crate's
+    // documented contract, and the thread count never affects output
+    // bytes (results are stitched in source order).
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -80,8 +139,9 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A thread-count scope: threads are spawned per parallel call, not kept
-/// warm, so the "pool" is just the installed budget.
+/// A thread-budget scope. Worker threads live in one shared process-wide
+/// pool (grown on demand); a `ThreadPool` value is just the budget that
+/// [`install`](ThreadPool::install) puts in scope.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -111,19 +171,34 @@ impl Drop for RestoreOverride {
     }
 }
 
-/// A parallel iterator chain: source items plus the composed per-item
+/// The composed per-item transformation: takes one source item and an
+/// output sink to push results into.
+type EachFn<'a, S, T> = dyn Fn(S, &mut dyn FnMut(T)) + Sync + 'a;
+
+/// A parallel iterator chain: source items plus the composed push-based
 /// transformation, evaluated when [`ParIter::collect`] drives it.
+///
+/// The transformation is a single borrowed closure taking an item and an
+/// output sink; `map`/`flat_map` wrap it without boxing intermediate
+/// `Vec`s, so a chain's per-item cost is plain nested calls.
 pub struct ParIter<'a, S, T> {
     items: Vec<S>,
-    f: Box<dyn Fn(S) -> Vec<T> + Sync + 'a>,
+    each: Box<EachFn<'a, S, T>>,
+}
+
+fn from_items<'a, S: Send + 'a>(items: Vec<S>) -> ParIter<'a, S, S> {
+    ParIter {
+        items,
+        each: Box::new(|s, sink| sink(s)),
+    }
 }
 
 impl<'a, S: Send + 'a, T: Send + 'a> ParIter<'a, S, T> {
     pub fn map<O: Send + 'a>(self, g: impl Fn(T) -> O + Sync + 'a) -> ParIter<'a, S, O> {
-        let f = self.f;
+        let each = self.each;
         ParIter {
             items: self.items,
-            f: Box::new(move |s| f(s).into_iter().map(&g).collect()),
+            each: Box::new(move |s, sink| each(s, &mut |t| sink(g(t)))),
         }
     }
 
@@ -132,62 +207,134 @@ impl<'a, S: Send + 'a, T: Send + 'a> ParIter<'a, S, T> {
         O: Send + 'a,
         C: IntoIterator<Item = O>,
     {
-        let f = self.f;
+        let each = self.each;
         ParIter {
             items: self.items,
-            f: Box::new(move |s| f(s).into_iter().flat_map(&g).collect()),
+            each: Box::new(move |s, sink| {
+                each(s, &mut |t| {
+                    for o in g(t) {
+                        sink(o);
+                    }
+                })
+            }),
         }
     }
 
     pub fn collect<C: FromIterator<T>>(self) -> C {
-        drive(self.items, self.f).into_iter().collect()
+        drive(self.items, self.each.as_ref()).into_iter().collect()
     }
 }
 
-/// Evaluate `f` over `items` on a scoped thread team. Workers pull item
-/// indices from a shared counter; per-item outputs land in their source
-/// slot and are concatenated in source order, making the result
-/// independent of the thread count and of scheduling.
-fn drive<S: Send, T: Send>(items: Vec<S>, f: impl Fn(S) -> Vec<T> + Sync) -> Vec<T> {
-    let budget = current_num_threads();
-    let team = budget.min(items.len());
-    if team <= 1 {
-        return items.into_iter().flat_map(f).collect();
-    }
-    // Parallel calls nested inside a worker share the remaining budget
-    // instead of multiplying it.
-    let inner_budget = (budget / team).max(1);
-    let slots: Vec<Mutex<Option<S>>> = items.into_iter().map(|s| Mutex::new(Some(s))).collect();
-    let results: Vec<Mutex<Option<Vec<T>>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..team {
-            scope.spawn(|| {
-                OVERRIDE.with(|c| c.set(inner_budget));
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("work item claimed twice");
-                    let out = f(item);
-                    *results[i].lock().unwrap() = Some(out);
+/// Chunks per team member: more chunks than workers so uneven per-item
+/// cost rebalances, few enough that claim traffic stays negligible.
+/// Chunk geometry can never change output bytes — the stitch order is
+/// fixed by chunk index.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Shared state of one in-flight parallel region.
+struct Run<'e, S, T> {
+    each: &'e EachFn<'e, S, T>,
+    inputs: Vec<Mutex<Option<Vec<S>>>>,
+    outputs: Vec<Mutex<Option<Vec<T>>>>,
+    next: AtomicUsize,
+    abort: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<S, T> Run<'_, S, T> {
+    /// Claim and process chunks until none are left or the region
+    /// aborts. Runs concurrently on the caller and any pool workers that
+    /// picked the region's job up; the claim counter makes every chunk
+    /// execute exactly once.
+    fn work(&self) {
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.inputs.len() {
+                return;
+            }
+            let Some(input) = pool::lock(&self.inputs[i]).take() else {
+                continue;
+            };
+            let mut out: Vec<T> = Vec::with_capacity(input.len());
+            let status = catch_unwind(AssertUnwindSafe(|| {
+                for s in input {
+                    (self.each)(s, &mut |t| out.push(t));
                 }
-            });
+            }));
+            match status {
+                Ok(()) => *pool::lock(&self.outputs[i]) = Some(out),
+                Err(payload) => {
+                    // First panic wins; everyone else drains out via the
+                    // abort flag and the caller re-raises it once.
+                    self.abort.store(true, Ordering::Relaxed);
+                    let mut first = pool::lock(&self.panic);
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                    return;
+                }
+            }
         }
-    });
-    results
-        .into_iter()
-        .flat_map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("work item produced no result")
-        })
-        .collect()
+    }
+}
+
+/// Evaluate `each` over `items` on the worker pool. Outputs are stitched
+/// in chunk (= source) order, making the result independent of thread
+/// count, chunk geometry, and scheduling.
+fn drive<S: Send, T: Send>(items: Vec<S>, each: &EachFn<'_, S, T>) -> Vec<T> {
+    let n = items.len();
+    let team = current_num_threads().min(n);
+    if team <= 1 {
+        // A budget of one, a nested call inside a running region, or a
+        // trivial item count: run in place, no pool traffic at all. The
+        // `IN_PARALLEL` flag is left as-is — a single-item region has no
+        // parallelism to own, so deeper calls keep the full budget.
+        let mut out = Vec::with_capacity(n);
+        for s in items {
+            each(s, &mut |t| out.push(t));
+        }
+        return out;
+    }
+
+    let chunks = n.min(team * CHUNKS_PER_THREAD);
+    let stride = n.div_ceil(chunks);
+    let mut inputs: Vec<Mutex<Option<Vec<S>>>> = Vec::with_capacity(chunks);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<S> = iter.by_ref().take(stride).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        inputs.push(Mutex::new(Some(chunk)));
+    }
+    let run = Run {
+        each,
+        outputs: (0..inputs.len()).map(|_| Mutex::new(None)).collect(),
+        inputs,
+        next: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    };
+    let job = || {
+        let _guard = ParallelGuard::enter();
+        run.work();
+    };
+    pool::run_in_pool(team - 1, &job);
+
+    let Run { outputs, panic, .. } = run;
+    if let Some(payload) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+    let mut out = Vec::with_capacity(n);
+    for cell in outputs {
+        if let Some(part) = cell.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            out.extend(part);
+        }
+    }
+    out
 }
 
 /// `into_par_iter()` on owned collections.
@@ -206,10 +353,7 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     where
         T: 'a,
     {
-        ParIter {
-            items: self,
-            f: Box::new(|s| vec![s]),
-        }
+        from_items(self)
     }
 }
 
@@ -220,33 +364,38 @@ impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
     where
         T: 'a,
     {
-        ParIter {
-            items: self.into_iter().collect(),
-            f: Box::new(|s| vec![s]),
-        }
+        from_items(self.into_iter().collect())
     }
 }
 
-/// `par_iter()` on slices (and anything that derefs to one).
+/// `par_iter()`/`par_chunks()` on slices (and anything that derefs to
+/// one).
 pub trait ParallelSlice<T: Sync> {
     fn par_iter(&self) -> ParIter<'_, &T, &T>;
+
+    /// Parallel iterator over non-overlapping sub-slices of length
+    /// `chunk_size` (the last may be shorter), in source order. A
+    /// `chunk_size` of 0 is treated as 1.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<'_, &[T], &[T]>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<'_, &T, &T> {
-        ParIter {
-            items: self.iter().collect(),
-            f: Box::new(|s| vec![s]),
-        }
+        from_items(self.iter().collect())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<'_, &[T], &[T]> {
+        from_items(self.chunks(chunk_size.max(1)).collect())
     }
 }
 
 impl<T: Sync> ParallelSlice<T> for Vec<T> {
     fn par_iter(&self) -> ParIter<'_, &T, &T> {
-        ParIter {
-            items: self.iter().collect(),
-            f: Box::new(|s| vec![s]),
-        }
+        self.as_slice().par_iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<'_, &[T], &[T]> {
+        self.as_slice().par_chunks(chunk_size)
     }
 }
 
@@ -322,5 +471,28 @@ mod tests {
         let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
         assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice_in_order() {
+        let data: Vec<u32> = (0..37).collect();
+        let flat: Vec<u32> = data
+            .par_chunks(5)
+            .flat_map(|chunk| chunk.to_vec())
+            .collect();
+        assert_eq!(flat, data);
+        let sizes: Vec<usize> = data.par_chunks(5).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![5, 5, 5, 5, 5, 5, 5, 2]);
+    }
+
+    #[test]
+    fn nested_calls_report_one_thread() {
+        let budgets: Vec<usize> = vec![(); 8]
+            .into_par_iter()
+            .map(|()| current_num_threads())
+            .collect();
+        // Inside a region every thread reports a budget of 1: nested
+        // parallelism is flattened, not subdivided.
+        assert!(budgets.iter().all(|&b| b == 1), "{budgets:?}");
     }
 }

@@ -1,0 +1,199 @@
+//! The persistent worker pool behind the parallel iterators.
+//!
+//! Workers are OS threads spawned lazily on first use and parked on a
+//! condvar between parallel regions — steady-state `collect`s never pay a
+//! thread spawn. A parallel region enqueues one copy of its job per helper
+//! it wants; the caller runs the same job itself and then blocks on a
+//! countdown latch until every enqueued copy has finished (or been
+//! cancelled unclaimed). Jobs are `&dyn Fn()` borrows of the caller's
+//! stack frame, lifetime-erased for the queue; the latch protocol is what
+//! makes that sound — see [`run_in_pool`].
+//!
+//! Deadlock freedom rests on three facts: the caller always participates
+//! (progress never depends on a worker being free), workers never enqueue
+//! into the pool themselves (nested parallel regions run sequentially, see
+//! `IN_PARALLEL` in `lib.rs`), and the only blocking waits are the caller
+//! on a latch and idle workers on the queue condvar.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Cap on pool growth: comfortably above any plausible `--threads` value,
+/// small enough that a runaway budget cannot exhaust process thread
+/// limits.
+const MAX_WORKERS: usize = 256;
+
+/// Poison-free lock. A panic inside a parallel region must surface once,
+/// as that panic — not cascade into `PoisonError` panics on every later
+/// lock of the same state.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Countdown latch: `wait` returns once `count_down` has been called as
+/// many times as the latch was created with.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = lock(&self.remaining);
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = lock(&self.remaining);
+        while *left > 0 {
+            left = self.done.wait(left).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One queued copy of a region's job. The pointer targets the caller's
+/// stack frame; the caller keeps that frame alive by blocking on `latch`
+/// until every copy has counted down.
+struct Task {
+    job: *const (dyn Fn() + Sync),
+    latch: Arc<Latch>,
+}
+
+// SAFETY: the pointee is `Sync`, so calling it from any thread is fine,
+// and the lifetime-erased borrow stays valid because `run_in_pool` does
+// not return (and so the borrowed frame does not unwind or drop) until
+// the latch records that every queued copy has finished or been
+// cancelled. Workers never touch `job` after counting down.
+unsafe impl Send for Task {}
+
+struct Shared {
+    queue: VecDeque<Task>,
+    /// Worker threads spawned so far.
+    workers: usize,
+    /// Workers currently parked or about to park.
+    idle: usize,
+}
+
+struct Pool {
+    shared: Mutex<Shared>,
+    work_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Mutex::new(Shared {
+            queue: VecDeque::new(),
+            workers: 0,
+            idle: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+fn worker_loop() {
+    // Everything a worker runs is, by construction, inside some parallel
+    // region — flag the thread once so nested `par_iter`s inside jobs run
+    // sequentially instead of re-entering the pool.
+    crate::mark_worker_thread();
+    let p = pool();
+    let mut shared = lock(&p.shared);
+    loop {
+        if let Some(task) = shared.queue.pop_front() {
+            shared.idle = shared.idle.saturating_sub(1);
+            drop(shared);
+            // SAFETY: the enqueuing caller is still inside `run_in_pool`
+            // (blocked on this latch or running its own copy), so the
+            // pointee is alive. See the `Send` impl above.
+            let job = unsafe { &*task.job };
+            // A panicking job must neither kill the worker nor skip the
+            // count-down (the caller would deadlock). The region's driver
+            // has already captured the payload for re-raise on the caller
+            // (see `Run::work` in lib.rs), so it is dropped here.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            task.latch.count_down();
+            shared = lock(&p.shared);
+            shared.idle += 1;
+        } else {
+            shared = p.work_ready.wait(shared).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Run `job` on the calling thread and on up to `helpers` pool workers
+/// concurrently; return once the caller's invocation and every enqueued
+/// copy have finished. The job must tolerate running any number of times
+/// in [1, helpers + 1] — drivers built on a shared claim counter (like
+/// `Run::work`) have exactly that shape. If no worker thread can be
+/// spawned at all, the call degrades to the caller running alone.
+pub(crate) fn run_in_pool(helpers: usize, job: &(dyn Fn() + Sync)) {
+    let p = pool();
+    // Lifetime-erase the borrow so it can sit in the 'static queue. Sound
+    // because this function only returns after `latch.wait()` below — the
+    // pointee outlives every queued copy.
+    let erased: *const (dyn Fn() + Sync + 'static) =
+        unsafe { std::mem::transmute(job as *const (dyn Fn() + Sync)) };
+
+    let mut latch: Option<Arc<Latch>> = None;
+    {
+        let mut shared = lock(&p.shared);
+        let deficit = helpers.saturating_sub(shared.idle);
+        for _ in 0..deficit {
+            if shared.workers >= MAX_WORKERS {
+                break;
+            }
+            let spawned = std::thread::Builder::new()
+                .name("rayon-worker".into())
+                .spawn(worker_loop)
+                .is_ok();
+            if !spawned {
+                break;
+            }
+            shared.workers += 1;
+            shared.idle += 1;
+        }
+        if helpers > 0 && shared.workers > 0 {
+            let l = Arc::new(Latch::new(helpers));
+            for _ in 0..helpers {
+                shared.queue.push_back(Task {
+                    job: erased,
+                    latch: Arc::clone(&l),
+                });
+            }
+            latch = Some(l);
+        }
+    }
+    if latch.is_some() {
+        p.work_ready.notify_all();
+    }
+
+    // The caller always participates, so the region completes even if
+    // every worker is busy elsewhere and no copy is ever claimed.
+    job();
+
+    if let Some(l) = latch {
+        // Cancel copies no worker claimed before the caller finished the
+        // whole region — they would only find an empty claim counter.
+        let mut shared = lock(&p.shared);
+        shared.queue.retain(|t| {
+            let ours = Arc::ptr_eq(&t.latch, &l);
+            if ours {
+                t.latch.count_down();
+            }
+            !ours
+        });
+        drop(shared);
+        l.wait();
+    }
+}
