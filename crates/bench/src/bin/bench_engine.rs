@@ -1,19 +1,30 @@
 //! Measure fast-vs-naive placement evaluation and write `BENCH_engine.json`.
 //!
 //! The seed revision cannot be rebuilt in this offline environment, so the
-//! baseline is the *retained* naive pipeline (clone-based what-if states +
-//! four `job_cost` traversals per component — see
-//! [`commsched_bench::perf`]) measured in the same binary as the fused
-//! [`commsched_core::PlacementEvaluator`] path. Medians of `ITERS` single
-//! placements at Theta and Mira scale, in nanoseconds.
+//! baseline is the *retained* naive pipeline measured in the same binary,
+//! in two tiers:
+//!
+//! * **placement** rows (`theta_256` … `dragonfly_1m`): clone-based
+//!   what-if states + four `job_cost` traversals per component (see
+//!   [`commsched_bench::perf`]) vs the fused
+//!   [`commsched_core::PlacementEvaluator`] path;
+//! * **selection** rows (`select_*`): the retained linear-scan selectors
+//!   (`commsched_core::select_scan`, O(cluster size) per placement) vs the
+//!   production free-count-index descent, on the exascale presets up to
+//!   the 1,048,576-node dragonfly.
+//!
+//! Medians of `ITERS` single placements, in nanoseconds.
 //!
 //! ```text
 //! cargo run --release -p commsched-bench --bin bench_engine [out.json]
 //! cargo run --release -p commsched-bench --bin bench_engine -- --check BENCH_engine.json
 //! ```
 //!
-//! `--check` re-measures the fast path and fails (exit 1) if any case
-//! regresses more than 2x against the baseline's medians.
+//! `--check` re-measures the fast paths and fails (exit 1) if any case
+//! regresses more than 2x against the baseline's medians. Both modes also
+//! enforce the exascale gate: indexed selection on the 1M-node preset must
+//! beat the linear scan by at least [`GATE_MIN_SPEEDUP`]x — a
+//! machine-independent ratio, measured live.
 
 use commsched_bench::baseline;
 use commsched_bench::perf::PlacementCase;
@@ -23,6 +34,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const ITERS: usize = 31;
+
+/// The exascale selection case and the scan-vs-index speedup it must hold.
+const GATE_CASE: &str = "select_dragonfly_1m";
+const GATE_MIN_SPEEDUP: f64 = 5.0;
 
 fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     let mut samples: Vec<f64> = (0..iters)
@@ -36,44 +51,115 @@ fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Measure both paths on every case; returns `(label, fast_ns, naive_ns,
-/// nodes, want)` rows.
-fn measure() -> Vec<(String, f64, f64, usize, usize)> {
-    [
-        ("theta_256", SystemPreset::Theta, 256usize),
-        ("mira_2048", SystemPreset::Mira, 2048usize),
-    ]
-    .into_iter()
-    .map(|(label, preset, want)| {
-        let case = PlacementCase::new(preset, want);
-        let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+/// One measured row: a fast path against its retained-naive baseline.
+struct Row {
+    label: String,
+    /// `"placement"` (evaluator fast-vs-naive) or `"selection"`
+    /// (index-vs-scan).
+    kind: &'static str,
+    nodes: usize,
+    want: usize,
+    naive_ns: f64,
+    fast_ns: f64,
+}
 
-        // The two paths must agree exactly before timing means anything.
-        let naive = case.place_naive();
-        let fast = case.place_fast(&eval);
-        assert_eq!(
-            naive.cost_actual.to_bits(),
-            fast.cost_actual.to_bits(),
-            "{label}: fast path diverged from naive"
-        );
-        assert_eq!(naive.cost_default.to_bits(), fast.cost_default.to_bits());
-        assert_eq!(naive.adjusted.to_bits(), fast.adjusted.to_bits());
+/// Request size for the pure-selection rows: a typical job from the
+/// paper's workloads. Selection output is proportional to the request, so
+/// a moderate size keeps the measurement on the search-and-order work the
+/// index replaces rather than on materializing the placement — which is
+/// identical on both paths.
+const SELECT_WANT: usize = 256;
 
-        let naive_ns = median_ns(ITERS, || {
-            std::hint::black_box(case.place_naive());
-        });
-        let fast_ns = median_ns(ITERS, || {
-            std::hint::black_box(case.place_fast(&eval));
-        });
+/// Measure both paths on every case. Placement (fast evaluator vs naive
+/// clone-based pipeline) runs where the naive path is affordable; pure
+/// selection (indexed vs linear scan) runs everywhere, including the
+/// 500k/1M presets where the scan is the dominant cost being replaced.
+fn measure() -> Vec<Row> {
+    let cases = [
+        ("theta_256", SystemPreset::Theta, 256usize, true),
+        ("mira_2048", SystemPreset::Mira, 2048usize, true),
         (
-            label.to_string(),
-            fast_ns,
-            naive_ns,
-            case.tree.num_nodes(),
-            want,
-        )
-    })
-    .collect()
+            "multirail_500k",
+            SystemPreset::Multirail500k,
+            4096usize,
+            false,
+        ),
+        ("dragonfly_1m", SystemPreset::Dragonfly1M, 4096usize, true),
+    ];
+    let mut rows = Vec::new();
+    for (label, preset, want, placement) in cases {
+        let case = PlacementCase::new(preset, want);
+        let nodes = case.tree.num_nodes();
+
+        if placement {
+            let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+            // The two paths must agree exactly before timing means anything.
+            let naive = case.place_naive();
+            let fast = case.place_fast(&eval);
+            assert_eq!(
+                naive.cost_actual.to_bits(),
+                fast.cost_actual.to_bits(),
+                "{label}: fast path diverged from naive"
+            );
+            assert_eq!(naive.cost_default.to_bits(), fast.cost_default.to_bits());
+            assert_eq!(naive.adjusted.to_bits(), fast.adjusted.to_bits());
+
+            let naive_ns = median_ns(ITERS, || {
+                std::hint::black_box(case.place_naive());
+            });
+            let fast_ns = median_ns(ITERS, || {
+                std::hint::black_box(case.place_fast(&eval));
+            });
+            rows.push(Row {
+                label: label.to_string(),
+                kind: "placement",
+                nodes,
+                want,
+                naive_ns,
+                fast_ns,
+            });
+        }
+
+        // Pure selection: the indexed descent must return byte-identical
+        // placements to the retained scans before timing means anything.
+        assert_eq!(
+            case.select_indexed(SELECT_WANT),
+            case.select_scan(SELECT_WANT),
+            "{label}: indexed selectors diverged from the scan baselines"
+        );
+        let scan_ns = median_ns(ITERS, || {
+            std::hint::black_box(case.select_scan(SELECT_WANT));
+        });
+        let indexed_ns = median_ns(ITERS, || {
+            std::hint::black_box(case.select_indexed(SELECT_WANT));
+        });
+        rows.push(Row {
+            label: format!("select_{label}"),
+            kind: "selection",
+            nodes,
+            want: SELECT_WANT,
+            naive_ns: scan_ns,
+            fast_ns: indexed_ns,
+        });
+    }
+    rows
+}
+
+/// Enforce the exascale gate on live numbers; exits 1 when it fails.
+fn check_gate(rows: &[Row]) {
+    let gate = rows
+        .iter()
+        .find(|r| r.label == GATE_CASE)
+        .unwrap_or_else(|| panic!("gate case {GATE_CASE} was not measured"));
+    let speedup = gate.naive_ns / gate.fast_ns;
+    if speedup < GATE_MIN_SPEEDUP {
+        eprintln!(
+            "gate FAILED: {GATE_CASE} indexed selection is only {speedup:.2}x over the \
+             linear scan (required: {GATE_MIN_SPEEDUP}x)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("gate ok: {GATE_CASE} indexed selection {speedup:.1}x over the linear scan");
 }
 
 fn main() {
@@ -84,10 +170,9 @@ fn main() {
             eprintln!("usage: bench_engine --check <baseline.json>");
             std::process::exit(2);
         };
-        let live: Vec<(String, f64)> = measure()
-            .into_iter()
-            .map(|(label, fast_ns, _, _, _)| (label, fast_ns))
-            .collect();
+        let rows = measure();
+        check_gate(&rows);
+        let live: Vec<(String, f64)> = rows.into_iter().map(|r| (r.label, r.fast_ns)).collect();
         baseline::check_or_exit(path, &live);
     }
 
@@ -95,22 +180,38 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let mut entries = Vec::new();
+    let rows = measure();
 
-    for (label, fast_ns, naive_ns, nodes, want) in measure() {
+    let mut entries = Vec::new();
+    for row in &rows {
+        let Row {
+            label,
+            kind,
+            nodes,
+            want,
+            naive_ns,
+            fast_ns,
+        } = row;
         let speedup = naive_ns / fast_ns;
+        let baseline_key = if *kind == "selection" {
+            "scan_median_ns"
+        } else {
+            "naive_median_ns"
+        };
         eprintln!(
-            "{label}: naive {:.1} µs, fast {:.1} µs, speedup {speedup:.1}x",
+            "{label}: baseline {:.1} µs, fast {:.1} µs, speedup {speedup:.1}x",
             naive_ns / 1e3,
             fast_ns / 1e3
         );
         entries.push(format!(
-            "    {{\n      \"case\": \"{label}\",\n      \"nodes\": {nodes},\n      \"request\": {want},\n      \"naive_median_ns\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}"
+            "    {{\n      \"case\": \"{label}\",\n      \"kind\": \"{kind}\",\n      \"nodes\": {nodes},\n      \"request\": {want},\n      \"{baseline_key}\": {naive_ns:.0},\n      \"fast_median_ns\": {fast_ns:.0},\n      \"speedup\": {speedup:.2}\n    }}"
         ));
     }
 
+    check_gate(&rows);
+
     let json = format!(
-        "{{\n  \"bench\": \"single placement evaluation (adaptive select + Eq.6/Eq.7), fast vs retained-naive\",\n  \"iters\": {ITERS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"placement evaluation (fast vs retained-naive) and node selection (free-count index vs retained linear scan)\",\n  \"iters\": {ITERS},\n  \"gate\": {{\n    \"case\": \"{GATE_CASE}\",\n    \"min_speedup\": {GATE_MIN_SPEEDUP:.1}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     if let Err(e) = std::fs::write(&out, json) {

@@ -80,8 +80,43 @@ impl PlacementCase {
     }
 
     fn request(&self) -> AllocRequest {
-        AllocRequest::comm(JobId(999_999), self.want)
+        self.request_of(self.want)
+    }
+
+    fn request_of(&self, want: usize) -> AllocRequest {
+        AllocRequest::comm(JobId(999_999), want)
             .with_pattern(CollectiveSpec::new(self.comm[0].0, self.msize))
+    }
+
+    /// Pure selection through the production (free-count-index) path: the
+    /// three direct selectors back to back. Returns the three placements
+    /// so the caller can cross-check them against [`Self::select_scan`].
+    pub fn select_indexed(&self, want: usize) -> Vec<Vec<NodeId>> {
+        let req = self.request_of(want);
+        vec![
+            DefaultTreeSelector
+                .select(&self.tree, &self.state, &req)
+                .unwrap(),
+            GreedySelector
+                .select(&self.tree, &self.state, &req)
+                .unwrap(),
+            BalancedSelector
+                .select(&self.tree, &self.state, &req)
+                .unwrap(),
+        ]
+    }
+
+    /// The same three selections through the retained linear-scan
+    /// baselines (`commsched_core::select_scan`) — the pre-index
+    /// algorithms, O(cluster size) per placement.
+    pub fn select_scan(&self, want: usize) -> Vec<Vec<NodeId>> {
+        use commsched_core::select_scan as scan;
+        let req = self.request_of(want);
+        vec![
+            scan::default_select(&self.tree, &self.state, &req).unwrap(),
+            scan::greedy_select(&self.tree, &self.state, &req).unwrap(),
+            scan::balanced_select(&self.tree, &self.state, &req).unwrap(),
+        ]
     }
 
     fn comm_fraction(&self) -> f64 {

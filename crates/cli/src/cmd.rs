@@ -20,6 +20,8 @@ fn preset_by_name(name: &str) -> Result<SystemPreset, String> {
         "intrepid" => Ok(SystemPreset::Intrepid),
         "theta" => Ok(SystemPreset::Theta),
         "mira" => Ok(SystemPreset::Mira),
+        "multirail-500k" => Ok(SystemPreset::Multirail500k),
+        "dragonfly-1m" => Ok(SystemPreset::Dragonfly1M),
         other => Err(format!("unknown preset {other:?}")),
     }
 }

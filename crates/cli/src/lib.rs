@@ -110,6 +110,7 @@ USAGE:
   Thread count never changes output bytes.
 
   NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
+                  | multirail-500k | dragonfly-1m
   NAME (systems): intrepid | theta | mira
   SEL:  default | greedy | balanced | adaptive
   PAT:  rd | rhvd | binomial | ring | stencil2d | alltoall"

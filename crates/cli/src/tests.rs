@@ -78,6 +78,16 @@ fn topology_show_preset() {
 }
 
 #[test]
+fn topology_show_exascale_presets() {
+    let (code, out, _) = run_cli(&["topology", "show", "--preset", "multirail-500k"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("524288 nodes"));
+    let (code, out, _) = run_cli(&["topology", "show", "--preset", "dragonfly-1m"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("1048576 nodes"));
+}
+
+#[test]
 fn topology_validate_round_trip() {
     let dir = std::env::temp_dir().join("commsched-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -60,10 +60,12 @@ const MAX_CACHED_SCHEDULES: usize = 128;
 /// at large rank counts holds millions of pairs; regenerate those instead
 /// of pinning the memory).
 const MAX_CACHED_SCHEDULE_PAIRS: usize = 1 << 22;
-/// Widest tree (in leaf switches) served by the flat `leaves × leaves` hop
-/// memo; beyond this (8 MiB of table) a hash map takes over. Every preset
-/// in the repo is far below it (Mira: 144 leaves).
-const FLAT_MEMO_MAX_LEAVES: usize = 1024;
+/// Widest candidate (in *touched* leaf switches) served by the flat dense
+/// hop memo; beyond this (8 MiB of table) a hash map takes over. The memo
+/// is sized by the job's own leaf spread — never by the machine — so the
+/// fast path holds even on the 1M-node presets, where a 4096-node job
+/// spans at most a few hundred leaves.
+const FLAT_MEMO_MAX_TOUCHED: usize = 1024;
 
 /// Single-pass what-if cost evaluator (see module docs).
 ///
@@ -73,19 +75,23 @@ const FLAT_MEMO_MAX_LEAVES: usize = 1024;
 pub struct PlacementEvaluator {
     /// `(pattern, ranks, msize)` → generated steps.
     schedules: HashMap<(Pattern, usize, u64), Arc<Vec<Step>>>,
-    /// Flat hop memo for canonical leaf pairs (`la <= lb`), indexed
-    /// `la * num_leaves + lb`; an entry is valid only when its stamp
-    /// matches [`Self::stamp`], so invalidation is one counter bump, not a
-    /// table wipe. The inner pair loop is the hottest code in placement —
-    /// an array probe here beats a `HashMap` probe by an order of
-    /// magnitude.
+    /// Flat hop memo for canonical *touched-leaf* pairs: leaves are
+    /// remapped to their dense position in the sorted overlay (the
+    /// candidate's touched leaves), and the memo is indexed
+    /// `da * touched + db` with `da <= db`. An entry is valid only when its
+    /// stamp matches [`Self::stamp`], so invalidation is one counter bump,
+    /// not a table wipe. The inner pair loop is the hottest code in
+    /// placement — an array probe here beats a `HashMap` probe by an order
+    /// of magnitude, and sizing by the job's leaf spread (not the machine's
+    /// leaf count) keeps the table small on exascale trees.
     hop_stamp: Vec<u64>,
     hop_vals: Vec<f64>,
     stamp: u64,
-    /// Fallback memo for trees too wide for the flat table.
+    /// Fallback memo (keyed by canonical leaf ordinals) for candidates
+    /// spread over more leaves than the flat table serves.
     hop_map: HashMap<(usize, usize), f64>,
-    /// Leaf count the flat memo is sized for.
-    num_leaves: usize,
+    /// Touched-leaf count the flat memo is sized for.
+    dense_dim: usize,
     /// `(state version, trunk discount bits)` the hop memo was filled under.
     tag: Option<(u64, u64)>,
     /// Exact overlay the hop memo was filled under (sorted leaf deltas).
@@ -96,6 +102,8 @@ pub struct PlacementEvaluator {
     ranked: Vec<NodeId>,
     /// Scratch: leaf ordinal of each rank.
     leaf_of_rank: Vec<usize>,
+    /// Scratch: dense overlay position of each rank's leaf.
+    dense_of_rank: Vec<usize>,
 }
 
 impl PlacementEvaluator {
@@ -150,14 +158,24 @@ impl PlacementEvaluator {
             self.tag_overlay.clear();
             self.tag_overlay.extend_from_slice(&self.overlay);
         }
-        let nl = tree.num_leaves();
-        let flat = nl <= FLAT_MEMO_MAX_LEAVES;
-        if flat && self.num_leaves != nl {
-            self.num_leaves = nl;
+        // Dense remap: each rank's leaf → its position in the sorted
+        // overlay. The remap is order-preserving, so canonicalizing on
+        // dense positions canonicalizes on leaf ordinals too.
+        let m = self.overlay.len();
+        self.dense_of_rank.clear();
+        for &k in &self.leaf_of_rank {
+            // Every rank's leaf is in the overlay by construction.
+            if let Ok(d) = self.overlay.binary_search_by_key(&k, |&(leaf, _)| leaf) {
+                self.dense_of_rank.push(d);
+            }
+        }
+        let flat = m <= FLAT_MEMO_MAX_TOUCHED;
+        if flat && self.dense_dim != m {
+            self.dense_dim = m;
             self.hop_stamp.clear();
-            self.hop_stamp.resize(nl * nl, 0);
+            self.hop_stamp.resize(m * m, 0);
             self.hop_vals.clear();
-            self.hop_vals.resize(nl * nl, 0.0);
+            self.hop_vals.resize(m * m, 0.0);
             self.stamp += 1;
         }
 
@@ -172,20 +190,22 @@ impl PlacementEvaluator {
         for step in steps.iter() {
             let mut worst: f64 = 0.0;
             for &(ri, rj) in &step.pairs {
-                let (la, lb) = {
-                    let (a, b) = (self.leaf_of_rank[ri], self.leaf_of_rank[rj]);
+                let (da, db) = {
+                    let (a, b) = (self.dense_of_rank[ri], self.dense_of_rank[rj]);
                     if a <= b {
                         (a, b)
                     } else {
                         (b, a)
                     }
                 };
+                let (la, delta_a) = self.overlay[da];
+                let (lb, delta_b) = self.overlay[db];
                 let hops = if flat {
-                    let idx = la * nl + lb;
+                    let idx = da * m + db;
                     if self.hop_stamp[idx] == self.stamp {
                         self.hop_vals[idx]
                     } else {
-                        let h = Self::hop_value(tree, state, &contention, &self.overlay, la, lb);
+                        let h = Self::hop_value(tree, state, &contention, la, lb, delta_a, delta_b);
                         self.hop_stamp[idx] = self.stamp;
                         self.hop_vals[idx] = h;
                         h
@@ -195,7 +215,7 @@ impl PlacementEvaluator {
                         Some(&h) => h,
                         None => {
                             let h =
-                                Self::hop_value(tree, state, &contention, &self.overlay, la, lb);
+                                Self::hop_value(tree, state, &contention, la, lb, delta_a, delta_b);
                             self.hop_map.insert((la, lb), h);
                             h
                         }
@@ -214,25 +234,26 @@ impl PlacementEvaluator {
         }
     }
 
-    /// Eq. 5 for a canonical leaf pair under the current overlay —
-    /// float-op-identical to the expression inside the naive
+    /// Eq. 5 for a canonical leaf pair under the candidate's own `L_comm`
+    /// deltas — float-op-identical to the expression inside the naive
     /// [`CostModel::job_cost`] memo fill.
     #[inline]
     fn hop_value(
         tree: &Tree,
         state: &ClusterState,
         contention: &CostModel,
-        overlay: &[(usize, u32)],
         la: usize,
         lb: usize,
+        delta_a: u32,
+        delta_b: u32,
     ) -> f64 {
         let d = if la == lb {
             2.0
         } else {
             f64::from(2 * tree.leaf_lca_level(la, lb))
         };
-        let comm_a = state.leaf_comm(la) + delta_of(overlay, la);
-        let comm_b = state.leaf_comm(lb) + delta_of(overlay, lb);
+        let comm_a = state.leaf_comm(la) + delta_a;
+        let comm_b = state.leaf_comm(lb) + delta_b;
         d * (1.0 + contention.leaf_contention_counts(tree, la, lb, comm_a, comm_b))
     }
 
@@ -250,14 +271,5 @@ impl PlacementEvaluator {
             self.schedules.insert(key, Arc::clone(&steps));
         }
         steps
-    }
-}
-
-/// Overlay delta for a leaf (0 when the candidate touches no node there).
-#[inline]
-fn delta_of(overlay: &[(usize, u32)], leaf: usize) -> u32 {
-    match overlay.binary_search_by_key(&leaf, |&(k, _)| k) {
-        Ok(i) => overlay[i].1,
-        Err(_) => 0,
     }
 }

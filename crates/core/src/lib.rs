@@ -41,8 +41,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod cost;
 mod eval;
+mod index;
 pub mod mapping;
 mod select;
+pub mod select_scan;
 mod state;
 
 pub use cost::CostModel;

@@ -1,10 +1,19 @@
 //! The four node-selection algorithms: SLURM's default best-fit baseline and
 //! the paper's greedy (Alg. 1), balanced (Alg. 2) and adaptive (§4.3).
+//!
+//! All four descend the hierarchical free-count index (see [`crate::index`])
+//! instead of scanning and sorting every switch/leaf, so a placement costs
+//! O(tree height + leaves actually granted) rather than O(cluster size).
+//! The pre-index linear-scan algorithms live on in [`crate::select_scan`];
+//! the property tests in `tests` assert the two produce byte-identical
+//! placements, and the `bench_engine` selection cases measure the gap.
 
 use crate::cost::CostModel;
 use crate::eval::PlacementEvaluator;
+use crate::index::visit_desc;
 use crate::state::{ClusterState, JobId, JobNature};
 use commsched_collectives::{CollectiveSpec, Pattern};
+use commsched_num::usize_of_u32;
 use commsched_topology::{NodeId, SwitchId, Tree};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -104,30 +113,28 @@ pub trait NodeSelector: Send + Sync {
     ) -> Result<Vec<NodeId>, SelectError>;
 }
 
-/// Find the lowest-level switch whose subtree has at least `want` free
-/// nodes, like SLURM's `topology/tree` plugin (§3.1). Ties at the same
-/// level break toward the *fewest* free nodes (best fit), then lowest id.
-fn lowest_level_switch(tree: &Tree, state: &ClusterState, want: usize) -> Option<SwitchId> {
-    let mut best: Option<(u32, usize, usize)> = None; // (level, free, id)
-    for id in 0..tree.num_switches() {
-        let s = SwitchId(id);
-        let sw = tree.switch(s);
-        if sw.subtree_nodes < want {
-            continue;
-        }
-        let free = state.subtree_free(tree, s);
-        if free < want {
-            continue;
-        }
-        let key = (sw.level, free, id);
-        if best.is_none_or(|b| key < b) {
-            best = Some(key);
-        }
-    }
-    best.map(|(_, _, id)| SwitchId(id))
+/// Validate the request, then find the lowest-level switch whose subtree has
+/// at least `req.nodes` free nodes, like SLURM's `topology/tree` plugin
+/// (§3.1). Ties at the same level break toward the *fewest* free nodes
+/// (best fit), then lowest id — the free-count index stores exactly that
+/// order, so the descent is O(height · log switches).
+fn pick_switch(
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<SwitchId, SelectError> {
+    let _ = tree; // the index is maintained against the same tree
+    check_request(state, req)?;
+    state
+        .index()
+        .lowest_level_switch(req.nodes)
+        .ok_or(SelectError::NotEnoughNodes {
+            requested: req.nodes,
+            free: state.free_total(),
+        })
 }
 
-fn check_request(state: &ClusterState, req: &AllocRequest) -> Result<(), SelectError> {
+pub(crate) fn check_request(state: &ClusterState, req: &AllocRequest) -> Result<(), SelectError> {
     if req.nodes == 0 {
         return Err(SelectError::ZeroNodes);
     }
@@ -140,28 +147,28 @@ fn check_request(state: &ClusterState, req: &AllocRequest) -> Result<(), SelectE
     Ok(())
 }
 
-/// Fill `out` by taking `min(free, remaining)` nodes from each leaf of
-/// `order` in turn. Returns the number still unallocated.
-fn fill_in_order(
+/// Take whole leaves in ascending `(leaf_free, ordinal)` order until the
+/// request is satisfied — the shared fill of the default selector and the
+/// balanced selector's compute arm, driven lazily off the index so only the
+/// granted prefix of the order is ever visited.
+fn fill_fewest_free_first(
     tree: &Tree,
     state: &ClusterState,
-    order: &[usize],
-    mut remaining: usize,
-    out: &mut Vec<NodeId>,
-) -> usize {
-    for &k in order {
+    p: SwitchId,
+    want: usize,
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(want);
+    let mut remaining = want;
+    for &(free, ord) in state.index().leaves_by_free(p) {
         if remaining == 0 {
             break;
         }
-        let free = state.leaf_free(k) as usize;
-        if free == 0 {
-            continue;
-        }
-        let take = free.min(remaining);
-        out.extend(state.free_nodes_on_leaf(tree, k, take));
+        let take = usize_of_u32(free).min(remaining);
+        out.extend(state.free_nodes_on_leaf(tree, usize_of_u32(ord), take));
         remaining -= take;
     }
-    remaining
+    debug_assert_eq!(remaining, 0, "switch was checked to have enough free nodes");
+    out
 }
 
 /// SLURM's stock `topology/tree` + `select/linear` algorithm — the paper's
@@ -184,22 +191,12 @@ impl NodeSelector for DefaultTreeSelector {
         state: &ClusterState,
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
-        check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
-            requested: req.nodes,
-            free: state.free_total(),
-        })?;
-        let mut order: Vec<usize> = tree
-            .leaf_ordinals_under(p)
-            .iter()
-            .copied()
-            .filter(|&k| state.leaf_free(k) > 0)
-            .collect();
-        order.sort_by_key(|&k| (state.leaf_free(k), k));
-        let mut out = Vec::with_capacity(req.nodes);
-        let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
-        debug_assert_eq!(left, 0, "switch was checked to have enough free nodes");
-        Ok(out)
+        let p = pick_switch(tree, state, req)?;
+        if tree.switch(p).children.is_empty() {
+            let k = tree.leaf_ordinal(p);
+            return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
+        }
+        Ok(fill_fewest_free_first(tree, state, p, req.nodes))
     }
 }
 
@@ -223,43 +220,40 @@ impl NodeSelector for GreedySelector {
         state: &ClusterState,
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
-        check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
-            requested: req.nodes,
-            free: state.free_total(),
-        })?;
+        let p = pick_switch(tree, state, req)?;
         // Leaf-switch fast path (Alg. 1 lines 3-5): a single leaf serves the
         // whole request.
         if tree.switch(p).children.is_empty() {
             let k = tree.leaf_ordinal(p);
             return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
         }
-        let mut order: Vec<usize> = tree
-            .leaf_ordinals_under(p)
-            .iter()
-            .copied()
-            .filter(|&k| state.leaf_free(k) > 0)
-            .collect();
-        // Sort by communication ratio; f64 keys via total_cmp, leaf ordinal
-        // as the deterministic tie-break.
+        // The index orders leaves by (ratio key, ordinal) — the communication
+        // ratio under `total_cmp` with the leaf ordinal as tie-break, exactly
+        // the scan baseline's sort. Comm-intensive jobs walk it forward
+        // (least contended first), compute-intensive backward.
+        let mut out = Vec::with_capacity(req.nodes);
+        let mut remaining = req.nodes;
+        let set = state.index().leaves_by_ratio(p);
         if req.nature.is_comm() {
-            order.sort_by(|&a, &b| {
-                state
-                    .communication_ratio(tree, a)
-                    .total_cmp(&state.communication_ratio(tree, b))
-                    .then(a.cmp(&b))
-            });
+            for &(_, ord) in set {
+                if remaining == 0 {
+                    break;
+                }
+                let k = usize_of_u32(ord);
+                let take = usize_of_u32(state.leaf_free(k)).min(remaining);
+                out.extend(state.free_nodes_on_leaf(tree, k, take));
+                remaining -= take;
+            }
         } else {
-            order.sort_by(|&a, &b| {
-                state
-                    .communication_ratio(tree, b)
-                    .total_cmp(&state.communication_ratio(tree, a))
-                    .then(a.cmp(&b))
+            visit_desc(set, |ord| {
+                let k = usize_of_u32(ord);
+                let take = usize_of_u32(state.leaf_free(k)).min(remaining);
+                out.extend(state.free_nodes_on_leaf(tree, k, take));
+                remaining -= take;
+                remaining > 0
             });
         }
-        let mut out = Vec::with_capacity(req.nodes);
-        let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
-        debug_assert_eq!(left, 0);
+        debug_assert_eq!(remaining, 0);
         Ok(out)
     }
 }
@@ -287,55 +281,43 @@ impl NodeSelector for BalancedSelector {
         state: &ClusterState,
         req: &AllocRequest,
     ) -> Result<Vec<NodeId>, SelectError> {
-        check_request(state, req)?;
-        let p = lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
-            requested: req.nodes,
-            free: state.free_total(),
-        })?;
+        let p = pick_switch(tree, state, req)?;
         if tree.switch(p).children.is_empty() {
             let k = tree.leaf_ordinal(p);
             return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
         }
-        let mut order: Vec<usize> = tree
-            .leaf_ordinals_under(p)
-            .iter()
-            .copied()
-            .filter(|&k| state.leaf_free(k) > 0)
-            .collect();
 
         if !req.nature.is_comm() {
             // Lines 29-36: compute jobs take the fullest-first (fewest free)
             // leaves without the power-of-two discipline.
-            order.sort_by_key(|&k| (state.leaf_free(k), k));
-            let mut out = Vec::with_capacity(req.nodes);
-            let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
-            debug_assert_eq!(left, 0);
-            return Ok(out);
+            return Ok(fill_fewest_free_first(tree, state, p, req.nodes));
         }
 
-        // Lines 9-21: decreasing free order, grant sizes halving to fit.
-        order.sort_by(|&a, &b| state.leaf_free(b).cmp(&state.leaf_free(a)).then(a.cmp(&b)));
-        let mut free: Vec<usize> = order.iter().map(|&k| state.leaf_free(k) as usize).collect();
-        let mut taken: Vec<usize> = vec![0; order.len()];
+        // Lines 9-21: decreasing free order, grant sizes halving to fit. The
+        // index yields the leaves lazily in that order, so the walk stops at
+        // the leaf that satisfies the request; the materialized prefix is
+        // complete exactly when the leftover pass below needs the full list.
+        let mut order: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut taken: Vec<usize> = Vec::new();
         let mut remaining = req.nodes;
         // `S` carries over between leaves and only ever shrinks (the paper's
         // Figure 4 subdivision; this is what reproduces Table 2).
         let mut s = req.nodes;
-        for (idx, &f) in free.iter().enumerate() {
-            if remaining == 0 {
-                break;
-            }
+        visit_desc(state.index().leaves_by_free(p), |ord| {
+            let k = usize_of_u32(ord);
+            let f = usize_of_u32(state.leaf_free(k));
             debug_assert!(f > 0);
             while s > f {
                 s /= 2;
             }
             let take = s.min(remaining);
-            taken[idx] = take;
+            order.push(k);
+            free.push(f - take);
+            taken.push(take);
             remaining -= take;
-        }
-        for (idx, t) in taken.iter().enumerate() {
-            free[idx] -= t;
-        }
+            remaining > 0
+        });
         // Lines 22-27: leftovers in reverse sorted order, no constraint.
         if remaining > 0 {
             for idx in (0..order.len()).rev() {

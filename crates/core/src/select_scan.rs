@@ -1,0 +1,249 @@
+//! Linear-scan reference implementations of the four selectors.
+//!
+//! These are the exact pre-index algorithms (scan every switch for the
+//! lowest-level pick, collect-and-sort every leaf under it for the fill
+//! order), preserved verbatim for two jobs:
+//!
+//! * the property tests in `tests` assert every indexed selector in
+//!   [`crate::select`] returns **byte-identical** placements to its scan
+//!   twin on randomized trees and occupancies;
+//! * the `bench_engine` selection benchmarks measure the indexed-vs-scan
+//!   gap on the exascale presets (the headline speedup of ROADMAP item 3).
+//!
+//! They are O(cluster size) per placement and not meant for production use.
+
+use crate::cost::CostModel;
+use crate::eval::PlacementEvaluator;
+use crate::select::{check_request, AllocRequest, SelectError};
+use crate::state::ClusterState;
+use commsched_topology::{NodeId, SwitchId, Tree};
+use std::sync::{Arc, Mutex};
+
+/// Find the lowest-level switch whose subtree has at least `want` free
+/// nodes by scanning every switch. Ties at the same level break toward the
+/// *fewest* free nodes (best fit), then lowest id.
+fn lowest_level_switch(tree: &Tree, state: &ClusterState, want: usize) -> Option<SwitchId> {
+    let mut best: Option<(u32, usize, usize)> = None; // (level, free, id)
+    for id in 0..tree.num_switches() {
+        let s = SwitchId(id);
+        let sw = tree.switch(s);
+        if sw.subtree_nodes < want {
+            continue;
+        }
+        let free = state.subtree_free(tree, s);
+        if free < want {
+            continue;
+        }
+        let key = (sw.level, free, id);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, id)| SwitchId(id))
+}
+
+fn pick_switch_scan(
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<SwitchId, SelectError> {
+    check_request(state, req)?;
+    lowest_level_switch(tree, state, req.nodes).ok_or(SelectError::NotEnoughNodes {
+        requested: req.nodes,
+        free: state.free_total(),
+    })
+}
+
+/// Fill `out` by taking `min(free, remaining)` nodes from each leaf of
+/// `order` in turn. Returns the number still unallocated.
+fn fill_in_order(
+    tree: &Tree,
+    state: &ClusterState,
+    order: &[usize],
+    mut remaining: usize,
+    out: &mut Vec<NodeId>,
+) -> usize {
+    for &k in order {
+        if remaining == 0 {
+            break;
+        }
+        let free = state.leaf_free(k) as usize;
+        if free == 0 {
+            continue;
+        }
+        let take = free.min(remaining);
+        out.extend(state.free_nodes_on_leaf(tree, k, take));
+        remaining -= take;
+    }
+    remaining
+}
+
+/// Scan twin of [`crate::DefaultTreeSelector`].
+pub fn default_select(
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<Vec<NodeId>, SelectError> {
+    let p = pick_switch_scan(tree, state, req)?;
+    let mut order: Vec<usize> = tree
+        .leaf_ordinals_under(p)
+        .iter()
+        .copied()
+        .filter(|&k| state.leaf_free(k) > 0)
+        .collect();
+    order.sort_by_key(|&k| (state.leaf_free(k), k));
+    let mut out = Vec::with_capacity(req.nodes);
+    let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+    debug_assert_eq!(left, 0, "switch was checked to have enough free nodes");
+    Ok(out)
+}
+
+/// Scan twin of [`crate::GreedySelector`].
+pub fn greedy_select(
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<Vec<NodeId>, SelectError> {
+    let p = pick_switch_scan(tree, state, req)?;
+    // Leaf-switch fast path (Alg. 1 lines 3-5): a single leaf serves the
+    // whole request.
+    if tree.switch(p).children.is_empty() {
+        let k = tree.leaf_ordinal(p);
+        return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
+    }
+    let mut order: Vec<usize> = tree
+        .leaf_ordinals_under(p)
+        .iter()
+        .copied()
+        .filter(|&k| state.leaf_free(k) > 0)
+        .collect();
+    // Sort by communication ratio; f64 keys via total_cmp, leaf ordinal
+    // as the deterministic tie-break.
+    if req.nature.is_comm() {
+        order.sort_by(|&a, &b| {
+            state
+                .communication_ratio(tree, a)
+                .total_cmp(&state.communication_ratio(tree, b))
+                .then(a.cmp(&b))
+        });
+    } else {
+        order.sort_by(|&a, &b| {
+            state
+                .communication_ratio(tree, b)
+                .total_cmp(&state.communication_ratio(tree, a))
+                .then(a.cmp(&b))
+        });
+    }
+    let mut out = Vec::with_capacity(req.nodes);
+    let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+    debug_assert_eq!(left, 0);
+    Ok(out)
+}
+
+/// Scan twin of [`crate::BalancedSelector`].
+pub fn balanced_select(
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<Vec<NodeId>, SelectError> {
+    let p = pick_switch_scan(tree, state, req)?;
+    if tree.switch(p).children.is_empty() {
+        let k = tree.leaf_ordinal(p);
+        return Ok(state.free_nodes_on_leaf(tree, k, req.nodes));
+    }
+    let mut order: Vec<usize> = tree
+        .leaf_ordinals_under(p)
+        .iter()
+        .copied()
+        .filter(|&k| state.leaf_free(k) > 0)
+        .collect();
+
+    if !req.nature.is_comm() {
+        // Lines 29-36: compute jobs take the fullest-first (fewest free)
+        // leaves without the power-of-two discipline.
+        order.sort_by_key(|&k| (state.leaf_free(k), k));
+        let mut out = Vec::with_capacity(req.nodes);
+        let left = fill_in_order(tree, state, &order, req.nodes, &mut out);
+        debug_assert_eq!(left, 0);
+        return Ok(out);
+    }
+
+    // Lines 9-21: decreasing free order, grant sizes halving to fit.
+    order.sort_by(|&a, &b| state.leaf_free(b).cmp(&state.leaf_free(a)).then(a.cmp(&b)));
+    let mut free: Vec<usize> = order.iter().map(|&k| state.leaf_free(k) as usize).collect();
+    let mut taken: Vec<usize> = vec![0; order.len()];
+    let mut remaining = req.nodes;
+    // `S` carries over between leaves and only ever shrinks (the paper's
+    // Figure 4 subdivision; this is what reproduces Table 2).
+    let mut s = req.nodes;
+    for (idx, &f) in free.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        debug_assert!(f > 0);
+        while s > f {
+            s /= 2;
+        }
+        let take = s.min(remaining);
+        taken[idx] = take;
+        remaining -= take;
+    }
+    for (idx, t) in taken.iter().enumerate() {
+        free[idx] -= t;
+    }
+    // Lines 22-27: leftovers in reverse sorted order, no constraint.
+    if remaining > 0 {
+        for idx in (0..order.len()).rev() {
+            if remaining == 0 {
+                break;
+            }
+            let take = free[idx].min(remaining);
+            taken[idx] += take;
+            free[idx] -= take;
+            remaining -= take;
+        }
+    }
+    debug_assert_eq!(remaining, 0, "switch had enough free nodes");
+    let mut out = Vec::with_capacity(req.nodes);
+    for (idx, &k) in order.iter().enumerate() {
+        if taken[idx] > 0 {
+            out.extend(state.free_nodes_on_leaf(tree, k, taken[idx]));
+        }
+    }
+    Ok(out)
+}
+
+/// Scan twin of [`crate::AdaptiveSelector`]: compare the scan greedy and
+/// balanced candidates under `cost` through `eval`, keeping the cheaper for
+/// communication-intensive jobs and the costlier for compute-intensive ones.
+pub fn adaptive_select(
+    cost: &CostModel,
+    eval: &Arc<Mutex<PlacementEvaluator>>,
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<Vec<NodeId>, SelectError> {
+    let greedy = greedy_select(tree, state, req)?;
+    let balanced = balanced_select(tree, state, req)?;
+    if greedy == balanced {
+        return Ok(balanced);
+    }
+    let spec = req.spec();
+    // detlint: allow(R1) — a poisoned mutex means another thread already
+    // panicked mid-evaluation; propagating is the only sound response.
+    let mut guard = eval.lock().expect("evaluator mutex poisoned");
+    // Balanced last: when it wins (the common comm-intensive case) the
+    // hop memo is warm for the caller's follow-up evaluation.
+    let cost_g = guard
+        .evaluate(tree, state, cost.trunk_discount, &greedy, &spec)
+        .for_model(cost);
+    let cost_b = guard
+        .evaluate(tree, state, cost.trunk_discount, &balanced, &spec)
+        .for_model(cost);
+    let take_balanced = if req.nature.is_comm() {
+        cost_b <= cost_g
+    } else {
+        cost_b > cost_g
+    };
+    Ok(if take_balanced { balanced } else { greedy })
+}

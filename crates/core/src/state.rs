@@ -1,6 +1,7 @@
 //! Cluster occupancy state: which nodes are busy, and the per-leaf counters
 //! (`L_nodes`, `L_busy`, `L_comm`) that drive the paper's Eqs. 1–3.
 
+use crate::index::{ratio_key, FreeIndex};
 use commsched_num::{f64_of_usize, u32_of_usize, usize_of_u32};
 use commsched_topology::{NodeId, SwitchId, Tree};
 use serde::{Deserialize, Serialize};
@@ -143,6 +144,11 @@ pub struct ClusterState {
     /// of the state's identity: excluded from `PartialEq`.
     #[serde(skip)]
     version: u64,
+    /// Hierarchical free-count index over the counters above (see
+    /// [`crate::index`]). Derived data: excluded from `PartialEq` and
+    /// serialization like the version token.
+    #[serde(skip)]
+    index: FreeIndex,
 }
 
 /// Occupancy equality ignores the `version` token: two states with the same
@@ -177,7 +183,7 @@ impl ClusterState {
             .iter()
             .map(|s| u32_of_usize(s.subtree_nodes))
             .collect();
-        ClusterState {
+        let mut state = ClusterState {
             node_free: vec![true; tree.num_nodes()],
             leaf_free,
             leaf_busy: vec![0; leaves],
@@ -190,7 +196,10 @@ impl ClusterState {
             draining_total: 0,
             allocs: BTreeMap::new(),
             version: next_version(),
-        }
+            index: FreeIndex::default(),
+        };
+        state.reindex(tree);
+        state
     }
 
     /// Restore this state to exactly what [`ClusterState::new`] would
@@ -226,6 +235,66 @@ impl ClusterState {
         self.draining_total = 0;
         self.allocs.clear();
         self.version = next_version();
+        self.reindex(tree);
+    }
+
+    /// Rebuild the free-count index from the counters (construction and
+    /// reset; incremental maintenance covers everything else).
+    fn reindex(&mut self, tree: &Tree) {
+        let Self {
+            index,
+            leaf_free,
+            leaf_busy,
+            leaf_comm,
+            switch_free,
+            ..
+        } = self;
+        index.rebuild(tree, leaf_free, switch_free, |k| {
+            ratio_value(leaf_busy[k], leaf_comm[k], f64_of_usize(tree.leaf_size(k)))
+        });
+    }
+
+    /// Record leaf `k`'s current index keys before mutating its counters.
+    #[inline]
+    fn note_leaf_dirty(&mut self, tree: &Tree, k: usize) {
+        let rkey = ratio_key(ratio_value(
+            self.leaf_busy[k],
+            self.leaf_comm[k],
+            f64_of_usize(tree.leaf_size(k)),
+        ));
+        self.index
+            .note_leaf(u32_of_usize(k), self.leaf_free[k], rkey);
+    }
+
+    /// Fold the pending counter mutations into the free-count index. Every
+    /// public `&mut self` method ends with this, so `&self` readers always
+    /// see a clean index.
+    fn flush_index(&mut self, tree: &Tree) {
+        if !self.index.is_dirty() {
+            return;
+        }
+        let (switches, leaves) = self.index.take_dirty();
+        for (id, old_free) in switches {
+            let level = tree.switch(SwitchId(usize_of_u32(id))).level;
+            self.index
+                .apply_switch(level, id, old_free, self.switch_free[usize_of_u32(id)]);
+        }
+        for (ord, old) in leaves {
+            let k = usize_of_u32(ord);
+            let new_rkey = ratio_key(ratio_value(
+                self.leaf_busy[k],
+                self.leaf_comm[k],
+                f64_of_usize(tree.leaf_size(k)),
+            ));
+            self.index
+                .apply_leaf(tree, ord, old, (self.leaf_free[k], new_rkey));
+        }
+    }
+
+    /// Read access to the free-count index for the selectors.
+    #[inline]
+    pub(crate) fn index(&self) -> &FreeIndex {
+        &self.index
     }
 
     /// Opaque memoization token: changes on every mutation (including
@@ -329,13 +398,11 @@ impl ClusterState {
     /// An idle leaf (`L_busy == 0`) has ratio 0: no contention, everything
     /// free — the most attractive leaf for a communication-intensive job.
     pub fn communication_ratio(&self, tree: &Tree, k: usize) -> f64 {
-        let busy = f64::from(self.leaf_busy[k]);
-        let nodes = f64_of_usize(tree.leaf_size(k));
-        if self.leaf_busy[k] == 0 {
-            0.0
-        } else {
-            f64::from(self.leaf_comm[k]) / busy + busy / nodes
-        }
+        ratio_value(
+            self.leaf_busy[k],
+            self.leaf_comm[k],
+            f64_of_usize(tree.leaf_size(k)),
+        )
     }
 
     /// Free nodes in the subtree of `s` — O(1), read from the incremental
@@ -378,6 +445,7 @@ impl ClusterState {
         debug_assert!(self.node_free[n.0]);
         self.node_free[n.0] = false;
         let k = tree.leaf_ordinal_of(n);
+        self.note_leaf_dirty(tree, k);
         self.leaf_free[k] -= 1;
         self.leaf_busy[k] += 1;
         if comm {
@@ -385,6 +453,8 @@ impl ClusterState {
         }
         let mut s = Some(tree.leaf_of(n));
         while let Some(id) = s {
+            self.index
+                .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
             self.switch_free[id.0] -= 1;
             s = tree.switch(id).parent;
         }
@@ -397,6 +467,7 @@ impl ClusterState {
         debug_assert!(!self.node_free[n.0]);
         self.node_free[n.0] = true;
         let k = tree.leaf_ordinal_of(n);
+        self.note_leaf_dirty(tree, k);
         self.leaf_free[k] += 1;
         self.leaf_busy[k] -= 1;
         if comm {
@@ -404,6 +475,8 @@ impl ClusterState {
         }
         let mut s = Some(tree.leaf_of(n));
         while let Some(id) = s {
+            self.index
+                .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
             self.switch_free[id.0] += 1;
             s = tree.switch(id).parent;
         }
@@ -445,6 +518,7 @@ impl ClusterState {
                 nature,
             },
         );
+        self.flush_index(tree);
         self.version = next_version();
         Ok(())
     }
@@ -463,7 +537,9 @@ impl ClusterState {
                 // Busy -> down: the node leaves the busy counters but never
                 // re-enters the free ones, so switch_free/free_total are
                 // untouched (it was not free before and is not free now).
+                // The busy/comm change still moves the leaf's ratio key.
                 let k = tree.leaf_ordinal_of(n);
+                self.note_leaf_dirty(tree, k);
                 self.leaf_busy[k] -= 1;
                 if alloc.nature.is_comm() {
                     self.leaf_comm[k] -= 1;
@@ -476,6 +552,7 @@ impl ClusterState {
                 self.vacate(tree, n, alloc.nature.is_comm());
             }
         }
+        self.flush_index(tree);
         self.version = next_version();
         Ok(alloc)
     }
@@ -498,16 +575,20 @@ impl ClusterState {
         // lands in leaf_down instead of leaf_busy.
         self.node_free[n.0] = false;
         let k = tree.leaf_ordinal_of(n);
+        self.note_leaf_dirty(tree, k);
         self.leaf_free[k] -= 1;
         self.leaf_down[k] += 1;
         let mut s = Some(tree.leaf_of(n));
         while let Some(id) = s {
+            self.index
+                .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
             self.switch_free[id.0] -= 1;
             s = tree.switch(id).parent;
         }
         self.free_total -= 1;
         self.node_health[n.0] = NodeHealth::Down;
         self.down_total += 1;
+        self.flush_index(tree);
         self.version = next_version();
         Ok(())
     }
@@ -528,16 +609,20 @@ impl ClusterState {
             NodeHealth::Down => {
                 self.node_free[n.0] = true;
                 let k = tree.leaf_ordinal_of(n);
+                self.note_leaf_dirty(tree, k);
                 self.leaf_down[k] -= 1;
                 self.leaf_free[k] += 1;
                 let mut s = Some(tree.leaf_of(n));
                 while let Some(id) = s {
+                    self.index
+                        .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
                     self.switch_free[id.0] += 1;
                     s = tree.switch(id).parent;
                 }
                 self.free_total += 1;
                 self.node_health[n.0] = NodeHealth::Up;
                 self.down_total -= 1;
+                self.flush_index(tree);
                 self.version = next_version();
                 Ok(())
             }
@@ -586,6 +671,7 @@ impl ClusterState {
             assert!(self.node_free[n.0], "scratch allocation over busy {n}");
             self.occupy(tree, n, comm);
         }
+        self.flush_index(tree);
         self.version = next_version();
         ScratchAlloc {
             state: self,
@@ -686,7 +772,30 @@ impl ClusterState {
                 self.busy_total()
             ));
         }
+        if self.index.is_dirty() {
+            return Err("free-count index has unflushed notes".into());
+        }
+        let mut expect = FreeIndex::default();
+        expect.rebuild(tree, &self.leaf_free, &self.switch_free, |k| {
+            self.communication_ratio(tree, k)
+        });
+        if expect != self.index {
+            return Err("free-count index disagrees with a from-scratch rebuild".into());
+        }
         Ok(())
+    }
+}
+
+/// Eq. 1 evaluated from raw counters — shared by
+/// [`ClusterState::communication_ratio`] and the index maintenance so the
+/// stored ratio keys are bit-identical to the live computation.
+#[inline]
+fn ratio_value(busy: u32, comm: u32, nodes: f64) -> f64 {
+    let busy_f = f64::from(busy);
+    if busy == 0 {
+        0.0
+    } else {
+        f64::from(comm) / busy_f + busy_f / nodes
     }
 }
 
@@ -718,6 +827,7 @@ impl Drop for ScratchAlloc<'_, '_> {
         for &n in &self.nodes {
             self.state.vacate(self.tree, n, self.comm);
         }
+        self.state.flush_index(self.tree);
         self.state.version = next_version();
     }
 }

@@ -1247,6 +1247,153 @@ mod properties {
             };
             prop_assert_eq!(chosen, expected);
         }
+
+        /// The free-count index stays exactly consistent with a
+        /// from-scratch rebuild (verified inside `check_invariants`)
+        /// through arbitrary allocate / release / fault / recover / drain
+        /// churn — every counter path that can move a leaf's fill keys or
+        /// a switch's subtree-free total.
+        #[test]
+        fn free_index_survives_fault_churn(
+            sizes in arb_leaf_sizes(),
+            seed in any::<u64>(),
+            ops in 1usize..60,
+        ) {
+            let tree = Tree::irregular_two_level(&sizes);
+            let mut st = ClusterState::new(&tree);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut live: Vec<JobId> = Vec::new();
+            let mut next = 0u64;
+            for _ in 0..ops {
+                let roll = rng.random::<f64>();
+                let n = NodeId(rng.random_range(0..tree.num_nodes()));
+                if roll < 0.2 && !live.is_empty() {
+                    let j = live.swap_remove(rng.random_range(0..live.len()));
+                    st.release(&tree, j).unwrap();
+                } else if roll < 0.35 {
+                    let _ = st.set_down(&tree, n); // busy/down errors are fine
+                } else if roll < 0.5 {
+                    let _ = st.set_up(&tree, n);
+                } else if roll < 0.6 {
+                    let _ = st.set_draining(&tree, n);
+                } else if st.free_total() > 0 {
+                    let want = rng.random_range(1..=st.free_total().min(6));
+                    let req = AllocRequest::comm(JobId(next), want);
+                    let kind = SelectorKind::ALL[rng.random_range(0usize..4)];
+                    let nodes = kind.build().select(&tree, &st, &req).unwrap();
+                    let nature = if rng.random::<bool>() {
+                        JobNature::CommIntensive
+                    } else {
+                        JobNature::ComputeIntensive
+                    };
+                    st.allocate(&tree, JobId(next), &nodes, nature).unwrap();
+                    live.push(JobId(next));
+                    next += 1;
+                }
+                st.check_invariants(&tree).unwrap();
+            }
+        }
+
+        /// Every indexed selector returns byte-identical placements to its
+        /// pre-index linear-scan twin in `select_scan`, on random trees,
+        /// occupancies and fault patterns — the tentpole guarantee of the
+        /// free-count index.
+        #[test]
+        fn indexed_selectors_match_scan_baseline(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..80,
+            seed in any::<u64>(),
+            want in 1usize..32,
+            comm in any::<bool>(),
+            downs in 0usize..6,
+        ) {
+            use crate::select_scan;
+            let (tree, mut st) = random_scenario(&sizes, occ, seed);
+            // Knock a few nodes down so the fault path shapes the orders too.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xd0d0);
+            for _ in 0..downs {
+                let n = NodeId(rng.random_range(0..tree.num_nodes()));
+                let _ = st.set_down(&tree, n);
+            }
+            prop_assume!(want <= st.free_total());
+            let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
+            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None };
+
+            prop_assert_eq!(
+                DefaultTreeSelector.select(&tree, &st, &req).unwrap(),
+                select_scan::default_select(&tree, &st, &req).unwrap()
+            );
+            prop_assert_eq!(
+                GreedySelector.select(&tree, &st, &req).unwrap(),
+                select_scan::greedy_select(&tree, &st, &req).unwrap()
+            );
+            prop_assert_eq!(
+                BalancedSelector.select(&tree, &st, &req).unwrap(),
+                select_scan::balanced_select(&tree, &st, &req).unwrap()
+            );
+            let adaptive = AdaptiveSelector::default();
+            let scan_eval = std::sync::Arc::new(std::sync::Mutex::new(PlacementEvaluator::new()));
+            prop_assert_eq!(
+                adaptive.select(&tree, &st, &req).unwrap(),
+                select_scan::adaptive_select(
+                    &adaptive.cost, &scan_eval, &tree, &st, &req
+                ).unwrap()
+            );
+        }
+
+        /// The same byte-identical guarantee on deeper three-level trees,
+        /// where the lowest-level-switch descent crosses real level
+        /// structure instead of collapsing to leaves-plus-root.
+        #[test]
+        fn indexed_selectors_match_scan_three_level(
+            spines in 2usize..4,
+            leaves in 2usize..5,
+            nodes_per_leaf in 2usize..8,
+            occ in 0u8..80,
+            seed in any::<u64>(),
+            want in 1usize..40,
+            comm in any::<bool>(),
+        ) {
+            use crate::select_scan;
+            let tree = Tree::regular_three_level(spines, leaves, nodes_per_leaf);
+            let mut st = ClusterState::new(&tree);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut all: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
+            all.shuffle(&mut rng);
+            let busy = tree.num_nodes() * occ as usize / 100;
+            for (job, chunk) in all[..busy].chunks(4).enumerate() {
+                let nature = if rng.random::<bool>() {
+                    JobNature::CommIntensive
+                } else {
+                    JobNature::ComputeIntensive
+                };
+                st.allocate(&tree, JobId(500 + job as u64), chunk, nature).unwrap();
+            }
+            prop_assume!(want <= st.free_total());
+            let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
+            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None };
+
+            prop_assert_eq!(
+                DefaultTreeSelector.select(&tree, &st, &req).unwrap(),
+                select_scan::default_select(&tree, &st, &req).unwrap()
+            );
+            prop_assert_eq!(
+                GreedySelector.select(&tree, &st, &req).unwrap(),
+                select_scan::greedy_select(&tree, &st, &req).unwrap()
+            );
+            prop_assert_eq!(
+                BalancedSelector.select(&tree, &st, &req).unwrap(),
+                select_scan::balanced_select(&tree, &st, &req).unwrap()
+            );
+            let adaptive = AdaptiveSelector::default();
+            let scan_eval = std::sync::Arc::new(std::sync::Mutex::new(PlacementEvaluator::new()));
+            prop_assert_eq!(
+                adaptive.select(&tree, &st, &req).unwrap(),
+                select_scan::adaptive_select(
+                    &adaptive.cost, &scan_eval, &tree, &st, &req
+                ).unwrap()
+            );
+        }
     }
 }
 

@@ -1,6 +1,61 @@
-//! Synthetic topology builders and paper-system presets.
+//! Synthetic topology builders and paper-system presets, including the
+//! exascale topology classes (multi-rail fat-tree, dragonfly-as-tree)
+//! grounded in "Scalable HPC Job Scheduling and Resource Management in
+//! SST" (PAPERS.md).
 
-use crate::tree::Tree;
+use crate::tree::{Tree, TreeError};
+use std::fmt;
+
+/// Error parsing a `"AxBx...xN"` topology spec string, carrying the
+/// offending factor's position and text (the typed-error convention the
+/// conf/SWF/fault parsers already follow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A factor that is not a positive integer.
+    BadFactor {
+        /// Zero-based factor position in the spec.
+        index: usize,
+        /// The factor text as written.
+        text: String,
+    },
+    /// A factor equal to zero.
+    ZeroFactor {
+        /// Zero-based factor position in the spec.
+        index: usize,
+    },
+    /// Fewer than two factors — a tree needs at least one switch level
+    /// over the nodes-per-leaf factor.
+    TooFewFactors {
+        /// Number of factors found.
+        count: usize,
+    },
+    /// The factors describe a structurally invalid tree.
+    Structure(TreeError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadFactor { index, text } => {
+                write!(f, "factor {index}: {text:?} is not a positive integer")
+            }
+            Self::ZeroFactor { index } => write!(f, "factor {index}: must be nonzero"),
+            Self::TooFewFactors { count } => write!(
+                f,
+                "found {count} factor(s), need at least two (switch fan-out x nodes/leaf)"
+            ),
+            Self::Structure(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TreeError> for SpecError {
+    fn from(e: TreeError) -> Self {
+        Self::Structure(e)
+    }
+}
 
 impl Tree {
     /// A regular two-level fat-tree: `leaves` leaf switches named `s0..`,
@@ -75,24 +130,27 @@ impl Tree {
     ///
     /// # Errors
     ///
-    /// Returns a message for malformed specs (non-numeric, zero factors,
-    /// empty, or a single factor — a tree needs at least one switch level).
-    pub fn from_spec(spec: &str) -> Result<Tree, String> {
+    /// Returns a [`SpecError`] naming the offending factor for malformed
+    /// specs (non-numeric, zero factors, empty, or a single factor — a
+    /// tree needs at least one switch level).
+    pub fn from_spec(spec: &str) -> Result<Tree, SpecError> {
         let factors: Vec<usize> = spec
             .split('x')
-            .map(|p| {
-                p.trim()
-                    .parse::<usize>()
-                    .map_err(|_| format!("bad factor {p:?} in spec {spec:?}"))
+            .enumerate()
+            .map(|(index, p)| {
+                p.trim().parse::<usize>().map_err(|_| SpecError::BadFactor {
+                    index,
+                    text: p.trim().to_string(),
+                })
             })
             .collect::<Result<_, _>>()?;
         if factors.len() < 2 {
-            return Err(format!(
-                "spec {spec:?} needs at least two factors (switch fan-out x nodes/leaf)"
-            ));
+            return Err(SpecError::TooFewFactors {
+                count: factors.len(),
+            });
         }
-        if factors.contains(&0) {
-            return Err(format!("spec {spec:?} contains a zero factor"));
+        if let Some(index) = factors.iter().position(|&f| f == 0) {
+            return Err(SpecError::ZeroFactor { index });
         }
         let nodes_per_leaf = *factors.last().expect("len checked");
         let fanouts = &factors[..factors.len() - 1];
@@ -128,7 +186,90 @@ impl Tree {
             }
             current = next;
         }
-        Tree::from_parts(leaf_names, leaf_nodes, uppers).map_err(|e| e.to_string())
+        Ok(Tree::from_parts(leaf_names, leaf_nodes, uppers)?)
+    }
+
+    /// A multi-rail fat-tree flattened to its placement hierarchy:
+    /// `pods` pod switches over `leaves_per_pod` leaf switches each, with
+    /// `rails * nodes_per_rail` nodes per leaf.
+    ///
+    /// In a real multi-rail fabric every node injects into `rails`
+    /// parallel planes with identical hierarchy, so the *distance*
+    /// structure (Eq. 4) of every rail is the same tree; rails multiply
+    /// leaf injection bandwidth, not depth. The SST scheduling paper's
+    /// fat-tree class models it the same way: the tree carries the
+    /// hierarchy, the rail count scales the per-leaf radix. Switches are
+    /// named `p{i}` (pods) and `p{i}l{j}` (leaves); nodes `n0..`.
+    pub fn multirail_fat_tree(
+        pods: usize,
+        leaves_per_pod: usize,
+        nodes_per_rail: usize,
+        rails: usize,
+    ) -> Tree {
+        assert!(pods > 0 && leaves_per_pod > 0 && nodes_per_rail > 0 && rails > 0);
+        let per_leaf = nodes_per_rail * rails;
+        let mut leaf_names = Vec::with_capacity(pods * leaves_per_pod);
+        let mut leaf_nodes = Vec::with_capacity(pods * leaves_per_pod);
+        let mut uppers = Vec::with_capacity(pods + 1);
+        let mut next = 0usize;
+        for p in 0..pods {
+            let mut children = Vec::with_capacity(leaves_per_pod);
+            for l in 0..leaves_per_pod {
+                let name = format!("p{p}l{l}");
+                leaf_nodes.push((next..next + per_leaf).map(|i| format!("n{i}")).collect());
+                next += per_leaf;
+                children.push(name.clone());
+                leaf_names.push(name);
+            }
+            uppers.push((format!("p{p}"), children));
+        }
+        uppers.push((
+            "root".to_string(),
+            (0..pods).map(|p| format!("p{p}")).collect(),
+        ));
+        Tree::from_parts(leaf_names, leaf_nodes, uppers).expect("builder produces valid trees")
+    }
+
+    /// A dragonfly flattened to a tree: `groups` all-to-all groups of
+    /// `routers_per_group` routers with `nodes_per_router` nodes each.
+    ///
+    /// A dragonfly's distance hierarchy collapses to three tiers — same
+    /// router, same group (one local hop), different group (global link)
+    /// — which is exactly a three-level tree: routers are leaf switches,
+    /// groups are level-2 switches, the global link layer is the root.
+    /// The all-to-all wiring *within* those tiers affects bandwidth, not
+    /// the hop hierarchy the placement cost model reads. Switches are
+    /// named `g{i}` (groups) and `g{i}r{j}` (routers); nodes `n0..`.
+    pub fn dragonfly_tree(
+        groups: usize,
+        routers_per_group: usize,
+        nodes_per_router: usize,
+    ) -> Tree {
+        assert!(groups > 0 && routers_per_group > 0 && nodes_per_router > 0);
+        let mut leaf_names = Vec::with_capacity(groups * routers_per_group);
+        let mut leaf_nodes = Vec::with_capacity(groups * routers_per_group);
+        let mut uppers = Vec::with_capacity(groups + 1);
+        let mut next = 0usize;
+        for g in 0..groups {
+            let mut children = Vec::with_capacity(routers_per_group);
+            for r in 0..routers_per_group {
+                let name = format!("g{g}r{r}");
+                leaf_nodes.push(
+                    (next..next + nodes_per_router)
+                        .map(|i| format!("n{i}"))
+                        .collect(),
+                );
+                next += nodes_per_router;
+                children.push(name.clone());
+                leaf_names.push(name);
+            }
+            uppers.push((format!("g{g}"), children));
+        }
+        uppers.push((
+            "root".to_string(),
+            (0..groups).map(|g| format!("g{g}")).collect(),
+        ));
+        Tree::from_parts(leaf_names, leaf_nodes, uppers).expect("builder produces valid trees")
     }
 
     /// Nominal bisection width in *links*: the minimum number of tree edges
@@ -181,6 +322,12 @@ pub enum SystemPreset {
     Theta,
     /// Mira scale: 49,152 nodes (Blue Gene/Q), three-level tree.
     Mira,
+    /// Exascale multi-rail fat-tree: 524,288 nodes — 32 pods × 32 leaves
+    /// × (4 rails × 128 nodes). See [`Tree::multirail_fat_tree`].
+    Multirail500k,
+    /// Exascale dragonfly-as-tree: 1,048,576 nodes — 64 groups × 256
+    /// routers × 64 nodes. See [`Tree::dragonfly_tree`].
+    Dragonfly1M,
 }
 
 impl SystemPreset {
@@ -209,6 +356,10 @@ impl SystemPreset {
             Self::Theta => Tree::irregular_two_level(&cori_leaf_sizes(12, 4392)),
             // 49,152 nodes over 144 large leaves.
             Self::Mira => Tree::irregular_two_level(&cori_leaf_sizes(144, 49152)),
+            // The two exascale classes (ROADMAP item 3): 2^19 nodes over
+            // 1,024 fat leaves, and 2^20 nodes over 16,384 thin routers.
+            Self::Multirail500k => Tree::multirail_fat_tree(32, 32, 128, 4),
+            Self::Dragonfly1M => Tree::dragonfly_tree(64, 256, 64),
         }
     }
 
@@ -220,6 +371,8 @@ impl SystemPreset {
             Self::CoriLike | Self::Theta => 4392,
             Self::Intrepid => 40960,
             Self::Mira => 49152,
+            Self::Multirail500k => 524288,
+            Self::Dragonfly1M => 1048576,
         }
     }
 }

@@ -151,7 +151,7 @@ impl Tree {
     /// reproduces an identical tree.
     pub fn to_conf(&self) -> String {
         let mut out = String::new();
-        for s in self.switches_by_level() {
+        for &s in self.switches_by_level() {
             let sw = self.switch(s);
             if sw.children.is_empty() {
                 let names: Vec<&str> = sw.nodes.iter().map(|n| self.node_name(*n)).collect();

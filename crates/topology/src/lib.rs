@@ -12,7 +12,9 @@
 //! * builders for regular and irregular trees plus presets that model the
 //!   systems used in the paper's evaluation: the IIT Kanpur cluster
 //!   (16 nodes/leaf), a Cori-like tree (330–380 nodes/leaf), and
-//!   Intrepid/Theta/Mira-scaled trees.
+//!   Intrepid/Theta/Mira-scaled trees — plus the exascale classes
+//!   (multi-rail fat-tree at 524,288 nodes, dragonfly-as-tree at
+//!   1,048,576 nodes) from ROADMAP item 3.
 //!
 //! Levels follow the paper's convention: leaf switches are level 1, their
 //! parents level 2, and so on up to the root.
@@ -38,7 +40,7 @@ mod build;
 mod conf;
 mod tree;
 
-pub use build::SystemPreset;
+pub use build::{SpecError, SystemPreset};
 pub use conf::ConfError;
 pub use tree::{NodeId, Switch, SwitchId, Tree, TreeError};
 

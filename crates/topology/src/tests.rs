@@ -385,12 +385,81 @@ mod spec_builder {
     }
 
     #[test]
-    fn spec_errors() {
-        assert!(Tree::from_spec("16").is_err());
-        assert!(Tree::from_spec("").is_err());
-        assert!(Tree::from_spec("ax4").is_err());
-        assert!(Tree::from_spec("4x0").is_err());
-        assert!(Tree::from_spec("0x4").is_err());
+    fn spec_errors_carry_factor_context() {
+        use crate::build::SpecError;
+        assert_eq!(
+            Tree::from_spec("16").unwrap_err(),
+            SpecError::TooFewFactors { count: 1 }
+        );
+        assert_eq!(
+            Tree::from_spec("").unwrap_err(),
+            SpecError::BadFactor {
+                index: 0,
+                text: String::new()
+            }
+        );
+        assert_eq!(
+            Tree::from_spec("ax4").unwrap_err(),
+            SpecError::BadFactor {
+                index: 0,
+                text: "a".to_string()
+            }
+        );
+        assert_eq!(
+            Tree::from_spec("4x0").unwrap_err(),
+            SpecError::ZeroFactor { index: 1 }
+        );
+        assert_eq!(
+            Tree::from_spec("0x4").unwrap_err(),
+            SpecError::ZeroFactor { index: 0 }
+        );
+        assert_eq!(
+            Tree::from_spec("4xbad x8").unwrap_err().to_string(),
+            "factor 1: \"bad\" is not a positive integer"
+        );
+    }
+
+    #[test]
+    fn multirail_fat_tree_shape() {
+        // 2 pods x 3 leaves x (2 rails x 4 nodes) = 48 nodes, 8 per leaf.
+        let t = Tree::multirail_fat_tree(2, 3, 4, 2);
+        assert_eq!(t.num_nodes(), 48);
+        assert_eq!(t.num_leaves(), 6);
+        assert_eq!(t.height(), 3);
+        for k in 0..t.num_leaves() {
+            assert_eq!(t.leaf_size(k), 8);
+        }
+        assert_eq!(t.switch(t.leaves()[4]).name, "p1l1");
+        // Same pod: distance 4; across pods: 6.
+        assert_eq!(t.distance(NodeId(0), NodeId(8)), 4);
+        assert_eq!(t.distance(NodeId(0), NodeId(24)), 6);
+    }
+
+    #[test]
+    fn dragonfly_tree_shape() {
+        // 3 groups x 4 routers x 2 nodes = 24 nodes.
+        let t = Tree::dragonfly_tree(3, 4, 2);
+        assert_eq!(t.num_nodes(), 24);
+        assert_eq!(t.num_leaves(), 12);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.switch(t.leaves()[5]).name, "g1r1");
+        // Same router: 2; same group: 4; across groups: 6.
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), 2);
+        assert_eq!(t.distance(NodeId(0), NodeId(2)), 4);
+        assert_eq!(t.distance(NodeId(0), NodeId(8)), 6);
+    }
+
+    #[test]
+    #[ignore = "builds the 524k/1M-node presets; run with --ignored or rely on bench_engine"]
+    fn exascale_presets_build_to_stated_size() {
+        for preset in [SystemPreset::Multirail500k, SystemPreset::Dragonfly1M] {
+            let t = preset.build();
+            assert_eq!(t.num_nodes(), preset.num_nodes());
+            assert_eq!(t.height(), 3);
+            t.switches()
+                .iter()
+                .for_each(|s| assert!(s.subtree_nodes > 0));
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The core immutable tree topology structure and its queries.
 
+use commsched_num::usize_of_u32;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -87,14 +88,56 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
+/// Interned node names: one shared byte buffer plus an offset table.
+///
+/// A `Vec<String>` costs 24 bytes of struct plus one heap allocation per
+/// node; at the 1M-node presets that is tens of megabytes of pointer
+/// chasing before the first query runs. The arena stores every name
+/// contiguously (~9 bytes per node for `n1048575`-style names) and hands
+/// out `&str` slices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct NameArena {
+    buf: String,
+    /// `offsets[i]..offsets[i+1]` is name `i`; always `count + 1` entries.
+    offsets: Vec<u32>,
+}
+
+impl NameArena {
+    fn with_capacity(names: usize, bytes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(names + 1);
+        offsets.push(0);
+        NameArena {
+            buf: String::with_capacity(bytes),
+            offsets,
+        }
+    }
+
+    fn push(&mut self, name: &str) {
+        self.buf.push_str(name);
+        let end = u32::try_from(self.buf.len()).expect("name arena exceeds 4 GiB");
+        self.offsets.push(end);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &str {
+        &self.buf[usize_of_u32(self.offsets[i])..usize_of_u32(self.offsets[i + 1])]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
 /// An immutable, validated tree/fat-tree topology.
 ///
 /// Construction goes through [`Tree::from_conf`], the builders in this crate,
 /// or [`Tree::from_parts`]. All queries are cheap: LCA is O(depth) with no
-/// allocation, everything else is O(1) table lookups.
+/// allocation, [`Tree::node_by_name`] is a binary search over a prebuilt
+/// index, everything else is O(1) table lookups.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tree {
-    pub(crate) node_names: Vec<String>,
+    pub(crate) node_names: NameArena,
     /// Leaf switch of each node.
     pub(crate) node_leaf: Vec<SwitchId>,
     pub(crate) switches: Vec<Switch>,
@@ -103,6 +146,11 @@ pub struct Tree {
     /// SwitchId -> leaf ordinal (usize::MAX for non-leaves).
     pub(crate) leaf_ordinal: Vec<usize>,
     pub(crate) root: SwitchId,
+    /// Node ids sorted by name — the [`Tree::node_by_name`] index.
+    pub(crate) name_order: Vec<NodeId>,
+    /// Switch ids in increasing level order (ties by id) — the precomputed
+    /// [`Tree::switches_by_level`] answer.
+    pub(crate) level_order: Vec<SwitchId>,
 }
 
 impl Tree {
@@ -117,7 +165,7 @@ impl Tree {
         leaf_nodes: Vec<Vec<String>>,
         uppers: Vec<(String, Vec<String>)>,
     ) -> Result<Self, TreeError> {
-        use std::collections::{BTreeMap, BTreeSet};
+        use std::collections::BTreeMap;
 
         assert_eq!(leaf_names.len(), leaf_nodes.len());
         if leaf_names.is_empty() {
@@ -130,9 +178,13 @@ impl Tree {
         // hash order, even if a future refactor iterates these.
         let mut by_name: BTreeMap<String, SwitchId> = BTreeMap::new();
 
-        let mut node_names = Vec::new();
-        let mut node_leaf = Vec::new();
-        let mut seen_nodes: BTreeSet<String> = BTreeSet::new();
+        let total_nodes: usize = leaf_nodes.iter().map(Vec::len).sum();
+        let name_bytes: usize = leaf_nodes
+            .iter()
+            .flat_map(|ns| ns.iter().map(String::len))
+            .sum();
+        let mut node_names = NameArena::with_capacity(total_nodes, name_bytes);
+        let mut node_leaf = Vec::with_capacity(total_nodes);
         let mut leaves = Vec::with_capacity(num_leaves);
 
         for (k, (name, nodes)) in leaf_names.into_iter().zip(leaf_nodes).enumerate() {
@@ -142,11 +194,8 @@ impl Tree {
             }
             let mut node_ids = Vec::with_capacity(nodes.len());
             for n in nodes {
-                if !seen_nodes.insert(n.clone()) {
-                    return Err(TreeError::DuplicateNode(n));
-                }
                 let nid = NodeId(node_names.len());
-                node_names.push(n);
+                node_names.push(&n);
                 node_leaf.push(id);
                 node_ids.push(nid);
             }
@@ -161,6 +210,17 @@ impl Tree {
                 leaf_ordinals: vec![k],
             });
             leaves.push(id);
+        }
+
+        // Duplicate-node detection doubles as the name index build: sort
+        // node ids by name once, then any duplicate is adjacent. Replaces
+        // the old per-name `BTreeSet<String>` (which cloned every name).
+        let mut name_order: Vec<NodeId> = (0..node_names.len()).map(NodeId).collect();
+        name_order.sort_unstable_by(|a, b| node_names.get(a.0).cmp(node_names.get(b.0)));
+        for pair in name_order.windows(2) {
+            if node_names.get(pair[0].0) == node_names.get(pair[1].0) {
+                return Err(TreeError::DuplicateNode(node_names.get(pair[0].0).into()));
+            }
         }
 
         for (name, children) in uppers {
@@ -237,6 +297,9 @@ impl Tree {
             leaf_ordinal[l.0] = k;
         }
 
+        let mut level_order: Vec<SwitchId> = (0..switches.len()).map(SwitchId).collect();
+        level_order.sort_by_key(|s| switches[s.0].level);
+
         Ok(Tree {
             node_names,
             node_leaf,
@@ -244,6 +307,8 @@ impl Tree {
             leaves,
             leaf_ordinal,
             root,
+            name_order,
+            level_order,
         })
     }
 
@@ -336,12 +401,17 @@ impl Tree {
     /// Configured name of a node.
     #[inline]
     pub fn node_name(&self, n: NodeId) -> &str {
-        &self.node_names[n.0]
+        self.node_names.get(n.0)
     }
 
-    /// Look up a node by name (linear scan; intended for tests/tools).
+    /// Look up a node by name — O(log n) binary search over the sorted
+    /// name index built at construction (the conf/hostlist resolution
+    /// path; the old linear scan was pathological at 1M nodes).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.node_names.iter().position(|n| n == name).map(NodeId)
+        self.name_order
+            .binary_search_by(|n| self.node_names.get(n.0).cmp(name))
+            .ok()
+            .map(|i| self.name_order[i])
     }
 
     /// Lowest common ancestor switch of two *switches*.
@@ -400,10 +470,11 @@ impl Tree {
         self.switches[s.0].subtree_nodes
     }
 
-    /// Switches in increasing level order (leaves first), for bottom-up scans.
-    pub fn switches_by_level(&self) -> Vec<SwitchId> {
-        let mut ids: Vec<SwitchId> = (0..self.switches.len()).map(SwitchId).collect();
-        ids.sort_by_key(|s| self.switches[s.0].level);
-        ids
+    /// Switches in increasing level order (leaves first, ties by id), for
+    /// bottom-up scans. Precomputed at construction — the old
+    /// allocate-and-sort on every call showed up in per-placement profiles.
+    #[inline]
+    pub fn switches_by_level(&self) -> &[SwitchId] {
+        &self.level_order
     }
 }
