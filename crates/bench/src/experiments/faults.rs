@@ -20,10 +20,13 @@ use serde_json::json;
 /// Mean time to repair for every sweep cell, seconds (4 h).
 const MTTR_SECS: f64 = 14_400.0;
 
-/// One (rate, policy, selector) cell of the sweep.
+/// One (domain, rate, policy, selector) cell of the sweep.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct FaultRow {
-    /// Per-node MTBF in seconds; 0 for the failure-free baseline.
+    /// Fault domain of the injected trace: `node`, `switch`, `link`, or
+    /// `-` for the failure-free baseline.
+    pub domain: String,
+    /// Per-target MTBF in seconds; 0 for the failure-free baseline.
     pub mtbf_secs: f64,
     /// Policy label: `cancel`, `requeue`, `requeue-front`, or `-` for the
     /// failure-free baseline (policies are indistinguishable there).
@@ -88,23 +91,89 @@ pub fn faults(scale: Scale) -> ExperimentResult {
         })
         .collect();
 
+    // Fault-domain axis: one switch-churn trace (correlated subtree
+    // outages; the root is filtered so the whole machine never goes dark)
+    // and one degraded-cable trace (capacity drops to 250‰ until repair —
+    // no kills, only slowdown, so the policy column stays "-").
+    let switch_mtbf_secs = 2.0e6;
+    let switch_trace = {
+        let all = FaultTrace::switch_mtbf(
+            tree.num_switches(),
+            switch_mtbf_secs,
+            MTTR_SECS,
+            horizon,
+            scale.seed ^ 0x5A17,
+        )
+        .expect("sweep switch-MTBF parameters are valid");
+        let root = tree.root().0;
+        FaultTrace::new(
+            all.events()
+                .iter()
+                .filter(|e| e.node != root)
+                .copied()
+                .collect(),
+        )
+    };
+    let link_mtbf_secs = 1.0e6;
+    let link_trace = FaultTrace::link_degrade(
+        tree.num_directed_links(),
+        link_mtbf_secs,
+        MTTR_SECS,
+        250,
+        horizon,
+        scale.seed ^ 0x11A7,
+    )
+    .expect("sweep link-degrade parameters are valid");
+
     // The cell grid, in deterministic source order: the failure-free
-    // baseline once per selector, then every rate × policy × selector.
-    let mut cells: Vec<(f64, &str, FailurePolicy, Option<&FaultTrace>, SelectorKind)> = Vec::new();
+    // baseline once per selector, the node-domain rate × policy ×
+    // selector sweep, then the switch and link domains.
+    type Cell<'a> = (
+        &'static str,
+        f64,
+        &'static str,
+        FailurePolicy,
+        Option<&'a FaultTrace>,
+        SelectorKind,
+    );
+    let mut cells: Vec<Cell<'_>> = Vec::new();
     for kind in SelectorKind::ALL {
-        cells.push((0.0, "-", FailurePolicy::Cancel, None, kind));
+        cells.push(("-", 0.0, "-", FailurePolicy::Cancel, None, kind));
     }
     for (mtbf, trace) in &traces {
         for &(label, policy) in &policies {
             for kind in SelectorKind::ALL {
-                cells.push((*mtbf, label, policy, Some(trace), kind));
+                cells.push(("node", *mtbf, label, policy, Some(trace), kind));
             }
         }
+    }
+    for &(label, policy) in &policies {
+        for kind in SelectorKind::ALL {
+            cells.push((
+                "switch",
+                switch_mtbf_secs,
+                label,
+                policy,
+                Some(&switch_trace),
+                kind,
+            ));
+        }
+    }
+    for kind in SelectorKind::ALL {
+        // Degraded links kill nothing, so the failure policy is moot.
+        cells.push((
+            "link",
+            link_mtbf_secs,
+            "-",
+            FailurePolicy::Cancel,
+            Some(&link_trace),
+            kind,
+        ));
     }
 
     let rows: Vec<FaultRow> = cells
         .par_iter()
-        .map(|&(mtbf, policy_label, policy, trace, kind)| {
+        .map(|&(domain, mtbf, policy_label, policy, trace, kind)| {
             let cfg = EngineConfig::new(kind).with_failure_policy(policy);
             let mut engine = Engine::new(&tree, cfg);
             if let Some(t) = trace {
@@ -112,6 +181,7 @@ pub fn faults(scale: Scale) -> ExperimentResult {
             }
             let s = engine.run(&log).expect("log fits the Theta preset");
             FaultRow {
+                domain: domain.to_string(),
                 mtbf_secs: mtbf,
                 policy: policy_label.to_string(),
                 selector: kind.name().to_string(),
@@ -127,6 +197,7 @@ pub fn faults(scale: Scale) -> ExperimentResult {
 
     let mut t = Table::new(
         [
+            "domain",
             "MTBF(s)",
             "policy",
             "selector",
@@ -142,6 +213,7 @@ pub fn faults(scale: Scale) -> ExperimentResult {
     );
     for r in rows.iter().filter(|r| r.selector == "adaptive") {
         t.row(vec![
+            r.domain.clone(),
             if r.mtbf_secs == 0.0 {
                 "-".into()
             } else {
@@ -161,22 +233,34 @@ pub fn faults(scale: Scale) -> ExperimentResult {
     // Headline shape: failures only destroy work (lost node-hours grow as
     // MTBF shrinks), and requeueing completes at least as many jobs as
     // cancelling under the same trace.
-    let adaptive = |mtbf: f64, policy: &str| -> &FaultRow {
+    let adaptive = |domain: &str, mtbf: f64, policy: &str| -> &FaultRow {
         rows.iter()
-            .find(|r| r.selector == "adaptive" && r.mtbf_secs == mtbf && r.policy == policy)
+            .find(|r| {
+                r.selector == "adaptive"
+                    && r.domain == domain
+                    && r.mtbf_secs == mtbf
+                    && r.policy == policy
+            })
             .expect("cell present")
     };
     let shape = format!(
         "adaptive: lost node-hours 0.0 (healthy) <= {:.1} (MTBF 5e6s) <= {:.1} (MTBF 1e6s) \
-         under requeue; completed {} (cancel) <= {} (requeue) at MTBF 1e6s\n",
-        adaptive(5.0e6, "requeue").lost_node_hours,
-        adaptive(1.0e6, "requeue").lost_node_hours,
-        adaptive(1.0e6, "cancel").completed,
-        adaptive(1.0e6, "requeue").completed,
+         under requeue; completed {} (cancel) <= {} (requeue) at MTBF 1e6s\n\
+         switch outages (requeue): {} completed, {:.1} node-hours lost; \
+         degraded links kill nothing: {} completed, exec {:.1}h >= healthy {:.1}h\n",
+        adaptive("node", 5.0e6, "requeue").lost_node_hours,
+        adaptive("node", 1.0e6, "requeue").lost_node_hours,
+        adaptive("node", 1.0e6, "cancel").completed,
+        adaptive("node", 1.0e6, "requeue").completed,
+        adaptive("switch", switch_mtbf_secs, "requeue").completed,
+        adaptive("switch", switch_mtbf_secs, "requeue").lost_node_hours,
+        adaptive("link", link_mtbf_secs, "-").completed,
+        adaptive("link", link_mtbf_secs, "-").exec_hours,
+        adaptive("-", 0.0, "-").exec_hours,
     );
 
     let text = format!(
-        "Fault sweep: per-node MTBF x requeue policy x selector, Theta log \
+        "Fault sweep: fault domain x MTBF x requeue policy x selector, Theta log \
          (90% RHVD, MTTR {MTTR_SECS:.0}s; adaptive shown, all selectors in JSON)\n\n{t}\n{shape}"
     );
     ExperimentResult {

@@ -19,10 +19,11 @@ use commsched_workload::{FaultTrace, JobLog, LogSpec, SystemModel};
 use serde_json::json;
 
 /// Every golden scenario name, in the order the suite checks them.
-pub const GOLDEN_SCENARIOS: [&str; 4] = [
+pub const GOLDEN_SCENARIOS: [&str; 5] = [
     "fifo-easy-greedy",
     "adaptive",
     "faulted-requeue",
+    "switch-outage",
     "netsim-interference",
 ];
 
@@ -104,6 +105,36 @@ pub fn run_golden(name: &str, jobs: usize, seed: u64) -> Option<(String, String)
         "fifo-easy-greedy" => (SelectorKind::Greedy, false),
         "adaptive" => (SelectorKind::Adaptive, false),
         "faulted-requeue" => (SelectorKind::Balanced, true),
+        "switch-outage" => {
+            // Hierarchical fault domains mid-run: one leaf switch goes dark
+            // (killing and requeueing everything under it), one node uplink
+            // runs degraded for a while. Written as fault-trace *text* so
+            // the scenario also pins the parser's round-trip.
+            let tree = golden_tree();
+            let log = golden_log(jobs, seed);
+            let mut cfg = EngineConfig::new(SelectorKind::Adaptive);
+            cfg.backfill = BackfillPolicy::Easy;
+            cfg = cfg.with_failure_policy(FailurePolicy::Requeue {
+                max_retries: 2,
+                backoff: 30,
+            });
+            let leaf1 = tree.leaf(1).0;
+            let uplink = tree.node_uplink(NodeId(3));
+            let text = format!(
+                "600 link:{uplink} degrade 500\n\
+                 900 switch:{leaf1} down\n\
+                 1500 link:{uplink} restore\n\
+                 2400 switch:{leaf1} up\n"
+            );
+            let faults = FaultTrace::parse(&text).expect("golden fault trace parses");
+            let engine = Engine::new(&tree, cfg).with_faults(faults);
+            let mut cap = Capture::new();
+            let mut reg = Registry::new();
+            engine
+                .run_observed(&log, &mut cap, &mut reg)
+                .expect("golden log fits the golden machine");
+            return Some((cap.to_jsonl(), reg.snapshot().to_json_pretty()));
+        }
         "netsim-interference" => {
             let tree = Tree::regular_two_level(2, 8);
             let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
@@ -197,7 +228,10 @@ pub fn trace(scale: Scale) -> ExperimentResult {
             // Fixed key order: the class is recoverable from the "ev" name.
             let class = if line.contains("\"ev\":\"net_") {
                 EventClass::Net
-            } else if line.contains("\"ev\":\"fault\"") {
+            } else if line.contains("\"ev\":\"fault\"")
+                || line.contains("\"ev\":\"switch_fault\"")
+                || line.contains("\"ev\":\"link_fault\"")
+            {
                 EventClass::Fault
             } else {
                 EventClass::Job

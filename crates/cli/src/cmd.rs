@@ -83,22 +83,33 @@ fn load_log(p: &Parsed) -> Result<(JobLog, usize), String> {
     }
 }
 
-/// Fault trace from `--fault-trace FILE` or `--mtbf SECS` (plus `--mttr`
-/// and `--fault-seed`); `None` when neither is given.
-fn load_faults(p: &Parsed, num_nodes: usize, log: &JobLog) -> Result<Option<FaultTrace>, String> {
-    let trace = match (p.get("fault-trace"), p.get("mtbf")) {
-        (None, None) => return Ok(None),
-        (Some(_), Some(_)) => {
-            return Err("give at most one of --fault-trace FILE or --mtbf SECS".into())
+/// Fault trace from `--fault-trace FILE` or the seeded generators:
+/// `--mtbf SECS` (node churn, plus `--mttr`), `--switch-mtbf SECS`
+/// (correlated subtree outages, plus `--switch-mttr`) and
+/// `--link-degrade PERMILLE` (degraded cables, plus `--link-mtbf` /
+/// `--link-mttr`). Generators compose — each draws from its own seed
+/// stream off `--fault-seed` — and `None` is returned when nothing asks
+/// for faults.
+fn load_faults(p: &Parsed, tree: &Tree, log: &JobLog) -> Result<Option<FaultTrace>, String> {
+    let num_nodes = tree.num_nodes();
+    let generated = p.get("mtbf").is_some()
+        || p.get("switch-mtbf").is_some()
+        || p.get("link-degrade").is_some();
+    let trace = match (p.get("fault-trace"), generated) {
+        (None, false) => return Ok(None),
+        (Some(_), true) => {
+            return Err(
+                "give at most one of --fault-trace FILE or the --mtbf/--switch-mtbf/\
+                 --link-degrade generators"
+                    .into(),
+            )
         }
-        (Some(path), None) => {
+        (Some(path), false) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             FaultTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?
         }
-        (None, Some(_)) => {
-            let mtbf: f64 = p.get_parsed("mtbf", 0.0f64)?;
-            let mttr: f64 = p.get_parsed("mttr", 3600.0f64)?;
+        (None, true) => {
             let seed: u64 = p.get_parsed("fault-seed", 7u64)?;
             // Generate faults over twice the log's nominal span so requeues
             // that run past the last submit still see failures.
@@ -108,11 +119,61 @@ fn load_faults(p: &Parsed, num_nodes: usize, log: &JobLog) -> Result<Option<Faul
                 .map(|j| j.submit + j.walltime)
                 .max()
                 .unwrap_or(0);
-            FaultTrace::mtbf(num_nodes, mtbf, mttr, span.saturating_mul(2).max(1), seed)
-                .map_err(|e| e.to_string())?
+            let horizon = span.saturating_mul(2).max(1);
+            let mut trace = FaultTrace::empty();
+            if p.get("mtbf").is_some() {
+                let mtbf: f64 = p.get_parsed("mtbf", 0.0f64)?;
+                let mttr: f64 = p.get_parsed("mttr", 3600.0f64)?;
+                trace = trace.merge(
+                    FaultTrace::mtbf(num_nodes, mtbf, mttr, horizon, seed)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            if p.get("switch-mtbf").is_some() {
+                let mtbf: f64 = p.get_parsed("switch-mtbf", 0.0f64)?;
+                let mttr: f64 = p.get_parsed("switch-mttr", 3600.0f64)?;
+                let all = FaultTrace::switch_mtbf(
+                    tree.num_switches(),
+                    mtbf,
+                    mttr,
+                    horizon,
+                    seed.wrapping_add(1),
+                )
+                .map_err(|e| e.to_string())?;
+                // Never generate a whole-machine outage: drop the root
+                // switch's events (the draw sequence is per-switch, so the
+                // filter does not shift any other switch's schedule).
+                let root = tree.root().0;
+                let kept: Vec<_> = all
+                    .events()
+                    .iter()
+                    .filter(|e| e.node != root)
+                    .copied()
+                    .collect();
+                trace = trace.merge(FaultTrace::new(kept));
+            }
+            if p.get("link-degrade").is_some() {
+                let permille: u32 = p.get_parsed("link-degrade", 500u32)?;
+                let mtbf: f64 = p.get_parsed("link-mtbf", 86400.0f64)?;
+                let mttr: f64 = p.get_parsed("link-mttr", 3600.0f64)?;
+                trace = trace.merge(
+                    FaultTrace::link_degrade(
+                        tree.num_directed_links(),
+                        mtbf,
+                        mttr,
+                        permille,
+                        horizon,
+                        seed.wrapping_add(2),
+                    )
+                    .map_err(|e| e.to_string())?,
+                );
+            }
+            trace
         }
     };
-    trace.validate(num_nodes).map_err(|e| e.to_string())?;
+    trace
+        .validate_machine(num_nodes, tree.num_switches(), tree.num_directed_links())
+        .map_err(|e| e.to_string())?;
     Ok(Some(trace))
 }
 
@@ -249,7 +310,7 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
             }
         }
     }
-    let faults = load_faults(p, tree.num_nodes(), &log)?;
+    let faults = load_faults(p, &tree, &log)?;
     let failure_policy = load_failure_policy(p)?;
 
     // Observability: any of these flags switches the engine call to the

@@ -97,9 +97,16 @@ USAGE:
 
   <workload> = --swf FILE [--ppn N] | --system NAME [--jobs N] [--seed S]
                [--comm-pct P] [--pattern PAT]
-  <faults>   = (--fault-trace FILE | --mtbf SECS [--mttr SECS] [--fault-seed S])
+  <faults>   = (--fault-trace FILE |
+                [--mtbf SECS [--mttr SECS]]            # node churn
+                [--switch-mtbf SECS [--switch-mttr SECS]]  # subtree outages
+                [--link-degrade PERMILLE [--link-mtbf SECS] [--link-mttr SECS]]
+                [--fault-seed S])
                [--failure-policy cancel|requeue|requeue-front]
                [--max-retries N] [--backoff SECS]
+               the three generators compose; a switch fault downs every
+               node under it, a link event degrades one directed cable to
+               PERMILLE/1000 of nominal until its repair
   <observe>  = [--trace-out FILE] [--trace-filter job,fault,net|all]
                [--report-out FILE]
                trace files ending in .json use the Chrome trace_event

@@ -477,6 +477,77 @@ fn fault_trace_and_mtbf_are_mutually_exclusive() {
 }
 
 #[test]
+fn run_with_switch_and_link_generators_composes() {
+    // All three fault-domain generators at once: the run must succeed and
+    // still report the failure summary, and the composed trace must be
+    // deterministic — the same flags twice give byte-identical output.
+    let args = [
+        "run",
+        "--preset",
+        "iitk-hpc2010",
+        "--system",
+        "theta",
+        "--jobs",
+        "30",
+        "--mtbf",
+        "500000",
+        "--switch-mtbf",
+        "800000",
+        "--switch-mttr",
+        "7200",
+        "--link-degrade",
+        "250",
+        "--link-mtbf",
+        "400000",
+        "--fault-seed",
+        "11",
+    ];
+    let (code, out, _) = run_cli(&args);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("failures (policy: requeue"), "{out}");
+    assert!(out.contains("node-hours lost"), "{out}");
+    let (code2, out2, _) = run_cli(&args);
+    assert_eq!(code2, 0);
+    assert_eq!(out, out2, "fault-domain generators not deterministic");
+}
+
+#[test]
+fn switch_mtbf_conflicts_with_fault_trace() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--switch-mtbf",
+        "1000",
+        "--fault-trace",
+        "whatever.trace",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("at most one"), "{err}");
+}
+
+#[test]
+fn link_degrade_rejects_zero_permille() {
+    let (code, _, err) = run_cli(&[
+        "run",
+        "--preset",
+        "theta",
+        "--system",
+        "theta",
+        "--jobs",
+        "5",
+        "--link-degrade",
+        "0",
+    ]);
+    assert_eq!(code, 1);
+    assert!(err.contains("permille"), "{err}");
+}
+
+#[test]
 fn bad_failure_policy_is_rejected() {
     let (code, _, err) = run_cli(&[
         "run",

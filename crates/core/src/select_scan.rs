@@ -16,6 +16,7 @@ use crate::cost::CostModel;
 use crate::eval::PlacementEvaluator;
 use crate::select::{check_request, AllocRequest, SelectError};
 use crate::state::ClusterState;
+use commsched_num::usize_of_u32;
 use commsched_topology::{NodeId, SwitchId, Tree};
 use std::sync::{Arc, Mutex};
 
@@ -67,7 +68,7 @@ fn fill_in_order(
         if remaining == 0 {
             break;
         }
-        let free = state.leaf_free(k) as usize;
+        let free = usize_of_u32(state.leaf_free(k));
         if free == 0 {
             continue;
         }
@@ -170,7 +171,10 @@ pub fn balanced_select(
 
     // Lines 9-21: decreasing free order, grant sizes halving to fit.
     order.sort_by(|&a, &b| state.leaf_free(b).cmp(&state.leaf_free(a)).then(a.cmp(&b)));
-    let mut free: Vec<usize> = order.iter().map(|&k| state.leaf_free(k) as usize).collect();
+    let mut free: Vec<usize> = order
+        .iter()
+        .map(|&k| usize_of_u32(state.leaf_free(k)))
+        .collect();
     let mut taken: Vec<usize> = vec![0; order.len()];
     let mut remaining = req.nodes;
     // `S` carries over between leaves and only ever shrinks (the paper's

@@ -72,6 +72,18 @@ pub enum StateError {
     NodeDown(NodeId),
     /// Tried to recover a node that is not down (or draining).
     NodeNotDown(NodeId),
+    /// Tried to down a switch that is already down.
+    SwitchDown(SwitchId),
+    /// Tried to bring up a switch that is not down.
+    SwitchNotDown(SwitchId),
+    /// Tried to down a switch while a job still holds a descendant node —
+    /// the caller must kill or release the job first.
+    SwitchBusy {
+        /// The switch being downed.
+        switch: SwitchId,
+        /// The first busy descendant node found.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for StateError {
@@ -83,6 +95,11 @@ impl fmt::Display for StateError {
             Self::EmptyAllocation(j) => write!(f, "refusing empty allocation for {j}"),
             Self::NodeDown(n) => write!(f, "{n} is down"),
             Self::NodeNotDown(n) => write!(f, "{n} is not down"),
+            Self::SwitchDown(s) => write!(f, "{s} is already down"),
+            Self::SwitchNotDown(s) => write!(f, "{s} is not down"),
+            Self::SwitchBusy { switch, node } => {
+                write!(f, "{switch} still has busy descendant {node}")
+            }
         }
     }
 }
@@ -133,10 +150,21 @@ pub struct ClusterState {
     node_health: Vec<NodeHealth>,
     /// Per-leaf-ordinal: nodes that are down (neither free nor busy).
     leaf_down: Vec<u32>,
-    /// Total down nodes.
+    /// Total down nodes (intrinsically failed *or* masked by a down
+    /// switch; see `node_mask`).
     down_total: usize,
     /// Total draining nodes (busy, will go down on release).
     draining_total: usize,
+    /// Per-switch: is the switch itself failed? A down switch transitively
+    /// excludes every descendant node from the free counters.
+    switch_down: Vec<bool>,
+    /// Per-node: number of down *ancestor* switches masking this node.
+    /// While positive the node is effectively down (counted in `leaf_down`
+    /// and `down_total`) regardless of its intrinsic `node_health`, which
+    /// is preserved so recoveries compose in either order.
+    node_mask: Vec<u32>,
+    /// Total switches currently down.
+    switches_down_total: usize,
     /// Ordered so that iteration (serialization, invariant sweeps) is
     /// deterministic regardless of insertion history.
     allocs: BTreeMap<JobId, Allocation>,
@@ -166,6 +194,9 @@ impl PartialEq for ClusterState {
             && self.leaf_down == other.leaf_down
             && self.down_total == other.down_total
             && self.draining_total == other.draining_total
+            && self.switch_down == other.switch_down
+            && self.node_mask == other.node_mask
+            && self.switches_down_total == other.switches_down_total
             && self.allocs == other.allocs
     }
 }
@@ -194,6 +225,9 @@ impl ClusterState {
             leaf_down: vec![0; leaves],
             down_total: 0,
             draining_total: 0,
+            switch_down: vec![false; tree.num_switches()],
+            node_mask: vec![0; tree.num_nodes()],
+            switches_down_total: 0,
             allocs: BTreeMap::new(),
             version: next_version(),
             index: FreeIndex::default(),
@@ -233,6 +267,11 @@ impl ClusterState {
         self.leaf_down.resize(leaves, 0);
         self.down_total = 0;
         self.draining_total = 0;
+        self.switch_down.clear();
+        self.switch_down.resize(tree.num_switches(), false);
+        self.node_mask.clear();
+        self.node_mask.resize(nodes, 0);
+        self.switches_down_total = 0;
         self.allocs.clear();
         self.version = next_version();
         self.reindex(tree);
@@ -343,10 +382,40 @@ impl ClusterState {
         self.node_health[n.0]
     }
 
-    /// Down nodes on leaf ordinal `k`.
+    /// Down nodes on leaf ordinal `k` (intrinsic failures plus nodes
+    /// masked by a down ancestor switch).
     #[inline]
     pub fn leaf_down(&self, k: usize) -> u32 {
         self.leaf_down[k]
+    }
+
+    /// Is switch `s` itself down?
+    #[inline]
+    pub fn switch_is_down(&self, s: SwitchId) -> bool {
+        self.switch_down[s.0]
+    }
+
+    /// Number of switches currently down.
+    #[inline]
+    pub fn switches_down_total(&self) -> usize {
+        self.switches_down_total
+    }
+
+    /// Is node `n` masked out by at least one down ancestor switch?
+    #[inline]
+    pub fn is_masked(&self, n: NodeId) -> bool {
+        self.node_mask[n.0] > 0
+    }
+
+    /// The node's *effective* lifecycle state: `Down` while any ancestor
+    /// switch is down, otherwise its intrinsic [`ClusterState::health`].
+    #[inline]
+    pub fn effective_health(&self, n: NodeId) -> NodeHealth {
+        if self.node_mask[n.0] > 0 {
+            NodeHealth::Down
+        } else {
+            self.node_health[n.0]
+        }
     }
 
     /// The job holding node `n`, if any. O(allocations); at most one job
@@ -499,7 +568,8 @@ impl ClusterState {
         }
         for &n in nodes {
             if !self.node_free[n.0] {
-                return Err(if self.node_health[n.0] == NodeHealth::Down {
+                let down = self.node_health[n.0] == NodeHealth::Down || self.node_mask[n.0] > 0;
+                return Err(if down {
                     StateError::NodeDown(n)
                 } else {
                     StateError::NodeBusy(n)
@@ -557,22 +627,13 @@ impl ClusterState {
         Ok(alloc)
     }
 
-    /// Take a *free* node out of service (fault-injection `Fail` on an idle
-    /// node, or the second half of killing the job that held it).
-    ///
-    /// Errors with [`StateError::NodeBusy`] if a job still holds the node —
-    /// the caller must release (kill) the job first — and with
-    /// [`StateError::NodeDown`] if the node is already down.
-    pub fn set_down(&mut self, tree: &Tree, n: NodeId) -> Result<(), StateError> {
-        match self.node_health[n.0] {
-            NodeHealth::Down => return Err(StateError::NodeDown(n)),
-            NodeHealth::Up | NodeHealth::Draining if !self.node_free[n.0] => {
-                return Err(StateError::NodeBusy(n));
-            }
-            _ => {}
-        }
-        // Free -> down: leaves every free counter exactly like occupy, but
-        // lands in leaf_down instead of leaf_busy.
+    /// Free -> down counter move: leaves every free counter exactly like
+    /// occupy, but lands in `leaf_down` instead of `leaf_busy`. Touches
+    /// neither `node_health` nor `node_mask`; callers record *why* the
+    /// node left service.
+    #[inline]
+    fn free_to_down(&mut self, tree: &Tree, n: NodeId) {
+        debug_assert!(self.node_free[n.0]);
         self.node_free[n.0] = false;
         let k = tree.leaf_ordinal_of(n);
         self.note_leaf_dirty(tree, k);
@@ -586,8 +647,56 @@ impl ClusterState {
             s = tree.switch(id).parent;
         }
         self.free_total -= 1;
-        self.node_health[n.0] = NodeHealth::Down;
         self.down_total += 1;
+    }
+
+    /// Inverse of [`ClusterState::free_to_down`].
+    #[inline]
+    fn down_to_free(&mut self, tree: &Tree, n: NodeId) {
+        debug_assert!(!self.node_free[n.0]);
+        self.node_free[n.0] = true;
+        let k = tree.leaf_ordinal_of(n);
+        self.note_leaf_dirty(tree, k);
+        self.leaf_down[k] -= 1;
+        self.leaf_free[k] += 1;
+        let mut s = Some(tree.leaf_of(n));
+        while let Some(id) = s {
+            self.index
+                .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
+            self.switch_free[id.0] += 1;
+            s = tree.switch(id).parent;
+        }
+        self.free_total += 1;
+        self.down_total -= 1;
+    }
+
+    /// Take a *free* node out of service (fault-injection `Fail` on an idle
+    /// node, or the second half of killing the job that held it).
+    ///
+    /// On a node masked by a down ancestor switch only the intrinsic
+    /// health flips to `Down` (the counters already exclude it), so the
+    /// node stays down when the switch later comes back up.
+    ///
+    /// Errors with [`StateError::NodeBusy`] if a job still holds the node —
+    /// the caller must release (kill) the job first — and with
+    /// [`StateError::NodeDown`] if the node is already down.
+    pub fn set_down(&mut self, tree: &Tree, n: NodeId) -> Result<(), StateError> {
+        match self.node_health[n.0] {
+            NodeHealth::Down => return Err(StateError::NodeDown(n)),
+            // A masked node is never busy or draining: record the
+            // intrinsic failure without touching the counters.
+            NodeHealth::Up if self.node_mask[n.0] > 0 => {
+                self.node_health[n.0] = NodeHealth::Down;
+                self.version = next_version();
+                return Ok(());
+            }
+            NodeHealth::Up | NodeHealth::Draining if !self.node_free[n.0] => {
+                return Err(StateError::NodeBusy(n));
+            }
+            _ => {}
+        }
+        self.free_to_down(tree, n);
+        self.node_health[n.0] = NodeHealth::Down;
         self.flush_index(tree);
         self.version = next_version();
         Ok(())
@@ -606,27 +715,87 @@ impl ClusterState {
                 self.version = next_version();
                 Ok(())
             }
-            NodeHealth::Down => {
-                self.node_free[n.0] = true;
-                let k = tree.leaf_ordinal_of(n);
-                self.note_leaf_dirty(tree, k);
-                self.leaf_down[k] -= 1;
-                self.leaf_free[k] += 1;
-                let mut s = Some(tree.leaf_of(n));
-                while let Some(id) = s {
-                    self.index
-                        .note_switch(u32_of_usize(id.0), self.switch_free[id.0]);
-                    self.switch_free[id.0] += 1;
-                    s = tree.switch(id).parent;
-                }
-                self.free_total += 1;
+            // Intrinsic recovery under a still-down switch: the node stays
+            // effectively down (counters untouched) until the switch
+            // returns to service.
+            NodeHealth::Down if self.node_mask[n.0] > 0 => {
                 self.node_health[n.0] = NodeHealth::Up;
-                self.down_total -= 1;
+                self.version = next_version();
+                Ok(())
+            }
+            NodeHealth::Down => {
+                self.down_to_free(tree, n);
+                self.node_health[n.0] = NodeHealth::Up;
                 self.flush_index(tree);
                 self.version = next_version();
                 Ok(())
             }
         }
+    }
+
+    /// Fail switch `s`: every descendant node leaves the free counters
+    /// (correlated failure), exactly as if each free node had gone down,
+    /// while keeping the nodes' intrinsic health so
+    /// [`ClusterState::set_switch_up`] can restore exactly the survivors.
+    /// Masking nests: a node under two down switches needs both back up.
+    ///
+    /// Errors with [`StateError::SwitchDown`] if `s` is already down and
+    /// with [`StateError::SwitchBusy`] while any descendant node is still
+    /// held by a job — the caller must kill or release those jobs first,
+    /// mirroring the node-level [`ClusterState::set_down`] contract.
+    pub fn set_switch_down(&mut self, tree: &Tree, s: SwitchId) -> Result<(), StateError> {
+        if self.switch_down[s.0] {
+            return Err(StateError::SwitchDown(s));
+        }
+        for &k in tree.leaf_ordinals_under(s) {
+            for &n in tree.leaf_nodes(k) {
+                let busy = !self.node_free[n.0]
+                    && self.node_mask[n.0] == 0
+                    && self.node_health[n.0] != NodeHealth::Down;
+                if busy {
+                    return Err(StateError::SwitchBusy { switch: s, node: n });
+                }
+            }
+        }
+        for &k in tree.leaf_ordinals_under(s) {
+            for &n in tree.leaf_nodes(k) {
+                self.node_mask[n.0] += 1;
+                if self.node_mask[n.0] == 1 && self.node_health[n.0] == NodeHealth::Up {
+                    // First mask over a healthy (therefore free) node.
+                    self.free_to_down(tree, n);
+                }
+            }
+        }
+        self.switch_down[s.0] = true;
+        self.switches_down_total += 1;
+        self.flush_index(tree);
+        self.version = next_version();
+        Ok(())
+    }
+
+    /// Return switch `s` to service: descendant nodes whose *only* reason
+    /// for being down was this switch (intrinsically `Up`, no other down
+    /// ancestor) re-enter the free counters; nodes that failed on their
+    /// own stay down until their own `Recover`.
+    ///
+    /// Errors with [`StateError::SwitchNotDown`] if `s` is not down.
+    pub fn set_switch_up(&mut self, tree: &Tree, s: SwitchId) -> Result<(), StateError> {
+        if !self.switch_down[s.0] {
+            return Err(StateError::SwitchNotDown(s));
+        }
+        for &k in tree.leaf_ordinals_under(s) {
+            for &n in tree.leaf_nodes(k) {
+                self.node_mask[n.0] -= 1;
+                if self.node_mask[n.0] == 0 && self.node_health[n.0] == NodeHealth::Up {
+                    self.down_to_free(tree, n);
+                }
+            }
+        }
+        self.switch_down[s.0] = false;
+        self.switches_down_total -= 1;
+        self.flush_index(tree);
+        self.version = next_version();
+        Ok(())
     }
 
     /// Gracefully drain node `n`: a free node goes straight down (returns
@@ -637,6 +806,13 @@ impl ClusterState {
         match self.node_health[n.0] {
             NodeHealth::Down => Err(StateError::NodeDown(n)),
             NodeHealth::Draining => Ok(false),
+            // Effectively down already (masked, so idle): draining it is a
+            // hard down — the node must not return at switch-up.
+            NodeHealth::Up if self.node_mask[n.0] > 0 => {
+                self.node_health[n.0] = NodeHealth::Down;
+                self.version = next_version();
+                Ok(true)
+            }
             NodeHealth::Up if self.node_free[n.0] => {
                 self.set_down(tree, n)?;
                 Ok(true)
@@ -707,25 +883,55 @@ impl ClusterState {
                 return Err(format!("leaf {k}: comm > busy"));
             }
         }
+        // Recount the per-node switch masks from the per-switch down bits,
+        // then recount the down counters against *effective* health: a node
+        // is down when it failed intrinsically or any ancestor switch did.
+        let mut mask = vec![0u32; self.node_mask.len()];
+        let mut switches_down = 0usize;
+        for (id, &sd) in self.switch_down.iter().enumerate() {
+            if !sd {
+                continue;
+            }
+            switches_down += 1;
+            for &k in tree.leaf_ordinals_under(SwitchId(id)) {
+                for &n in tree.leaf_nodes(k) {
+                    mask[n.0] += 1;
+                }
+            }
+        }
+        if mask != self.node_mask {
+            return Err("node_mask disagrees with a recount from switch_down".into());
+        }
+        if switches_down != self.switches_down_total {
+            return Err(format!(
+                "switches_down_total {} != counted {switches_down}",
+                self.switches_down_total
+            ));
+        }
         let mut down = vec![0u32; tree.num_leaves()];
         let mut down_count = 0usize;
         let mut draining_count = 0usize;
         for (i, &h) in self.node_health.iter().enumerate() {
-            match h {
-                NodeHealth::Down => {
-                    if self.node_free[i] {
-                        return Err(format!("node {i}: down but marked free"));
-                    }
-                    down[tree.leaf_ordinal_of(NodeId(i))] += 1;
-                    down_count += 1;
+            let masked = mask[i] > 0;
+            if masked {
+                if self.node_free[i] {
+                    return Err(format!("node {i}: masked by a down switch but marked free"));
                 }
-                NodeHealth::Draining => {
-                    if self.node_free[i] {
-                        return Err(format!("node {i}: draining but marked free"));
-                    }
-                    draining_count += 1;
+                if h == NodeHealth::Draining {
+                    return Err(format!("node {i}: masked by a down switch but draining"));
                 }
-                NodeHealth::Up => {}
+            }
+            if masked || h == NodeHealth::Down {
+                if self.node_free[i] {
+                    return Err(format!("node {i}: down but marked free"));
+                }
+                down[tree.leaf_ordinal_of(NodeId(i))] += 1;
+                down_count += 1;
+            } else if h == NodeHealth::Draining {
+                if self.node_free[i] {
+                    return Err(format!("node {i}: draining but marked free"));
+                }
+                draining_count += 1;
             }
         }
         for (k, &counted) in down.iter().enumerate() {
@@ -754,6 +960,12 @@ impl ClusterState {
             if usize_of_u32(self.switch_free[id]) != naive {
                 return Err(format!(
                     "switch {id}: counter {} free, recounted {naive}",
+                    self.switch_free[id]
+                ));
+            }
+            if self.switch_down[id] && self.switch_free[id] != 0 {
+                return Err(format!(
+                    "switch {id}: down but reports {} free descendants",
                     self.switch_free[id]
                 ));
             }

@@ -1395,6 +1395,195 @@ mod properties {
             );
         }
     }
+
+    /// One shared churn driver for the switch-fault properties: interleave
+    /// selector-driven allocations, releases, intrinsic node faults and
+    /// correlated switch outages, checking after every step that the
+    /// invariants hold, that no selector ever places on a node whose
+    /// effective health is not `Up` (in particular, never on a leaf under
+    /// a down switch), and that indexed selection stays byte-identical to
+    /// the pre-index linear scan while the health mask reshapes the free
+    /// counters.
+    fn churn_with_switch_faults(
+        tree: &Tree,
+        seed: u64,
+    ) -> Result<(), proptest::test_runner::TestCaseError> {
+        use crate::select_scan;
+        use crate::NodeHealth;
+        use commsched_topology::SwitchId;
+        use proptest::test_runner::TestCaseError;
+        let mut st = ClusterState::new(tree);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut live: Vec<JobId> = Vec::new();
+        let mut next = 0u64;
+        // The root stays up: masking the whole machine degenerates every
+        // later step into a no-op.
+        let candidates: Vec<SwitchId> = (0..tree.num_switches())
+            .map(SwitchId)
+            .filter(|&s| s != tree.root())
+            .collect();
+        for step in 0..60u32 {
+            match rng.random_range(0..6u8) {
+                0 | 1 => {
+                    // Place through a random selector; the placement
+                    // itself is the property under test.
+                    let want = rng.random_range(1..=4usize);
+                    if want > st.free_total() {
+                        continue;
+                    }
+                    let kind = SelectorKind::ALL[rng.random_range(0..SelectorKind::ALL.len())];
+                    let nature = if rng.random::<bool>() {
+                        JobNature::CommIntensive
+                    } else {
+                        JobNature::ComputeIntensive
+                    };
+                    let req = AllocRequest {
+                        job: JobId(next),
+                        nodes: want,
+                        nature,
+                        pattern: None,
+                    };
+                    let adaptive = AdaptiveSelector::default();
+                    let got = match kind {
+                        SelectorKind::Adaptive => adaptive.select(tree, &st, &req),
+                        _ => kind.build().select(tree, &st, &req),
+                    }
+                    .expect("free_total covers the request");
+                    let scan = match kind {
+                        SelectorKind::Default => select_scan::default_select(tree, &st, &req),
+                        SelectorKind::Greedy => select_scan::greedy_select(tree, &st, &req),
+                        SelectorKind::Balanced => select_scan::balanced_select(tree, &st, &req),
+                        SelectorKind::Adaptive => {
+                            let eval = std::sync::Arc::new(std::sync::Mutex::new(
+                                PlacementEvaluator::new(),
+                            ));
+                            select_scan::adaptive_select(&adaptive.cost, &eval, tree, &st, &req)
+                        }
+                    }
+                    .expect("scan twin sees the same free_total");
+                    prop_assert_eq!(
+                        &got,
+                        &scan,
+                        "step {}: {} diverged from its scan twin",
+                        step,
+                        kind
+                    );
+                    for &n in &got {
+                        prop_assert!(
+                            !st.is_masked(n) && st.effective_health(n) == NodeHealth::Up,
+                            "step {}: {} placed on unhealthy {} (masked: {})",
+                            step,
+                            kind,
+                            n,
+                            st.is_masked(n)
+                        );
+                    }
+                    st.allocate(tree, JobId(next), &got, nature)
+                        .expect("selected nodes are free");
+                    live.push(JobId(next));
+                    next += 1;
+                }
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let job = live.swap_remove(rng.random_range(0..live.len()));
+                    st.release(tree, job).expect("live jobs hold allocations");
+                }
+                3 => {
+                    // Intrinsic node fault or recovery; a busy node's job
+                    // is killed first, mirroring the engine's fail path.
+                    let n = NodeId(rng.random_range(0..tree.num_nodes()));
+                    if st.health(n) == NodeHealth::Down {
+                        st.set_up(tree, n)
+                            .expect("intrinsically down nodes recover");
+                    } else {
+                        if let Some(victim) = st.job_on(n) {
+                            st.release(tree, victim)
+                                .expect("victim holds an allocation");
+                            live.retain(|&j| j != victim);
+                        }
+                        // A draining victim goes down on release; only
+                        // fail the node if the release didn't already.
+                        if st.health(n) != NodeHealth::Down {
+                            st.set_down(tree, n).expect("node is idle after the kill");
+                        }
+                    }
+                }
+                4 => {
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let s = candidates[rng.random_range(0..candidates.len())];
+                    if st.switch_is_down(s) {
+                        continue;
+                    }
+                    // Kill everything under the subtree first, mirroring
+                    // the engine's blast-radius handling.
+                    let under: std::collections::BTreeSet<usize> =
+                        tree.leaf_ordinals_under(s).iter().copied().collect();
+                    let victims: Vec<JobId> = st
+                        .allocations()
+                        .filter(|(_, a)| {
+                            a.nodes
+                                .iter()
+                                .any(|&n| under.contains(&tree.leaf_ordinal_of(n)))
+                        })
+                        .map(|(j, _)| j)
+                        .collect();
+                    for v in victims {
+                        st.release(tree, v).expect("victims hold allocations");
+                        live.retain(|&j| j != v);
+                    }
+                    st.set_switch_down(tree, s)
+                        .expect("subtree is idle after the kills");
+                }
+                _ => {
+                    let down: Vec<SwitchId> = (0..tree.num_switches())
+                        .map(SwitchId)
+                        .filter(|&s| st.switch_is_down(s))
+                        .collect();
+                    if down.is_empty() {
+                        continue;
+                    }
+                    let s = down[rng.random_range(0..down.len())];
+                    st.set_switch_up(tree, s).expect("picked from the down set");
+                }
+            }
+            if let Err(e) = st.check_invariants(tree) {
+                return Err(TestCaseError::fail(format!("step {step}: {e}")));
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Combined node + switch churn on random two-level trees:
+        /// invariants stay clean, selectors never place under a down
+        /// switch, and indexed selection tracks the scan baseline
+        /// byte-for-byte through arbitrary health masking.
+        #[test]
+        fn switch_churn_two_level(sizes in arb_leaf_sizes(), seed in any::<u64>()) {
+            let tree = Tree::irregular_two_level(&sizes);
+            churn_with_switch_faults(&tree, seed)?;
+        }
+
+        /// The same combined churn on three-level trees, where one down
+        /// mid-level switch masks several leaves at once and nested
+        /// outages (spine above an already-failed leaf) overlap.
+        #[test]
+        fn switch_churn_three_level(
+            spines in 2usize..4,
+            leaves in 2usize..4,
+            nodes_per_leaf in 2usize..6,
+            seed in any::<u64>(),
+        ) {
+            let tree = Tree::regular_three_level(spines, leaves, nodes_per_leaf);
+            churn_with_switch_faults(&tree, seed)?;
+        }
+    }
 }
 
 mod lifecycle {

@@ -45,7 +45,8 @@
 mod sim;
 
 pub use sim::{
-    FlowSim, IterationSample, JobResult, KillEvent, LinkStats, NetConfig, SolverKind, Workload,
+    FlowSim, IterationSample, JobResult, KillEvent, LinkEvent, LinkStats, NetConfig, SolverKind,
+    Workload,
 };
 
 #[cfg(test)]

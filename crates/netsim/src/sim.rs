@@ -51,6 +51,15 @@ pub struct NetConfig {
     /// the effect behind the paper's same-leaf contention term (Eq. 2).
     #[serde(default)]
     pub backplane_factor: Option<f64>,
+    /// Parallel rails each modelled link aggregates (multirail topologies
+    /// are flattened here, so one `LinkId` stands for `rails` physical
+    /// cables). A [`LinkEvent`] degrading to `p`‰ hits *one* rail; the
+    /// other `rails − 1` stay at nominal, so the effective capacity factor
+    /// is `((rails − 1) + p/1000) / rails` — traffic fails over to the
+    /// healthy rails. `1` (single-rail, the default constructors) makes a
+    /// degrade apply verbatim.
+    #[serde(default)]
+    pub rails: u32,
 }
 
 impl NetConfig {
@@ -62,6 +71,7 @@ impl NetConfig {
             trunk_factor: 1.0,
             step_overhead: 100.0e-6,
             backplane_factor: None,
+            rails: 1,
         }
     }
 
@@ -83,6 +93,16 @@ impl NetConfig {
             trunk_factor: 2.0,
             step_overhead: 100.0e-6,
             backplane_factor: None,
+            rails: 1,
+        }
+    }
+
+    /// The same fat-tree with each modelled link standing for `rails`
+    /// physical cables, for degraded-link failover studies.
+    pub fn multirail_fat_tree(rails: u32) -> Self {
+        NetConfig {
+            rails: rails.max(1),
+            ..Self::fat_tree()
         }
     }
 }
@@ -155,6 +175,25 @@ pub struct KillEvent {
     /// [`Workload::id`] of the job to tear down. Ids matching no workload
     /// are ignored.
     pub job: u64,
+}
+
+/// A mid-run capacity change on one directed link (a degraded cable, or
+/// its repair). At time `t` the link's capacity becomes
+/// `nominal × effective_factor(permille)` — see [`NetConfig::rails`] for
+/// the multirail blend — and max–min rates are re-solved for every flow
+/// that (transitively) shares a link with it. `permille = 1000` restores
+/// the nominal capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// Simulation second the capacity change takes effect.
+    pub t: f64,
+    /// Directed link id in the canonical topology numbering
+    /// (`Tree::node_uplink` and friends). Out-of-range ids are ignored.
+    pub link: usize,
+    /// New capacity of the affected rail, in thousandths of nominal.
+    /// Clamped to `1..=1000` — a dead cable is modelled as 1‰, never 0,
+    /// so flows keep draining and the event loop cannot stall.
+    pub permille: u32,
 }
 
 /// Where the bytes went: per-class link accounting for one simulation run.
@@ -257,19 +296,25 @@ struct RunState {
     /// maintained per-link active-flow count. Updated on activation and
     /// retirement, never rebuilt from scratch.
     link_flows: Vec<Vec<u32>>,
-    /// Links whose active-flow set changed since the last rate solve.
+    /// Links whose active-flow set (or capacity) changed since the last
+    /// rate solve.
     dirty_links: Vec<usize>,
     dirty_mark: Vec<bool>,
+    /// Per-run link capacities: a copy of the simulator's nominal table,
+    /// mutated in place by [`LinkEvent`]s. Both solvers read this, so the
+    /// incremental/naive equivalence holds under mid-run degradation.
+    cap: Vec<f64>,
 }
 
 impl RunState {
-    fn new(nlinks: usize) -> Self {
+    fn new(capacity: &[f64]) -> Self {
         RunState {
             flows: Vec::new(),
             arena: RouteArena::default(),
-            link_flows: vec![Vec::new(); nlinks],
+            link_flows: vec![Vec::new(); capacity.len()],
             dirty_links: Vec::new(),
-            dirty_mark: vec![false; nlinks],
+            dirty_mark: vec![false; capacity.len()],
+            cap: capacity.to_vec(),
         }
     }
 
@@ -551,7 +596,7 @@ impl<'t> FlowSim<'t> {
     /// visit order.)
     fn waterfill(&self, rs: &mut RunState, sc: &mut SolverScratch) {
         for &l in &sc.affected_links {
-            sc.residual[l] = self.capacity[l];
+            sc.residual[l] = rs.cap[l];
             sc.load[l] = u32_of_usize(rs.link_flows[l].len());
         }
         sc.frozen.clear();
@@ -710,7 +755,7 @@ impl<'t> FlowSim<'t> {
     /// is `commsched-slurmsim`'s business) and run their iterations back to
     /// back. Completed jobs are reported in workload order.
     pub fn run(&self, workloads: Vec<Workload>) -> Vec<JobResult> {
-        self.run_impl(workloads, &[], None, None, &mut Tracer::off())
+        self.run_impl(workloads, &[], &[], None, None, &mut Tracer::off())
     }
 
     /// Like [`FlowSim::run`], emitting solver records (`net_solve`,
@@ -725,7 +770,7 @@ impl<'t> FlowSim<'t> {
         workloads: Vec<Workload>,
         recorder: &mut dyn Recorder,
     ) -> Vec<JobResult> {
-        self.run_impl(workloads, &[], None, None, &mut Tracer::new(recorder))
+        self.run_impl(workloads, &[], &[], None, None, &mut Tracer::new(recorder))
     }
 
     /// Like [`FlowSim::run`], with externally imposed job teardowns.
@@ -736,13 +781,42 @@ impl<'t> FlowSim<'t> {
     /// `kills` slice this is identical to [`FlowSim::run`], event for
     /// event.
     pub fn run_with_kills(&self, workloads: Vec<Workload>, kills: &[KillEvent]) -> Vec<JobResult> {
-        self.run_impl(workloads, kills, None, None, &mut Tracer::off())
+        self.run_impl(workloads, kills, &[], None, None, &mut Tracer::off())
+    }
+
+    /// Like [`FlowSim::run_with_kills`], additionally applying mid-run
+    /// link-capacity changes. Each [`LinkEvent`] rewrites one link's
+    /// per-run capacity at its time and marks the link dirty, so the
+    /// incremental solver re-converges exactly as the naive fixpoint
+    /// would. With empty `kills` and `link_events` this is identical to
+    /// [`FlowSim::run`], event for event.
+    pub fn run_with_events(
+        &self,
+        workloads: Vec<Workload>,
+        kills: &[KillEvent],
+        link_events: &[LinkEvent],
+    ) -> Vec<JobResult> {
+        self.run_impl(
+            workloads,
+            kills,
+            link_events,
+            None,
+            None,
+            &mut Tracer::off(),
+        )
     }
 
     /// Like [`FlowSim::run`], additionally accounting bytes per link class.
     pub fn run_with_stats(&self, workloads: Vec<Workload>) -> (Vec<JobResult>, LinkStats) {
         let mut bytes = vec![0.0f64; self.capacity.len()];
-        let results = self.run_impl(workloads, &[], Some(&mut bytes), None, &mut Tracer::off());
+        let results = self.run_impl(
+            workloads,
+            &[],
+            &[],
+            Some(&mut bytes),
+            None,
+            &mut Tracer::off(),
+        );
         let span = results.iter().map(|r| r.end).fold(0.0f64, f64::max)
             - results
                 .iter()
@@ -785,15 +859,42 @@ impl<'t> FlowSim<'t> {
         &self,
         workloads: Vec<Workload>,
     ) -> (Vec<JobResult>, Vec<Vec<f64>>) {
+        self.run_tracing_rates_events(workloads, &[])
+    }
+
+    /// Like [`FlowSim::run_tracing_rates`], with a link-degradation
+    /// schedule — the harness of the degradation-equivalence properties.
+    #[cfg(test)]
+    pub(crate) fn run_tracing_rates_events(
+        &self,
+        workloads: Vec<Workload>,
+        link_events: &[LinkEvent],
+    ) -> (Vec<JobResult>, Vec<Vec<f64>>) {
         let mut trace = Vec::new();
-        let results = self.run_impl(workloads, &[], None, Some(&mut trace), &mut Tracer::off());
+        let results = self.run_impl(
+            workloads,
+            &[],
+            link_events,
+            None,
+            Some(&mut trace),
+            &mut Tracer::off(),
+        );
         (results, trace)
+    }
+
+    /// The effective capacity factor of a link degraded to `permille`,
+    /// after blending across [`NetConfig::rails`].
+    fn effective_factor(&self, permille: u32) -> f64 {
+        let p = f64::from(permille.clamp(1, 1000)) / 1000.0;
+        let r = f64::from(self.cfg.rails.max(1));
+        ((r - 1.0) + p) / r
     }
 
     fn run_impl(
         &self,
         workloads: Vec<Workload>,
         kills: &[KillEvent],
+        link_events: &[LinkEvent],
         mut link_bytes: Option<&mut Vec<f64>>,
         mut rate_trace: Option<&mut Vec<Vec<f64>>>,
         tracer: &mut Tracer<'_>,
@@ -843,7 +944,18 @@ impl<'t> FlowSim<'t> {
         kill_times.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut next_kill = 0usize;
 
-        let mut rs = RunState::new(self.capacity.len());
+        // Link-degradation schedule, sorted by (time, link) — a total,
+        // deterministic order even when several cables change at once.
+        // Non-finite times are dropped like non-finite kills.
+        let mut degrades: Vec<LinkEvent> = link_events
+            .iter()
+            .filter(|e| e.t.is_finite() && e.link < self.capacity.len())
+            .copied()
+            .collect();
+        degrades.sort_by(|a, b| a.t.total_cmp(&b.t).then(a.link.cmp(&b.link)));
+        let mut next_degrade = 0usize;
+
+        let mut rs = RunState::new(&self.capacity);
         let mut sc = SolverScratch::new(self.capacity.len());
         let mut now = 0.0f64;
 
@@ -981,6 +1093,18 @@ impl<'t> FlowSim<'t> {
                 jobs[j].killed_at = Some(kt.max(workloads[j].submit));
             }
 
+            // Apply link-capacity changes that are due. Rewriting the
+            // per-run capacity and marking the link dirty is all the
+            // incremental solver needs: the next solve re-waterfills every
+            // component touching the link, and untouched components keep
+            // rates that the capacity change cannot have affected.
+            while next_degrade < degrades.len() && degrades[next_degrade].t <= now + EPS {
+                let e = degrades[next_degrade];
+                next_degrade += 1;
+                rs.cap[e.link] = self.capacity[e.link] * self.effective_factor(e.permille);
+                rs.mark_dirty(e.link);
+            }
+
             if rs.flows.is_empty() && next_arrival >= arrivals.len() {
                 break;
             }
@@ -1045,7 +1169,7 @@ impl<'t> FlowSim<'t> {
                         .iter()
                         .map(|&fi| rs.flows[usize_of_u32(fi)].rate)
                         .sum();
-                    if allocated >= self.capacity[l] * (1.0 - 1e-9) {
+                    if allocated >= rs.cap[l] * (1.0 - 1e-9) {
                         saturated += 1;
                     }
                 }
@@ -1072,6 +1196,9 @@ impl<'t> FlowSim<'t> {
             }
             if next_kill < kill_times.len() {
                 dt = dt.min(kill_times[next_kill].0 - now);
+            }
+            if next_degrade < degrades.len() {
+                dt = dt.min(degrades[next_degrade].t - now);
             }
             assert!(
                 dt.is_finite() && dt >= -EPS,

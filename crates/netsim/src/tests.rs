@@ -9,6 +9,7 @@ fn unit_config() -> NetConfig {
         trunk_factor: 1.0,
         step_overhead: 0.0,
         backplane_factor: None,
+        rails: 1,
     }
 }
 
@@ -395,12 +396,25 @@ mod solver_equivalence {
     use proptest::prelude::*;
 
     fn assert_solvers_agree(tree: &Tree, cfg: NetConfig, workloads: Vec<Workload>) {
+        assert_solvers_agree_events(tree, cfg, workloads, &[]);
+    }
+
+    /// The same bit-for-bit comparison under a mid-run link-degradation
+    /// schedule: every capacity rewrite flows through the incremental
+    /// solver's dirty-link frontier, and the result must still match the
+    /// retained naive fixpoint exactly.
+    fn assert_solvers_agree_events(
+        tree: &Tree,
+        cfg: NetConfig,
+        workloads: Vec<Workload>,
+        events: &[crate::LinkEvent],
+    ) {
         let fast = FlowSim::new(tree, cfg); // Incremental is the default
         assert_eq!(fast.solver(), SolverKind::Incremental);
         let naive = FlowSim::new(tree, cfg).with_solver(SolverKind::Naive);
 
-        let (res_f, trace_f) = fast.run_tracing_rates(workloads.clone());
-        let (res_n, trace_n) = naive.run_tracing_rates(workloads.clone());
+        let (res_f, trace_f) = fast.run_tracing_rates_events(workloads.clone(), events);
+        let (res_n, trace_n) = naive.run_tracing_rates_events(workloads.clone(), events);
         assert_eq!(trace_f.len(), trace_n.len(), "event counts diverged");
         for (ev, (a, b)) in trace_f.iter().zip(&trace_n).enumerate() {
             assert_eq!(a.len(), b.len(), "flow counts diverged at event {ev}");
@@ -543,6 +557,7 @@ mod solver_equivalence {
                 trunk_factor: 1.0,
                 step_overhead: overhead,
                 backplane_factor: backplane,
+                rails: 1,
             };
             let workloads: Vec<Workload> = jobs
                 .into_iter()
@@ -553,6 +568,55 @@ mod solver_equivalence {
                 })
                 .collect();
             assert_solvers_agree(&tree, cfg, workloads);
+        }
+
+        /// Mid-run link degradations and repairs flow through the
+        /// dirty-link frontier: the incremental solver stays bit-identical
+        /// to the naive fixpoint under arbitrary capacity-rewrite
+        /// schedules, including out-of-range link ids (ignored), repeated
+        /// rewrites of the same link, and multirail blending.
+        #[test]
+        fn incremental_matches_naive_under_degradation(
+            leaves in 2usize..5,
+            per_leaf in 2usize..7,
+            rails in 1u32..4,
+            jobs in prop::collection::vec(
+                (
+                    prop::sample::select(Pattern::ALL.to_vec()),
+                    prop::collection::vec(0usize..24, 2..6),
+                    10_000u64..2_000_000,
+                    0.0f64..0.5,
+                    1usize..4,
+                ),
+                1..5,
+            ),
+            events in prop::collection::vec(
+                (0.0f64..2.0, 0usize..80, 1u32..=1000),
+                1..8,
+            ),
+        ) {
+            let tree = Tree::regular_two_level(leaves, per_leaf);
+            let n = tree.num_nodes();
+            let cfg = NetConfig {
+                node_bandwidth: 1.0e6,
+                trunk_factor: 1.0,
+                step_overhead: 100.0e-6,
+                backplane_factor: None,
+                rails,
+            };
+            let workloads: Vec<Workload> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pat, nodes, msize, submit, iters))| {
+                    let nodes: Vec<usize> = nodes.into_iter().map(|x| x % n).collect();
+                    wl(i as u64 + 1, &nodes, CollectiveSpec::new(pat, msize), submit, iters)
+                })
+                .collect();
+            let events: Vec<crate::LinkEvent> = events
+                .into_iter()
+                .map(|(t, link, permille)| crate::LinkEvent { t, link, permille })
+                .collect();
+            assert_solvers_agree_events(&tree, cfg, workloads, &events);
         }
 
         /// Same property on three-level trees (deeper routes, level-2
@@ -577,6 +641,7 @@ mod solver_equivalence {
                 trunk_factor: trunk,
                 step_overhead: 100.0e-6,
                 backplane_factor: None,
+                rails: 1,
             };
             let workloads: Vec<Workload> = jobs
                 .into_iter()

@@ -11,9 +11,9 @@ use commsched_num::{
     usize_of_u64,
 };
 use commsched_topology::NodeId;
-use commsched_topology::Tree;
+use commsched_topology::{SwitchId, Tree};
 use commsched_trace::{EndStatus, EventKind as TK, FaultClass, NullRecorder, Recorder, Tracer};
-use commsched_workload::fault::{FaultKind, FaultTrace};
+use commsched_workload::fault::{FaultDomain, FaultKind, FaultTrace};
 use commsched_workload::{Job, JobLog};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -683,11 +683,42 @@ impl<'t> Engine<'t> {
     ///
     /// Shared by the continuous engine and the individual-runs driver so
     /// both apply identical semantics.
+    /// Slowest capacity factor over the links an allocation's in-tree
+    /// routes traverse: node up/down links plus every switch up/down pair
+    /// between each node's leaf and the allocation's LCA. `links` is the
+    /// per-directed-link factor table (empty = no degradation anywhere,
+    /// the failure-free fast path).
+    fn min_link_factor(&self, links: &[f64], nodes: &[NodeId]) -> f64 {
+        if links.is_empty() || nodes.len() <= 1 {
+            return 1.0;
+        }
+        let mut lca = self.tree.leaf_of(nodes[0]);
+        for &n in &nodes[1..] {
+            lca = self.tree.lca_switch(lca, self.tree.leaf_of(n));
+        }
+        let mut factor = 1.0f64;
+        for &n in nodes {
+            factor = factor.min(links[self.tree.node_uplink(n)]);
+            factor = factor.min(links[self.tree.node_downlink(n)]);
+            let mut s = self.tree.leaf_of(n);
+            while s != lca {
+                factor = factor.min(links[self.tree.switch_uplink(s)]);
+                factor = factor.min(links[self.tree.switch_downlink(s)]);
+                let Some(p) = self.tree.switch(s).parent else {
+                    break;
+                };
+                s = p;
+            }
+        }
+        factor
+    }
+
     pub(crate) fn place(
         &self,
         state: &ClusterState,
         job: &Job,
         selector: &dyn NodeSelector,
+        links: &[f64],
     ) -> Option<Placed> {
         let req = AllocRequest {
             job: job.id,
@@ -800,6 +831,11 @@ impl<'t> Engine<'t> {
         let mut comm_adj = 0.0;
         let comm_orig = f64_of_u64(job.runtime) * job.comm_fraction();
         let mut adjusted = f64_of_u64(job.runtime) * (1.0 - job.comm_fraction());
+        // Degraded links on the allocation's routes stretch the
+        // communication fraction by the slowest link's inverse capacity
+        // factor; 1.0 on a healthy fabric leaves the arithmetic
+        // bit-identical to the no-fault path.
+        let link_factor = self.min_link_factor(links, &nodes);
         for (i, &(_, fraction)) in job.comm.iter().enumerate() {
             // Reported cost: Eq. 6 as printed (raw hops by default).
             cost_actual += actual[i].0;
@@ -808,7 +844,7 @@ impl<'t> Engine<'t> {
             let (ca, cd) = (actual[i].1, default[i].1);
             let ratio = if cd > 0.0 { ca / cd } else { 1.0 };
             let ratio = if self.cfg.adjust_runtimes { ratio } else { 1.0 };
-            let part = f64_of_u64(job.runtime) * fraction * ratio;
+            let part = f64_of_u64(job.runtime) * fraction * ratio / link_factor;
             comm_adj += part;
             adjusted += part;
         }
@@ -838,7 +874,11 @@ impl<'t> Engine<'t> {
             }
         }
         self.faults
-            .validate(machine)
+            .validate_machine(
+                machine,
+                self.tree.num_switches(),
+                self.tree.num_directed_links(),
+            )
             .map_err(|e| EngineError::InvalidFaultTrace(e.to_string()))?;
         let mut ids: Vec<JobId> = log.jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
@@ -946,6 +986,14 @@ impl<'t> Engine<'t> {
         let mut retries: Vec<u32> = vec![0; log.jobs.len()];
         let mut lost: Vec<u64> = vec![0; log.jobs.len()];
         let mut makespan = 0u64;
+        // Per-directed-link capacity factors, alive only when the fault
+        // trace degrades links — failure-free runs never allocate or scan
+        // this, keeping their placement arithmetic untouched.
+        let mut link_factors: Vec<f64> = if self.faults.has_domain(FaultDomain::Link) {
+            vec![1.0; self.tree.num_directed_links()]
+        } else {
+            Vec::new()
+        };
 
         while let Some(Reverse((now, _))) = events.peek().copied() {
             // Drain all events at `now` (finishes first, then faults, then
@@ -989,6 +1037,7 @@ impl<'t> Engine<'t> {
                         &mut outcomes,
                         &mut retries,
                         &mut lost,
+                        &mut link_factors,
                         &mut obs,
                     )?,
                     EventKind::Submit(i) => {
@@ -1036,6 +1085,7 @@ impl<'t> Engine<'t> {
                 &mut outcomes,
                 &retries,
                 &lost,
+                &link_factors,
                 &mut obs,
             )?;
             makespan = makespan.max(now);
@@ -1103,119 +1153,28 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &mut [u32],
         lost: &mut [u64],
+        link_factors: &mut [f64],
         obs: &mut Obs<'_, '_>,
     ) -> Result<(), EngineError> {
         use commsched_core::NodeHealth;
 
         let e = self.faults.events()[k];
-        let n = NodeId(e.node);
-        obs.tr.emit(
-            us(now),
-            TK::Fault {
-                node: u64_of_usize(e.node),
-                kind: match e.kind {
-                    FaultKind::Fail => FaultClass::Fail,
-                    FaultKind::Recover => FaultClass::Recover,
-                    FaultKind::Drain => FaultClass::Drain,
-                },
-            },
-        );
         obs.reg.inc(obs.c_faults, 1);
         match e.kind {
             FaultKind::Fail => {
+                let n = NodeId(e.node);
+                obs.tr.emit(
+                    us(now),
+                    TK::Fault {
+                        node: u64_of_usize(e.node),
+                        kind: FaultClass::Fail,
+                    },
+                );
                 if let Some(victim) = state.job_on(n) {
-                    let pos = running
-                        .iter()
-                        .position(|&(_, i, _)| log.jobs[i].id == victim);
-                    debug_assert!(pos.is_some(), "allocated job must be running");
-                    if let Some(pos) = pos {
-                        let (_, i, _) = running[pos];
-                        running.remove(pos);
-                        let alloc = state.release(self.tree, victim).map_err(|e| {
-                            EngineError::StateInconsistency(format!(
-                                "releasing fault victim {victim}: {e}"
-                            ))
-                        })?;
-                        let opos =
-                            outcomes
-                                .iter()
-                                .rposition(|o| o.id == victim)
-                                .ok_or_else(|| {
-                                    EngineError::StateInconsistency(format!(
-                                        "running job {victim} has no outcome record"
-                                    ))
-                                })?;
-                        let started = outcomes[opos].start;
-                        let wasted = (now - started) * u64_of_usize(alloc.nodes.len());
-                        lost[i] = lost[i].saturating_add(wasted);
-                        // None = cancel; Some(None) = requeue at the front;
-                        // Some(Some(backoff)) = requeue at the back.
-                        let requeue = match self.cfg.failure_policy {
-                            FailurePolicy::Cancel => None,
-                            FailurePolicy::Requeue {
-                                max_retries,
-                                backoff,
-                            } => (retries[i] < max_retries).then_some(Some(backoff)),
-                            FailurePolicy::RequeueFront => Some(None),
-                        };
-                        match requeue {
-                            None => {
-                                let o = &mut outcomes[opos];
-                                o.end = now;
-                                o.runtime_adjusted = now - started;
-                                o.status = JobStatus::Cancelled;
-                                o.retries = retries[i];
-                                o.lost_node_seconds = lost[i];
-                                obs.tr.emit(
-                                    us(now),
-                                    TK::JobFinish {
-                                        job: victim.0,
-                                        attempt: retries[i],
-                                        status: EndStatus::Cancelled,
-                                    },
-                                );
-                                obs.reg.inc(obs.c_cancelled, 1);
-                            }
-                            Some(None) => {
-                                obs.tr.emit(
-                                    us(now),
-                                    TK::JobRequeue {
-                                        job: victim.0,
-                                        attempt: retries[i],
-                                        resubmit_us: us(now),
-                                    },
-                                );
-                                obs.reg.inc(obs.c_requeued, 1);
-                                retries[i] += 1;
-                                outcomes.remove(opos);
-                                pending.insert(0, i);
-                                obs.tr.emit(
-                                    us(now),
-                                    TK::JobEligible {
-                                        job: victim.0,
-                                        attempt: retries[i],
-                                    },
-                                );
-                            }
-                            Some(Some(backoff)) => {
-                                obs.tr.emit(
-                                    us(now),
-                                    TK::JobRequeue {
-                                        job: victim.0,
-                                        attempt: retries[i],
-                                        resubmit_us: us(now.saturating_add(backoff)),
-                                    },
-                                );
-                                obs.reg.inc(obs.c_requeued, 1);
-                                retries[i] += 1;
-                                outcomes.remove(opos);
-                                events.push(Reverse((
-                                    now.saturating_add(backoff),
-                                    EventKind::Submit(i),
-                                )));
-                            }
-                        }
-                    }
+                    self.kill_victim(
+                        victim, now, log, state, pending, running, events, outcomes, retries, lost,
+                        obs,
+                    )?;
                 }
                 // The kill freed the node — unless it was draining, in
                 // which case release already completed the drain to Down.
@@ -1226,6 +1185,14 @@ impl<'t> Engine<'t> {
                 }
             }
             FaultKind::Recover => {
+                let n = NodeId(e.node);
+                obs.tr.emit(
+                    us(now),
+                    TK::Fault {
+                        node: u64_of_usize(e.node),
+                        kind: FaultClass::Recover,
+                    },
+                );
                 if state.health(n) != NodeHealth::Up {
                     state.set_up(self.tree, n).map_err(|e| {
                         EngineError::StateInconsistency(format!("recovering node {n:?}: {e}"))
@@ -1233,11 +1200,225 @@ impl<'t> Engine<'t> {
                 }
             }
             FaultKind::Drain => {
+                let n = NodeId(e.node);
+                obs.tr.emit(
+                    us(now),
+                    TK::Fault {
+                        node: u64_of_usize(e.node),
+                        kind: FaultClass::Drain,
+                    },
+                );
                 if state.health(n) != NodeHealth::Down {
                     state.set_draining(self.tree, n).map_err(|e| {
                         EngineError::StateInconsistency(format!("draining node {n:?}: {e}"))
                     })?;
                 }
+            }
+            FaultKind::SwitchDown => {
+                let s = SwitchId(e.node);
+                let already = state.switch_is_down(s);
+                // Victim set first (in JobId order, off the deterministic
+                // allocation map), so the blast radius is on the trace
+                // event before the individual kill records.
+                let victims: Vec<JobId> = if already {
+                    Vec::new()
+                } else {
+                    let under: std::collections::BTreeSet<usize> =
+                        self.tree.leaf_ordinals_under(s).iter().copied().collect();
+                    state
+                        .allocations()
+                        .filter(|(_, a)| {
+                            a.nodes
+                                .iter()
+                                .any(|&n| under.contains(&self.tree.leaf_ordinal_of(n)))
+                        })
+                        .map(|(j, _)| j)
+                        .collect()
+                };
+                obs.tr.emit(
+                    us(now),
+                    TK::SwitchFault {
+                        switch: u64_of_usize(e.node),
+                        kind: FaultClass::Fail,
+                        victims: u64_of_usize(victims.len()),
+                        nodes: u64_of_usize(self.tree.subtree_nodes(s)),
+                    },
+                );
+                // Registered lazily: failure-free (and switch-free) runs
+                // keep their report byte layout.
+                let c = obs.reg.counter("faults.switch.applied");
+                obs.reg.inc(c, 1);
+                if !victims.is_empty() {
+                    let c = obs.reg.counter("faults.switch.victims");
+                    obs.reg.inc(c, u64_of_usize(victims.len()));
+                }
+                for victim in victims {
+                    self.kill_victim(
+                        victim, now, log, state, pending, running, events, outcomes, retries, lost,
+                        obs,
+                    )?;
+                }
+                if !already {
+                    state.set_switch_down(self.tree, s).map_err(|e| {
+                        EngineError::StateInconsistency(format!("failing switch {s:?}: {e}"))
+                    })?;
+                }
+            }
+            FaultKind::SwitchUp => {
+                let s = SwitchId(e.node);
+                obs.tr.emit(
+                    us(now),
+                    TK::SwitchFault {
+                        switch: u64_of_usize(e.node),
+                        kind: FaultClass::Recover,
+                        victims: 0,
+                        nodes: u64_of_usize(self.tree.subtree_nodes(s)),
+                    },
+                );
+                let c = obs.reg.counter("faults.switch.applied");
+                obs.reg.inc(c, 1);
+                if state.switch_is_down(s) {
+                    state.set_switch_up(self.tree, s).map_err(|e| {
+                        EngineError::StateInconsistency(format!("recovering switch {s:?}: {e}"))
+                    })?;
+                }
+            }
+            FaultKind::LinkDegrade { permille } => {
+                obs.tr.emit(
+                    us(now),
+                    TK::LinkFault {
+                        link: u64_of_usize(e.node),
+                        capacity_permille: u64::from(permille),
+                    },
+                );
+                let c = obs.reg.counter("faults.link.applied");
+                obs.reg.inc(c, 1);
+                if let Some(f) = link_factors.get_mut(e.node) {
+                    *f = f64::from(permille) / 1000.0;
+                }
+            }
+            FaultKind::LinkRestore => {
+                obs.tr.emit(
+                    us(now),
+                    TK::LinkFault {
+                        link: u64_of_usize(e.node),
+                        capacity_permille: 1000,
+                    },
+                );
+                let c = obs.reg.counter("faults.link.applied");
+                obs.reg.inc(c, 1);
+                if let Some(f) = link_factors.get_mut(e.node) {
+                    *f = 1.0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill one running job for a fault at `now`: release its nodes,
+    /// account the destroyed node-seconds, and cancel or requeue it per
+    /// the configured [`FailurePolicy`]. Shared by node `Fail` and the
+    /// subtree kills of `SwitchDown`.
+    #[allow(clippy::too_many_arguments)]
+    fn kill_victim(
+        &self,
+        victim: JobId,
+        now: u64,
+        log: &JobLog,
+        state: &mut ClusterState,
+        pending: &mut Vec<usize>,
+        running: &mut Vec<(u64, usize, u32)>,
+        events: &mut BinaryHeap<Reverse<(u64, EventKind)>>,
+        outcomes: &mut Vec<JobOutcome>,
+        retries: &mut [u32],
+        lost: &mut [u64],
+        obs: &mut Obs<'_, '_>,
+    ) -> Result<(), EngineError> {
+        let pos = running
+            .iter()
+            .position(|&(_, i, _)| log.jobs[i].id == victim);
+        debug_assert!(pos.is_some(), "allocated job must be running");
+        let Some(pos) = pos else {
+            return Ok(());
+        };
+        let (_, i, _) = running[pos];
+        running.remove(pos);
+        let alloc = state.release(self.tree, victim).map_err(|e| {
+            EngineError::StateInconsistency(format!("releasing fault victim {victim}: {e}"))
+        })?;
+        let opos = outcomes
+            .iter()
+            .rposition(|o| o.id == victim)
+            .ok_or_else(|| {
+                EngineError::StateInconsistency(format!(
+                    "running job {victim} has no outcome record"
+                ))
+            })?;
+        let started = outcomes[opos].start;
+        let wasted = (now - started) * u64_of_usize(alloc.nodes.len());
+        lost[i] = lost[i].saturating_add(wasted);
+        // None = cancel; Some(None) = requeue at the front;
+        // Some(Some(backoff)) = requeue at the back.
+        let requeue = match self.cfg.failure_policy {
+            FailurePolicy::Cancel => None,
+            FailurePolicy::Requeue {
+                max_retries,
+                backoff,
+            } => (retries[i] < max_retries).then_some(Some(backoff)),
+            FailurePolicy::RequeueFront => Some(None),
+        };
+        match requeue {
+            None => {
+                let o = &mut outcomes[opos];
+                o.end = now;
+                o.runtime_adjusted = now - started;
+                o.status = JobStatus::Cancelled;
+                o.retries = retries[i];
+                o.lost_node_seconds = lost[i];
+                obs.tr.emit(
+                    us(now),
+                    TK::JobFinish {
+                        job: victim.0,
+                        attempt: retries[i],
+                        status: EndStatus::Cancelled,
+                    },
+                );
+                obs.reg.inc(obs.c_cancelled, 1);
+            }
+            Some(None) => {
+                obs.tr.emit(
+                    us(now),
+                    TK::JobRequeue {
+                        job: victim.0,
+                        attempt: retries[i],
+                        resubmit_us: us(now),
+                    },
+                );
+                obs.reg.inc(obs.c_requeued, 1);
+                retries[i] += 1;
+                outcomes.remove(opos);
+                pending.insert(0, i);
+                obs.tr.emit(
+                    us(now),
+                    TK::JobEligible {
+                        job: victim.0,
+                        attempt: retries[i],
+                    },
+                );
+            }
+            Some(Some(backoff)) => {
+                obs.tr.emit(
+                    us(now),
+                    TK::JobRequeue {
+                        job: victim.0,
+                        attempt: retries[i],
+                        resubmit_us: us(now.saturating_add(backoff)),
+                    },
+                );
+                obs.reg.inc(obs.c_requeued, 1);
+                retries[i] += 1;
+                outcomes.remove(opos);
+                events.push(Reverse((now.saturating_add(backoff), EventKind::Submit(i))));
             }
         }
         Ok(())
@@ -1258,6 +1439,7 @@ impl<'t> Engine<'t> {
         outcomes: &mut Vec<JobOutcome>,
         retries: &[u32],
         lost: &[u64],
+        links: &[f64],
         obs: &mut Obs<'_, '_>,
     ) -> Result<(), EngineError> {
         obs.reg.inc(obs.c_passes, 1);
@@ -1268,7 +1450,7 @@ impl<'t> Engine<'t> {
                          outcomes: &mut Vec<JobOutcome>|
          -> Result<bool, EngineError> {
             let job = &log.jobs[i];
-            let Some(mut placed) = self.place(state, job, selector) else {
+            let Some(mut placed) = self.place(state, job, selector, links) else {
                 return Ok(false);
             };
             if self.cfg.enforce_walltime {

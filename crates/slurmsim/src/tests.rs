@@ -379,7 +379,9 @@ fn place_matches_naive_clone_replication() {
         }
 
         let selector = engine.build_selector();
-        let placed = engine.place(&state, &probe, selector.as_ref()).unwrap();
+        let placed = engine
+            .place(&state, &probe, selector.as_ref(), &[])
+            .unwrap();
 
         // Naive replication (selectors are deterministic, so re-selecting
         // from the same state reproduces the allocation).
@@ -456,7 +458,9 @@ fn place_matches_naive_clone_replication() {
             ..cfg
         };
         let engine2 = Engine::new(&tree, cfg2);
-        let placed2 = engine2.place(&state, &probe, selector.as_ref()).unwrap();
+        let placed2 = engine2
+            .place(&state, &probe, selector.as_ref(), &[])
+            .unwrap();
         let mut adjusted2 = probe.runtime as f64 * (1.0 - probe.comm_fraction());
         for &(pattern, fraction) in &probe.comm {
             let spec = CollectiveSpec::new(pattern, cfg.msize);
@@ -1160,6 +1164,169 @@ mod faults {
         let o = &s.outcomes[0];
         assert_eq!(o.status, JobStatus::Completed);
         assert_eq!(o.end - o.start, 100);
+    }
+
+    #[test]
+    fn switch_down_kills_subtree_and_requeue_waits_for_recovery() {
+        // A whole-machine job dies when one leaf switch goes dark; the
+        // requeued copy cannot restart until the switch returns, because
+        // the masked leaf's nodes never re-enter the free counters early.
+        let tree = small_tree();
+        let leaf0 = tree.leaf(0).0;
+        let cfg = EngineConfig::new(SelectorKind::Default);
+        let s = Engine::new(&tree, cfg)
+            .with_faults(trace(&[
+                (30, leaf0, FaultKind::SwitchDown),
+                (60, leaf0, FaultKind::SwitchUp),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 0, 100, 4)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        assert_eq!(o.status, JobStatus::Completed);
+        assert_eq!((o.start, o.end), (60, 160));
+        assert_eq!(o.retries, 1);
+        assert_eq!(o.lost_node_seconds, 30 * 4);
+        assert_eq!(s.makespan, 160);
+    }
+
+    #[test]
+    fn scheduler_places_around_downed_switch() {
+        // Graceful degradation: with one leaf masked, a job that fits the
+        // surviving subtree starts immediately on it.
+        let tree = small_tree();
+        let leaf0 = tree.leaf(0).0;
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&[
+                (10, leaf0, FaultKind::SwitchDown),
+                (200, leaf0, FaultKind::SwitchUp),
+            ]))
+            .run(&JobLog::new("one", vec![job(1, 20, 5, 2)]))
+            .unwrap();
+        let o = &s.outcomes[0];
+        assert_eq!(o.status, JobStatus::Completed);
+        assert_eq!((o.start, o.end), (20, 25));
+        assert_eq!(o.retries, 0);
+    }
+
+    #[test]
+    fn degraded_links_stretch_comm_runtime_until_restored() {
+        use commsched_topology::NodeId;
+        let tree = small_tree();
+        // Halve every node uplink so the job's routes are degraded no
+        // matter which leaf the selector picks.
+        let degrade: Vec<(u64, usize, FaultKind)> = (0..tree.num_nodes())
+            .map(|n| {
+                (
+                    0,
+                    tree.node_uplink(NodeId(n)),
+                    FaultKind::LinkDegrade { permille: 500 },
+                )
+            })
+            .collect();
+        let log = JobLog::new("one", vec![comm_job(1, 10, 100, 2, 0.5)]);
+
+        // Degraded fabric: the 50% comm fraction runs at half speed, so
+        // 50s compute + 100s communication = 150s.
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&degrade))
+            .run(&log)
+            .unwrap();
+        assert_eq!(s.outcomes[0].status, JobStatus::Completed);
+        assert_eq!(s.outcomes[0].end - s.outcomes[0].start, 150);
+
+        // Repairing the cables before the job starts restores the
+        // nominal 100s runtime exactly (division by 1.0 is a no-op).
+        let mut repaired = degrade.clone();
+        repaired.extend(
+            (0..tree.num_nodes()).map(|n| (5, tree.node_uplink(NodeId(n)), FaultKind::LinkRestore)),
+        );
+        let s = Engine::new(&tree, EngineConfig::new(SelectorKind::Default))
+            .with_faults(trace(&repaired))
+            .run(&log)
+            .unwrap();
+        assert_eq!(s.outcomes[0].end - s.outcomes[0].start, 100);
+    }
+
+    #[test]
+    fn mixed_domain_chaos_is_deterministic() {
+        use commsched_metrics::Registry;
+        use commsched_trace::Capture;
+
+        // Node churn, correlated switch outages and degraded cables all
+        // at once: two runs of the same chaos must agree byte-for-byte on
+        // trace, report and summary, and every job must reach a terminal
+        // outcome.
+        let tree = Tree::regular_two_level(3, 6);
+        let log = LogSpec::new(
+            SystemModel {
+                total_nodes: 18,
+                min_request: 1,
+                max_request: 12,
+                ..SystemModel::theta()
+            },
+            60,
+            11,
+        )
+        .comm_percent(70)
+        .generate();
+        let horizon = log
+            .jobs
+            .iter()
+            .map(|j| j.submit + j.walltime)
+            .max()
+            .unwrap_or(0)
+            .saturating_mul(2)
+            .max(1);
+        let node = FaultTrace::mtbf(tree.num_nodes(), 30_000.0, 4_000.0, horizon, 3).unwrap();
+        let switches =
+            FaultTrace::switch_mtbf(tree.num_switches(), 60_000.0, 6_000.0, horizon, 4).unwrap();
+        let root = tree.root().0;
+        let switches = FaultTrace::new(
+            switches
+                .events()
+                .iter()
+                .filter(|e| e.node != root)
+                .copied()
+                .collect(),
+        );
+        let links = FaultTrace::link_degrade(
+            tree.num_directed_links(),
+            20_000.0,
+            5_000.0,
+            400,
+            horizon,
+            5,
+        )
+        .unwrap();
+        let faults = node.merge(switches).merge(links);
+
+        let run = || {
+            let cfg = EngineConfig::new(SelectorKind::Adaptive).with_failure_policy(
+                FailurePolicy::Requeue {
+                    max_retries: 3,
+                    backoff: 10,
+                },
+            );
+            let engine = Engine::new(&tree, cfg).with_faults(faults.clone());
+            let mut cap = Capture::new();
+            let mut reg = Registry::new();
+            let s = engine.run_observed(&log, &mut cap, &mut reg).unwrap();
+            (s, cap.to_jsonl(), reg.snapshot().to_json_pretty())
+        };
+        let (s1, j1, r1) = run();
+        let (s2, j2, r2) = run();
+        assert_eq!(s1, s2, "summary not replay-stable under mixed chaos");
+        assert_eq!(j1, j2, "trace not replay-stable under mixed chaos");
+        assert_eq!(r1, r2, "report not replay-stable under mixed chaos");
+
+        assert_eq!(s1.outcomes.len(), log.jobs.len());
+        // The chaos actually exercised all three fault domains.
+        assert!(j1.contains("\"ev\":\"fault\""), "no node-fault events");
+        assert!(
+            j1.contains("\"ev\":\"switch_fault\""),
+            "no switch-fault events"
+        );
+        assert!(j1.contains("\"ev\":\"link_fault\""), "no link-fault events");
     }
 
     mod properties {

@@ -477,4 +477,39 @@ impl Tree {
     pub fn switches_by_level(&self) -> &[SwitchId] {
         &self.level_order
     }
+
+    /// Size of the canonical *directed-link* id space over this tree: one
+    /// up/down pair per node (toward/from its leaf switch) followed by one
+    /// up/down pair per switch (toward/from its parent; the root's pair is
+    /// reserved but unused). This numbering is shared by the netsim flow
+    /// solver and the engine's link-fault model, so a link ordinal in a
+    /// fault trace means the same wire in both simulators.
+    #[inline]
+    pub fn num_directed_links(&self) -> usize {
+        2 * (self.node_leaf.len() + self.switches.len())
+    }
+
+    /// Directed link carrying traffic from node `n` up into its leaf switch.
+    #[inline]
+    pub fn node_uplink(&self, n: NodeId) -> usize {
+        2 * n.0
+    }
+
+    /// Directed link carrying traffic from the leaf switch down to node `n`.
+    #[inline]
+    pub fn node_downlink(&self, n: NodeId) -> usize {
+        2 * n.0 + 1
+    }
+
+    /// Directed link carrying traffic from switch `s` up to its parent.
+    #[inline]
+    pub fn switch_uplink(&self, s: SwitchId) -> usize {
+        2 * self.node_leaf.len() + 2 * s.0
+    }
+
+    /// Directed link carrying traffic from `s`'s parent down into `s`.
+    #[inline]
+    pub fn switch_downlink(&self, s: SwitchId) -> usize {
+        2 * self.node_leaf.len() + 2 * s.0 + 1
+    }
 }

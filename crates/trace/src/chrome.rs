@@ -110,6 +110,25 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     kind.as_str()
                 ));
             }
+            EventKind::SwitchFault {
+                switch,
+                kind,
+                victims,
+                nodes,
+            } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"switch_fault:{} s{switch}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":1,\"tid\":0,\"args\":{{\"victims\":{victims},\"nodes\":{nodes}}}}}",
+                    kind.as_str()
+                ));
+            }
+            EventKind::LinkFault {
+                link,
+                capacity_permille,
+            } => {
+                push_record(&mut out, &mut first, &format!(
+                    "{{\"name\":\"link_fault l{link}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":1,\"tid\":0,\"args\":{{\"capacity_permille\":{capacity_permille}}}}}"
+                ));
+            }
             EventKind::NetSolve { flows, .. } => {
                 push_record(&mut out, &mut first, &format!(
                     "{{\"name\":\"net flows re-rated\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"flows\":{flows}}}}}"

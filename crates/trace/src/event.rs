@@ -139,6 +139,26 @@ pub enum EventKind {
         /// Transition kind.
         kind: FaultClass,
     },
+    /// A fault-trace transition fired on a switch (correlated failure of
+    /// its whole subtree, or the repair).
+    SwitchFault {
+        /// Switch id.
+        switch: u64,
+        /// `Fail` for a switch-down, `Recover` for a switch-up.
+        kind: FaultClass,
+        /// Jobs killed by the subtree-down (0 for a switch-up).
+        victims: u64,
+        /// Descendant nodes covered by the switch.
+        nodes: u64,
+    },
+    /// A fault-trace transition fired on a directed link: its capacity
+    /// dropped to `capacity_permille`/1000 of nominal (1000 = restored).
+    LinkFault {
+        /// Directed link id (canonical topology numbering).
+        link: u64,
+        /// New capacity in thousandths of nominal.
+        capacity_permille: u64,
+    },
     /// The flow solver re-waterfilled one or more components.
     NetSolve {
         /// Connected components re-solved at this event.
@@ -177,7 +197,9 @@ impl EventKind {
             | EventKind::JobFinish { .. }
             | EventKind::JobRequeue { .. }
             | EventKind::JobReject { .. } => EventClass::Job,
-            EventKind::Fault { .. } => EventClass::Fault,
+            EventKind::Fault { .. }
+            | EventKind::SwitchFault { .. }
+            | EventKind::LinkFault { .. } => EventClass::Fault,
             EventKind::NetSolve { .. }
             | EventKind::NetRates { .. }
             | EventKind::NetLinks { .. } => EventClass::Net,
@@ -195,6 +217,8 @@ impl EventKind {
             EventKind::JobRequeue { .. } => "requeue",
             EventKind::JobReject { .. } => "reject",
             EventKind::Fault { .. } => "fault",
+            EventKind::SwitchFault { .. } => "switch_fault",
+            EventKind::LinkFault { .. } => "link_fault",
             EventKind::NetSolve { .. } => "net_solve",
             EventKind::NetRates { .. } => "net_rates",
             EventKind::NetLinks { .. } => "net_links",
@@ -298,6 +322,27 @@ impl Event {
             }
             EventKind::Fault { node, kind } => {
                 let _ = write!(s, ",\"node\":{node},\"kind\":\"{}\"", kind.as_str());
+            }
+            EventKind::SwitchFault {
+                switch,
+                kind,
+                victims,
+                nodes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"switch\":{switch},\"kind\":\"{}\",\"victims\":{victims},\"nodes\":{nodes}",
+                    kind.as_str()
+                );
+            }
+            EventKind::LinkFault {
+                link,
+                capacity_permille,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"link\":{link},\"capacity_permille\":{capacity_permille}"
+                );
             }
             EventKind::NetSolve {
                 components,

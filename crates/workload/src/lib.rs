@@ -42,7 +42,9 @@ pub mod stats;
 pub mod swf;
 
 pub use commsched_core::{JobId, JobNature};
-pub use fault::{FaultEvent, FaultKind, FaultTrace, FaultTraceError};
+pub use fault::{
+    FaultDomain, FaultEvent, FaultKind, FaultTrace, FaultTraceError, FaultTraceErrorKind,
+};
 pub use generate::{LogSpec, MixSet};
 pub use model::{Job, JobLog, SystemModel};
 pub use stats::LogProfile;

@@ -376,7 +376,7 @@ mod fault_traces {
         assert_eq!(err.field, Some("time"));
 
         let err = FaultTrace::parse("10 x fail").unwrap_err();
-        assert_eq!(err.field, Some("node"));
+        assert_eq!(err.field, Some("target"));
 
         let err = FaultTrace::parse("10 3 explode").unwrap_err();
         assert_eq!(err.field, Some("kind"));
@@ -441,6 +441,108 @@ mod fault_traces {
             .unwrap()
             .is_empty());
         assert!(FaultTrace::mtbf(4, 5000.0, 600.0, 0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_switch_and_link_domains_round_trip() {
+        use crate::fault::FaultDomain;
+        let text = "\
+100 switch:2 down
+200 link:5 degrade 250
+300 link:5 restore
+400 switch:2 up
+500 7 fail
+";
+        let trace = FaultTrace::parse(text).unwrap();
+        assert_eq!(trace.len(), 5);
+        assert!(trace.has_domain(FaultDomain::Node));
+        assert!(trace.has_domain(FaultDomain::Switch));
+        assert!(trace.has_domain(FaultDomain::Link));
+        assert_eq!(
+            trace.events()[1].kind,
+            FaultKind::LinkDegrade { permille: 250 }
+        );
+        assert_eq!(trace.events()[0].kind, FaultKind::SwitchDown);
+        let reparsed = FaultTrace::parse(&trace.emit()).unwrap();
+        assert_eq!(trace, reparsed);
+        // Node events still emit in the PR-3 bare-ordinal format.
+        assert!(trace.emit().contains("500 7 fail"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_domain_lines() {
+        // Wrong kind for the domain.
+        assert!(FaultTrace::parse("10 switch:0 fail").is_err());
+        assert!(FaultTrace::parse("10 link:0 down").is_err());
+        assert!(FaultTrace::parse("10 node:0 degrade 500").is_err());
+        // Degrade needs an in-range permille argument.
+        assert!(FaultTrace::parse("10 link:0 degrade").is_err());
+        assert!(FaultTrace::parse("10 link:0 degrade 0").is_err());
+        assert!(FaultTrace::parse("10 link:0 degrade 1001").is_err());
+        assert!(FaultTrace::parse("10 link:0 degrade 500 junk").is_err());
+        // Unknown prefix.
+        assert!(FaultTrace::parse("10 rack:0 fail").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_overlapping_down_intervals() {
+        use crate::fault::FaultTraceErrorKind;
+        // A second `fail` while node 3 is still down is a typed overlap.
+        let err = FaultTrace::parse("10 3 fail\n20 3 fail").unwrap_err();
+        assert_eq!(err.kind, FaultTraceErrorKind::Overlap);
+        assert!(err.to_string().contains("already down"));
+        // Same for switches.
+        let err = FaultTrace::parse("10 switch:1 down\n20 switch:1 down").unwrap_err();
+        assert_eq!(err.kind, FaultTraceErrorKind::Overlap);
+        // Down → up → down again is fine.
+        assert!(FaultTrace::parse("10 3 fail\n20 3 recover\n30 3 fail").is_ok());
+        assert!(FaultTrace::parse("10 switch:1 down\n20 switch:1 up\n30 switch:1 down").is_ok());
+        // Different targets (or domains) never overlap each other: node 1
+        // and switch 1 are distinct streams.
+        assert!(FaultTrace::parse("10 1 fail\n20 switch:1 down").is_ok());
+        // Drains and link events are not down intervals.
+        assert!(FaultTrace::parse("10 3 drain\n20 3 drain").is_ok());
+        assert!(FaultTrace::parse("10 link:0 degrade 500\n20 link:0 degrade 250").is_ok());
+    }
+
+    #[test]
+    fn validate_machine_checks_every_domain() {
+        let trace =
+            FaultTrace::parse("10 7 fail\n20 switch:4 down\n30 link:63 degrade 500").unwrap();
+        assert!(trace.validate_machine(8, 5, 64).is_ok());
+        assert!(trace.validate_machine(7, 5, 64).is_err());
+        assert!(trace.validate_machine(8, 4, 64).is_err());
+        assert!(trace.validate_machine(8, 5, 63).is_err());
+        // The node-only validator still ignores the other domains.
+        assert!(trace.validate(8).is_ok());
+    }
+
+    #[test]
+    fn switch_and_link_generators_are_deterministic_and_valid() {
+        use crate::fault::FaultDomain;
+        let a = FaultTrace::switch_mtbf(6, 40_000.0, 5_000.0, 2_000_000, 9).unwrap();
+        let b = FaultTrace::switch_mtbf(6, 40_000.0, 5_000.0, 2_000_000, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "horizon long enough to draw outages");
+        assert!(a.events().iter().all(|e| e.domain() == FaultDomain::Switch));
+        // Generated schedules never overlap, so they re-parse cleanly.
+        assert!(FaultTrace::parse(&a.emit()).is_ok());
+
+        let l = FaultTrace::link_degrade(16, 40_000.0, 5_000.0, 250, 2_000_000, 9).unwrap();
+        let l2 = FaultTrace::link_degrade(16, 40_000.0, 5_000.0, 250, 2_000_000, 9).unwrap();
+        assert_eq!(l, l2);
+        assert!(!l.is_empty());
+        assert!(l.events().iter().all(|e| e.domain() == FaultDomain::Link));
+        assert!(l.events().iter().all(|e| matches!(
+            e.kind,
+            FaultKind::LinkDegrade { permille: 250 } | FaultKind::LinkRestore
+        )));
+        assert!(FaultTrace::link_degrade(16, 40_000.0, 5_000.0, 0, 2_000_000, 9).is_err());
+
+        // Merging disjoint domains keeps every event and stays canonical.
+        let merged = a.clone().merge(l.clone());
+        assert_eq!(merged.len(), a.len() + l.len());
+        assert!(FaultTrace::parse(&merged.emit()).is_ok());
     }
 }
 
