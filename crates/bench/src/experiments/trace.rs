@@ -152,7 +152,20 @@ pub fn run_golden(name: &str, jobs: usize, seed: u64) -> Option<(String, String)
                     commsched_trace::EventKind::NetRates { min_rate, .. } => {
                         reg.observe(rate_h, min_rate)
                     }
-                    _ => {}
+                    // The flow simulator emits no scheduler or fault
+                    // events; listing the variants keeps this summary
+                    // honest when the trace schema grows.
+                    commsched_trace::EventKind::JobSubmit { .. }
+                    | commsched_trace::EventKind::JobEligible { .. }
+                    | commsched_trace::EventKind::JobPlace { .. }
+                    | commsched_trace::EventKind::JobStart { .. }
+                    | commsched_trace::EventKind::JobFinish { .. }
+                    | commsched_trace::EventKind::JobRequeue { .. }
+                    | commsched_trace::EventKind::JobReject { .. }
+                    | commsched_trace::EventKind::Fault { .. }
+                    | commsched_trace::EventKind::SwitchFault { .. }
+                    | commsched_trace::EventKind::LinkFault { .. }
+                    | commsched_trace::EventKind::NetLinks { .. } => {}
                 }
             }
             reg.inc(jobs_done, results.len() as u64);

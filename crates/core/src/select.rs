@@ -399,7 +399,7 @@ impl NodeSelector for AdaptiveSelector {
             return Ok(balanced);
         }
         let spec = req.spec();
-        // detlint: allow(R1) — a poisoned mutex means another thread already
+        // detlint: allow(P1) — a poisoned mutex means another thread already
         // panicked mid-evaluation; propagating is the only sound response.
         let mut eval = self.eval.lock().expect("evaluator mutex poisoned");
         // Balanced last: when it wins (the common comm-intensive case) the

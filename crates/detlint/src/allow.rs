@@ -1,0 +1,162 @@
+//! The suppression grammar, shared by every rule family.
+//!
+//! An inline `// detlint: allow(RULE[, RULE…]) — reason` directive on the
+//! flagged line, or in the contiguous block of comment-only lines
+//! directly above it, suppresses matching diagnostics. An allow without a
+//! reason does not suppress — it raises **A0** instead, so every
+//! suppression in the tree stays audited. The committed `[[allow]]`
+//! entries in `detlint.toml` (which are reason-checked at parse time)
+//! match by rule + file + optional line substring.
+//!
+//! `allow(R1)` is accepted wherever `allow(P1)` is: P1 subsumes the old
+//! per-line R1 rule and historical allows keep working.
+
+use crate::lexer::Lexed;
+
+/// An inline `detlint: allow(R1, N1) — reason` directive.
+#[derive(Debug, Clone)]
+pub struct InlineAllow {
+    pub rules: Vec<String>,
+    pub has_reason: bool,
+}
+
+/// Does an allow naming `allowed` suppress a diagnostic of `rule`?
+pub fn rule_matches(allowed: &str, rule: &str) -> bool {
+    allowed == rule || (rule == "P1" && allowed == "R1")
+}
+
+pub fn parse_inline_allow(comment: &str) -> Option<InlineAllow> {
+    let key = "detlint: allow(";
+    let start = comment.find(key)?;
+    let rest = &comment[start + key.len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = ["—", "-", ":", "–"]
+        .iter()
+        .any(|sep| tail.strip_prefix(sep).is_some_and(|t| !t.trim().is_empty()));
+    Some(InlineAllow { rules, has_reason })
+}
+
+/// Per-file suppression state, built once from the lexed views.
+pub struct FileAllows {
+    allows: Vec<Option<InlineAllow>>,
+    /// Lines that contain only comment text (an allow block can extend
+    /// upward through these).
+    comment_only: Vec<bool>,
+}
+
+/// Outcome of probing the allows around one diagnostic.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No allow in range.
+    None,
+    /// Suppressed by a reasoned allow.
+    Suppressed,
+    /// A matching allow exists but carries no reason: the diagnostic
+    /// stands AND the allow line (0-based) must be flagged A0.
+    MissingReason(usize),
+}
+
+impl FileAllows {
+    pub fn build(lexed: &Lexed) -> Self {
+        let clean_lines: Vec<&str> = lexed.cleaned.lines().collect();
+        let allows: Vec<Option<InlineAllow>> = lexed
+            .comments
+            .iter()
+            .map(|c| parse_inline_allow(c))
+            .collect();
+        let comment_only: Vec<bool> = lexed
+            .comments
+            .iter()
+            .enumerate()
+            .map(|(i, c)| !c.is_empty() && clean_lines.get(i).is_none_or(|l| l.trim().is_empty()))
+            .collect();
+        FileAllows {
+            allows,
+            comment_only,
+        }
+    }
+
+    /// Probe the allow on `line_idx` (0-based) and the comment-only block
+    /// directly above it.
+    pub fn lookup(&self, line_idx: usize, rule: &str) -> Verdict {
+        let mut probes = vec![line_idx];
+        let mut p = line_idx;
+        while p > 0 {
+            p -= 1;
+            if !self.comment_only.get(p).copied().unwrap_or(false) {
+                break;
+            }
+            probes.push(p);
+        }
+        let mut missing: Option<usize> = None;
+        for probe in probes {
+            if let Some(Some(a)) = self.allows.get(probe) {
+                if a.rules.iter().any(|r| rule_matches(r, rule)) {
+                    if a.has_reason {
+                        return Verdict::Suppressed;
+                    }
+                    missing.get_or_insert(probe);
+                }
+            }
+        }
+        match missing {
+            Some(l) => Verdict::MissingReason(l),
+            None => Verdict::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn allows(src: &str) -> FileAllows {
+        FileAllows::build(&lexer::strip(src))
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_on_line_and_above() {
+        let f = allows(
+            "x.unwrap(); // detlint: allow(P1) — checked by caller\n\
+             // detlint: allow(P1) — block form,\n\
+             // wrapped across lines.\n\
+             y.unwrap();\n",
+        );
+        assert_eq!(f.lookup(0, "P1"), Verdict::Suppressed);
+        assert_eq!(f.lookup(3, "P1"), Verdict::Suppressed);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a0_not_suppression() {
+        let f = allows("// detlint: allow(D1)\nm.iter();\n");
+        assert_eq!(f.lookup(1, "D1"), Verdict::MissingReason(0));
+        assert_eq!(f.lookup(1, "D2"), Verdict::None);
+    }
+
+    #[test]
+    fn r1_alias_covers_p1() {
+        assert!(rule_matches("R1", "P1"));
+        assert!(rule_matches("P1", "P1"));
+        assert!(!rule_matches("P1", "R1"));
+        assert!(!rule_matches("R1", "X1"));
+        let f = allows("o.unwrap(); // detlint: allow(R1) — legacy directive\n");
+        assert_eq!(f.lookup(0, "P1"), Verdict::Suppressed);
+    }
+
+    #[test]
+    fn allow_block_does_not_leak_past_code() {
+        let f = allows(
+            "// detlint: allow(P1) — only the next statement\n\
+             let x = 1;\n\
+             o.unwrap();\n",
+        );
+        assert_eq!(f.lookup(2, "P1"), Verdict::None);
+    }
+}

@@ -1,0 +1,339 @@
+//! The approximate caller→callee graph.
+//!
+//! Name resolution is deliberately approximate and *conservative on
+//! ambiguity*: when a call could refer to several workspace functions,
+//! every candidate gets an edge. The resolver never invents names — a
+//! call that matches nothing in the workspace (std, vendored externals)
+//! resolves to the empty set. Rules built on reachability therefore see
+//! a superset of the real graph within the workspace, which is the sound
+//! direction for P1/I1/L1.
+//!
+//! Resolution, in order:
+//! * `Type::f(…)` / `Self::f(…)` — methods of that impl type.
+//! * `crate::…`, `commsched_x::…`, `self::…`, `super::…` — crate-scoped
+//!   module-suffix match over free functions.
+//! * `a::b::f(…)` — free functions whose module path ends with `a::b`.
+//! * bare `f(…)` — same-module free functions, else same-crate, else any
+//!   workspace free function with that name (a `use`-import we don't
+//!   track).
+//! * `self.m(…)` — methods of the caller's impl type, falling back to
+//!   every same-named method.
+//! * `recv.m(…)` — every workspace method named `m` (receiver types are
+//!   not inferred).
+
+use crate::parse::{CallTarget, FnItem};
+use crate::symbols::{FileSource, SymbolTable};
+
+/// Per-function resolution results.
+pub struct CallGraph {
+    /// `edges[f]` — sorted, deduped callee indexes of `fns[f]`.
+    pub edges: Vec<Vec<usize>>,
+    /// `call_targets[f][c]` — callees of call site `c` in `f`'s body
+    /// (parallel to `body.calls`).
+    pub call_targets: Vec<Vec<Vec<usize>>>,
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+/// Resolve one call target for `caller` (index into `st.fns`).
+fn resolve(st: &SymbolTable, caller: usize, target: &CallTarget) -> Vec<usize> {
+    let c = &st.fns[caller];
+    match target {
+        CallTarget::Method { name, on_self } => {
+            let Some(cands) = st.by_name.get(name) else {
+                return Vec::new();
+            };
+            if *on_self {
+                if let Some(ty) = &c.impl_type {
+                    let same: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| st.fns[i].impl_type.as_deref() == Some(ty))
+                        .collect();
+                    if !same.is_empty() {
+                        return same;
+                    }
+                }
+            }
+            cands
+                .iter()
+                .copied()
+                .filter(|&i| st.fns[i].impl_type.is_some())
+                .collect()
+        }
+        CallTarget::Path(segs) => {
+            let Some((name, quals)) = segs.split_last() else {
+                return Vec::new();
+            };
+            let Some(cands) = st.by_name.get(name) else {
+                return Vec::new();
+            };
+            let mut quals: Vec<&str> = quals.iter().map(String::as_str).collect();
+            // Crate-scoping prefixes.
+            let mut crate_restrict: Option<&str> = None;
+            if let Some(&first) = quals.first() {
+                if first == "crate" || first == "self" || first == "super" {
+                    crate_restrict = Some(c.crate_key.as_str());
+                    quals.remove(0);
+                    while quals.first() == Some(&"super") {
+                        quals.remove(0);
+                    }
+                } else if let Some(key) = st.crate_alias.get(first) {
+                    crate_restrict = Some(key.as_str());
+                    quals.remove(0);
+                }
+            }
+            // Type-qualified: `Type::f` / `Self::f` — the last qualifier
+            // names a type, not a module.
+            if let Some(&last) = quals.last() {
+                let ty = if last == "Self" {
+                    c.impl_type.as_deref()
+                } else if starts_upper(last) {
+                    Some(last)
+                } else {
+                    None
+                };
+                if let Some(ty) = ty {
+                    return cands
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            st.fns[i].impl_type.as_deref() == Some(ty)
+                                && crate_restrict.is_none_or(|k| st.fns[i].crate_key == k)
+                        })
+                        .collect();
+                }
+            }
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| st.fns[i].impl_type.is_none())
+                .collect();
+            if !quals.is_empty() || crate_restrict.is_some() {
+                return free
+                    .into_iter()
+                    .filter(|&i| {
+                        let f = &st.fns[i];
+                        crate_restrict.is_none_or(|k| f.crate_key == k)
+                            && f.module.len() >= quals.len()
+                            && f.module[f.module.len() - quals.len()..]
+                                .iter()
+                                .zip(&quals)
+                                .all(|(m, q)| m == q)
+                    })
+                    .collect();
+            }
+            // Bare call: nearest scope wins, widening only when empty.
+            let same_module: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&i| st.fns[i].crate_key == c.crate_key && st.fns[i].module == c.module)
+                .collect();
+            if !same_module.is_empty() {
+                return same_module;
+            }
+            let same_crate: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&i| st.fns[i].crate_key == c.crate_key)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            free
+        }
+    }
+}
+
+/// Build the graph over every function body.
+pub fn build(st: &SymbolTable, files: &[FileSource]) -> CallGraph {
+    let mut edges = Vec::with_capacity(st.fns.len());
+    let mut call_targets = Vec::with_capacity(st.fns.len());
+    for (idx, f) in st.fns.iter().enumerate() {
+        let item: &FnItem = &files[f.file].parsed.fns[f.item];
+        let mut per_site = Vec::with_capacity(item.body.calls.len());
+        let mut all = Vec::new();
+        for call in &item.body.calls {
+            let mut callees = resolve(st, idx, &call.target);
+            callees.sort_unstable();
+            callees.dedup();
+            all.extend(callees.iter().copied());
+            per_site.push(callees);
+        }
+        all.sort_unstable();
+        all.dedup();
+        edges.push(all);
+        call_targets.push(per_site);
+    }
+    CallGraph {
+        edges,
+        call_targets,
+    }
+}
+
+/// BFS from `start` over `edges`, visiting only nodes where `enter`
+/// holds; returns predecessor map for chain reconstruction (usize::MAX
+/// for the start).
+pub fn bfs(
+    edges: &[Vec<usize>],
+    start: usize,
+    enter: impl Fn(usize) -> bool,
+) -> std::collections::BTreeMap<usize, usize> {
+    let mut pred = std::collections::BTreeMap::new();
+    if !enter(start) {
+        return pred;
+    }
+    pred.insert(start, usize::MAX);
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        for &m in &edges[n] {
+            if enter(m) && !pred.contains_key(&m) {
+                pred.insert(m, n);
+                queue.push_back(m);
+            }
+        }
+    }
+    pred
+}
+
+/// Reconstruct the chain start→…→`node` from a [`bfs`] predecessor map.
+pub fn chain(pred: &std::collections::BTreeMap<usize, usize>, node: usize) -> Vec<usize> {
+    let mut path = vec![node];
+    let mut cur = node;
+    while let Some(&p) = pred.get(&cur) {
+        if p == usize::MAX {
+            break;
+        }
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parse;
+    use crate::symbols::{self, FileSource};
+
+    fn file(rel: &str, crate_key: &str, src: &str) -> FileSource {
+        let lexed = lexer::strip(src);
+        let toks = lexer::tokenize(&lexed.cleaned);
+        FileSource {
+            rel: rel.to_string(),
+            crate_key: crate_key.to_string(),
+            parsed: parse::parse(&toks, &["lock".to_string()]),
+        }
+    }
+
+    fn graph(files: Vec<FileSource>) -> (symbols::SymbolTable, CallGraph, Vec<FileSource>) {
+        let st = symbols::build(&files);
+        let cg = build(&st, &files);
+        (st, cg, files)
+    }
+
+    fn idx(st: &symbols::SymbolTable, name: &str) -> usize {
+        st.by_name
+            .get(name)
+            .and_then(|v| v.first())
+            .copied()
+            .expect("fn")
+    }
+
+    #[test]
+    fn cross_module_and_cross_crate_calls_resolve() {
+        let (st, cg, _f) = graph(vec![
+            file(
+                "crates/core/src/lib.rs",
+                "core",
+                "pub fn entry() { state::step(); commsched_topology::measure(1); }\n",
+            ),
+            file(
+                "crates/core/src/state.rs",
+                "core",
+                "pub fn step() { crate::finish(); }\n",
+            ),
+            file("crates/core/src/done.rs", "core", "pub fn finish() {}\n"),
+            file(
+                "crates/topology/src/lib.rs",
+                "topology",
+                "pub fn measure(x: u32) -> u32 { x }\n",
+            ),
+        ]);
+        let entry = idx(&st, "entry");
+        assert_eq!(cg.edges[entry], [idx(&st, "step"), idx(&st, "measure")]);
+        let step = idx(&st, "step");
+        assert_eq!(cg.edges[step], [idx(&st, "finish")]);
+    }
+
+    #[test]
+    fn same_module_bare_call_shadows_other_crates() {
+        let (st, cg, _f) = graph(vec![
+            file(
+                "crates/a/src/lib.rs",
+                "a",
+                "fn helper() {}\npub fn go() { helper(); }\n",
+            ),
+            file("crates/b/src/lib.rs", "b", "pub fn helper() {}\n"),
+        ]);
+        let go = idx(&st, "go");
+        assert_eq!(cg.edges[go].len(), 1);
+        assert_eq!(st.fns[cg.edges[go][0]].crate_key, "a");
+    }
+
+    #[test]
+    fn method_receivers_route_to_impl_type() {
+        let (st, cg, _f) = graph(vec![file(
+            "crates/a/src/lib.rs",
+            "a",
+            "struct S;\nstruct T;\n\
+             impl S { pub fn act(&self) { self.inner(); } fn inner(&self) {} }\n\
+             impl T { fn inner(&self) {} }\n\
+             pub fn free(s: &S) { s.act(); S::act(s); }\n",
+        )]);
+        let act = idx(&st, "act");
+        // `self.inner()` resolves only to S::inner, not T::inner.
+        assert_eq!(cg.edges[act].len(), 1);
+        assert_eq!(st.fns[cg.edges[act][0]].impl_type.as_deref(), Some("S"));
+        // `s.act()` (unknown receiver) and `S::act` both reach `act`.
+        let free = idx(&st, "free");
+        assert_eq!(cg.edges[free], [act]);
+    }
+
+    #[test]
+    fn ambiguous_receivers_stay_conservative() {
+        let (st, cg, _f) = graph(vec![file(
+            "crates/a/src/lib.rs",
+            "a",
+            "struct S;\nstruct T;\n\
+             impl S { fn tick(&self) {} }\n\
+             impl T { fn tick(&self) {} }\n\
+             pub fn free(x: &S) { x.tick(); }\n",
+        )]);
+        let free = idx(&st, "free");
+        // Both `tick` methods are candidates — conservative superset.
+        assert_eq!(cg.edges[free].len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_nothing() {
+        let (st, cg, _f) = graph(vec![file(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn go(v: Vec<u32>) -> usize { v.len() }\n",
+        )]);
+        let go = idx(&st, "go");
+        assert!(cg.edges[go].is_empty());
+    }
+
+    #[test]
+    fn bfs_chain_reconstructs_path() {
+        let edges = vec![vec![1], vec![2], vec![]];
+        let pred = bfs(&edges, 0, |_| true);
+        assert_eq!(chain(&pred, 2), [0, 1, 2]);
+    }
+}

@@ -22,14 +22,45 @@ pub struct AllowEntry {
 /// Full analyzer configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
-    /// Crates whose non-test code is subject to R1 (panic-freedom).
-    pub r1_crates: Vec<String>,
+    /// Panic-free crates: every lexical panic site in their non-test code
+    /// is a direct P1 finding. (`[rules.R1] crates` is accepted as a
+    /// legacy spelling of this key.)
+    pub p1_crates: Vec<String>,
+    /// Additional crates in the P1 reachability universe: panic sites
+    /// here are flagged at every public function whose call chain reaches
+    /// them.
+    pub p1_reach: Vec<String>,
     /// Workspace-relative files subject to N1 (checked casts).
     pub n1_files: Vec<String>,
     /// Workspace-relative dir prefixes excluded from D2 (wall-clock).
     pub d2_exclude_dirs: Vec<String>,
+    /// Path prefixes whose matches on workspace enums must be exhaustive
+    /// (X1).
+    pub x1_paths: Vec<String>,
+    /// Protocol types whose public `&mut self` methods must flush (I1).
+    pub i1_types: Vec<String>,
+    /// Method names that count as the flush (I1).
+    pub i1_flush: Vec<String>,
+    /// Crates subject to the lock-order check (L1).
+    pub l1_crates: Vec<String>,
+    /// The single declared lock order, outermost first (L1).
+    pub l1_order: Vec<String>,
+    /// Function names that acquire a lock (L1); `.lock()` method calls on
+    /// field paths always count.
+    pub l1_acquire: Vec<String>,
     /// Committed allowlist.
     pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// The acquire-function names with the built-in default applied.
+    pub fn acquire_fns(&self) -> Vec<String> {
+        if self.l1_acquire.is_empty() {
+            vec!["lock".to_string()]
+        } else {
+            self.l1_acquire.clone()
+        }
+    }
 }
 
 /// A config-file parse error with a 1-based line number.
@@ -107,9 +138,12 @@ fn parse_string(s: &str, lineno: usize) -> Result<(String, &str), ConfigError> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Section {
     None,
-    RuleR1,
+    RuleP1,
     RuleN1,
     RuleD2,
+    RuleX1,
+    RuleI1,
+    RuleL1,
     Allow,
     /// A recognised-but-unused `[rules.*]` table; keys are rejected.
     Unknown(String),
@@ -196,9 +230,13 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             flush_allow(&mut cfg, &mut pending)?;
             section = match header.trim() {
-                "rules.R1" => Section::RuleR1,
+                // R1 is the legacy name for P1's direct layer.
+                "rules.P1" | "rules.R1" => Section::RuleP1,
                 "rules.N1" => Section::RuleN1,
                 "rules.D2" => Section::RuleD2,
+                "rules.X1" => Section::RuleX1,
+                "rules.I1" => Section::RuleI1,
+                "rules.L1" => Section::RuleL1,
                 other if other.starts_with("rules.") => Section::Unknown(other.to_string()),
                 other => return Err(err(lineno, format!("unknown table [{other}]"))),
             };
@@ -289,9 +327,16 @@ fn store_array(
     lineno: usize,
 ) -> Result<(), ConfigError> {
     match (section, key) {
-        (Section::RuleR1, "crates") => cfg.r1_crates = items,
+        (Section::RuleP1, "crates") => cfg.p1_crates = items,
+        (Section::RuleP1, "reach") => cfg.p1_reach = items,
         (Section::RuleN1, "files") => cfg.n1_files = items,
         (Section::RuleD2, "exclude_dirs") => cfg.d2_exclude_dirs = items,
+        (Section::RuleX1, "paths") => cfg.x1_paths = items,
+        (Section::RuleI1, "types") => cfg.i1_types = items,
+        (Section::RuleI1, "flush") => cfg.i1_flush = items,
+        (Section::RuleL1, "crates") => cfg.l1_crates = items,
+        (Section::RuleL1, "order") => cfg.l1_order = items,
+        (Section::RuleL1, "acquire") => cfg.l1_acquire = items,
         _ => {
             return Err(err(
                 lineno,
@@ -310,8 +355,9 @@ mod tests {
     fn parses_full_config() {
         let text = r#"
 # comment
-[rules.R1]
+[rules.P1]
 crates = ["core", "slurmsim"]
+reach = ["topology"]
 
 [rules.N1]
 files = [
@@ -322,6 +368,18 @@ files = [
 [rules.D2]
 exclude_dirs = ["crates/bench/src/bin"]
 
+[rules.X1]
+paths = ["crates/trace/src"]
+
+[rules.I1]
+types = ["ClusterState"]
+flush = ["flush_index", "reindex"]
+
+[rules.L1]
+crates = ["vendor/rayon"]
+order = ["shared", "remaining"]
+acquire = ["lock"]
+
 [[allow]]
 rule = "D1"
 file = "crates/core/src/eval.rs"
@@ -329,11 +387,25 @@ contains = "hop_map"
 reason = "order-independent rebuild"
 "#;
         let cfg = parse(text).expect("parse");
-        assert_eq!(cfg.r1_crates, ["core", "slurmsim"]);
+        assert_eq!(cfg.p1_crates, ["core", "slurmsim"]);
+        assert_eq!(cfg.p1_reach, ["topology"]);
         assert_eq!(cfg.n1_files.len(), 2);
         assert_eq!(cfg.d2_exclude_dirs, ["crates/bench/src/bin"]);
+        assert_eq!(cfg.x1_paths, ["crates/trace/src"]);
+        assert_eq!(cfg.i1_types, ["ClusterState"]);
+        assert_eq!(cfg.i1_flush, ["flush_index", "reindex"]);
+        assert_eq!(cfg.l1_crates, ["vendor/rayon"]);
+        assert_eq!(cfg.l1_order, ["shared", "remaining"]);
+        assert_eq!(cfg.acquire_fns(), ["lock"]);
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].contains.as_deref(), Some("hop_map"));
+    }
+
+    #[test]
+    fn legacy_r1_section_feeds_p1() {
+        let cfg = parse("[rules.R1]\ncrates = [\"core\"]\n").expect("parse");
+        assert_eq!(cfg.p1_crates, ["core"]);
+        assert_eq!(cfg.acquire_fns(), ["lock"], "default acquire fn");
     }
 
     #[test]

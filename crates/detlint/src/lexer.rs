@@ -205,6 +205,204 @@ pub fn strip(src: &str) -> Lexed {
     Lexed { cleaned, comments }
 }
 
+/// Token kinds produced by [`tokenize`]. Coarse on purpose: the item
+/// parser only needs identifiers, literals-as-opaque-units, lifetimes and
+/// punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    /// String or char literal (contents already blanked by [`strip`]).
+    Lit,
+    Lifetime,
+    Punct,
+}
+
+/// One token over the *cleaned* source, tagged with its 0-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// Exact-text match regardless of kind.
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+    /// Identifier with exactly this text (keywords included).
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Multi-character punctuation the item parser must see as one unit.
+/// Everything else (`==`, `&&`, `+=`, …) is fine as single characters —
+/// the parser never needs to distinguish them.
+const PUNCT2: &[&str] = &["::", "->", "=>", ".."];
+
+/// Tokenize the cleaned view produced by [`strip`]. Literal contents are
+/// already blanked, so strings carry no escapes and char literals cannot
+/// be confused with code; the only re-lexing subtlety left is the
+/// char-literal/lifetime split, resolved by looking for the closing quote.
+pub fn tokenize(cleaned: &str) -> Vec<Tok> {
+    let chars: Vec<char> = cleaned.chars().collect();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if ident_start(c) {
+            let start = i;
+            while i < chars.len() && ident_cont(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            // Raw/byte-string prefixes survive in the cleaned view
+            // (`r#"…"#` keeps its delimiters); fold them into one literal
+            // token instead of emitting a bogus `r` identifier.
+            if matches!(text.as_str(), "r" | "b" | "br") {
+                let mut j = i;
+                while chars.get(j) == Some(&'#') {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    let hashes = j - i;
+                    let mut k = j + 1;
+                    while k < chars.len() {
+                        if chars[k] == '\n' {
+                            line += 1;
+                        }
+                        if chars[k] == '"' && (1..=hashes).all(|h| chars.get(k + h) == Some(&'#')) {
+                            k += 1 + hashes;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    out.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (ident_cont(chars[i])) {
+                i += 1;
+            }
+            // A float's fractional part: `1.5` continues, `0..10` stops.
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                i += 1;
+                while i < chars.len() && ident_cont(chars[i]) {
+                    i += 1;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a` with no nearby closing quote) or blanked char
+            // literal (`'  '`). A char literal fits in a handful of chars.
+            let is_lifetime = chars.get(i + 1).is_some_and(|&n| ident_start(n)) && {
+                let mut j = i + 1;
+                while j < chars.len() && ident_cont(chars[j]) {
+                    j += 1;
+                }
+                chars.get(j) != Some(&'\'')
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < chars.len() && ident_cont(chars[i]) {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            let close = (i + 1..(i + 16).min(chars.len())).find(|&j| chars[j] == '\'');
+            if let Some(j) = close {
+                i = j + 1;
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+            } else {
+                i += 1;
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "'".to_string(),
+                    line,
+                });
+            }
+            continue;
+        }
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if PUNCT2.contains(&two.as_str()) {
+            i += 2;
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: two,
+                line,
+            });
+            continue;
+        }
+        i += 1;
+        out.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +432,43 @@ mod tests {
         assert!(!l2.cleaned.contains("\\n"));
         assert!(!l2.cleaned.contains("'q'"));
         assert!(l2.cleaned.contains("let c = '"));
+    }
+
+    #[test]
+    fn tokenize_multichar_punct_and_lines() {
+        let toks = tokenize("fn f() -> u8 {\n  a::b(x) => 0..1\n}\n");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"=>"));
+        assert!(texts.contains(&".."));
+        let arrow = toks.iter().find(|t| t.is("=>")).expect("arrow");
+        assert_eq!(arrow.line, 1);
+    }
+
+    #[test]
+    fn tokenize_lifetimes_chars_and_floats() {
+        let l = strip("fn f<'a>(v: &'a str) { let c = 'x'; let y = 1.5; let r = 0..10; }");
+        let toks = tokenize(&l.cleaned);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is("..")));
+        // The blanked char literal became one opaque literal token.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn tokenize_raw_string_is_one_literal() {
+        let l = strip("let s = r#\"fn bogus() { panic!() }\"#; done();");
+        let toks = tokenize(&l.cleaned);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!toks.iter().any(|t| t.is_ident("bogus")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
     }
 
     #[test]

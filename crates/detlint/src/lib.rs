@@ -1,34 +1,57 @@
 //! detlint — the workspace determinism-and-robustness analyzer.
 //!
 //! Walks every `crates/*/src` Rust file (skipping `tests.rs` files and
-//! `tests/` module directories), scrubs comments and string literals, and
-//! enforces the project's determinism contract statically:
+//! `tests/` module directories) and enforces the project's determinism
+//! contract statically. Per-file line rules run over the scrubbed source
+//! (comments and string literals can never trigger a rule); the semantic
+//! families run over a workspace symbol table and an approximate
+//! caller→callee graph built from a real token stream:
 //!
 //! * **D1** — no iteration over unordered hash containers
 //! * **D2** — no wall-clock / ambient state in library code
-//! * **R1** — no panic-capable calls in the panic-free crates
 //! * **N1** — no raw `as` numeric casts in hot files
 //! * **F1** — no float accumulation over unordered iterators
+//! * **P1** — no reachable panics in / from library code (subsumes the
+//!   old per-line R1 rule; call chains are reported)
+//! * **X1** — no wildcard `_` arms on workspace enums in
+//!   serialization/exporter files
+//! * **I1** — public `&mut self` protocol methods must flush the index
+//! * **L1** — lock acquisitions must follow the declared order
 //! * **A0** — every inline allow must carry a written reason
 //!
 //! Suppression is explicit and audited: either an inline
 //! `// detlint: allow(RULE) — reason` on (or directly above) the line, or
 //! a `[[allow]]` entry with a `reason` in the committed `detlint.toml`.
+//! For P1 call-chain findings the allow is honored at the *panic site*,
+//! so one justified panic silences every chain funnelling into it.
 //!
-//! See DESIGN.md §4.4 for the rationale behind each rule.
+//! Per-file analysis (lex → tokenize → parse → line rules) fans out over
+//! the vendored deterministic rayon pool; results are stitched back in
+//! path order, so output is byte-identical at any thread count.
+//!
+//! See DESIGN.md §4.4 (line rules) and §4.9 (semantic pipeline) for the
+//! rationale behind each rule.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod allow;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sem;
+pub mod symbols;
 
 use config::Config;
+use rayon::prelude::*;
 use rules::{Diagnostic, FileInput};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use symbols::FileSource;
 
 /// Result of analyzing a file set.
 pub struct Report {
@@ -105,6 +128,13 @@ pub fn default_targets(root: &Path, vendor_crates: &[String]) -> io::Result<Vec<
     Ok(files)
 }
 
+/// Expand a directory argument into its `.rs` files, with the same walk
+/// rules as the default scan (sorted; `tests/` dirs and `tests.rs`
+/// skipped).
+pub fn expand_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    collect_rs(dir, out)
+}
+
 /// Workspace-relative path with forward slashes, for stable diagnostics.
 fn rel_path(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
@@ -126,10 +156,20 @@ fn crate_of(rel: &str) -> &str {
     ""
 }
 
+/// Everything the analysis keeps per file after the parallel pass.
+struct PerFile {
+    src: FileSource,
+    /// Original source lines, for `[[allow]] contains` probing.
+    lines: Vec<String>,
+    allows: allow::FileAllows,
+    /// Raw (unsuppressed) line-rule findings.
+    raw: Vec<Diagnostic>,
+}
+
 /// Analyze `files` (absolute or root-relative paths) against `cfg`.
 pub fn run(root: &Path, cfg: &Config, files: &[PathBuf]) -> io::Result<Report> {
-    let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
+    // Sequential IO so read errors keep their path attribution.
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in files {
         let full = if path.is_absolute() {
             path.clone()
@@ -137,21 +177,117 @@ pub fn run(root: &Path, cfg: &Config, files: &[PathBuf]) -> io::Result<Report> {
             root.join(path)
         };
         let source = std::fs::read_to_string(&full)?;
-        let rel = rel_path(root, &full);
-        files_scanned += 1;
-        diagnostics.extend(rules::check_file(
-            &FileInput {
-                rel_path: &rel,
-                crate_name: crate_of(&rel),
-                source: &source,
-            },
-            cfg,
-        ));
+        sources.push((rel_path(root, &full), source));
     }
-    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    // Per-file analysis is independent; fan it out over the deterministic
+    // pool. `collect` stitches results back in input (path) order, so the
+    // report is byte-identical at any thread count.
+    let acquire = cfg.acquire_fns();
+    let per: Vec<PerFile> = sources
+        .par_iter()
+        .map(|(rel, source)| {
+            let lexed = lexer::strip(source);
+            let toks = lexer::tokenize(&lexed.cleaned);
+            let parsed = parse::parse(&toks, &acquire);
+            let raw = rules::line_rules(
+                &FileInput {
+                    rel_path: rel,
+                    crate_name: crate_of(rel),
+                    source,
+                },
+                &lexed,
+                cfg,
+            );
+            PerFile {
+                src: FileSource {
+                    rel: rel.clone(),
+                    crate_key: crate_of(rel).to_string(),
+                    parsed,
+                },
+                lines: source.lines().map(str::to_string).collect(),
+                allows: allow::FileAllows::build(&lexed),
+                raw,
+            }
+        })
+        .collect();
+
+    let mut fsrc: Vec<FileSource> = Vec::with_capacity(per.len());
+    let mut lines_all: Vec<Vec<String>> = Vec::with_capacity(per.len());
+    let mut allows_all: Vec<allow::FileAllows> = Vec::with_capacity(per.len());
+    let mut pending: Vec<(Diagnostic, usize, usize)> = Vec::new();
+    for (fi, p) in per.into_iter().enumerate() {
+        for d in p.raw {
+            let line0 = d.line - 1;
+            pending.push((d, fi, line0));
+        }
+        fsrc.push(p.src);
+        lines_all.push(p.lines);
+        allows_all.push(p.allows);
+    }
+
+    // The semantic families see the whole workspace at once.
+    let st = symbols::build(&fsrc);
+    let cg = callgraph::build(&st, &fsrc);
+    let rel_idx: BTreeMap<&str, usize> = fsrc
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel.as_str(), i))
+        .collect();
+    for sd in sem::check(cfg, &st, &cg, &fsrc) {
+        let own = rel_idx
+            .get(sd.diag.file.as_str())
+            .copied()
+            .unwrap_or(usize::MAX);
+        let line0 = sd.diag.line - 1;
+        let (af, al) = sd.allow_site.unwrap_or((own, line0));
+        pending.push((sd.diag, af, al));
+    }
+
+    // Uniform suppression: inline allows (probed at each finding's allow
+    // site, which for P1 chains is the panic site), then the committed
+    // allowlist, then A0 for reasonless allows that matched something.
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut a0_sites: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (d, af, al) in pending {
+        if af < fsrc.len() {
+            match allows_all[af].lookup(al, d.rule) {
+                allow::Verdict::Suppressed => continue,
+                allow::Verdict::MissingReason(l) => {
+                    a0_sites.insert((af, l));
+                }
+                allow::Verdict::None => {}
+            }
+            let src_line = lines_all[af].get(al).map(String::as_str).unwrap_or("");
+            let allowed = cfg.allow.iter().any(|e| {
+                allow::rule_matches(&e.rule, d.rule)
+                    && e.file == fsrc[af].rel
+                    && e.contains.as_deref().is_none_or(|c| src_line.contains(c))
+            });
+            if allowed {
+                continue;
+            }
+        }
+        diagnostics.push(d);
+    }
+    for (af, l) in a0_sites {
+        diagnostics.push(Diagnostic {
+            file: fsrc[af].rel.clone(),
+            line: l + 1,
+            rule: "A0",
+            message: "allow comment has no reason — write \
+                      `// detlint: allow(RULE) — <why this is sound>`"
+                .to_string(),
+        });
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diagnostics.dedup();
     Ok(Report {
         diagnostics,
-        files_scanned,
+        files_scanned: fsrc.len(),
     })
 }
 
@@ -220,5 +356,71 @@ pub fn render_json(report: &Report) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
+    out
+}
+
+/// Rule metadata for SARIF `tool.driver.rules`, sorted by id.
+const RULE_INFO: &[(&str, &str)] = &[
+    ("A0", "inline allow comment missing its reason"),
+    ("D1", "iteration over an unordered hash container"),
+    ("D2", "wall-clock or ambient state in library code"),
+    ("F1", "float accumulation over an unordered iterator"),
+    (
+        "I1",
+        "public `&mut self` protocol method missing its flush call",
+    ),
+    ("L1", "lock acquisition against the declared order"),
+    ("N1", "raw `as` numeric cast in a hot file"),
+    ("P1", "panic reachable in or from library code"),
+    (
+        "X1",
+        "wildcard `_` arm on a workspace enum in an exhaustive-match file",
+    ),
+];
+
+/// SARIF 2.1.0 rendering (`--format sarif`), for code-scanning upload.
+/// Hand-rolled like [`render_json`] and just as byte-stable.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"detlint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/commsched/detlint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, (id, desc)) in RULE_INFO.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(id),
+            json_escape(desc)
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"%SRCROOT%\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]\n        }}",
+            json_escape(d.rule),
+            json_escape(&d.message),
+            json_escape(&d.file),
+            d.line
+        );
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
     out
 }

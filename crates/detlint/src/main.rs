@@ -1,10 +1,13 @@
 //! CLI for the workspace determinism analyzer.
 //!
 //! ```text
-//! detlint [--root DIR] [--config PATH] [--format text|json] [PATHS…]
+//! detlint [--root DIR] [--config PATH] [--format text|json|sarif] [PATHS…]
 //! ```
 //!
-//! With no PATHS, scans every `crates/*/src` tree under the root.
+//! With no PATHS, scans every `crates/*/src` tree under the root. A PATH
+//! that is a directory is expanded to every `.rs` file under it (same
+//! walk as the default scan: `tests/` dirs and `tests.rs` skipped), so
+//! `detlint crates/detlint` self-lints one crate.
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
 
 #![forbid(unsafe_code)]
@@ -13,22 +16,29 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Cli {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: bool,
+    format: Format,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: detlint [--root DIR] [--config PATH] [--format text|json] [PATHS...]"
+    "usage: detlint [--root DIR] [--config PATH] [--format text|json|sarif] [PATHS...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         root: PathBuf::from("."),
         config: None,
-        json: false,
+        format: Format::Text,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -52,8 +62,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| "--format needs a value".to_string())?
                     .as_str()
                 {
-                    "json" => cli.json = true,
-                    "text" => cli.json = false,
+                    "json" => cli.format = Format::Json,
+                    "sarif" => cli.format = Format::Sarif,
+                    "text" => cli.format = Format::Text,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
@@ -86,27 +97,44 @@ fn real_main() -> Result<bool, String> {
     };
 
     let files = if cli.paths.is_empty() {
-        // Vendored crates opted into R1 are part of the default scan set:
-        // a panic path in the parallel runtime is exactly as fatal to a
-        // sweep as one in the engine.
+        // Vendored crates opted into any rule family are part of the
+        // default scan set: a panic path or lock-order bug in the
+        // parallel runtime is exactly as fatal to a sweep as one in the
+        // engine.
         let vendor: Vec<String> = cfg
-            .r1_crates
+            .p1_crates
             .iter()
+            .chain(cfg.p1_reach.iter())
+            .chain(cfg.l1_crates.iter())
             .filter(|c| c.starts_with("vendor/"))
             .cloned()
             .collect();
         detlint::default_targets(&cli.root, &vendor)
             .map_err(|e| format!("walking {}: {e}", cli.root.display()))?
     } else {
-        cli.paths.clone()
+        let mut expanded = Vec::new();
+        for p in &cli.paths {
+            let full = if p.is_absolute() {
+                p.clone()
+            } else {
+                cli.root.join(p)
+            };
+            if full.is_dir() {
+                detlint::expand_dir(&full, &mut expanded)
+                    .map_err(|e| format!("walking {}: {e}", full.display()))?;
+            } else {
+                expanded.push(p.clone());
+            }
+        }
+        expanded
     };
 
     let report =
         detlint::run(&cli.root, &cfg, &files).map_err(|e| format!("reading sources: {e}"))?;
-    if cli.json {
-        print!("{}", detlint::render_json(&report));
-    } else {
-        print!("{}", detlint::render_text(&report));
+    match cli.format {
+        Format::Json => print!("{}", detlint::render_json(&report)),
+        Format::Sarif => print!("{}", detlint::render_sarif(&report)),
+        Format::Text => print!("{}", detlint::render_text(&report)),
     }
     Ok(report.is_clean())
 }

@@ -1,0 +1,1408 @@
+//! A lightweight item parser over the token stream.
+//!
+//! This is not a Rust parser; it is a structure recoverer tuned for what
+//! the semantic rules need: which functions exist (module path, impl
+//! receiver, visibility, `self` mode), which enums exist (names and
+//! variants), which struct fields are `Mutex`es, and — per function body —
+//! the call sites, panic sites, `match` arms and lock acquisitions.
+//!
+//! Bodies are analyzed with flat token walks, not expression trees. The
+//! known approximations (closures attributed to the enclosing function,
+//! struct-literal braces treated as block scopes, tuple-struct patterns
+//! surfacing as call-shaped tokens) are all conservative for the rules
+//! built on top: they can add call-graph edges, never hide a panic site
+//! or an acquisition. See DESIGN.md §4.9 for the soundness discussion.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Everything recovered from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub enums: Vec<EnumItem>,
+    pub mutex_fields: Vec<MutexField>,
+}
+
+/// A workspace-defined enum and its variant names.
+#[derive(Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub variants: Vec<String>,
+    pub line: usize,
+}
+
+/// A struct field whose type mentions `Mutex` (the L1 lock universe).
+#[derive(Debug)]
+pub struct MutexField {
+    pub name: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    Scoped,
+    Priv,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    None,
+    ByRef,
+    ByRefMut,
+    ByValue,
+}
+
+/// One `fn` item (free function, inherent/trait method, or trait default).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Inline `mod` path within the file (file-level path is added by the
+    /// symbol table).
+    pub module: Vec<String>,
+    /// Surrounding `impl`/`trait` type name, if any.
+    pub impl_type: Option<String>,
+    pub vis: Vis,
+    pub receiver: Receiver,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Under `#[cfg(test)]` / `#[test]` — invisible to every rule.
+    pub is_test: bool,
+    pub body: BodyFacts,
+}
+
+/// Flat facts recovered from a function body.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    pub calls: Vec<CallSite>,
+    pub panics: Vec<PanicSite>,
+    pub matches: Vec<MatchExpr>,
+    pub acquires: Vec<Acquire>,
+}
+
+#[derive(Debug)]
+pub struct CallSite {
+    pub line: usize,
+    pub target: CallTarget,
+    /// Lock names held when the call is made (L1).
+    pub held: Vec<String>,
+}
+
+#[derive(Debug)]
+pub enum CallTarget {
+    /// `a::b::f(…)` or bare `f(…)` — path segments including the name.
+    Path(Vec<String>),
+    /// `recv.m(…)`.
+    Method { name: String, on_self: bool },
+}
+
+/// A lexical panic site: `panic!`/`unreachable!`/`todo!`/`unimplemented!`
+/// or an `.unwrap()` / `.expect(…)` method call.
+#[derive(Debug)]
+pub struct PanicSite {
+    pub line: usize,
+    /// Display form matching the historical R1 wording, e.g. `.unwrap()`.
+    pub what: &'static str,
+}
+
+#[derive(Debug)]
+pub struct MatchExpr {
+    pub line: usize,
+    pub arms: Vec<MatchArm>,
+}
+
+#[derive(Debug)]
+pub struct MatchArm {
+    pub line: usize,
+    /// Bare unguarded `_` pattern.
+    pub wildcard: bool,
+    /// `A::B` adjacencies seen in the pattern (guard excluded), for
+    /// workspace-enum identification.
+    pub enum_paths: Vec<(String, String)>,
+}
+
+/// One lock acquisition event (L1): a call to a configured acquire
+/// function with a field-path argument, a `.lock()` on a field path, or a
+/// condvar `.wait(guard)` re-acquire.
+#[derive(Debug)]
+pub struct Acquire {
+    pub line: usize,
+    /// Field name of the lock being acquired.
+    pub lock: String,
+    /// Lock names already held at this point (the waited/re-acquired lock
+    /// itself excluded).
+    pub held: Vec<String>,
+    /// True for condvar `.wait(guard)` — a re-acquire of `lock`, not a
+    /// fresh nesting edge against itself.
+    pub wait: bool,
+}
+
+const PANIC_MACROS: &[(&str, &str)] = &[
+    ("panic", "panic!"),
+    ("unreachable", "unreachable!"),
+    ("todo", "todo!"),
+    ("unimplemented", "unimplemented!"),
+];
+
+struct Ctx {
+    module: Vec<String>,
+    impl_type: Option<String>,
+    in_test: bool,
+}
+
+/// Parse one file's token stream (over the cleaned source).
+pub fn parse(toks: &[Tok], acquire_fns: &[String]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut cur = Cursor { t: toks, i: 0 };
+    parse_items(
+        &mut cur,
+        &Ctx {
+            module: Vec::new(),
+            impl_type: None,
+            in_test: false,
+        },
+        acquire_fns,
+        &mut out,
+        false,
+    );
+    out
+}
+
+struct Cursor<'a> {
+    t: &'a [Tok],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.t.get(self.i)
+    }
+    fn peek_at(&self, n: usize) -> Option<&'a Tok> {
+        self.t.get(self.i + n)
+    }
+    fn at(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is(s))
+    }
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.t.get(self.i);
+        self.i += 1;
+        t
+    }
+    fn done(&self) -> bool {
+        self.i >= self.t.len()
+    }
+    /// Consume one token; if it opens a `(`/`[`/`{` group, consume the
+    /// whole balanced group.
+    fn skip_one(&mut self) {
+        let Some(t) = self.bump() else { return };
+        let close = match t.text.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return,
+        };
+        let open = t.text.clone();
+        let mut depth = 1usize;
+        while depth > 0 && !self.done() {
+            let Some(n) = self.bump() else { break };
+            if n.is(&open) {
+                depth += 1;
+            } else if n.is(close) {
+                depth -= 1;
+            }
+        }
+    }
+    /// At `<`: consume through the matching `>`. Sound in declaration
+    /// position (generics), where comparison operators cannot appear.
+    fn skip_angles(&mut self) {
+        if !self.at("<") {
+            return;
+        }
+        let mut depth = 0usize;
+        while !self.done() {
+            let Some(t) = self.bump() else { break };
+            if t.is("<") {
+                depth += 1;
+            } else if t.is(">") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    /// Consume until one of `stops` at the current nesting depth;
+    /// the stop token itself is not consumed.
+    fn skip_until(&mut self, stops: &[&str]) {
+        while let Some(t) = self.peek() {
+            if stops.contains(&t.text.as_str()) {
+                return;
+            }
+            self.skip_one();
+        }
+    }
+}
+
+/// Attribute token texts for a test-gating attribute.
+fn is_test_attr(attr: &[String]) -> bool {
+    let s: Vec<&str> = attr.iter().map(String::as_str).collect();
+    s == ["test"] || s == ["cfg", "(", "test", ")"]
+}
+
+fn parse_items(
+    cur: &mut Cursor<'_>,
+    ctx: &Ctx,
+    acquire_fns: &[String],
+    out: &mut ParsedFile,
+    inside_braces: bool,
+) {
+    let mut pending_test = false;
+    let mut vis = Vis::Priv;
+    while !cur.done() {
+        if inside_braces && cur.at("}") {
+            cur.bump();
+            return;
+        }
+        let Some(tok) = cur.peek() else { return };
+        if tok.is("#") {
+            cur.bump();
+            if cur.at("!") {
+                cur.bump();
+            }
+            if cur.at("[") {
+                let start = cur.i + 1;
+                cur.skip_one();
+                let attr: Vec<String> = cur.t[start..cur.i.saturating_sub(1)]
+                    .iter()
+                    .map(|t| t.text.clone())
+                    .collect();
+                if is_test_attr(&attr) {
+                    pending_test = true;
+                }
+            }
+            continue;
+        }
+        if tok.is_ident("pub") {
+            cur.bump();
+            if cur.at("(") {
+                vis = Vis::Scoped;
+                cur.skip_one();
+            } else {
+                vis = Vis::Pub;
+            }
+            continue;
+        }
+        if tok.kind == TokKind::Ident {
+            match tok.text.as_str() {
+                "fn" => {
+                    parse_fn(cur, ctx, vis, pending_test, acquire_fns, out);
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "mod" => {
+                    cur.bump();
+                    let name = cur
+                        .peek()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone());
+                    if name.is_some() {
+                        cur.bump();
+                    }
+                    if cur.at("{") {
+                        cur.bump();
+                        let mut module = ctx.module.clone();
+                        if let Some(n) = name {
+                            module.push(n);
+                        }
+                        parse_items(
+                            cur,
+                            &Ctx {
+                                module,
+                                impl_type: None,
+                                in_test: ctx.in_test || pending_test,
+                            },
+                            acquire_fns,
+                            out,
+                            true,
+                        );
+                    } else if cur.at(";") {
+                        cur.bump();
+                    }
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "enum" => {
+                    parse_enum(cur, ctx.in_test || pending_test, out);
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "struct" | "union" => {
+                    parse_struct(cur, out);
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "impl" | "trait" => {
+                    let is_trait = tok.is_ident("trait");
+                    cur.bump();
+                    let ty = parse_impl_head(cur, is_trait);
+                    if cur.at("{") {
+                        cur.bump();
+                        parse_items(
+                            cur,
+                            &Ctx {
+                                module: ctx.module.clone(),
+                                impl_type: ty,
+                                in_test: ctx.in_test || pending_test,
+                            },
+                            acquire_fns,
+                            out,
+                            true,
+                        );
+                    } else if cur.at(";") {
+                        cur.bump();
+                    }
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "macro_rules" => {
+                    cur.bump();
+                    if cur.at("!") {
+                        cur.bump();
+                    }
+                    if cur.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                        cur.bump();
+                    }
+                    cur.skip_one();
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "use" | "type" | "static" | "extern" => {
+                    // `extern "C" fn` / `const fn` style modifiers are
+                    // handled below; these forms end at `;` or a block.
+                    if tok.is_ident("extern") && cur.peek_at(2).is_some_and(|t| t.is_ident("fn")) {
+                        cur.bump();
+                        cur.bump();
+                        continue;
+                    }
+                    cur.skip_until(&[";", "{", "}"]);
+                    if cur.at(";") {
+                        cur.bump();
+                    } else if cur.at("{") {
+                        cur.skip_one();
+                    }
+                    pending_test = false;
+                    vis = Vis::Priv;
+                    continue;
+                }
+                "const" | "async" | "unsafe" => {
+                    // Modifier before `fn`, or a `const NAME: …;` item.
+                    let next_is_fn = (1..=3)
+                        .filter_map(|n| cur.peek_at(n))
+                        .any(|t| t.is_ident("fn"))
+                        && cur
+                            .peek_at(1)
+                            .is_some_and(|t| t.kind == TokKind::Ident || t.is_ident("fn"));
+                    cur.bump();
+                    if tok.is_ident("const") && !next_is_fn {
+                        cur.skip_until(&[";", "}"]);
+                        if cur.at(";") {
+                            cur.bump();
+                        }
+                        pending_test = false;
+                        vis = Vis::Priv;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.skip_one();
+    }
+}
+
+/// After `impl`/`trait`: skip generics, recover the type name, stop at
+/// the opening `{` (or `;`). For `impl Trait for Type` the name is
+/// `Type`; for `impl Type` / `trait Name` it is the head name.
+fn parse_impl_head(cur: &mut Cursor<'_>, is_trait: bool) -> Option<String> {
+    cur.skip_angles();
+    let mut head: Vec<Tok> = Vec::new();
+    let mut after_for: Option<usize> = None;
+    while let Some(t) = cur.peek() {
+        if t.is("{") || t.is(";") {
+            break;
+        }
+        if t.is_ident("where") {
+            cur.skip_until(&["{", ";"]);
+            break;
+        }
+        if t.is("<") {
+            cur.skip_angles();
+            head.push(Tok {
+                kind: TokKind::Punct,
+                text: "<>".to_string(),
+                line: 0,
+            });
+            continue;
+        }
+        if t.is_ident("for") {
+            after_for = Some(head.len());
+            cur.bump();
+            continue;
+        }
+        head.push(t.clone());
+        cur.bump();
+        if is_trait {
+            // Only the trait name matters; `trait X: Bound` bounds can
+            // contain `for<'a>` which must not look like an impl-for.
+            break;
+        }
+    }
+    if is_trait {
+        return head
+            .first()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+    }
+    let ty = &head[after_for.unwrap_or(0)..];
+    // Last path-segment identifier: `a::b::Name` → `Name`; skip `&`,
+    // `dyn`, `mut`, lifetimes.
+    let mut name = None;
+    let mut idx = 0usize;
+    while idx < ty.len() {
+        let t = &ty[idx];
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "for") {
+            name = Some(t.text.clone());
+        }
+        idx += 1;
+    }
+    name
+}
+
+fn parse_enum(cur: &mut Cursor<'_>, in_test: bool, out: &mut ParsedFile) {
+    let kw = cur.bump();
+    let line = kw.map_or(0, |t| t.line);
+    let Some(name) = cur
+        .peek()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+    else {
+        return;
+    };
+    cur.bump();
+    cur.skip_angles();
+    cur.skip_until(&["{", ";"]);
+    if !cur.at("{") {
+        if cur.at(";") {
+            cur.bump();
+        }
+        return;
+    }
+    cur.bump();
+    let mut variants = Vec::new();
+    let mut expect_variant = true;
+    while let Some(t) = cur.peek() {
+        if t.is("}") {
+            cur.bump();
+            break;
+        }
+        if t.is("#") {
+            cur.bump();
+            if cur.at("[") {
+                cur.skip_one();
+            }
+            continue;
+        }
+        if t.is(",") {
+            cur.bump();
+            expect_variant = true;
+            continue;
+        }
+        if expect_variant && t.kind == TokKind::Ident {
+            variants.push(t.text.clone());
+            expect_variant = false;
+            cur.bump();
+            continue;
+        }
+        // Variant payload `(…)` / `{…}` or discriminant `= expr`.
+        cur.skip_one();
+    }
+    if !in_test {
+        out.enums.push(EnumItem {
+            name,
+            variants,
+            line,
+        });
+    }
+}
+
+fn parse_struct(cur: &mut Cursor<'_>, out: &mut ParsedFile) {
+    cur.bump();
+    if cur.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+        cur.bump();
+    }
+    cur.skip_angles();
+    cur.skip_until(&["{", ";", "("]);
+    if cur.at("(") {
+        cur.skip_one();
+        cur.skip_until(&[";", "}"]);
+        if cur.at(";") {
+            cur.bump();
+        }
+        return;
+    }
+    if !cur.at("{") {
+        if cur.at(";") {
+            cur.bump();
+        }
+        return;
+    }
+    cur.bump();
+    // Field grammar: `[attrs] [pub[(…)]] name : type ,` at depth 0.
+    loop {
+        while cur.at("#") {
+            cur.bump();
+            if cur.at("[") {
+                cur.skip_one();
+            }
+        }
+        if cur.at("}") || cur.done() {
+            cur.bump();
+            return;
+        }
+        if cur.at("pub") {
+            cur.bump();
+            if cur.at("(") {
+                cur.skip_one();
+            }
+        }
+        let field = cur
+            .peek()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.clone(), t.line));
+        cur.bump();
+        if !cur.at(":") {
+            cur.skip_until(&[",", "}"]);
+            if cur.at(",") {
+                cur.bump();
+            }
+            continue;
+        }
+        cur.bump();
+        let ty_start = cur.i;
+        cur.skip_until(&[",", "}"]);
+        let is_mutex = cur.t[ty_start..cur.i].iter().any(|t| t.is_ident("Mutex"));
+        if is_mutex {
+            if let Some((name, line)) = field {
+                out.mutex_fields.push(MutexField { name, line });
+            }
+        }
+        if cur.at(",") {
+            cur.bump();
+        }
+    }
+}
+
+fn parse_fn(
+    cur: &mut Cursor<'_>,
+    ctx: &Ctx,
+    vis: Vis,
+    attr_test: bool,
+    acquire_fns: &[String],
+    out: &mut ParsedFile,
+) {
+    let kw = cur.bump();
+    let line = kw.map_or(0, |t| t.line);
+    let Some(name) = cur
+        .peek()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+    else {
+        return;
+    };
+    cur.bump();
+    cur.skip_angles();
+    if !cur.at("(") {
+        return;
+    }
+    // Receiver: peek inside the parameter list before skipping it.
+    let receiver = {
+        let mut j = cur.i + 1;
+        let mut amp = false;
+        let mut is_mut = false;
+        loop {
+            let Some(t) = cur.t.get(j) else {
+                break Receiver::None;
+            };
+            match t.text.as_str() {
+                "&" => {
+                    amp = true;
+                    j += 1;
+                }
+                "mut" => {
+                    is_mut = true;
+                    j += 1;
+                }
+                "self" => {
+                    break if amp {
+                        if is_mut {
+                            Receiver::ByRefMut
+                        } else {
+                            Receiver::ByRef
+                        }
+                    } else {
+                        Receiver::ByValue
+                    };
+                }
+                _ if t.kind == TokKind::Lifetime => j += 1,
+                _ => break Receiver::None,
+            }
+        }
+    };
+    cur.skip_one(); // whole parameter list
+                    // Return type / where clause: scan to the body `{` or a `;` (trait
+                    // method declaration), skipping nested groups.
+    loop {
+        let Some(t) = cur.peek() else { return };
+        if t.is("{") || t.is(";") {
+            break;
+        }
+        if t.is("<") {
+            cur.skip_angles();
+        } else {
+            cur.skip_one();
+        }
+    }
+    let mut body = BodyFacts::default();
+    if cur.at("{") {
+        let start = cur.i;
+        cur.skip_one();
+        let toks = &cur.t[start + 1..cur.i.saturating_sub(1)];
+        body = analyze_body(toks, acquire_fns);
+    } else {
+        cur.bump(); // `;`
+    }
+    out.fns.push(FnItem {
+        name,
+        module: ctx.module.clone(),
+        impl_type: ctx.impl_type.clone(),
+        vis,
+        receiver,
+        line,
+        is_test: ctx.in_test || attr_test,
+        body,
+    });
+}
+
+/// One flat walk for calls/panics/acquisitions with lock-hold tracking,
+/// plus a second walk for `match` expressions.
+fn analyze_body(toks: &[Tok], acquire_fns: &[String]) -> BodyFacts {
+    let mut facts = BodyFacts::default();
+    walk_holds(toks, acquire_fns, &mut facts);
+    walk_matches(toks, &mut facts);
+    facts
+}
+
+#[derive(Debug)]
+struct Hold {
+    var: String,
+    lock: String,
+    scope: usize,
+}
+
+fn walk_holds(toks: &[Tok], acquire_fns: &[String], facts: &mut BodyFacts) {
+    let mut holds: Vec<Hold> = Vec::new();
+    // Every variable ever bound to a guard in this body: a re-assignment
+    // to one re-establishes a hold even after an explicit `drop` (the
+    // worker-loop `drop(shared); … shared = lock(&p.shared)` shape).
+    let mut known_guards: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut scope = 0usize;
+    // `let [mut] name [: …] = …` — guard binding target for the current
+    // statement, with the scope it binds into.
+    let mut pending_let: Option<(String, usize)> = None;
+    // `name = …` where `name` is an existing guard: re-acquire target.
+    let mut pending_assign: Option<String> = None;
+    let held_locks = |holds: &[Hold], except: Option<&str>| -> Vec<String> {
+        let mut v: Vec<String> = holds
+            .iter()
+            .filter(|h| except != Some(h.lock.as_str()))
+            .map(|h| h.lock.clone())
+            .collect();
+        v.dedup();
+        v
+    };
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                scope += 1;
+                i += 1;
+                continue;
+            }
+            "}" => {
+                holds.retain(|h| h.scope < scope);
+                scope = scope.saturating_sub(1);
+                pending_let = None;
+                pending_assign = None;
+                i += 1;
+                continue;
+            }
+            ";" => {
+                pending_let = None;
+                pending_assign = None;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                if toks.get(j + 1).is_some_and(|t| t.is("=") || t.is(":")) {
+                    pending_let = Some((name.text.clone(), scope));
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `drop(guard)` releases a hold early.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is("("))
+            && toks.get(i + 3).is_some_and(|t| t.is(")"))
+        {
+            if let Some(var) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                holds.retain(|h| h.var != var.text);
+                i += 4;
+                continue;
+            }
+        }
+        // Guard reassignment: `g = …` (not `==`, `<=`, `!=`, …).
+        if t.kind == TokKind::Ident
+            && known_guards.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is("="))
+            && !toks.get(i + 2).is_some_and(|n| n.is("="))
+            && !toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| matches!(p.text.as_str(), "=" | "<" | ">" | "!" | "."))
+        {
+            pending_assign = Some(t.text.clone());
+            i += 2;
+            continue;
+        }
+        // Panic macros: `panic!(`, `unreachable!(`, …
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is("!")) {
+            if let Some((_, what)) = PANIC_MACROS.iter().find(|(m, _)| t.text == *m) {
+                facts.panics.push(PanicSite { line: t.line, what });
+                i += 2;
+                continue;
+            }
+        }
+        // Call shapes: Ident `(` — either a path call or a method call
+        // (previous token `.`).
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is("(")) {
+            let is_method = i > 0 && toks[i - 1].is(".");
+            if is_method {
+                let name = t.text.as_str();
+                if name == "unwrap" && toks.get(i + 2).is_some_and(|n| n.is(")")) {
+                    facts.panics.push(PanicSite {
+                        line: t.line,
+                        what: ".unwrap()",
+                    });
+                    i += 3;
+                    continue;
+                }
+                if name == "expect" {
+                    facts.panics.push(PanicSite {
+                        line: t.line,
+                        what: ".expect",
+                    });
+                    i += 2;
+                    continue;
+                }
+                // Condvar wait: `cv.wait(guard)` where `guard` is held —
+                // a re-acquire of that guard's lock, not a method edge
+                // (resolving it would fabricate a self-edge on the lock).
+                if name == "wait" {
+                    if let Some(arg) = toks.get(i + 2).filter(|a| a.kind == TokKind::Ident) {
+                        if let Some(h) = holds.iter().find(|h| h.var == arg.text) {
+                            let lock = h.lock.clone();
+                            facts.acquires.push(Acquire {
+                                line: t.line,
+                                lock: lock.clone(),
+                                held: held_locks(&holds, Some(&lock)),
+                                wait: true,
+                            });
+                            if let Some((var, ps)) = pending_let.take() {
+                                // `let g2 = cv.wait(g)` — the old guard
+                                // was consumed; the new binding holds the
+                                // same lock.
+                                known_guards.insert(var.clone());
+                                holds.retain(|h| h.lock != lock);
+                                holds.push(Hold {
+                                    var,
+                                    lock,
+                                    scope: ps,
+                                });
+                            }
+                            pending_assign = None;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                // `.lock()` on a field path: `self.f.lock()` / `x.f.lock()`.
+                if acquire_fns.iter().any(|a| a == name) {
+                    if let Some(lock) = field_before_dot(toks, i - 1) {
+                        record_acquire(
+                            &mut holds,
+                            &mut known_guards,
+                            scope,
+                            &mut pending_let,
+                            &mut pending_assign,
+                            facts,
+                            t.line,
+                            lock,
+                            &held_locks,
+                        );
+                        i += 2;
+                        continue;
+                    }
+                }
+                facts.calls.push(CallSite {
+                    line: t.line,
+                    target: CallTarget::Method {
+                        name: t.text.clone(),
+                        on_self: receiver_is_self(toks, i - 1),
+                    },
+                    held: held_locks(&holds, None),
+                });
+                i += 2;
+                continue;
+            }
+            // Path call: gather `a::b::f` segments backwards.
+            let mut segs = vec![t.text.clone()];
+            let mut j = i;
+            while j >= 2 && toks[j - 1].is("::") && toks[j - 2].kind == TokKind::Ident {
+                segs.insert(0, toks[j - 2].text.clone());
+                j -= 2;
+            }
+            if acquire_fns
+                .iter()
+                .any(|a| Some(a.as_str()) == segs.last().map(String::as_str))
+            {
+                if let Some(lock) = lock_arg_name(toks, i + 1) {
+                    record_acquire(
+                        &mut holds,
+                        &mut known_guards,
+                        scope,
+                        &mut pending_let,
+                        &mut pending_assign,
+                        facts,
+                        t.line,
+                        lock,
+                        &held_locks,
+                    );
+                    i += 2;
+                    continue;
+                }
+            }
+            facts.calls.push(CallSite {
+                line: t.line,
+                target: CallTarget::Path(segs),
+                held: held_locks(&holds, None),
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// `held_locks(holds, skip_var)`: the ordered lock names currently held.
+type HeldLocksFn = dyn Fn(&[Hold], Option<&str>) -> Vec<String>;
+
+/// Register a non-wait acquisition, binding or rebinding a guard.
+#[allow(clippy::too_many_arguments)]
+fn record_acquire(
+    holds: &mut Vec<Hold>,
+    known_guards: &mut std::collections::BTreeSet<String>,
+    scope: usize,
+    pending_let: &mut Option<(String, usize)>,
+    pending_assign: &mut Option<String>,
+    facts: &mut BodyFacts,
+    line: usize,
+    lock: String,
+    held_locks: &HeldLocksFn,
+) {
+    facts.acquires.push(Acquire {
+        line,
+        lock: lock.clone(),
+        held: held_locks(holds, None),
+        wait: false,
+    });
+    if let Some((var, let_scope)) = pending_let.take() {
+        known_guards.insert(var.clone());
+        holds.push(Hold {
+            var,
+            lock,
+            scope: let_scope,
+        });
+    } else if let Some(var) = pending_assign.take() {
+        if let Some(h) = holds.iter_mut().find(|h| h.var == var) {
+            h.lock = lock;
+        } else {
+            // Re-established after an explicit `drop(var)`.
+            holds.push(Hold { var, lock, scope });
+        }
+    }
+    // Otherwise: a transient acquisition (guard dropped at end of
+    // statement) — an event, but no ongoing hold.
+}
+
+/// For a method call whose `.` sits at `dot`: the field name of a
+/// `self.field` / `recv.field` receiver chain, or `None` for bare
+/// identifiers and complex receivers.
+fn field_before_dot(toks: &[Tok], dot: usize) -> Option<String> {
+    if dot < 1 {
+        return None;
+    }
+    let field = toks.get(dot - 1)?;
+    if field.kind != TokKind::Ident {
+        return None;
+    }
+    // Require a `.` before the field so a bare `m.lock()` (local binding,
+    // unnameable lock) is skipped.
+    if dot >= 2 && toks[dot - 2].is(".") {
+        return Some(field.text.clone());
+    }
+    None
+}
+
+/// True when the receiver chain of a method call bottoms out at `self`
+/// with a single hop (`self.m(…)`).
+fn receiver_is_self(toks: &[Tok], dot: usize) -> bool {
+    dot >= 1 && toks[dot - 1].is_ident("self")
+}
+
+/// For `lock(&self.shared)` style calls with the `(` at `open`: the lock
+/// field name — the last plain identifier of the first argument's field
+/// path, with index expressions (`[i]`) skipped.
+fn lock_arg_name(toks: &[Tok], open: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut i = open;
+    let mut candidate: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "[" => {
+                // Skip the whole index expression.
+                let mut d = 1usize;
+                i += 1;
+                while i < toks.len() && d > 0 {
+                    if toks[i].is("[") {
+                        d += 1;
+                    } else if toks[i].is("]") {
+                        d -= 1;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            "," if depth == 1 => break,
+            _ => {}
+        }
+        if depth == 1 && t.kind == TokKind::Ident && !t.is_ident("self") && !t.is_ident("mut") {
+            candidate = Some(t.text.clone());
+        }
+        i += 1;
+    }
+    candidate
+}
+
+/// Second walk: recover every `match` expression's arm structure.
+fn walk_matches(toks: &[Tok], facts: &mut BodyFacts) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let prev_dot = i > 0 && toks[i - 1].is(".");
+        if t.is_ident("match") && !prev_dot {
+            if let Some(expr) = parse_match(toks, i) {
+                facts.matches.push(expr);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse the match whose `match` keyword sits at `kw`. Nested matches in
+/// arm bodies are found by the outer linear scan, not here.
+fn parse_match(toks: &[Tok], kw: usize) -> Option<MatchExpr> {
+    let line = toks[kw].line;
+    // Scrutinee: to the `{` at group depth 0.
+    let mut i = kw + 1;
+    let mut depth = 0usize;
+    loop {
+        let t = toks.get(i)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i += 1; // past `{`
+    let mut arms = Vec::new();
+    // Arm loop at relative depth 1 inside the match braces.
+    loop {
+        // Skip separators and attributes.
+        while toks.get(i).is_some_and(|t| t.is(",") || t.is("|")) {
+            i += 1;
+        }
+        while toks.get(i).is_some_and(|t| t.is("#")) {
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.is("[")) {
+                i = skip_group(toks, i);
+            }
+        }
+        let t = toks.get(i)?;
+        if t.is("}") {
+            break;
+        }
+        // Pattern: to `=>` at relative depth 0.
+        let pat_start = i;
+        let mut d = 0usize;
+        let mut guard_at: Option<usize> = None;
+        loop {
+            let t = toks.get(i)?;
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d = d.saturating_sub(1),
+                "=>" if d == 0 => break,
+                "if" if d == 0 && guard_at.is_none() => guard_at = Some(i),
+                _ => {}
+            }
+            i += 1;
+        }
+        let pat_end = guard_at.unwrap_or(i);
+        let pat = &toks[pat_start..pat_end];
+        let wildcard = pat.len() == 1 && pat[0].is("_") && guard_at.is_none();
+        let mut enum_paths = Vec::new();
+        for w in 0..pat.len().saturating_sub(2) {
+            if pat[w].kind == TokKind::Ident
+                && pat[w + 1].is("::")
+                && pat[w + 2].kind == TokKind::Ident
+            {
+                enum_paths.push((pat[w].text.clone(), pat[w + 2].text.clone()));
+            }
+        }
+        arms.push(MatchArm {
+            line: toks[pat_start].line,
+            wildcard,
+            enum_paths,
+        });
+        i += 1; // past `=>`
+                // Arm body: a balanced block, or an expression to `,`/`}` at
+                // relative depth 0.
+        if toks.get(i).is_some_and(|t| t.is("{")) {
+            i = skip_group(toks, i);
+        } else {
+            let mut d = 0usize;
+            loop {
+                let Some(t) = toks.get(i) else {
+                    return Some(MatchExpr { line, arms });
+                };
+                match t.text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" => d = d.saturating_sub(1),
+                    "}" => {
+                        if d == 0 {
+                            return Some(MatchExpr { line, arms });
+                        }
+                        d -= 1;
+                    }
+                    "," if d == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    Some(MatchExpr { line, arms })
+}
+
+/// With `toks[at]` an opener, return the index just past its close.
+fn skip_group(toks: &[Tok], at: usize) -> usize {
+    let close = match toks[at].text.as_str() {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        _ => return at + 1,
+    };
+    let open = toks[at].text.as_str();
+    let mut depth = 1usize;
+    let mut i = at + 1;
+    while i < toks.len() && depth > 0 {
+        if toks[i].text == open {
+            depth += 1;
+        } else if toks[i].text == close {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let lexed = lexer::strip(src);
+        let toks = lexer::tokenize(&lexed.cleaned);
+        parse(&toks, &["lock".to_string()])
+    }
+
+    #[test]
+    fn recovers_fns_mods_impls() {
+        let src = "pub fn free() {}\n\
+                   mod inner { pub(crate) fn nested() {} }\n\
+                   struct S { x: u32 }\n\
+                   impl S { pub fn m(&mut self) { self.x += 1; } fn p(&self) {} }\n";
+        let p = parse_src(src);
+        let names: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free", None),
+                ("nested", None),
+                ("m", Some("S")),
+                ("p", Some("S"))
+            ]
+        );
+        assert_eq!(p.fns[0].vis, Vis::Pub);
+        assert_eq!(p.fns[1].vis, Vis::Scoped);
+        assert_eq!(p.fns[1].module, ["inner"]);
+        assert_eq!(p.fns[2].receiver, Receiver::ByRefMut);
+        assert_eq!(p.fns[2].vis, Vis::Pub);
+        assert_eq!(p.fns[3].receiver, Receiver::ByRef);
+    }
+
+    #[test]
+    fn trait_impl_type_is_the_implementing_type() {
+        let src = "impl std::fmt::Display for Thing {\n\
+                   fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { write(f) }\n\
+                   }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Thing"));
+        assert_eq!(p.fns[0].name, "fmt");
+    }
+
+    #[test]
+    fn enums_and_variants() {
+        let src = "pub enum Kind { A, B(u32), C { x: u8 }, D = 4 }\n\
+                   enum Empty {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.enums[0].name, "Kind");
+        assert_eq!(p.enums[0].variants, ["A", "B", "C", "D"]);
+        assert_eq!(p.enums[1].name, "Empty");
+        assert!(p.enums[1].variants.is_empty());
+    }
+
+    #[test]
+    fn mutex_fields_found_condvars_ignored() {
+        let src = "struct Shared { queue: Vec<u32> }\n\
+                   struct Pool { shared: Mutex<Shared>, ready: Condvar, \
+                   slots: Vec<std::sync::Mutex<Option<u8>>> }\n";
+        let p = parse_src(src);
+        let names: Vec<&str> = p.mutex_fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["shared", "slots"]);
+    }
+
+    #[test]
+    fn panic_sites_and_calls() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n\
+                   helper();\n\
+                   crate::util::go(1);\n\
+                   o.expect(\"msg\");\n\
+                   if bad { panic!(\"no\") }\n\
+                   o.unwrap()\n\
+                   }\n";
+        let p = parse_src(src);
+        let f = &p.fns[0];
+        let whats: Vec<&str> = f.body.panics.iter().map(|s| s.what).collect();
+        assert_eq!(whats, [".expect", "panic!", ".unwrap()"]);
+        assert_eq!(f.body.panics[0].line, 3);
+        assert_eq!(f.body.panics[2].line, 5);
+        let paths: Vec<Vec<String>> = f
+            .body
+            .calls
+            .iter()
+            .filter_map(|c| match &c.target {
+                CallTarget::Path(p) => Some(p.clone()),
+                CallTarget::Method { .. } => None,
+            })
+            .collect();
+        assert!(paths.contains(&vec!["helper".to_string()]));
+        assert!(paths.contains(&vec![
+            "crate".to_string(),
+            "util".to_string(),
+            "go".to_string()
+        ]));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let p = parse_src("fn f(o: Option<u32>) -> u32 { o.unwrap_or(3) }\n");
+        assert!(p.fns[0].body.panics.is_empty());
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n\
+                   #[test]\n fn t() {}\n}\n\
+                   fn lib() {}\n";
+        let p = parse_src(src);
+        assert!(p
+            .fns
+            .iter()
+            .find(|f| f.name == "helper")
+            .is_some_and(|f| f.is_test));
+        assert!(p
+            .fns
+            .iter()
+            .find(|f| f.name == "t")
+            .is_some_and(|f| f.is_test));
+        assert!(p
+            .fns
+            .iter()
+            .find(|f| f.name == "lib")
+            .is_some_and(|f| !f.is_test));
+    }
+
+    #[test]
+    fn match_arms_wildcards_and_enum_paths() {
+        let src = "fn f(k: Kind) {\n\
+                   match k {\n\
+                   Kind::A => {}\n\
+                   other::Kind::B(x) => use_it(x),\n\
+                   _ if cond() => {}\n\
+                   _ => {}\n\
+                   }\n\
+                   }\n";
+        let p = parse_src(src);
+        let m = &p.fns[0].body.matches[0];
+        assert_eq!(m.arms.len(), 4);
+        assert!(m.arms[0].enum_paths.contains(&("Kind".into(), "A".into())));
+        assert!(m.arms[1].enum_paths.contains(&("Kind".into(), "B".into())));
+        assert!(!m.arms[2].wildcard, "guarded wildcard is not bare");
+        assert!(m.arms[3].wildcard);
+        assert_eq!(m.arms[3].line, 5);
+    }
+
+    #[test]
+    fn nested_match_is_found() {
+        let src = "fn f(a: K, b: K) {\n\
+                   match a { K::X => match b { K::Y => {}, _ => {} }, _ => {} }\n\
+                   }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].body.matches.len(), 2);
+    }
+
+    #[test]
+    fn lock_holds_and_order_events() {
+        let src = "impl P { fn f(&self) {\n\
+                   let g = lock(&self.a);\n\
+                   let h = lock(&self.b);\n\
+                   drop(h);\n\
+                   lock(&self.c);\n\
+                   } }\n";
+        let p = parse_src(src);
+        let acq = &p.fns[0].body.acquires;
+        assert_eq!(acq.len(), 3);
+        assert_eq!(acq[0].lock, "a");
+        assert!(acq[0].held.is_empty());
+        assert_eq!(acq[1].lock, "b");
+        assert_eq!(acq[1].held, ["a"]);
+        // `h` was dropped: only `a` held at the transient acquire of `c`.
+        assert_eq!(acq[2].lock, "c");
+        assert_eq!(acq[2].held, ["a"]);
+    }
+
+    #[test]
+    fn scoped_guard_released_at_block_end() {
+        let src = "fn f(p: &P) {\n\
+                   { let g = lock(&p.a); use_it(&g); }\n\
+                   lock(&p.b);\n\
+                   }\n";
+        let p = parse_src(src);
+        let acq = &p.fns[0].body.acquires;
+        assert_eq!(acq[1].lock, "b");
+        assert!(acq[1].held.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_a_reacquire_not_a_method_edge() {
+        let src = "fn f(p: &P) {\n\
+                   let mut g = lock(&p.remaining);\n\
+                   while *g > 0 { g = p.done.wait(g); }\n\
+                   }\n";
+        let p = parse_src(src);
+        let acq = &p.fns[0].body.acquires;
+        assert_eq!(acq.len(), 2);
+        assert!(acq[1].wait);
+        assert_eq!(acq[1].lock, "remaining");
+        assert!(acq[1].held.is_empty(), "own lock excluded from held set");
+        assert!(!p.fns[0]
+            .body
+            .calls
+            .iter()
+            .any(|c| matches!(&c.target, CallTarget::Method { name, .. } if name == "wait")));
+    }
+
+    #[test]
+    fn indexed_mutex_slot_names_the_field() {
+        let src =
+            "impl R { fn f(&self, i: usize) { let g = lock(&self.inputs[i]); use_it(g); } }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].body.acquires[0].lock, "inputs");
+    }
+
+    #[test]
+    fn calls_record_held_locks() {
+        let src = "impl P { fn f(&self) {\n\
+                   let g = lock(&self.shared);\n\
+                   self.notify();\n\
+                   } }\n";
+        let p = parse_src(src);
+        let call = p.fns[0]
+            .body
+            .calls
+            .iter()
+            .find(|c| matches!(&c.target, CallTarget::Method { name, .. } if name == "notify"))
+            .expect("call");
+        assert_eq!(call.held, ["shared"]);
+    }
+}

@@ -1,4 +1,4 @@
-//! The five determinism/robustness rules, plus the inline-allow grammar.
+//! The per-line determinism/robustness rules.
 //!
 //! All checks run over the *cleaned* view from [`crate::lexer`], so string
 //! literals and comments can never trigger a rule. Lines inside
@@ -9,10 +9,14 @@
 //! |------|---------|
 //! | D1   | iteration over an unordered hash container |
 //! | D2   | wall-clock / ambient state in library code |
-//! | R1   | panic-capable call in a panic-free crate |
 //! | N1   | raw `as` numeric cast in a hot file |
 //! | F1   | float accumulation over an unordered iterator |
-//! | A0   | inline allow comment missing its reason |
+//!
+//! The semantic families (P1/X1/I1/L1) live in [`crate::sem`]; the old
+//! per-line R1 rule is subsumed by P1's direct layer. This module emits
+//! *raw* findings — suppression (inline allows, the committed allowlist,
+//! A0) is applied uniformly across line and semantic rules by
+//! [`crate::run`].
 
 use crate::config::Config;
 use crate::lexer;
@@ -54,14 +58,6 @@ const D2_TOKENS: &[&str] = &[
     "thread_rng",
     "rand::random",
     "env::var(",
-];
-const R1_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
 ];
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
@@ -200,45 +196,13 @@ fn collect_hash_idents(clean_lines: &[&str]) -> BTreeSet<String> {
     out
 }
 
-/// An inline `detlint: allow(R1, N1) — reason` directive.
-#[derive(Debug, Clone)]
-struct InlineAllow {
-    rules: Vec<String>,
-    has_reason: bool,
-}
-
-fn parse_inline_allow(comment: &str) -> Option<InlineAllow> {
-    let key = "detlint: allow(";
-    let start = comment.find(key)?;
-    let rest = &comment[start + key.len()..];
-    let close = rest.find(')')?;
-    let rules: Vec<String> = rest[..close]
-        .split(',')
-        .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty())
-        .collect();
-    let tail = rest[close + 1..].trim_start();
-    let has_reason = ["—", "-", ":", "–"]
-        .iter()
-        .any(|sep| tail.strip_prefix(sep).is_some_and(|t| !t.trim().is_empty()));
-    Some(InlineAllow { rules, has_reason })
-}
-
-/// Run every rule over one file.
-pub fn check_file(input: &FileInput<'_>, cfg: &Config) -> Vec<Diagnostic> {
-    let lexed = lexer::strip(input.source);
+/// Run the line rules over one file, returning *raw* (unsuppressed)
+/// findings. `lexed` must be `lexer::strip(input.source)`.
+pub fn line_rules(input: &FileInput<'_>, lexed: &lexer::Lexed, cfg: &Config) -> Vec<Diagnostic> {
     let clean_lines: Vec<&str> = lexed.cleaned.lines().collect();
-    let orig_lines: Vec<&str> = input.source.lines().collect();
     let mask = test_mask(&lexed.cleaned);
     let hash_idents = collect_hash_idents(&clean_lines);
 
-    let allows: Vec<Option<InlineAllow>> = lexed
-        .comments
-        .iter()
-        .map(|c| parse_inline_allow(c))
-        .collect();
-
-    let r1_active = cfg.r1_crates.iter().any(|c| c == input.crate_name);
     let n1_active = cfg.n1_files.iter().any(|f| f == input.rel_path);
     let d2_active = !cfg
         .d2_exclude_dirs
@@ -331,29 +295,6 @@ pub fn check_file(input: &FileInput<'_>, cfg: &Config) -> Vec<Diagnostic> {
             }
         }
 
-        // --- R1: panic-capable calls ------------------------------------
-        if r1_active {
-            for pat in R1_PATTERNS {
-                let mut from = 0usize;
-                while let Some(off) = line[from..].find(pat) {
-                    let pos = from + off;
-                    from = pos + pat.len();
-                    if pat.starts_with('.') || boundary_before(line, pos) {
-                        push(
-                            idx,
-                            "R1",
-                            format!(
-                                "`{}` in non-test code of a panic-free crate — \
-                                 return a typed error or justify with \
-                                 `detlint: allow(R1)`",
-                                pat.trim_end_matches('(')
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-
         // --- N1: raw `as` casts in hot files ----------------------------
         if n1_active {
             let mut from = 0usize;
@@ -420,58 +361,7 @@ pub fn check_file(input: &FileInput<'_>, cfg: &Config) -> Vec<Diagnostic> {
         }
     }
 
-    // --- Apply inline allows and the committed allowlist ----------------
-    let mut out: Vec<Diagnostic> = Vec::new();
-    let mut a0_lines: BTreeSet<usize> = BTreeSet::new();
-    'diag: for d in raw {
-        let idx = d.line - 1;
-        // An allow may sit on the violating line itself or in the block
-        // of comment-only lines directly above it (so a wrapped reason
-        // keeps working: the marker is the first line of the block).
-        let mut probes = vec![idx];
-        let mut p = idx;
-        while p > 0 {
-            p -= 1;
-            let comment_only = lexed.comments.get(p).is_some_and(|c| !c.is_empty())
-                && clean_lines.get(p).is_none_or(|l| l.trim().is_empty());
-            if !comment_only {
-                break;
-            }
-            probes.push(p);
-        }
-        for probe in probes {
-            if let Some(Some(a)) = allows.get(probe) {
-                if a.rules.iter().any(|r| r == d.rule) {
-                    if a.has_reason {
-                        continue 'diag;
-                    }
-                    a0_lines.insert(probe);
-                }
-            }
-        }
-        let src_line = orig_lines.get(idx).copied().unwrap_or("");
-        let allowed = cfg.allow.iter().any(|e| {
-            e.rule == d.rule
-                && e.file == d.file
-                && e.contains.as_deref().is_none_or(|c| src_line.contains(c))
-        });
-        if allowed {
-            continue;
-        }
-        out.push(d);
-    }
-    for line_idx in a0_lines {
-        out.push(Diagnostic {
-            file: input.rel_path.to_string(),
-            line: line_idx + 1,
-            rule: "A0",
-            message: "allow comment has no reason — write \
-                      `// detlint: allow(RULE) — <why this is sound>`"
-                .to_string(),
-        });
-    }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    raw
 }
 
 /// Find `kw` as a standalone word in `s`; returns its byte offset.
@@ -497,21 +387,18 @@ mod tests {
     use super::*;
 
     fn check(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
-        check_file(
+        let lexed = lexer::strip(src);
+        let mut ds = line_rules(
             &FileInput {
                 rel_path: path,
                 crate_name: krate,
                 source: src,
             },
+            &lexed,
             cfg,
-        )
-    }
-
-    fn r1_cfg() -> Config {
-        Config {
-            r1_crates: vec!["core".to_string()],
-            ..Config::default()
-        }
+        );
+        ds.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        ds
     }
 
     #[test]
@@ -536,47 +423,14 @@ mod tests {
     }
 
     #[test]
-    fn r1_only_in_configured_crates_and_not_unwrap_or() {
-        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(3) }\n\
-                   fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
-        let ds = check("crates/core/src/a.rs", "core", src, &r1_cfg());
+    fn raw_findings_ignore_inline_allows() {
+        // Suppression is `crate::run`'s job; the raw engine still reports.
+        let src = "fn f() {\n\
+                   // detlint: allow(D2) — deliberately timed\n\
+                   let t = std::time::Instant::now(); let _ = t;\n}\n";
+        let ds = check("crates/core/src/a.rs", "core", src, &Config::default());
         assert_eq!(ds.len(), 1, "{ds:?}");
-        assert_eq!(ds[0].line, 2);
-        let ds2 = check("crates/other/src/a.rs", "other", src, &r1_cfg());
-        assert!(ds2.is_empty());
-    }
-
-    #[test]
-    fn inline_allow_with_reason_suppresses_without_reason_flags_a0() {
-        let good = "fn g(o: Option<u32>) -> u32 {\n\
-                    // detlint: allow(R1) — input is pre-validated by caller\n\
-                    o.unwrap()\n}\n";
-        assert!(check("crates/core/src/a.rs", "core", good, &r1_cfg()).is_empty());
-        let bad = "fn g(o: Option<u32>) -> u32 {\n\
-                   // detlint: allow(R1)\n\
-                   o.unwrap()\n}\n";
-        let ds = check("crates/core/src/a.rs", "core", bad, &r1_cfg());
-        assert!(ds.iter().any(|d| d.rule == "A0"));
-        assert!(ds.iter().any(|d| d.rule == "R1"));
-    }
-
-    #[test]
-    fn wrapped_allow_comment_block_still_suppresses() {
-        // The reason wraps onto a second comment line; the marker is the
-        // first line of the contiguous comment block above the call.
-        let src = "fn g(o: Option<u32>) -> u32 {\n\
-                   // detlint: allow(R1) — the caller validated this input\n\
-                   // two lines ago, so None is impossible here.\n\
-                   o.unwrap()\n}\n";
-        assert!(check("crates/core/src/a.rs", "core", src, &r1_cfg()).is_empty());
-        // A comment block separated from the call by code does not leak.
-        let sep = "fn g(o: Option<u32>) -> u32 {\n\
-                   // detlint: allow(R1) — only covers the next statement\n\
-                   let _x = 1;\n\
-                   o.unwrap()\n}\n";
-        let ds = check("crates/core/src/a.rs", "core", sep, &r1_cfg());
-        assert_eq!(ds.len(), 1, "{ds:?}");
-        assert_eq!(ds[0].rule, "R1");
+        assert_eq!(ds[0].rule, "D2");
     }
 
     #[test]
@@ -584,10 +438,12 @@ mod tests {
         let src = "fn lib() {}\n\
                    #[cfg(test)]\n\
                    mod tests {\n\
+                   use std::collections::HashMap;\n\
                    #[test]\n\
-                   fn t() { Some(1).unwrap(); }\n\
+                   fn t() { let m: HashMap<u32, u32> = HashMap::new(); \
+                   for (k, v) in m { let _ = (k, v); } }\n\
                    }\n";
-        assert!(check("crates/core/src/a.rs", "core", src, &r1_cfg()).is_empty());
+        assert!(check("crates/core/src/a.rs", "core", src, &Config::default()).is_empty());
     }
 
     #[test]
@@ -620,20 +476,5 @@ mod tests {
         };
         assert_eq!(check("crates/core/src/a.rs", "core", src, &cfg).len(), 1);
         assert!(check("crates/bench/src/bin/run.rs", "bench", src, &cfg).is_empty());
-    }
-
-    #[test]
-    fn config_allowlist_suppresses_matching_line() {
-        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> usize { m.iter().count() }\n";
-        let cfg = Config {
-            allow: vec![crate::config::AllowEntry {
-                rule: "D1".to_string(),
-                file: "crates/x/src/lib.rs".to_string(),
-                contains: Some("m.iter()".to_string()),
-                reason: "count is order-independent".to_string(),
-            }],
-            ..Config::default()
-        };
-        assert!(check("crates/x/src/lib.rs", "x", src, &cfg).is_empty());
     }
 }

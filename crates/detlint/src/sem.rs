@@ -1,0 +1,463 @@
+//! The semantic rule families over the symbol table and call graph.
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | P1   | panic reachable in / from library code (subsumes old R1) |
+//! | X1   | wildcard `_` arm on a workspace enum in an exhaustive-match file |
+//! | I1   | public `&mut self` protocol method missing its flush call |
+//! | L1   | lock acquisition against the declared order |
+//!
+//! Each diagnostic carries the *allow site* — where an inline
+//! `detlint: allow` (or a `[[allow]]` config entry) is honored. For P1
+//! call-chain findings that is the panic site itself, which may sit in a
+//! different file than the flagged entry point: one reasoned allow at a
+//! panic site silences every chain that funnels into it.
+
+use crate::callgraph::{self, CallGraph};
+use crate::config::Config;
+use crate::parse::{Receiver, Vis};
+use crate::rules::Diagnostic;
+use crate::symbols::{FileSource, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A semantic finding plus the location where suppression is honored
+/// (file index into the scanned set, 0-based line). `None` means the
+/// diagnostic's own location.
+pub struct SemDiag {
+    pub diag: Diagnostic,
+    pub allow_site: Option<(usize, usize)>,
+}
+
+/// Run every semantic rule.
+pub fn check(cfg: &Config, st: &SymbolTable, cg: &CallGraph, files: &[FileSource]) -> Vec<SemDiag> {
+    let mut out = Vec::new();
+    check_p1(cfg, st, cg, files, &mut out);
+    check_x1(cfg, st, files, &mut out);
+    check_i1(cfg, st, cg, files, &mut out);
+    check_l1(cfg, st, cg, files, &mut out);
+    out
+}
+
+fn display_name(st: &SymbolTable, f: usize) -> String {
+    let s = &st.fns[f];
+    match &s.impl_type {
+        Some(t) => format!("{t}::{}", s.name),
+        None => s.name.clone(),
+    }
+}
+
+// --- P1: panic reachability ---------------------------------------------
+//
+// Two layers. *Direct*: every lexical panic site in the non-test code of
+// a panic-free crate (`[rules.P1] crates`) is flagged where it stands —
+// byte-for-byte the old R1 behavior. *Chains*: a public function anywhere
+// in the universe (`crates` ∪ `reach`) from which the call graph reaches
+// a panic site in a `reach` crate is flagged at its declaration, with the
+// shortest call chain in the message. Sites inside `crates` never produce
+// chain findings (they are already direct findings).
+
+fn check_p1(
+    cfg: &Config,
+    st: &SymbolTable,
+    cg: &CallGraph,
+    files: &[FileSource],
+    out: &mut Vec<SemDiag>,
+) {
+    let p1: BTreeSet<&str> = cfg.p1_crates.iter().map(String::as_str).collect();
+    let reach: BTreeSet<&str> = cfg.p1_reach.iter().map(String::as_str).collect();
+    if p1.is_empty() && reach.is_empty() {
+        return;
+    }
+    let in_universe = |f: usize| {
+        p1.contains(st.fns[f].crate_key.as_str()) || reach.contains(st.fns[f].crate_key.as_str())
+    };
+
+    // Direct findings, plus the per-function panic-site lists for chains.
+    let mut dirty: BTreeMap<usize, Vec<(usize, &'static str)>> = BTreeMap::new();
+    for (fi, sym) in st.fns.iter().enumerate() {
+        if sym.is_test || !in_universe(fi) {
+            continue;
+        }
+        let body = &files[sym.file].parsed.fns[sym.item].body;
+        if body.panics.is_empty() {
+            continue;
+        }
+        if p1.contains(sym.crate_key.as_str()) {
+            for site in &body.panics {
+                out.push(SemDiag {
+                    diag: Diagnostic {
+                        file: files[sym.file].rel.clone(),
+                        line: site.line + 1,
+                        rule: "P1",
+                        message: format!(
+                            "`{}` in non-test code of a panic-free crate — \
+                             return a typed error or justify with \
+                             `detlint: allow(P1)`",
+                            site.what
+                        ),
+                    },
+                    allow_site: None,
+                });
+            }
+        } else {
+            dirty.insert(fi, body.panics.iter().map(|s| (s.line, s.what)).collect());
+        }
+    }
+    if dirty.is_empty() {
+        return;
+    }
+
+    // Chain findings from every public entry point in the universe.
+    let mut seen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for (fi, sym) in st.fns.iter().enumerate() {
+        if sym.is_test || sym.vis != Vis::Pub || !in_universe(fi) {
+            continue;
+        }
+        let pred = callgraph::bfs(&cg.edges, fi, |n| !st.fns[n].is_test && in_universe(n));
+        for (&g, sites) in &dirty {
+            if !pred.contains_key(&g) {
+                continue;
+            }
+            let chain: Vec<String> = callgraph::chain(&pred, g)
+                .into_iter()
+                .map(|n| display_name(st, n))
+                .collect();
+            let site_file = st.fns[g].file;
+            for &(line, what) in sites {
+                if !seen.insert((fi, site_file, line)) {
+                    continue;
+                }
+                out.push(SemDiag {
+                    diag: Diagnostic {
+                        file: files[sym.file].rel.clone(),
+                        line: sym.line + 1,
+                        rule: "P1",
+                        message: format!(
+                            "public `{}` can reach `{}` at {}:{} (call chain: {}) — \
+                             handle the failure or justify with `detlint: allow(P1)` \
+                             at the panic site",
+                            display_name(st, fi),
+                            what,
+                            files[site_file].rel,
+                            line + 1,
+                            chain.join(" -> "),
+                        ),
+                    },
+                    allow_site: Some((site_file, line)),
+                });
+            }
+        }
+    }
+}
+
+// --- X1: exhaustive matches in serialization/exporter files --------------
+//
+// Inside the configured path prefixes, a `match` that patterns on a
+// workspace-defined enum must not have a bare `_` arm: a new variant must
+// fail to compile, not silently fall through. Matches on foreign types
+// (`Option`, `serde_json::Value`, strings) are invisible — the enum must
+// be defined in scanned workspace code to count.
+
+fn check_x1(cfg: &Config, st: &SymbolTable, files: &[FileSource], out: &mut Vec<SemDiag>) {
+    if cfg.x1_paths.is_empty() {
+        return;
+    }
+    for sym in &st.fns {
+        if sym.is_test {
+            continue;
+        }
+        let rel = &files[sym.file].rel;
+        if !cfg.x1_paths.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        let body = &files[sym.file].parsed.fns[sym.item].body;
+        for m in &body.matches {
+            let mut matched_enum: Option<&str> = None;
+            for arm in &m.arms {
+                for (head, variant) in &arm.enum_paths {
+                    let name = if head == "Self" {
+                        sym.impl_type.as_deref().unwrap_or(head)
+                    } else {
+                        head.as_str()
+                    };
+                    if st.enums.get(name).is_some_and(|v| v.contains(variant)) {
+                        matched_enum = Some(name);
+                        break;
+                    }
+                }
+                if matched_enum.is_some() {
+                    break;
+                }
+            }
+            let Some(enum_name) = matched_enum else {
+                continue;
+            };
+            for arm in &m.arms {
+                if arm.wildcard {
+                    out.push(SemDiag {
+                        diag: Diagnostic {
+                            file: rel.clone(),
+                            line: arm.line + 1,
+                            rule: "X1",
+                            message: format!(
+                                "wildcard `_` arm on workspace enum `{enum_name}` — \
+                                 list the remaining variants explicitly so a new \
+                                 variant cannot be silently dropped"
+                            ),
+                        },
+                        allow_site: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// --- I1: index coherence -------------------------------------------------
+//
+// Every public `&mut self` method on a protocol type (`[rules.I1] types`)
+// must reach one of the flush helpers (`[rules.I1] flush`) through the
+// call graph before returning. The check is reachability, not dominance —
+// a method that *can* skip the flush on some path still passes if any
+// call site exists; catching path-sensitivity is out of scope and noted
+// in DESIGN.md §4.9.
+
+fn check_i1(
+    cfg: &Config,
+    st: &SymbolTable,
+    cg: &CallGraph,
+    files: &[FileSource],
+    out: &mut Vec<SemDiag>,
+) {
+    if cfg.i1_types.is_empty() || cfg.i1_flush.is_empty() {
+        return;
+    }
+    for (fi, sym) in st.fns.iter().enumerate() {
+        let Some(ty) = &sym.impl_type else { continue };
+        if !cfg.i1_types.iter().any(|t| t == ty) {
+            continue;
+        }
+        if sym.is_test || sym.vis != Vis::Pub || sym.receiver != Receiver::ByRefMut {
+            continue;
+        }
+        if cfg.i1_flush.iter().any(|f| f == &sym.name) {
+            continue;
+        }
+        let pred = callgraph::bfs(&cg.edges, fi, |n| !st.fns[n].is_test);
+        let flushes = pred.keys().any(|&n| {
+            let s = &st.fns[n];
+            s.impl_type.as_deref() == Some(ty.as_str()) && cfg.i1_flush.iter().any(|f| f == &s.name)
+        });
+        if !flushes {
+            out.push(SemDiag {
+                diag: Diagnostic {
+                    file: files[sym.file].rel.clone(),
+                    line: sym.line + 1,
+                    rule: "I1",
+                    message: format!(
+                        "public `&mut self` method `{}::{}` has no call path to \
+                         {} — every mutating entry point must flush the index \
+                         before returning",
+                        ty,
+                        sym.name,
+                        cfg.i1_flush
+                            .iter()
+                            .map(|f| format!("`{f}`"))
+                            .collect::<Vec<_>>()
+                            .join(" / "),
+                    ),
+                },
+                allow_site: None,
+            });
+        }
+    }
+}
+
+// --- L1: lock ordering ---------------------------------------------------
+//
+// Within the configured crates, every `Mutex` field must appear in the
+// declared order, and every acquisition (direct, condvar re-acquire, or
+// via a call whose transitive acquire-set is non-empty) must only ever
+// take a lock that sits *later* in the order than everything already
+// held. Condvar waits re-acquire their own lock and are exempt from the
+// self-edge check; interprocedural effects use a transitive fixpoint over
+// the call graph.
+
+fn check_l1(
+    cfg: &Config,
+    st: &SymbolTable,
+    cg: &CallGraph,
+    files: &[FileSource],
+    out: &mut Vec<SemDiag>,
+) {
+    if cfg.l1_crates.is_empty() || cfg.l1_order.is_empty() {
+        return;
+    }
+    let in_scope = |k: &str| cfg.l1_crates.iter().any(|c| c == k);
+    let order: BTreeMap<&str, usize> = cfg
+        .l1_order
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    // Every Mutex field in scope must be part of the declared order.
+    for f in files {
+        if !in_scope(&f.crate_key) {
+            continue;
+        }
+        for field in &f.parsed.mutex_fields {
+            if !order.contains_key(field.name.as_str()) {
+                out.push(SemDiag {
+                    diag: Diagnostic {
+                        file: f.rel.clone(),
+                        line: field.line + 1,
+                        rule: "L1",
+                        message: format!(
+                            "Mutex field `{}` is not in the declared lock order — \
+                             add it to `[rules.L1] order` in detlint.toml",
+                            field.name
+                        ),
+                    },
+                    allow_site: None,
+                });
+            }
+        }
+    }
+
+    // Transitive acquire sets: fixpoint over the call graph. Direct sets
+    // come only from in-scope bodies (out-of-scope code cannot name these
+    // locks), but propagation runs over all edges.
+    let n = st.fns.len();
+    let mut acq: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for (fi, sym) in st.fns.iter().enumerate() {
+        if !in_scope(&sym.crate_key) || sym.is_test {
+            continue;
+        }
+        let body = &files[sym.file].parsed.fns[sym.item].body;
+        for a in &body.acquires {
+            acq[fi].insert(a.lock.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            let mut add: Vec<String> = Vec::new();
+            for &callee in &cg.edges[fi] {
+                for l in &acq[callee] {
+                    if !acq[fi].contains(l) {
+                        add.push(l.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                acq[fi].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Violations at direct acquisitions and at calls made under a lock.
+    for (fi, sym) in st.fns.iter().enumerate() {
+        if !in_scope(&sym.crate_key) || sym.is_test {
+            continue;
+        }
+        let rel = &files[sym.file].rel;
+        let body = &files[sym.file].parsed.fns[sym.item].body;
+        let mut push = |line: usize, message: String| {
+            out.push(SemDiag {
+                diag: Diagnostic {
+                    file: rel.clone(),
+                    line: line + 1,
+                    rule: "L1",
+                    message,
+                },
+                allow_site: None,
+            });
+        };
+        for a in &body.acquires {
+            let Some(&bi) = order.get(a.lock.as_str()) else {
+                push(
+                    a.line,
+                    format!(
+                        "acquisition of `{}` which is not in the declared lock order",
+                        a.lock
+                    ),
+                );
+                continue;
+            };
+            for held in &a.held {
+                if held == &a.lock {
+                    if !a.wait {
+                        push(
+                            a.line,
+                            format!("re-acquires `{}` while already holding it", a.lock),
+                        );
+                    }
+                    continue;
+                }
+                let Some(&hi) = order.get(held.as_str()) else {
+                    continue; // undeclared held lock already flagged above
+                };
+                if hi >= bi {
+                    push(
+                        a.line,
+                        format!(
+                            "acquires `{}` while holding `{}` — declared order is {}",
+                            a.lock,
+                            held,
+                            cfg.l1_order.join(" < "),
+                        ),
+                    );
+                }
+            }
+        }
+        let mut seen: BTreeSet<(usize, String, String)> = BTreeSet::new();
+        for (ci, call) in body.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            for &callee in &cg.call_targets[fi][ci] {
+                for lock in &acq[callee] {
+                    for held in &call.held {
+                        if !seen.insert((call.line, held.clone(), lock.clone())) {
+                            continue;
+                        }
+                        if held == lock {
+                            push(
+                                call.line,
+                                format!(
+                                    "call to `{}` may re-acquire `{}` while it is held",
+                                    display_name(st, callee),
+                                    lock
+                                ),
+                            );
+                            continue;
+                        }
+                        let (Some(&hi), Some(&bi)) =
+                            (order.get(held.as_str()), order.get(lock.as_str()))
+                        else {
+                            continue;
+                        };
+                        if hi >= bi {
+                            push(
+                                call.line,
+                                format!(
+                                    "call to `{}` may acquire `{}` while holding `{}` — \
+                                     declared order is {}",
+                                    display_name(st, callee),
+                                    lock,
+                                    held,
+                                    cfg.l1_order.join(" < "),
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The workspace symbol table: every parsed file's functions and enums,
+//! flattened with crate keys and full module paths, plus the name indexes
+//! the call-graph resolver needs.
+//!
+//! All indexes are `BTreeMap`s so iteration order — and therefore every
+//! diagnostic order downstream — is deterministic.
+
+use crate::parse::{ParsedFile, Receiver, Vis};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file handed to the symbol table.
+pub struct FileSource {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Crate key (`core`, `vendor/rayon`, …) per `crate_of`.
+    pub crate_key: String,
+    pub parsed: ParsedFile,
+}
+
+/// A function in workspace terms. `file`/`item` index back into the
+/// [`FileSource`] list for body access.
+#[derive(Debug)]
+pub struct FnSym {
+    pub file: usize,
+    pub item: usize,
+    pub crate_key: String,
+    /// File-derived module path plus inline `mod` nesting.
+    pub module: Vec<String>,
+    pub name: String,
+    pub impl_type: Option<String>,
+    pub vis: Vis,
+    pub receiver: Receiver,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    pub is_test: bool,
+}
+
+pub struct SymbolTable {
+    pub fns: Vec<FnSym>,
+    /// Every function index by bare name (free functions and methods).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Workspace enum name → variant set (same-named enums merged — the
+    /// conservative direction for X1's membership test).
+    pub enums: BTreeMap<String, BTreeSet<String>>,
+    /// Extern-crate name → crate key (`commsched_core` → `core`,
+    /// `rayon` → `vendor/rayon`).
+    pub crate_alias: BTreeMap<String, String>,
+}
+
+/// The module path a file contributes: `crates/core/src/a/b.rs` →
+/// `["a", "b"]`, with `lib.rs` / `main.rs` / `mod.rs` tails dropped.
+pub fn file_module_path(rel: &str) -> Vec<String> {
+    let after_src = rel.split_once("/src/").map(|(_, tail)| tail).unwrap_or(rel);
+    let mut parts: Vec<String> = after_src
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    if matches!(
+        parts.last().map(String::as_str),
+        Some("lib") | Some("main") | Some("mod")
+    ) {
+        parts.pop();
+    }
+    parts
+}
+
+/// The extern-crate name a crate key is imported under: first-party
+/// crates are `commsched-<key>` packages with `commsched_<key>` lib
+/// names; vendored crates keep their own name.
+fn extern_name(crate_key: &str) -> String {
+    if let Some(v) = crate_key.strip_prefix("vendor/") {
+        return v.replace('-', "_");
+    }
+    format!("commsched_{}", crate_key.replace('-', "_"))
+}
+
+/// Build the table from every scanned file.
+pub fn build(files: &[FileSource]) -> SymbolTable {
+    let mut fns = Vec::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut enums: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut crate_alias = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.crate_key.is_empty() {
+            crate_alias.insert(extern_name(&f.crate_key), f.crate_key.clone());
+        }
+        let base = file_module_path(&f.rel);
+        for (ii, item) in f.parsed.fns.iter().enumerate() {
+            let mut module = base.clone();
+            module.extend(item.module.iter().cloned());
+            let idx = fns.len();
+            fns.push(FnSym {
+                file: fi,
+                item: ii,
+                crate_key: f.crate_key.clone(),
+                module,
+                name: item.name.clone(),
+                impl_type: item.impl_type.clone(),
+                vis: item.vis,
+                receiver: item.receiver,
+                line: item.line,
+                is_test: item.is_test,
+            });
+            by_name.entry(item.name.clone()).or_default().push(idx);
+        }
+        for e in &f.parsed.enums {
+            enums
+                .entry(e.name.clone())
+                .or_default()
+                .extend(e.variants.iter().cloned());
+        }
+    }
+    SymbolTable {
+        fns,
+        by_name,
+        enums,
+        crate_alias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parse;
+
+    fn file(rel: &str, crate_key: &str, src: &str) -> FileSource {
+        let lexed = lexer::strip(src);
+        let toks = lexer::tokenize(&lexed.cleaned);
+        FileSource {
+            rel: rel.to_string(),
+            crate_key: crate_key.to_string(),
+            parsed: parse::parse(&toks, &["lock".to_string()]),
+        }
+    }
+
+    #[test]
+    fn module_paths_from_files_and_inline_mods() {
+        assert_eq!(
+            file_module_path("crates/core/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(file_module_path("crates/core/src/state.rs"), ["state"]);
+        assert_eq!(
+            file_module_path("crates/bench/src/experiments/trace.rs"),
+            ["experiments", "trace"]
+        );
+        let st = build(&[file(
+            "crates/core/src/a.rs",
+            "core",
+            "mod deep { pub fn f() {} }\n",
+        )]);
+        assert_eq!(st.fns[0].module, ["a", "deep"]);
+    }
+
+    #[test]
+    fn crate_aliases_cover_first_party_and_vendor() {
+        let st = build(&[
+            file("crates/core/src/lib.rs", "core", "pub fn a() {}\n"),
+            file("vendor/rayon/src/lib.rs", "vendor/rayon", "pub fn b() {}\n"),
+        ]);
+        assert_eq!(
+            st.crate_alias.get("commsched_core").map(String::as_str),
+            Some("core")
+        );
+        assert_eq!(
+            st.crate_alias.get("rayon").map(String::as_str),
+            Some("vendor/rayon")
+        );
+    }
+
+    #[test]
+    fn enums_merge_variants_by_name() {
+        let st = build(&[file(
+            "crates/trace/src/event.rs",
+            "trace",
+            "pub enum EventKind { JobStart, JobFinish }\n",
+        )]);
+        let v = st.enums.get("EventKind").expect("enum");
+        assert!(v.contains("JobStart") && v.contains("JobFinish"));
+    }
+}

@@ -37,14 +37,25 @@ fn scan(names: &[&str]) -> detlint::Report {
     detlint::run(&repo_root(), &fixture_config(), &files).expect("scan fixtures")
 }
 
+fn scan_with(config_name: &str, names: &[&str]) -> detlint::Report {
+    let text =
+        std::fs::read_to_string(repo_root().join(fixture(config_name))).expect("fixture config");
+    let cfg = detlint::config::parse(&text).expect("fixture config parses");
+    let files: Vec<PathBuf> = names.iter().map(|n| fixture(n)).collect();
+    detlint::run(&repo_root(), &cfg, &files).expect("scan fixtures")
+}
+
 #[test]
 fn each_rule_fixture_yields_exactly_its_expected_diagnostics() {
     let expected: &[(&str, &[(usize, &str)])] = &[
         ("d1.rs", &[(9, "D1")]),
         ("d2.rs", &[(4, "D2"), (8, "D2")]),
-        ("r1.rs", &[(4, "R1")]),
+        ("r1.rs", &[(4, "P1")]),
         ("n1.rs", &[(4, "N1")]),
         ("f1.rs", &[(4, "F1")]),
+        ("x1.rs", &[(13, "X1")]),
+        ("i1.rs", &[(13, "I1")]),
+        ("l1.rs", &[(9, "L1"), (23, "L1")]),
     ];
     for (name, wanted) in expected {
         let report = scan(&[name]);
@@ -71,12 +82,36 @@ fn clean_and_config_allowlisted_fixtures_are_silent() {
 }
 
 #[test]
+fn p1_chain_fixture_flags_public_entry_with_full_call_chain() {
+    let report = scan_with("detlint_chain.toml", &["p1_chain.rs"]);
+    assert_eq!(
+        triples(&report),
+        [(
+            "crates/detlint/tests/fixtures/p1_chain.rs".to_string(),
+            5,
+            "P1".to_string()
+        )],
+        "{:?}",
+        report.diagnostics
+    );
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("call chain: entry -> helper"), "{msg}");
+    assert!(
+        msg.contains("crates/detlint/tests/fixtures/p1_chain.rs:10"),
+        "{msg}"
+    );
+    // `entry_allowed`'s chain is silenced by the reasoned allow at the
+    // panic site inside `justified`, and `safe` never panics.
+    assert!(!msg.contains("entry_allowed"));
+}
+
+#[test]
 fn text_rendering_matches_the_documented_format() {
     let report = scan(&["r1.rs"]);
     let text = detlint::render_text(&report);
     let first = text.lines().next().expect("one diagnostic line");
     assert!(
-        first.starts_with("crates/detlint/tests/fixtures/r1.rs:4: R1: "),
+        first.starts_with("crates/detlint/tests/fixtures/r1.rs:4: P1: "),
         "{first}"
     );
     assert!(text.contains("detlint: 1 violation(s) in 1 files scanned"));
@@ -107,7 +142,77 @@ fn json_rendering_has_the_documented_shape() {
     }
     // Sorted by (file, line, rule): d1, d2×2, f1, n1, r1.
     let rules: Vec<&str> = diags.iter().map(|d| d["rule"].as_str().unwrap()).collect();
-    assert_eq!(rules, ["D1", "D2", "D2", "F1", "N1", "R1"]);
+    assert_eq!(rules, ["D1", "D2", "D2", "F1", "N1", "P1"]);
+}
+
+#[test]
+fn json_rendering_is_byte_stable() {
+    let report = scan(&["r1.rs"]);
+    let json = detlint::render_json(&report);
+    let expected = "{\n  \"files_scanned\": 1,\n  \"clean\": false,\n  \"diagnostics\": [\n    \
+        {\"file\": \"crates/detlint/tests/fixtures/r1.rs\", \"line\": 4, \"rule\": \"P1\", \
+        \"message\": \"`.unwrap()` in non-test code of a panic-free crate — return a typed \
+        error or justify with `detlint: allow(P1)`\"}\n  ]\n}\n";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn sarif_rendering_has_the_documented_shape() {
+    let report = scan(&["r1.rs", "clean.rs"]);
+    let sarif = detlint::render_sarif(&report);
+    let v: serde_json::Value = serde_json::from_str(&sarif).expect("valid JSON");
+    assert_eq!(v["version"].as_str(), Some("2.1.0"));
+    let run = &v["runs"][0];
+    assert_eq!(run["tool"]["driver"]["name"].as_str(), Some("detlint"));
+    let rule_ids: Vec<&str> = run["tool"]["driver"]["rules"]
+        .as_array()
+        .expect("rules array")
+        .iter()
+        .map(|r| r["id"].as_str().expect("rule id"))
+        .collect();
+    for id in ["A0", "D1", "D2", "F1", "I1", "L1", "N1", "P1", "X1"] {
+        assert!(rule_ids.contains(&id), "missing rule {id} in {rule_ids:?}");
+    }
+    let results = run["results"].as_array().expect("results array");
+    assert_eq!(results.len(), 1);
+    let r = &results[0];
+    assert_eq!(r["ruleId"].as_str(), Some("P1"));
+    assert_eq!(r["level"].as_str(), Some("error"));
+    let loc = &r["locations"][0]["physicalLocation"];
+    assert_eq!(
+        loc["artifactLocation"]["uri"].as_str(),
+        Some("crates/detlint/tests/fixtures/r1.rs")
+    );
+    assert_eq!(loc["region"]["startLine"].as_u64(), Some(4));
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let json = pool.install(|| {
+            let report = scan(&[
+                "d1.rs",
+                "d2.rs",
+                "f1.rs",
+                "n1.rs",
+                "r1.rs",
+                "x1.rs",
+                "i1.rs",
+                "l1.rs",
+                "clean.rs",
+                "allowed.rs",
+            ]);
+            detlint::render_json(&report)
+        });
+        outputs.push(json);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
 }
 
 #[test]
@@ -144,7 +249,7 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
         .expect("run detlint on dirty fixture");
     assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
     let stdout = String::from_utf8_lossy(&dirty.stdout);
-    assert!(stdout.contains("r1.rs:4: R1:"), "{stdout}");
+    assert!(stdout.contains("r1.rs:4: P1:"), "{stdout}");
 
     let clean = Command::new(bin)
         .current_dir(&root)
@@ -165,19 +270,19 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
 }
 
 #[test]
-fn vendor_crates_are_scanned_and_subject_to_r1() {
+fn vendor_crates_are_scanned_and_subject_to_p1() {
     let root = repo_root();
-    // `vendor/rayon` is in the real workspace config's R1 list, so the
+    // `vendor/rayon` is in the real workspace config's P1 list, so the
     // default scan set must include its sources …
     let text = std::fs::read_to_string(root.join("detlint.toml")).expect("workspace config");
     let cfg = detlint::config::parse(&text).expect("workspace config parses");
     assert!(
-        cfg.r1_crates.iter().any(|c| c == "vendor/rayon"),
+        cfg.p1_crates.iter().any(|c| c == "vendor/rayon"),
         "{:?}",
-        cfg.r1_crates
+        cfg.p1_crates
     );
     let vendor: Vec<String> = cfg
-        .r1_crates
+        .p1_crates
         .iter()
         .filter(|c| c.starts_with("vendor/"))
         .cloned()
@@ -189,7 +294,7 @@ fn vendor_crates_are_scanned_and_subject_to_r1() {
             .any(|p| p.ends_with("vendor/rayon/src/pool.rs")),
         "vendor/rayon missing from default targets"
     );
-    // … and an unwrap in vendored non-test code must be flagged as R1
+    // … and an unwrap in vendored non-test code must be flagged as P1
     // against the `vendor/rayon` crate name.
     let dir = std::env::temp_dir().join(format!("detlint-vendor-{}", std::process::id()));
     let src = dir.join("vendor/rayon/src");
@@ -202,6 +307,6 @@ fn vendor_crates_are_scanned_and_subject_to_r1() {
     let report =
         detlint::run(&dir, &cfg, &[PathBuf::from("vendor/rayon/src/bad.rs")]).expect("scan");
     let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
-    assert!(rules.contains(&"R1"), "{rules:?}");
+    assert!(rules.contains(&"P1"), "{rules:?}");
     std::fs::remove_dir_all(&dir).ok();
 }

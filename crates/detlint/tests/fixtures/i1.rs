@@ -1,0 +1,38 @@
+//! I1 fixture: public `&mut self` methods on the protocol type must
+//! reach the flush helper through the call graph.
+
+pub struct FixtureState {
+    dirty: u32,
+}
+
+impl FixtureState {
+    pub fn flush_index(&mut self) {
+        self.dirty = 0;
+    }
+
+    pub fn flagged(&mut self) {
+        self.dirty += 1;
+    }
+
+    pub fn clean_direct(&mut self) {
+        self.dirty += 1;
+        self.flush_index();
+    }
+
+    pub fn clean_via_helper(&mut self) {
+        self.helper();
+    }
+
+    // detlint: allow(I1) — fixture: mutation has no index impact
+    pub fn allowed(&mut self) {
+        self.dirty += 1;
+    }
+
+    fn helper(&mut self) {
+        self.flush_index();
+    }
+
+    pub fn read(&self) -> u32 {
+        self.dirty
+    }
+}

@@ -1,0 +1,26 @@
+//! L1 fixture: lock acquisitions against the declared order
+//! (a_lock < b_lock).
+
+use std::sync::Mutex;
+
+pub struct Locks {
+    pub a_lock: Mutex<u32>,
+    pub b_lock: Mutex<u32>,
+    pub c_lock: Mutex<u32>,
+    // detlint: allow(L1) — fixture: scratch lock outside the global order
+    pub d_lock: Mutex<u32>,
+}
+
+pub fn clean(l: &Locks) {
+    let a = l.a_lock.lock();
+    let b = l.b_lock.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn flagged(l: &Locks) {
+    let b = l.b_lock.lock();
+    let a = l.a_lock.lock();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,24 @@
+//! P1 chain fixture: public entry points reaching panics transitively.
+//! Scanned with detlint_chain.toml, which puts "detlint" in `reach`
+//! (not `crates`), so only call-chain findings fire.
+
+pub fn entry(v: Option<u32>) -> u32 {
+    helper(v)
+}
+
+fn helper(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn entry_allowed(v: Option<u32>) -> u32 {
+    justified(v)
+}
+
+fn justified(v: Option<u32>) -> u32 {
+    // detlint: allow(P1) — fixture: reasoned allow at the panic site
+    v.unwrap()
+}
+
+pub fn safe(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,38 @@
+//! X1 fixture: wildcard arms on workspace enums in an exhaustive-match
+//! path. Matches on foreign types (Option) are invisible to the rule.
+
+pub enum Kind {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+pub fn flagged(k: &Kind) -> u32 {
+    match k {
+        Kind::Alpha => 1,
+        _ => 0,
+    }
+}
+
+pub fn allowed(k: &Kind) -> u32 {
+    match k {
+        Kind::Alpha => 1,
+        // detlint: allow(X1) — fixture: wildcard justified for the test
+        _ => 0,
+    }
+}
+
+pub fn clean(k: &Kind) -> u32 {
+    match k {
+        Kind::Alpha => 1,
+        Kind::Beta => 2,
+        Kind::Gamma => 3,
+    }
+}
+
+pub fn foreign(o: Option<u32>) -> u32 {
+    match o {
+        Some(x) => x,
+        _ => 0,
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the lexer → tokenizer → item-parser pipeline must
+//! never panic, whatever nesting of comments, strings, braces, and
+//! attributes the source throws at it — detlint scans arbitrary
+//! workspace files and a malformed one must produce (at worst) an empty
+//! parse, not a crash.
+
+use proptest::prelude::*;
+
+/// Fragments that stress the scrubber and parser: comment openers and
+/// closers, string/char/lifetime quotes, raw strings, braces, and item
+/// keywords — deliberately combinable into unbalanced nonsense.
+fn fragment() -> impl Strategy<Value = String> {
+    let fixed = proptest::sample::select(vec![
+        "/*",
+        "*/",
+        "//",
+        "\n",
+        "\"",
+        "\\\"",
+        "r#\"",
+        "\"#",
+        "'a",
+        "'x'",
+        "{",
+        "}",
+        "(",
+        ")",
+        "fn f",
+        "impl T",
+        "enum E",
+        "match x",
+        "=>",
+        "_",
+        "mod m",
+        "#[test]",
+        "#[cfg(test)]",
+        "let g = x.lock();",
+        "self.call()",
+        "a::b",
+        "pub ",
+        "unwrap()",
+        ".",
+        "1.5",
+        "0..10",
+        "",
+    ]);
+    // Glue a short random identifier-ish tail onto each fixed fragment so
+    // boundaries between fragments vary too.
+    (fixed, "[a-zA-Z0-9_ ]{0,4}").prop_map(|(f, tail)| format!("{f}{tail}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lex_tokenize_parse_never_panics(frags in prop::collection::vec(fragment(), 0..40)) {
+        let src = frags.concat();
+        let lexed = detlint::lexer::strip(&src);
+        let toks = detlint::lexer::tokenize(&lexed.cleaned);
+        let parsed = detlint::parse::parse(&toks, &["lock".to_string()]);
+        // Token lines must stay within the cleaned text's line count, so
+        // every diagnostic the rules derive points at a real line.
+        let nlines = lexed.cleaned.lines().count() + 1;
+        for t in &toks {
+            prop_assert!(t.line < nlines, "token line {} out of range {nlines}", t.line);
+        }
+        for f in &parsed.fns {
+            prop_assert!(f.line < nlines);
+        }
+    }
+
+    #[test]
+    fn well_formed_fn_bodies_always_parse(name in "[a-z][a-z0-9_]{0,8}", panics in any::<bool>()) {
+        let body = if panics { "x.unwrap()" } else { "x" };
+        let src = format!("pub fn {name}(x: u32) -> u32 {{ {body} }}\n");
+        let lexed = detlint::lexer::strip(&src);
+        let toks = detlint::lexer::tokenize(&lexed.cleaned);
+        let parsed = detlint::parse::parse(&toks, &["lock".to_string()]);
+        prop_assert_eq!(parsed.fns.len(), 1);
+        prop_assert_eq!(parsed.fns[0].name.clone(), name);
+        prop_assert_eq!(!parsed.fns[0].body.panics.is_empty(), panics);
+    }
+}

@@ -356,7 +356,7 @@ impl RunState {
                 let pos = self.link_flows[l]
                     .iter()
                     .position(|&x| x == u32_of_usize(f))
-                    // detlint: allow(R1) — activate() indexed this flow on
+                    // detlint: allow(P1) — activate() indexed this flow on
                     // every link of its route; absence is memory corruption.
                     .expect("active flow is indexed on each of its links");
                 self.link_flows[l].swap_remove(pos);
@@ -376,7 +376,7 @@ impl RunState {
                     let pos = self.link_flows[l]
                         .iter()
                         .position(|&x| x == old)
-                        // detlint: allow(R1) — the tail flow was active, so
+                        // detlint: allow(P1) — the tail flow was active, so
                         // it is indexed on each of its links by construction.
                         .expect("moved flow is indexed on each of its links");
                     self.link_flows[l][pos] = u32_of_usize(f);
@@ -523,7 +523,7 @@ impl<'t> FlowSim<'t> {
         let mut s = self.tree.leaf_of(src);
         while s != lca {
             arena.push(self.switch_up(s));
-            // detlint: allow(R1) — the walk stops at the LCA, which is a
+            // detlint: allow(P1) — the walk stops at the LCA, which is a
             // strict ancestor, so every switch visited has a parent.
             s = self.tree.switch(s).parent.expect("LCA above leaf");
         }
@@ -533,7 +533,7 @@ impl<'t> FlowSim<'t> {
         let mut d = self.tree.leaf_of(dst);
         while d != lca {
             arena.push(self.switch_down(d));
-            // detlint: allow(R1) — same LCA-ancestor argument as above.
+            // detlint: allow(P1) — same LCA-ancestor argument as above.
             d = self.tree.switch(d).parent.expect("LCA above leaf");
         }
         arena[down_start..].reverse();

@@ -819,7 +819,7 @@ impl<'t> Engine<'t> {
         };
         // Lock order: always after selector.select() has returned (the
         // adaptive selector takes the same lock inside select()).
-        // detlint: allow(R1) — a poisoned mutex means another thread already
+        // detlint: allow(P1) — a poisoned mutex means another thread already
         // panicked mid-evaluation; propagating is the only sound response.
         let mut ev = self.eval.lock().expect("evaluator mutex poisoned");
         let actual = eval_all(&mut ev, &nodes);

@@ -103,7 +103,11 @@ impl FaultKind {
         match self {
             FaultKind::LinkDegrade { permille } => Some(f64::from(permille) / 1000.0),
             FaultKind::LinkRestore => Some(1.0),
-            _ => None,
+            FaultKind::Fail
+            | FaultKind::Recover
+            | FaultKind::Drain
+            | FaultKind::SwitchDown
+            | FaultKind::SwitchUp => None,
         }
     }
 }
