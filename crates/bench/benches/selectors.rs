@@ -42,6 +42,7 @@ fn bench_selectors(c: &mut Criterion) {
                 nodes,
                 nature: JobNature::CommIntensive,
                 pattern: None,
+                attempt: 0,
             };
             group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &req, |b, req| {
                 b.iter(|| {

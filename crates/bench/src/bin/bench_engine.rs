@@ -39,6 +39,15 @@ const ITERS: usize = 31;
 const GATE_CASE: &str = "select_dragonfly_1m";
 const GATE_MIN_SPEEDUP: f64 = 5.0;
 
+/// The annealed-search throughput case (`sa_theta_256`): evaluator budget
+/// per search, and the proposal-evaluation rate the scratch what-if path
+/// must sustain on the Theta preset. Like the exascale gate, the floor is
+/// checked live in both modes — throughput this far above the bar is a
+/// structural property (no clones, memo re-stamped per proposal), not a
+/// machine constant.
+const SA_BUDGET: u32 = 512;
+const SA_MIN_EVALS_PER_SEC: f64 = 100_000.0;
+
 fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     let mut samples: Vec<f64> = (0..iters)
         .map(|_| {
@@ -145,6 +154,47 @@ fn measure() -> Vec<Row> {
     rows
 }
 
+/// Measure annealed-search throughput: whole seeded searches on the Theta
+/// preset (a 256-node comm probe over the half-occupied cluster), counting
+/// actual evaluator calls. Distinct seeds per search keep the walk from
+/// replaying one memoized trajectory; the shared evaluator is reused
+/// across searches exactly as the engine reuses it across jobs.
+fn measure_sa() -> f64 {
+    let case = PlacementCase::new(SystemPreset::Theta, 256);
+    let eval = Arc::new(Mutex::new(PlacementEvaluator::new()));
+    // Warm-up search: the annealing loop must actually run here, or the
+    // throughput number would be measuring the incumbent fast path.
+    let warm = case
+        .run_sa(SA_BUDGET, 7, &eval)
+        .expect("theta case enters the annealing loop");
+    assert!(warm.evals > 0, "warm-up search performed no evaluations");
+    let mut total_evals = 0u64;
+    let t = Instant::now();
+    for i in 0..ITERS {
+        let stats = case
+            .run_sa(SA_BUDGET, 7 + i as u64, &eval)
+            .expect("theta case enters the annealing loop");
+        total_evals += u64::from(stats.evals);
+    }
+    commsched_core::evals_per_sec(total_evals, t.elapsed().as_nanos() as u64)
+}
+
+/// Enforce the annealed-search throughput floor; exits 1 when it fails.
+fn check_sa_gate(eps: f64) {
+    if eps < SA_MIN_EVALS_PER_SEC {
+        eprintln!(
+            "gate FAILED: sa_theta_256 sustains only {eps:.0} evals/s \
+             (required: {SA_MIN_EVALS_PER_SEC:.0})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "gate ok: sa_theta_256 {:.2}M sa evals/s (floor {:.1}M)",
+        eps / 1e6,
+        SA_MIN_EVALS_PER_SEC / 1e6
+    );
+}
+
 /// Enforce the exascale gate on live numbers; exits 1 when it fails.
 fn check_gate(rows: &[Row]) {
     let gate = rows
@@ -172,6 +222,7 @@ fn main() {
         };
         let rows = measure();
         check_gate(&rows);
+        check_sa_gate(measure_sa());
         let live: Vec<(String, f64)> = rows.into_iter().map(|r| (r.label, r.fast_ns)).collect();
         baseline::check_or_exit(path, &live);
     }
@@ -209,9 +260,14 @@ fn main() {
     }
 
     check_gate(&rows);
+    let sa_eps = measure_sa();
+    check_sa_gate(sa_eps);
 
+    // `sa` is an absolute-throughput case, not a fast-vs-naive pair, so it
+    // lives outside `results` (the regression checker compares
+    // `fast_median_ns` entries; the SA floor is re-measured live instead).
     let json = format!(
-        "{{\n  \"bench\": \"placement evaluation (fast vs retained-naive) and node selection (free-count index vs retained linear scan)\",\n  \"iters\": {ITERS},\n  \"gate\": {{\n    \"case\": \"{GATE_CASE}\",\n    \"min_speedup\": {GATE_MIN_SPEEDUP:.1}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"placement evaluation (fast vs retained-naive) and node selection (free-count index vs retained linear scan)\",\n  \"iters\": {ITERS},\n  \"gate\": {{\n    \"case\": \"{GATE_CASE}\",\n    \"min_speedup\": {GATE_MIN_SPEEDUP:.1}\n  }},\n  \"sa\": {{\n    \"case\": \"sa_theta_256\",\n    \"budget\": {SA_BUDGET},\n    \"searches\": {ITERS},\n    \"sa_evals_per_sec\": {sa_eps:.0},\n    \"min_evals_per_sec\": {SA_MIN_EVALS_PER_SEC:.0}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     if let Err(e) = std::fs::write(&out, json) {

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick]
 //!       [--threads N] [--report-out FILE]
 //!
-//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace | all
+//! EXPERIMENT: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace tournament | all
 //! --jobs N    jobs per synthetic log (default 1000, the paper's size)
 //! --seed S    base RNG seed (default 42)
 //! --out DIR   write <name>.txt and <name>.json under DIR (default results/)
@@ -158,7 +158,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--jobs N] [--seed S] [--out DIR] [--quick] [--threads N] [--report-out FILE]\n\
-         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace (default: all)"
+         experiments: fig1 corr table2 table3 fig6 table4 fig7 fig8 fig9 ablation mapping seeds faults trace tournament (default: all)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

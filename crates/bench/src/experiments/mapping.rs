@@ -46,6 +46,7 @@ pub fn mapping(scale: Scale) -> ExperimentResult {
                 nodes: job.nodes,
                 nature: job.nature,
                 pattern: Some(spec),
+                attempt: 0,
             };
             let Ok(nodes) = selector.select(&tree, &state, &req) else {
                 continue;

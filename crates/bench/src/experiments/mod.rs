@@ -13,6 +13,7 @@ mod seeds;
 mod table2;
 mod table3;
 mod table4;
+mod tournament;
 mod trace;
 
 pub use ablation::ablation;
@@ -28,6 +29,7 @@ pub use seeds::seeds;
 pub use table2::table2;
 pub use table3::table3;
 pub use table4::table4;
+pub use tournament::tournament;
 pub use trace::{run_golden, trace, GOLDEN_SCENARIOS};
 
 use crate::{ExperimentResult, Scale};
@@ -52,5 +54,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("seeds", seeds),
         ("faults", faults),
         ("trace", trace),
+        ("tournament", tournament),
     ]
 }

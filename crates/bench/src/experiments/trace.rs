@@ -1,7 +1,7 @@
 //! Observability demo + golden-trace scenarios.
 //!
 //! Not a paper artifact: this experiment drives the instrumented engine
-//! and flow simulator through four small, fully deterministic scenarios
+//! and flow simulator through small, fully deterministic scenarios
 //! and reports what their traces contain. The same scenario definitions
 //! back the golden-trace conformance suite (`tests/golden_trace.rs`),
 //! which pins the exact trace bytes, so the scenarios must never depend
@@ -9,7 +9,7 @@
 
 use crate::{ExperimentResult, Scale};
 use commsched_collectives::{CollectiveSpec, Pattern};
-use commsched_core::SelectorKind;
+use commsched_core::{SaBudget, SelectorKind};
 use commsched_metrics::{Registry, Table};
 use commsched_netsim::{FlowSim, NetConfig, Workload};
 use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, FailurePolicy};
@@ -19,12 +19,13 @@ use commsched_workload::{FaultTrace, JobLog, LogSpec, SystemModel};
 use serde_json::json;
 
 /// Every golden scenario name, in the order the suite checks them.
-pub const GOLDEN_SCENARIOS: [&str; 5] = [
+pub const GOLDEN_SCENARIOS: [&str; 6] = [
     "fifo-easy-greedy",
     "adaptive",
     "faulted-requeue",
     "switch-outage",
     "netsim-interference",
+    "sa_tournament",
 ];
 
 /// The 32-node golden machine: 4 leaf switches of 8 nodes.
@@ -135,6 +136,24 @@ pub fn run_golden(name: &str, jobs: usize, seed: u64) -> Option<(String, String)
                 .expect("golden log fits the golden machine");
             return Some((cap.to_jsonl(), reg.snapshot().to_json_pretty()));
         }
+        "sa_tournament" => {
+            // Annealed placement over the table3-shaped golden workload:
+            // pins the `sa_search` event stream (budget 64, search seed =
+            // the scenario seed) and the lazy SA counters next to the
+            // regular job lifecycle — the full SA observability surface.
+            let tree = golden_tree();
+            let log = golden_log(jobs, seed);
+            let mut cfg = EngineConfig::new(SelectorKind::Sa);
+            cfg.backfill = BackfillPolicy::Easy;
+            cfg = cfg.with_sa(SaBudget::with_evals(64), seed);
+            let engine = Engine::new(&tree, cfg);
+            let mut cap = Capture::new();
+            let mut reg = Registry::new();
+            engine
+                .run_observed(&log, &mut cap, &mut reg)
+                .expect("golden log fits the golden machine");
+            return Some((cap.to_jsonl(), reg.snapshot().to_json_pretty()));
+        }
         "netsim-interference" => {
             let tree = Tree::regular_two_level(2, 8);
             let sim = FlowSim::new(&tree, NetConfig::gigabit_ethernet());
@@ -158,6 +177,7 @@ pub fn run_golden(name: &str, jobs: usize, seed: u64) -> Option<(String, String)
                     commsched_trace::EventKind::JobSubmit { .. }
                     | commsched_trace::EventKind::JobEligible { .. }
                     | commsched_trace::EventKind::JobPlace { .. }
+                    | commsched_trace::EventKind::SaSearch { .. }
                     | commsched_trace::EventKind::JobStart { .. }
                     | commsched_trace::EventKind::JobFinish { .. }
                     | commsched_trace::EventKind::JobRequeue { .. }

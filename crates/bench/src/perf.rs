@@ -119,6 +119,33 @@ impl PlacementCase {
         ]
     }
 
+    /// One full annealed search over the case's probe request through the
+    /// shared evaluator: the `sa_evals_per_sec` measured unit. Returns the
+    /// search stats; `None` means the search returned the incumbent
+    /// without ever entering the annealing loop (zero budget, compute
+    /// probe, or a single candidate leaf).
+    pub fn run_sa(
+        &self,
+        budget: u32,
+        seed: u64,
+        eval: &std::sync::Arc<std::sync::Mutex<PlacementEvaluator>>,
+    ) -> Option<commsched_core::SaStats> {
+        let selector = commsched_core::SaSelector::with_evaluator(
+            CostModel::HOP_BYTES,
+            commsched_core::SaBudget::with_evals(budget),
+            seed,
+            eval.clone(),
+        );
+        let (_, stats) = commsched_core::sa_search_with_stats(
+            &selector,
+            &self.tree,
+            &self.state,
+            &self.request(),
+        )
+        .unwrap();
+        stats
+    }
+
     fn comm_fraction(&self) -> f64 {
         self.comm.iter().map(|&(_, f)| f).sum()
     }

@@ -122,3 +122,32 @@ fn golden_traces_identical_across_thread_counts() {
         }
     }
 }
+
+/// The SA tournament fans annealing searches (seeded ChaCha walks over a
+/// shared frozen state) across the cell grid — the searches themselves
+/// must be schedule-independent, not just the cell collection order.
+#[test]
+fn tournament_identical_across_thread_counts() {
+    use commsched_bench::experiments::tournament;
+    let scale = Scale { jobs: 30, seed: 42 };
+    let pool = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool")
+    };
+    let base = pool(1).install(|| tournament(scale));
+    let base_json = serde_json::to_string(&base.json).expect("serialize");
+    for threads in [2usize, 4, 8] {
+        let run = pool(threads).install(|| tournament(scale));
+        assert_eq!(
+            base.text, run.text,
+            "tournament text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            base_json,
+            serde_json::to_string(&run.json).expect("serialize"),
+            "tournament json differs between 1 and {threads} threads"
+        );
+    }
+}

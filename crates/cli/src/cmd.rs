@@ -2,7 +2,7 @@
 
 use crate::args::Parsed;
 use commsched_collectives::{CollectiveSpec, Pattern};
-use commsched_core::SelectorKind;
+use commsched_core::{SaBudget, SelectorKind};
 use commsched_metrics::{Registry, Table};
 use commsched_slurmsim::{BackfillPolicy, Engine, EngineConfig, FailurePolicy, JobStatus};
 use commsched_topology::{SystemPreset, Tree};
@@ -365,10 +365,19 @@ pub fn run_sim(p: &Parsed, out: &mut dyn Write, compare: bool) -> CmdResult {
     let mut timelines: Vec<(SelectorKind, Vec<(u64, f64)>)> = Vec::new();
     let mut fault_lines: Vec<String> = Vec::new();
     let mut obs_lines: Vec<String> = Vec::new();
+    // SA knobs (accepted — and checked — only when the SA selector runs;
+    // the search seed defaults to the workload seed so one --seed flag
+    // reproduces the whole run).
+    let sa_budget: u32 = p.get_parsed("sa-budget", 256u32)?;
+    let sa_seed: u64 = p.get_parsed("sa-seed", p.get_parsed("seed", 42u64)?)?;
+
     for kind in selectors {
         let mut cfg = EngineConfig::new(kind);
         cfg.backfill = backfill;
         cfg.failure_policy = failure_policy;
+        if kind == SelectorKind::Sa {
+            cfg = cfg.with_sa(SaBudget::with_evals(sa_budget), sa_seed);
+        }
         if p.switch("reject-oversized") {
             cfg = cfg.reject_oversized();
         }

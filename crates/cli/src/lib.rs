@@ -88,7 +88,7 @@ USAGE:
   commsched run     (--preset NAME | --conf FILE) [--selector SEL] <workload>
                     [--backfill none|easy|conservative] [--drain N]
                     [--utilization BUCKETS] [<faults>] [--reject-oversized]
-                    [<observe>]
+                    [--sa-budget N] [--sa-seed S] [<observe>]
   commsched compare (--preset NAME | --conf FILE) <workload> [<faults>]
                     [<observe>]   # one trace/report file per selector
   commsched individual (--preset NAME | --conf FILE) <workload>
@@ -119,7 +119,10 @@ USAGE:
   NAME (presets): iitk-dept | iitk-hpc2010 | cori | intrepid | theta | mira
                   | multirail-500k | dragonfly-1m
   NAME (systems): intrepid | theta | mira
-  SEL:  default | greedy | balanced | adaptive
+  SEL:  default | greedy | balanced | adaptive | sa
+        sa refines the adaptive placement with seeded simulated annealing:
+        --sa-budget N evaluator calls per job (default 256; 0 = incumbent
+        bit-for-bit), --sa-seed S search seed (default: the --seed value)
   PAT:  rd | rhvd | binomial | ring | stencil2d | alltoall"
 }
 

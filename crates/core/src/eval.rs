@@ -60,6 +60,10 @@ const MAX_CACHED_SCHEDULES: usize = 128;
 /// at large rank counts holds millions of pairs; regenerate those instead
 /// of pinning the memory).
 const MAX_CACHED_SCHEDULE_PAIRS: usize = 1 << 22;
+/// Widest candidate (in touched leaf switches) whose canonical hop matrix
+/// is filled eagerly before the pair sweep — at most 136 `hop_value`
+/// calls, repaid many times over by dropping the per-pair stamp check.
+const EAGER_MATRIX_MAX_TOUCHED: usize = 16;
 /// Widest candidate (in *touched* leaf switches) served by the flat dense
 /// hop memo; beyond this (8 MiB of table) a hash map takes over. The memo
 /// is sized by the job's own leaf spread — never by the machine — so the
@@ -147,6 +151,62 @@ impl PlacementEvaluator {
             }
         });
 
+        // Dense remap: each rank's leaf → its position in the sorted
+        // overlay. The remap is order-preserving, so canonicalizing on
+        // dense positions canonicalizes on leaf ordinals too.
+        self.dense_of_rank.clear();
+        for i in 0..self.leaf_of_rank.len() {
+            let k = self.leaf_of_rank[i];
+            // Every rank's leaf is in the overlay by construction.
+            if let Ok(d) = self.overlay.binary_search_by_key(&k, |&(leaf, _)| leaf) {
+                self.dense_of_rank.push(d);
+            }
+        }
+        self.sweep(tree, state, trunk_discount, spec)
+    }
+
+    /// Evaluate a candidate given as per-leaf node counts instead of
+    /// materialized nodes: `groups` holds `(leaf ordinal, count)` pairs in
+    /// strictly ascending ordinal order with every count positive.
+    ///
+    /// When node ids are grouped by ascending leaf ordinal — true for
+    /// every built-in topology constructor — this is float-op-identical
+    /// to materializing `count` nodes per leaf and calling
+    /// [`Self::evaluate`]: the rank→leaf mapping is the same step
+    /// function either way. Skipping the materialization, the sort and
+    /// the per-rank overlay rebuild is what makes annealing proposals
+    /// cheap (the `SaSelector` hot loop).
+    pub fn evaluate_grouped(
+        &mut self,
+        tree: &Tree,
+        state: &ClusterState,
+        trunk_discount: f64,
+        groups: &[(usize, u32)],
+        spec: &CollectiveSpec,
+    ) -> EvalTotals {
+        // The groups *are* the sorted, deduplicated overlay.
+        self.overlay.clear();
+        self.overlay.extend_from_slice(groups);
+        self.dense_of_rank.clear();
+        for (d, &(_, count)) in groups.iter().enumerate() {
+            for _ in 0..count {
+                self.dense_of_rank.push(d);
+            }
+        }
+        self.sweep(tree, state, trunk_discount, spec)
+    }
+
+    /// The shared schedule traversal: assumes `self.overlay` (sorted leaf
+    /// deltas) and `self.dense_of_rank` (each rank's overlay position) are
+    /// prepared. Both public entry points funnel here, so a grouped
+    /// evaluation and a materialized one run the identical float ops.
+    fn sweep(
+        &mut self,
+        tree: &Tree,
+        state: &ClusterState,
+        trunk_discount: f64,
+        spec: &CollectiveSpec,
+    ) -> EvalTotals {
         // The hop memo survives across calls only while the contention
         // context is unchanged: same state version, same discount, and the
         // same overlay (compared exactly — no fingerprint collisions).
@@ -158,17 +218,7 @@ impl PlacementEvaluator {
             self.tag_overlay.clear();
             self.tag_overlay.extend_from_slice(&self.overlay);
         }
-        // Dense remap: each rank's leaf → its position in the sorted
-        // overlay. The remap is order-preserving, so canonicalizing on
-        // dense positions canonicalizes on leaf ordinals too.
         let m = self.overlay.len();
-        self.dense_of_rank.clear();
-        for &k in &self.leaf_of_rank {
-            // Every rank's leaf is in the overlay by construction.
-            if let Ok(d) = self.overlay.binary_search_by_key(&k, |&(leaf, _)| leaf) {
-                self.dense_of_rank.push(d);
-            }
-        }
         let flat = m <= FLAT_MEMO_MAX_TOUCHED;
         if flat && self.dense_dim != m {
             self.dense_dim = m;
@@ -179,11 +229,36 @@ impl PlacementEvaluator {
             self.stamp += 1;
         }
 
-        let steps = self.schedule(spec, self.ranked.len());
+        let steps = self.schedule(spec, self.dense_of_rank.len());
         let contention = CostModel {
             hop_bytes: false,
             trunk_discount,
         };
+
+        // Narrow spreads (the common case: power-of-two jobs touch a
+        // handful of large leaves) fill the whole canonical matrix up
+        // front — the inner pair loop then degenerates to one array load,
+        // with no per-pair stamp check. Values are identical: the same
+        // [`Self::hop_value`] per canonical pair, only computed eagerly.
+        let eager = flat && m <= EAGER_MATRIX_MAX_TOUCHED;
+        let mut matrix_max = f64::NEG_INFINITY;
+        if eager {
+            for da in 0..m {
+                let (la, delta_a) = self.overlay[da];
+                for db in da..m {
+                    let idx = da * m + db;
+                    if self.hop_stamp[idx] != self.stamp {
+                        let (lb, delta_b) = self.overlay[db];
+                        self.hop_vals[idx] =
+                            Self::hop_value(tree, state, &contention, la, lb, delta_a, delta_b);
+                        self.hop_stamp[idx] = self.stamp;
+                    }
+                    if self.hop_vals[idx] > matrix_max {
+                        matrix_max = self.hop_vals[idx];
+                    }
+                }
+            }
+        }
 
         let mut raw_hops = 0.0;
         let mut hop_bytes = 0.0;
@@ -198,19 +273,31 @@ impl PlacementEvaluator {
                         (b, a)
                     }
                 };
-                let (la, delta_a) = self.overlay[da];
-                let (lb, delta_b) = self.overlay[db];
-                let hops = if flat {
+                let hops = if eager {
+                    let h = self.hop_vals[da * m + db];
+                    if h >= matrix_max {
+                        // No pair type can beat the matrix maximum: the
+                        // step's max is decided, and the remaining pairs
+                        // cannot change it — an exact early exit.
+                        worst = h;
+                        break;
+                    }
+                    h
+                } else if flat {
                     let idx = da * m + db;
                     if self.hop_stamp[idx] == self.stamp {
                         self.hop_vals[idx]
                     } else {
+                        let (la, delta_a) = self.overlay[da];
+                        let (lb, delta_b) = self.overlay[db];
                         let h = Self::hop_value(tree, state, &contention, la, lb, delta_a, delta_b);
                         self.hop_stamp[idx] = self.stamp;
                         self.hop_vals[idx] = h;
                         h
                     }
                 } else {
+                    let (la, delta_a) = self.overlay[da];
+                    let (lb, delta_b) = self.overlay[db];
                     match self.hop_map.get(&(la, lb)) {
                         Some(&h) => h,
                         None => {

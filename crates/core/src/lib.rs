@@ -43,6 +43,7 @@ mod cost;
 mod eval;
 mod index;
 pub mod mapping;
+mod sa;
 mod select;
 pub mod select_scan;
 mod state;
@@ -50,6 +51,7 @@ mod state;
 pub use cost::CostModel;
 pub use eval::{EvalTotals, PlacementEvaluator};
 pub use mapping::MappingStrategy;
+pub use sa::{derive_seed, evals_per_sec, sa_search_with_stats, SaBudget, SaSelector, SaStats};
 pub use select::{
     AdaptiveSelector, AllocRequest, BalancedSelector, DefaultTreeSelector, GreedySelector,
     NodeSelector, SelectError, SelectorKind,

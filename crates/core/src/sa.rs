@@ -1,0 +1,430 @@
+//! Budgeted simulated-annealing placement refinement (ROADMAP item 5).
+//!
+//! [`SaSelector`] starts from the adaptive greedy/balanced incumbent
+//! (§4.3) and spends a fixed evaluation budget exploring neighbouring
+//! placements: proposal moves *shift* nodes between sibling leaves or
+//! *swap* two leaves' grants under the switch `topology/tree` picked, and
+//! every proposal is scored with the fused what-if [`PlacementEvaluator`]
+//! — no `ClusterState` clones, the hop memo re-stamps per proposal. The
+//! acceptance rule is classic Metropolis with geometric cooling; see
+//! DESIGN.md §4.10 for the determinism argument.
+//!
+//! Determinism contract:
+//! * the proposal stream is drawn from a ChaCha generator seeded by
+//!   [`derive_seed`]`(run_seed, job, attempt)` — placement is a pure
+//!   function of (tree, state, request, budget, seed), independent of
+//!   thread count or call history;
+//! * a budget of 0 (or a compute-intensive job, or a single-leaf grant)
+//!   returns the incumbent placement **bit-for-bit** — the `Vec` the
+//!   adaptive rule produced, not a reconstruction;
+//! * the returned placement never costs more than the incumbent: the
+//!   search only replaces it when a strictly cheaper candidate was found.
+
+use crate::cost::CostModel;
+use crate::eval::PlacementEvaluator;
+use crate::select::{
+    check_request, AllocRequest, BalancedSelector, GreedySelector, NodeSelector, SelectError,
+};
+use crate::state::{ClusterState, JobId};
+use commsched_num::{f64_of_u64, usize_of_u32};
+use commsched_topology::{NodeId, Tree};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::{Arc, Mutex};
+
+/// Annealing budget and temperature schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaBudget {
+    /// Maximum number of evaluator calls per placement. 0 disables the
+    /// search entirely — the incumbent is returned bit-for-bit.
+    pub max_evals: u32,
+    /// Initial temperature, as a fraction of the incumbent cost (the
+    /// Metropolis scale is `temp * max(cost_incumbent, 1)`).
+    pub init_temp: f64,
+    /// Geometric cooling factor applied after every evaluation.
+    pub cooling: f64,
+}
+
+impl Default for SaBudget {
+    /// 256 evaluations, initial temperature 8% of the incumbent cost,
+    /// 0.97 cooling — cold enough to converge well inside the budget.
+    fn default() -> Self {
+        SaBudget {
+            max_evals: 256,
+            init_temp: 0.08,
+            cooling: 0.97,
+        }
+    }
+}
+
+impl SaBudget {
+    /// A budget with the default temperature schedule.
+    pub fn with_evals(max_evals: u32) -> Self {
+        SaBudget {
+            max_evals,
+            ..SaBudget::default()
+        }
+    }
+}
+
+/// Outcome of one annealing search, recorded for tracing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaStats {
+    /// Job the search placed.
+    pub job: JobId,
+    /// Scheduling attempt (0 = first try, bumps on requeue).
+    pub attempt: u32,
+    /// Configured `max_evals`.
+    pub budget: u32,
+    /// Evaluator calls actually spent.
+    pub evals: u32,
+    /// Accepted proposals (including uphill Metropolis accepts).
+    pub accepted: u32,
+    /// Rejected proposals.
+    pub rejected: u32,
+    /// Eq. 6 cost of the incumbent placement under the search model.
+    pub cost_incumbent: f64,
+    /// Cost of the returned placement (≤ `cost_incumbent`).
+    pub cost_final: f64,
+}
+
+/// Derive the per-search RNG seed from the run seed, the job id and the
+/// scheduling attempt (splitmix64-style finalizers), so requeued attempts
+/// explore a *different* neighbourhood than the first try while staying
+/// fully reproducible from the run seed.
+pub fn derive_seed(run_seed: u64, job: JobId, attempt: u32) -> u64 {
+    let mut z = run_seed
+        .wrapping_add(job.0.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Budgeted simulated-annealing selector over the free-count index.
+///
+/// Shares its [`PlacementEvaluator`] with the caller (like
+/// [`crate::AdaptiveSelector`]) so hop values computed while scoring
+/// proposals
+/// stay warm for the caller's own evaluation of the winning allocation,
+/// and exposes the last search's [`SaStats`] through a shared handle for
+/// trace emission.
+#[derive(Debug, Clone)]
+pub struct SaSelector {
+    /// Cost model proposals are scored under (hop-bytes by default, like
+    /// the adaptive rule it refines).
+    pub cost: CostModel,
+    /// Evaluation budget and temperature schedule.
+    pub budget: SaBudget,
+    /// Run seed the per-job search seed is derived from.
+    pub seed: u64,
+    eval: Arc<Mutex<PlacementEvaluator>>,
+    stats: Arc<Mutex<Option<SaStats>>>,
+}
+
+impl Default for SaSelector {
+    fn default() -> Self {
+        SaSelector::new(SaBudget::default(), 0)
+    }
+}
+
+impl SaSelector {
+    /// SA under hop-bytes with a private evaluator.
+    pub fn new(budget: SaBudget, seed: u64) -> Self {
+        SaSelector::with_evaluator(
+            CostModel::HOP_BYTES,
+            budget,
+            seed,
+            Arc::new(Mutex::new(PlacementEvaluator::new())),
+        )
+    }
+
+    /// SA sharing `eval` with the caller.
+    pub fn with_evaluator(
+        cost: CostModel,
+        budget: SaBudget,
+        seed: u64,
+        eval: Arc<Mutex<PlacementEvaluator>>,
+    ) -> Self {
+        SaSelector {
+            cost,
+            budget,
+            seed,
+            eval,
+            stats: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Handle to the last comm-intensive search's statistics. The engine
+    /// clears it before each placement and drains it afterwards to emit
+    /// the `sa_search` trace event.
+    pub fn stats_handle(&self) -> Arc<Mutex<Option<SaStats>>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Route statistics through a caller-owned handle instead of the
+    /// selector's private one (the engine shares its handle so the trace
+    /// layer can drain it without holding the selector).
+    pub fn share_stats(mut self, handle: Arc<Mutex<Option<SaStats>>>) -> Self {
+        self.stats = handle;
+        self
+    }
+
+    /// Take (and clear) the statistics of the last search, if one ran.
+    pub fn take_stats(&self) -> Option<SaStats> {
+        self.stats.lock().ok().and_then(|mut s| s.take())
+    }
+
+    /// The §4.3 adaptive incumbent, byte-for-byte: greedy and balanced
+    /// evaluated under `self.cost` (balanced last, keeping the memo warm),
+    /// the comm rule preferring balanced on ties. Returns the chosen
+    /// placement and its cost (`None` when no evaluation was needed or
+    /// possible).
+    fn incumbent(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<(Vec<NodeId>, Option<f64>), SelectError> {
+        let greedy = GreedySelector.select(tree, state, req)?;
+        let balanced = BalancedSelector.select(tree, state, req)?;
+        if greedy == balanced {
+            return Ok((balanced, None));
+        }
+        let spec = req.spec();
+        // A poisoned evaluator mutex means another thread panicked
+        // mid-evaluation; degrade to the balanced placement instead of
+        // propagating — the engine's own eval lock will surface the
+        // poisoning to the caller.
+        let Ok(mut eval) = self.eval.lock() else {
+            return Ok((balanced, None));
+        };
+        let cost_g = eval
+            .evaluate(tree, state, self.cost.trunk_discount, &greedy, &spec)
+            .for_model(&self.cost);
+        let cost_b = eval
+            .evaluate(tree, state, self.cost.trunk_discount, &balanced, &spec)
+            .for_model(&self.cost);
+        let take_balanced = if req.nature.is_comm() {
+            cost_b <= cost_g
+        } else {
+            cost_b > cost_g
+        };
+        Ok(if take_balanced {
+            (balanced, Some(cost_b))
+        } else {
+            (greedy, Some(cost_g))
+        })
+    }
+
+    /// Run the annealing loop from `incumbent`; returns the refined
+    /// placement (or the incumbent `Vec` unchanged when no strictly
+    /// cheaper candidate was found) and records [`SaStats`].
+    fn anneal(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+        incumbent: Vec<NodeId>,
+        incumbent_cost: Option<f64>,
+    ) -> Vec<NodeId> {
+        // The same switch every index-driven selector picked: lowest level
+        // with enough free nodes. Its leaves are the move alphabet.
+        let Some(p) = state.index().lowest_level_switch(req.nodes) else {
+            return incumbent;
+        };
+        if tree.switch(p).children.is_empty() {
+            // Single-leaf grant — no sibling subtrees to move across.
+            return incumbent;
+        }
+        // Candidate leaves in ascending ordinal order: (ordinal, capacity).
+        let mut leaves: Vec<(usize, u32)> = state
+            .index()
+            .leaves_by_free(p)
+            .iter()
+            .map(|&(free, ord)| (usize_of_u32(ord), free))
+            .collect();
+        leaves.sort_unstable();
+        if leaves.len() < 2 {
+            return incumbent;
+        }
+        // Incumbent as a per-leaf take vector.
+        let mut take = vec![0u32; leaves.len()];
+        for n in &incumbent {
+            let ord = tree.leaf_ordinal_of(*n);
+            let Ok(idx) = leaves.binary_search_by_key(&ord, |&(o, _)| o) else {
+                // Incumbent node on a leaf the index does not list under
+                // `p` — cannot model the move space; keep the incumbent.
+                return incumbent;
+            };
+            take[idx] += 1;
+        }
+        let spec = req.spec();
+        let Ok(mut eval) = self.eval.lock() else {
+            return incumbent;
+        };
+        let cost_incumbent = incumbent_cost.unwrap_or_else(|| {
+            eval.evaluate(tree, state, self.cost.trunk_discount, &incumbent, &spec)
+                .for_model(&self.cost)
+        });
+        let scale = cost_incumbent.max(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(derive_seed(self.seed, req.job, req.attempt));
+        let mut temp = self.budget.init_temp;
+        let mut cur = take.clone();
+        let mut cur_cost = cost_incumbent;
+        let mut best = take.clone();
+        let mut best_cost = cost_incumbent;
+        let mut groups: Vec<(usize, u32)> = Vec::with_capacity(leaves.len());
+        let mut evals = 0u32;
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut cand = cur.clone();
+        while evals < self.budget.max_evals {
+            cand.copy_from_slice(&cur);
+            if !propose(&mut rng, &leaves, &mut cand) {
+                // No legal move found in the retry window (e.g. every
+                // leaf drained exactly); further draws are futile.
+                break;
+            }
+            // Score the proposal from its take vector directly — no node
+            // materialization, no sort; `leaves` is ordinal-ascending so
+            // the groups are too.
+            groups.clear();
+            for (idx, &t) in cand.iter().enumerate() {
+                if t > 0 {
+                    groups.push((leaves[idx].0, t));
+                }
+            }
+            let cost = eval
+                .evaluate_grouped(tree, state, self.cost.trunk_discount, &groups, &spec)
+                .for_model(&self.cost);
+            evals += 1;
+            let delta = cost - cur_cost;
+            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / (temp * scale)).exp();
+            if accept {
+                accepted += 1;
+                cur.copy_from_slice(&cand);
+                cur_cost = cost;
+                if cost < best_cost {
+                    best.copy_from_slice(&cand);
+                    best_cost = cost;
+                }
+            } else {
+                rejected += 1;
+            }
+            temp *= self.budget.cooling;
+        }
+        let (out, cost_final) = if best_cost < cost_incumbent {
+            let mut out = Vec::with_capacity(req.nodes);
+            for (idx, &t) in best.iter().enumerate() {
+                if t > 0 {
+                    out.extend(state.free_nodes_on_leaf(tree, leaves[idx].0, usize_of_u32(t)));
+                }
+            }
+            // Confirm the winner on its materialized nodes. On every
+            // built-in topology this reproduces the grouped score exactly;
+            // on an exotic conf file whose node ids interleave leaves it
+            // may differ — either way the ≤-incumbent guarantee is checked
+            // against the *materialized* cost, which is what callers see.
+            let confirmed = eval
+                .evaluate(tree, state, self.cost.trunk_discount, &out, &spec)
+                .for_model(&self.cost);
+            if confirmed < cost_incumbent {
+                (out, confirmed)
+            } else {
+                (incumbent, cost_incumbent)
+            }
+        } else {
+            (incumbent, cost_incumbent)
+        };
+        if let Ok(mut slot) = self.stats.lock() {
+            *slot = Some(SaStats {
+                job: req.job,
+                attempt: req.attempt,
+                budget: self.budget.max_evals,
+                evals,
+                accepted,
+                rejected,
+                cost_incumbent,
+                cost_final,
+            });
+        }
+        out
+    }
+}
+
+/// Mutate `cand` with one legal shift or swap move; `false` when no legal
+/// move was found within the retry window.
+fn propose(rng: &mut ChaCha12Rng, leaves: &[(usize, u32)], cand: &mut [u32]) -> bool {
+    const RETRIES: u32 = 8;
+    let n = leaves.len();
+    for _ in 0..RETRIES {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i == j {
+            continue;
+        }
+        if rng.random::<bool>() {
+            // Shift: move nodes from leaf i to leaf j's headroom.
+            let room = leaves[j].1 - cand[j];
+            let movable = cand[i].min(room);
+            if movable == 0 {
+                continue;
+            }
+            let amt = rng.random_range(1..=movable);
+            cand[i] -= amt;
+            cand[j] += amt;
+        } else {
+            // Swap the two leaves' grants, capacities permitting.
+            if cand[i] == cand[j] || cand[i] > leaves[j].1 || cand[j] > leaves[i].1 {
+                continue;
+            }
+            cand.swap(i, j);
+        }
+        return true;
+    }
+    false
+}
+
+impl NodeSelector for SaSelector {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn select(
+        &self,
+        tree: &Tree,
+        state: &ClusterState,
+        req: &AllocRequest,
+    ) -> Result<Vec<NodeId>, SelectError> {
+        check_request(state, req)?;
+        let (incumbent, cost) = self.incumbent(tree, state, req)?;
+        if self.budget.max_evals == 0 || !req.nature.is_comm() {
+            return Ok(incumbent);
+        }
+        Ok(self.anneal(tree, state, req, incumbent, cost))
+    }
+}
+
+/// Throughput probe for `bench_engine`: run one annealing search and
+/// report `(placement, stats)` so the harness can compute evals/sec from
+/// the *actual* number of evaluator calls.
+pub fn sa_search_with_stats(
+    selector: &SaSelector,
+    tree: &Tree,
+    state: &ClusterState,
+    req: &AllocRequest,
+) -> Result<(Vec<NodeId>, Option<SaStats>), SelectError> {
+    let nodes = selector.select(tree, state, req)?;
+    Ok((nodes, selector.take_stats()))
+}
+
+/// Interpret a stats record as evaluations per second given elapsed
+/// nanoseconds (0 when nothing ran or time was unmeasurably short).
+pub fn evals_per_sec(evals: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    f64_of_u64(evals) * 1e9 / f64_of_u64(elapsed_ns)
+}

@@ -33,6 +33,10 @@ pub struct AllocRequest {
     /// back to recursive doubling with a 1 MiB vector (the paper's Figure 1
     /// message size).
     pub pattern: Option<CollectiveSpec>,
+    /// Scheduling attempt (0 = first try; requeues bump it). Folded into
+    /// the per-job RNG seed by [`crate::SaSelector`] so a requeued job
+    /// explores a different neighbourhood than its failed attempt.
+    pub attempt: u32,
 }
 
 impl AllocRequest {
@@ -43,6 +47,7 @@ impl AllocRequest {
             nodes,
             nature: JobNature::CommIntensive,
             pattern: None,
+            attempt: 0,
         }
     }
 
@@ -53,12 +58,19 @@ impl AllocRequest {
             nodes,
             nature: JobNature::ComputeIntensive,
             pattern: None,
+            attempt: 0,
         }
     }
 
     /// Attach the dominant collective pattern.
     pub fn with_pattern(mut self, spec: CollectiveSpec) -> Self {
         self.pattern = Some(spec);
+        self
+    }
+
+    /// Record the scheduling attempt (0 = first try).
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
         self
     }
 
@@ -419,7 +431,8 @@ impl NodeSelector for AdaptiveSelector {
     }
 }
 
-/// The four selectors by name, for CLI/bench plumbing.
+/// The selectors by name, for CLI/bench plumbing: the paper's four plus
+/// the annealed refinement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectorKind {
     /// SLURM stock best-fit ([`DefaultTreeSelector`]).
@@ -430,6 +443,11 @@ pub enum SelectorKind {
     Balanced,
     /// §4.3 ([`AdaptiveSelector`]).
     Adaptive,
+    /// Budgeted simulated-annealing refinement of the adaptive incumbent
+    /// ([`crate::SaSelector`], ROADMAP item 5). Not part of
+    /// [`SelectorKind::ALL`]: the paper's sweeps compare its four
+    /// selectors, SA rides the dedicated `tournament` experiment.
+    Sa,
 }
 
 impl SelectorKind {
@@ -448,13 +466,17 @@ impl SelectorKind {
         SelectorKind::Adaptive,
     ];
 
-    /// Instantiate the selector.
+    /// Instantiate the selector. `Sa` builds with [`crate::SaBudget`]
+    /// defaults and run seed 0 — engines wanting a configured search
+    /// construct [`crate::SaSelector`] directly (see
+    /// `Engine::build_selector`).
     pub fn build(self) -> Box<dyn NodeSelector> {
         match self {
             SelectorKind::Default => Box::new(DefaultTreeSelector),
             SelectorKind::Greedy => Box::new(GreedySelector),
             SelectorKind::Balanced => Box::new(BalancedSelector),
             SelectorKind::Adaptive => Box::new(AdaptiveSelector::default()),
+            SelectorKind::Sa => Box::new(crate::SaSelector::default()),
         }
     }
 
@@ -465,6 +487,7 @@ impl SelectorKind {
             SelectorKind::Greedy => "greedy",
             SelectorKind::Balanced => "balanced",
             SelectorKind::Adaptive => "adaptive",
+            SelectorKind::Sa => "sa",
         }
     }
 }
@@ -484,6 +507,7 @@ impl std::str::FromStr for SelectorKind {
             "greedy" => Ok(SelectorKind::Greedy),
             "balanced" => Ok(SelectorKind::Balanced),
             "adaptive" => Ok(SelectorKind::Adaptive),
+            "sa" | "anneal" => Ok(SelectorKind::Sa),
             other => Err(format!("unknown selector {other:?}")),
         }
     }

@@ -939,7 +939,7 @@ mod properties {
         ) {
             let (tree, st) = random_scenario(&sizes, occ, seed);
             let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
-            let req = AllocRequest { job: JobId(1), nodes: want, nature, pattern: None };
+            let req = AllocRequest { job: JobId(1), nodes: want, nature, pattern: None, attempt: 0 };
             for kind in SelectorKind::ALL {
                 let res = kind.build().select(&tree, &st, &req);
                 if want <= st.free_total() {
@@ -1017,7 +1017,7 @@ mod properties {
                     } else {
                         JobNature::ComputeIntensive
                     };
-                    let req = AllocRequest { job: JobId(next), nodes: want, nature, pattern: None };
+                    let req = AllocRequest { job: JobId(next), nodes: want, nature, pattern: None, attempt: 0 };
                     let kind = SelectorKind::ALL[rng.random_range(0usize..4)];
                     let nodes = kind.build().select(&tree, &st, &req).unwrap();
                     st.allocate(&tree, JobId(next), &nodes, nature).unwrap();
@@ -1229,7 +1229,7 @@ mod properties {
             let (tree, mut st) = random_scenario(&sizes, occ, seed);
             prop_assume!(want <= st.free_total());
             let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
-            let req = AllocRequest { job: JobId(7), nodes: want, nature, pattern: None };
+            let req = AllocRequest { job: JobId(7), nodes: want, nature, pattern: None, attempt: 0 };
             let chosen = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
 
             // Naive §4.3: compare clone-based hypothetical hop-bytes costs.
@@ -1317,7 +1317,7 @@ mod properties {
             }
             prop_assume!(want <= st.free_total());
             let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
-            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None };
+            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None, attempt: 0 };
 
             prop_assert_eq!(
                 DefaultTreeSelector.select(&tree, &st, &req).unwrap(),
@@ -1371,7 +1371,7 @@ mod properties {
             }
             prop_assume!(want <= st.free_total());
             let nature = if comm { JobNature::CommIntensive } else { JobNature::ComputeIntensive };
-            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None };
+            let req = AllocRequest { job: JobId(9), nodes: want, nature, pattern: None, attempt: 0 };
 
             prop_assert_eq!(
                 DefaultTreeSelector.select(&tree, &st, &req).unwrap(),
@@ -1442,6 +1442,7 @@ mod properties {
                         nodes: want,
                         nature,
                         pattern: None,
+                        attempt: 0,
                     };
                     let adaptive = AdaptiveSelector::default();
                     let got = match kind {
@@ -1459,6 +1460,9 @@ mod properties {
                             ));
                             select_scan::adaptive_select(&adaptive.cost, &eval, tree, &st, &req)
                         }
+                        // `kind` is drawn from ALL, which excludes Sa (no
+                        // scan twin exists for the annealed selector).
+                        SelectorKind::Sa => unreachable!("ALL does not contain Sa"),
                     }
                     .expect("scan twin sees the same free_total");
                     prop_assert_eq!(
@@ -1817,5 +1821,262 @@ mod lifecycle {
                 prop_assert!(s.check_invariants(&t).is_ok());
             }
         }
+    }
+}
+
+mod sa_properties {
+    use super::*;
+    use crate::{derive_seed, SaBudget, SaSelector};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::SeedableRng;
+
+    /// Random partially-occupied cluster over a random two-level tree
+    /// (bigger leaves than the selector suite's scenario, so multi-leaf
+    /// grants — the annealing move space — actually occur).
+    fn sa_scenario(leaf_sizes: &[usize], occupancy_pct: u8, seed: u64) -> (Tree, ClusterState) {
+        let tree = Tree::irregular_two_level(leaf_sizes);
+        let mut st = ClusterState::new(&tree);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut nodes: Vec<NodeId> = (0..tree.num_nodes()).map(NodeId).collect();
+        nodes.shuffle(&mut rng);
+        let busy = tree.num_nodes() * occupancy_pct as usize / 100;
+        for (job, chunk) in nodes[..busy].chunks(3).enumerate() {
+            let nature = if rng.random::<bool>() {
+                JobNature::CommIntensive
+            } else {
+                JobNature::ComputeIntensive
+            };
+            st.allocate(&tree, JobId(1000 + job as u64), chunk, nature)
+                .unwrap();
+        }
+        (tree, st)
+    }
+
+    fn arb_leaf_sizes() -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(4usize..24, 2..8)
+    }
+
+    /// Eq. 6 hop-bytes of a placement through a fresh evaluator — the
+    /// yardstick every guarantee below is measured with.
+    fn hop_bytes_cost(
+        tree: &Tree,
+        st: &ClusterState,
+        nodes: &[NodeId],
+        spec: &CollectiveSpec,
+    ) -> f64 {
+        PlacementEvaluator::new()
+            .evaluate(tree, st, CostModel::HOP_BYTES.trunk_discount, nodes, spec)
+            .for_model(&CostModel::HOP_BYTES)
+    }
+
+    proptest! {
+        /// The same (tree, state, request, budget, seed) always yields the
+        /// same placement — even through a *fresh* selector whose
+        /// evaluator has no history, so warm memos cannot leak into the
+        /// outcome.
+        #[test]
+        fn same_seed_same_placement(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            sa_seed in any::<u64>(),
+            want in 1usize..24,
+            budget in 0u32..96,
+        ) {
+            let (tree, st) = sa_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let req = AllocRequest::comm(JobId(5), want)
+                .with_pattern(CollectiveSpec::new(Pattern::Rhvd, 1 << 16));
+            let sa = SaSelector::new(SaBudget::with_evals(budget), sa_seed);
+            let first = sa.select(&tree, &st, &req).unwrap();
+            let replay = sa.select(&tree, &st, &req).unwrap();
+            prop_assert_eq!(&first, &replay, "same selector replays differently");
+            let fresh = SaSelector::new(SaBudget::with_evals(budget), sa_seed)
+                .select(&tree, &st, &req)
+                .unwrap();
+            prop_assert_eq!(&first, &fresh, "evaluator history changed the placement");
+        }
+
+        /// The returned placement never costs more than the adaptive
+        /// incumbent, for every (tree, occupancy, budget) sample.
+        #[test]
+        fn final_cost_never_exceeds_incumbent(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            sa_seed in any::<u64>(),
+            want in 1usize..24,
+            budget in 0u32..96,
+        ) {
+            let (tree, st) = sa_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let req = AllocRequest::comm(JobId(5), want)
+                .with_pattern(CollectiveSpec::new(Pattern::Rd, 1 << 16));
+            let spec = req.spec();
+            let incumbent = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+            let refined = SaSelector::new(SaBudget::with_evals(budget), sa_seed)
+                .select(&tree, &st, &req)
+                .unwrap();
+            let cost_inc = hop_bytes_cost(&tree, &st, &incumbent, &spec);
+            let cost_sa = hop_bytes_cost(&tree, &st, &refined, &spec);
+            prop_assert!(
+                cost_sa <= cost_inc,
+                "sa@{} cost {} exceeds incumbent {}", budget, cost_sa, cost_inc
+            );
+        }
+
+        /// Budget 0 is the adaptive placement bit-for-bit — same nodes,
+        /// same order — for comm and compute jobs alike.
+        #[test]
+        fn budget_zero_is_adaptive_bit_for_bit(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            sa_seed in any::<u64>(),
+            want in 1usize..24,
+            comm in any::<bool>(),
+        ) {
+            let (tree, st) = sa_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            let req = if comm {
+                AllocRequest::comm(JobId(5), want)
+            } else {
+                AllocRequest::compute(JobId(5), want)
+            };
+            let adaptive = AdaptiveSelector::default().select(&tree, &st, &req).unwrap();
+            let sa = SaSelector::new(SaBudget::with_evals(0), sa_seed)
+                .select(&tree, &st, &req)
+                .unwrap();
+            prop_assert_eq!(adaptive, sa);
+        }
+
+        /// Under random node and switch fault churn the search still
+        /// returns exactly N distinct free, healthy nodes — never a downed
+        /// or masked one.
+        #[test]
+        fn valid_placement_under_fault_churn(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..50,
+            seed in any::<u64>(),
+            sa_seed in any::<u64>(),
+            want in 1usize..16,
+            downs in proptest::collection::vec(any::<u32>(), 0..12),
+            down_leaf in any::<bool>(),
+        ) {
+            let (tree, mut st) = sa_scenario(&sizes, occ, seed);
+            for d in downs {
+                let n = NodeId(d as usize % tree.num_nodes());
+                let _ = st.set_down(&tree, n);
+            }
+            if down_leaf {
+                let _ = st.set_switch_down(&tree, tree.leaf(0));
+            }
+            st.check_invariants(&tree).unwrap();
+            let req = AllocRequest::comm(JobId(5), want)
+                .with_pattern(CollectiveSpec::new(Pattern::Rhvd, 1 << 16));
+            let res = SaSelector::new(SaBudget::with_evals(64), sa_seed)
+                .select(&tree, &st, &req);
+            if want > st.free_total() {
+                prop_assert!(res.is_err());
+            } else {
+                let got = res.unwrap();
+                prop_assert_eq!(got.len(), want);
+                let mut uniq = got.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), want, "duplicate nodes in placement");
+                for n in &got {
+                    prop_assert!(st.is_free(*n), "allocated busy/unavailable node {}", n);
+                    prop_assert!(!st.is_masked(*n), "allocated masked node {}", n);
+                    prop_assert_eq!(
+                        st.effective_health(*n),
+                        crate::NodeHealth::Up,
+                        "allocated unhealthy node {}", n
+                    );
+                }
+            }
+        }
+
+        /// `evaluate_grouped` on per-leaf counts is bit-identical to
+        /// `evaluate` on the materialized node set (the built-in tree
+        /// constructors number nodes leaf by leaf) — the equivalence the
+        /// annealing hot loop rests on.
+        #[test]
+        fn grouped_eval_matches_materialized(
+            sizes in arb_leaf_sizes(),
+            occ in 0u8..70,
+            seed in any::<u64>(),
+            want in 1usize..24,
+            logm in 10u32..22,
+        ) {
+            let (tree, st) = sa_scenario(&sizes, occ, seed);
+            prop_assume!(want <= st.free_total());
+            // A take vector over the leaves: greedily fill in ordinal order.
+            let mut groups: Vec<(usize, u32)> = Vec::new();
+            let mut nodes: Vec<NodeId> = Vec::new();
+            let mut left = want;
+            for k in 0..tree.num_leaves() {
+                let free = st.leaf_free(k) as usize;
+                let t = free.min(left);
+                if t > 0 {
+                    groups.push((k, t as u32));
+                    nodes.extend(st.free_nodes_on_leaf(&tree, k, t));
+                    left -= t;
+                }
+            }
+            prop_assert_eq!(left, 0);
+            let spec = CollectiveSpec::new(Pattern::Rhvd, 1u64 << logm);
+            let mut eval = PlacementEvaluator::new();
+            let d = CostModel::HOP_BYTES.trunk_discount;
+            let grouped = eval.evaluate_grouped(&tree, &st, d, &groups, &spec);
+            let materialized = eval.evaluate(&tree, &st, d, &nodes, &spec);
+            prop_assert_eq!(grouped.raw_hops.to_bits(), materialized.raw_hops.to_bits());
+            prop_assert_eq!(grouped.hop_bytes.to_bits(), materialized.hop_bytes.to_bits());
+        }
+
+        /// Distinct (job, attempt) pairs derive distinct search seeds —
+        /// requeued attempts explore a different neighbourhood.
+        #[test]
+        fn derived_seeds_distinct_across_attempts(
+            run_seed in any::<u64>(),
+            job in 0u64..1_000_000,
+            a1 in 0u32..16,
+            a2 in 0u32..16,
+        ) {
+            prop_assume!(a1 != a2);
+            prop_assert_ne!(
+                derive_seed(run_seed, JobId(job), a1),
+                derive_seed(run_seed, JobId(job), a2)
+            );
+        }
+    }
+
+    /// Requeue regression (the per-job RNG must fold in the attempt): on a
+    /// contended cluster the retry's annealing walk differs from the first
+    /// try's — observable as a different proposal stream in the stats.
+    #[test]
+    fn requeued_attempt_explores_different_neighborhood() {
+        let (tree, st) = sa_scenario(&[16, 16, 16, 16], 40, 11);
+        let sa = SaSelector::new(SaBudget::with_evals(64), 42);
+        let req = AllocRequest::comm(JobId(9), 20)
+            .with_pattern(CollectiveSpec::new(Pattern::Rhvd, 1 << 20));
+        let first = sa.select(&tree, &st, &req).unwrap();
+        let stats_first = sa.take_stats().expect("search ran");
+        let retry_req = AllocRequest::comm(JobId(9), 20)
+            .with_pattern(CollectiveSpec::new(Pattern::Rhvd, 1 << 20))
+            .with_attempt(1);
+        let retry = sa.select(&tree, &st, &retry_req).unwrap();
+        let stats_retry = sa.take_stats().expect("search ran");
+        assert_eq!(stats_first.attempt, 0);
+        assert_eq!(stats_retry.attempt, 1);
+        // Different seed, different walk: the accept/reject tallies (or
+        // the placements themselves) must diverge.
+        assert!(
+            first != retry
+                || (stats_first.accepted, stats_first.rejected)
+                    != (stats_retry.accepted, stats_retry.rejected),
+            "attempt 1 replayed attempt 0's search exactly"
+        );
     }
 }

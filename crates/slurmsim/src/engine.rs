@@ -3,7 +3,7 @@
 use commsched_collectives::CollectiveSpec;
 use commsched_core::{
     AdaptiveSelector, AllocRequest, ClusterState, CostModel, DefaultTreeSelector, JobId, JobNature,
-    NodeSelector, PlacementEvaluator, SelectorKind,
+    NodeSelector, PlacementEvaluator, SaBudget, SaSelector, SaStats, SelectorKind,
 };
 use commsched_metrics::{CounterId, Registry};
 use commsched_num::{
@@ -49,6 +49,13 @@ pub struct EngineConfig {
     pub failure_policy: FailurePolicy,
     /// What happens to a job wider than the machine.
     pub oversized: OversizedPolicy,
+    /// Annealing budget for `--selector sa`; ignored by every other
+    /// selector. `max_evals == 0` makes SA return the adaptive incumbent
+    /// bit-for-bit.
+    pub sa_budget: SaBudget,
+    /// Run seed the SA selector derives its per-(job, attempt) search
+    /// seeds from.
+    pub sa_seed: u64,
 }
 
 impl EngineConfig {
@@ -64,7 +71,17 @@ impl EngineConfig {
             enforce_walltime: false,
             failure_policy: FailurePolicy::default(),
             oversized: OversizedPolicy::Abort,
+            sa_budget: SaBudget::default(),
+            sa_seed: 0,
         }
+    }
+
+    /// Configure the simulated-annealing selector's budget and run seed
+    /// (only meaningful with [`SelectorKind::Sa`]).
+    pub fn with_sa(mut self, budget: SaBudget, seed: u64) -> Self {
+        self.sa_budget = budget;
+        self.sa_seed = seed;
+        self
     }
 
     /// Disable runtime adjustment (pure replay).
@@ -635,6 +652,11 @@ pub struct Engine<'t> {
     /// adaptive selector, so candidate comparison warms the hop memo the
     /// Eq. 7 evaluation then reuses.
     eval: Arc<Mutex<PlacementEvaluator>>,
+    /// Statistics of the SA selector's last search, shared with the
+    /// selector built by [`Engine::build_selector`]; `place` clears it and
+    /// the scheduler drains it into the `sa_search` trace event. Always
+    /// `None` under any other selector.
+    sa_stats: Arc<Mutex<Option<SaStats>>>,
 }
 
 impl<'t> Engine<'t> {
@@ -646,6 +668,7 @@ impl<'t> Engine<'t> {
             drained: Vec::new(),
             faults: FaultTrace::empty(),
             eval: Arc::new(Mutex::new(PlacementEvaluator::new())),
+            sa_stats: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -656,14 +679,25 @@ impl<'t> Engine<'t> {
         self
     }
 
-    /// Build the configured selector. The adaptive selector shares this
-    /// engine's evaluator (see the `eval` field); the others are stateless.
+    /// Build the configured selector. The adaptive and SA selectors share
+    /// this engine's evaluator (see the `eval` field); the others are
+    /// stateless. SA additionally routes its search statistics through
+    /// the engine's `sa_stats` handle for trace emission.
     pub(crate) fn build_selector(&self) -> Box<dyn NodeSelector> {
         match self.cfg.selector {
             SelectorKind::Adaptive => Box::new(AdaptiveSelector::with_evaluator(
                 CostModel::HOP_BYTES,
                 Arc::clone(&self.eval),
             )),
+            SelectorKind::Sa => Box::new(
+                SaSelector::with_evaluator(
+                    CostModel::HOP_BYTES,
+                    self.cfg.sa_budget,
+                    self.cfg.sa_seed,
+                    Arc::clone(&self.eval),
+                )
+                .share_stats(Arc::clone(&self.sa_stats)),
+            ),
             k => k.build(),
         }
     }
@@ -719,7 +753,15 @@ impl<'t> Engine<'t> {
         job: &Job,
         selector: &dyn NodeSelector,
         links: &[f64],
+        attempt: u32,
     ) -> Option<Placed> {
+        if self.cfg.selector == SelectorKind::Sa {
+            // Fresh slot per placement, so a declined placement can never
+            // leave stale search statistics for the next job's events.
+            if let Ok(mut s) = self.sa_stats.lock() {
+                *s = None;
+            }
+        }
         let req = AllocRequest {
             job: job.id,
             nodes: job.nodes,
@@ -728,6 +770,7 @@ impl<'t> Engine<'t> {
                 .comm
                 .first()
                 .map(|(p, _)| CollectiveSpec::new(*p, self.cfg.msize)),
+            attempt,
         };
         let nodes = selector.select(self.tree, state, &req).ok()?;
 
@@ -1424,6 +1467,39 @@ impl<'t> Engine<'t> {
         Ok(())
     }
 
+    /// Drain the SA selector's last search record (if one ran) into the
+    /// `sa_search` trace event and the lazy SA counters. A no-op — and
+    /// byte-neutral for traces and reports — under every other selector,
+    /// and for budget-0/compute placements where no search runs.
+    fn emit_sa(&self, now: u64, obs: &mut Obs<'_, '_>) {
+        let Some(st) = self.sa_stats.lock().ok().and_then(|mut s| s.take()) else {
+            return;
+        };
+        obs.tr.emit(
+            us(now),
+            TK::SaSearch {
+                job: st.job.0,
+                attempt: st.attempt,
+                budget: u64::from(st.budget),
+                evals: u64::from(st.evals),
+                accepted: u64::from(st.accepted),
+                rejected: u64::from(st.rejected),
+                cost_incumbent: st.cost_incumbent,
+                cost_final: st.cost_final,
+            },
+        );
+        // Registered lazily, like the fault counters: non-SA runs keep
+        // their report byte layout.
+        let c = obs.reg.counter("sa.searches");
+        obs.reg.inc(c, 1);
+        let c = obs.reg.counter("sa.evals");
+        obs.reg.inc(c, u64::from(st.evals));
+        if st.cost_final < st.cost_incumbent {
+            let c = obs.reg.counter("sa.improved");
+            obs.reg.inc(c, 1);
+        }
+    }
+
     /// One pass of the scheduler: start the head while it fits, then EASY
     /// backfill behind its reservation.
     #[allow(clippy::too_many_arguments)]
@@ -1450,7 +1526,7 @@ impl<'t> Engine<'t> {
                          outcomes: &mut Vec<JobOutcome>|
          -> Result<bool, EngineError> {
             let job = &log.jobs[i];
-            let Some(mut placed) = self.place(state, job, selector, links) else {
+            let Some(mut placed) = self.place(state, job, selector, links, retries[i]) else {
                 return Ok(false);
             };
             if self.cfg.enforce_walltime {
@@ -1492,6 +1568,7 @@ impl<'t> Engine<'t> {
                 && start_job(head, state, running, events, outcomes)?
             {
                 pending.remove(0);
+                self.emit_sa(now, obs);
                 if let Some(o) = outcomes.last() {
                     obs.note_start(now, o, retries[head], false);
                 }
@@ -1539,6 +1616,7 @@ impl<'t> Engine<'t> {
             let harmless = now.saturating_add(job.walltime) <= shadow || job.nodes <= extra;
             if fits_now && harmless && start_job(i, state, running, events, outcomes)? {
                 pending.remove(k);
+                self.emit_sa(now, obs);
                 if let Some(o) = outcomes.last() {
                     obs.note_start(now, o, retries[i], true);
                 }
@@ -1603,6 +1681,7 @@ impl<'t> Engine<'t> {
                     && start_job(i, state, running, events, outcomes)?
                 {
                     pending.remove(k);
+                    self.emit_sa(now, obs);
                     if let Some(o) = outcomes.last() {
                         obs.note_start(now, o, retries[i], k > 0);
                     }

@@ -79,7 +79,9 @@ pub fn warmup_state(tree: &Tree, log: &JobLog, fraction: f64) -> ClusterState {
         if state.busy_total() + job.nodes > target + target / 5 || job.nodes > state.free_total() {
             continue;
         }
-        if let Some(placed) = engine.place(&state, job, &commsched_core::DefaultTreeSelector, &[]) {
+        if let Some(placed) =
+            engine.place(&state, job, &commsched_core::DefaultTreeSelector, &[], 0)
+        {
             state
                 .allocate(tree, job.id, &placed.nodes, job.nature)
                 // detlint: allow(P1) — place() only returns nodes free in
@@ -136,7 +138,8 @@ pub fn individual_runs(
                     }
                     let mut placements = Vec::with_capacity(engines.len());
                     for (kind, engine, selector) in &engines {
-                        let Some(placed) = engine.place(state, job, selector.as_ref(), &[]) else {
+                        let Some(placed) = engine.place(state, job, selector.as_ref(), &[], 0)
+                        else {
                             continue;
                         };
                         placements.push(Placement {

@@ -380,7 +380,7 @@ fn place_matches_naive_clone_replication() {
 
         let selector = engine.build_selector();
         let placed = engine
-            .place(&state, &probe, selector.as_ref(), &[])
+            .place(&state, &probe, selector.as_ref(), &[], 0)
             .unwrap();
 
         // Naive replication (selectors are deterministic, so re-selecting
@@ -393,6 +393,7 @@ fn place_matches_naive_clone_replication() {
                 .comm
                 .first()
                 .map(|(p, _)| CollectiveSpec::new(*p, cfg.msize)),
+            attempt: 0,
         };
         let nodes = selector.select(&tree, &state, &req).unwrap();
         assert_eq!(nodes, placed.nodes, "{kind}: allocation changed");
@@ -459,7 +460,7 @@ fn place_matches_naive_clone_replication() {
         };
         let engine2 = Engine::new(&tree, cfg2);
         let placed2 = engine2
-            .place(&state, &probe, selector.as_ref(), &[])
+            .place(&state, &probe, selector.as_ref(), &[], 0)
             .unwrap();
         let mut adjusted2 = probe.runtime as f64 * (1.0 - probe.comm_fraction());
         for &(pattern, fraction) in &probe.comm {

@@ -104,6 +104,10 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 // Placement detail lives in the JSONL trace; the start span
                 // that follows carries the visual information.
             }
+            EventKind::SaSearch { .. } => {
+                // Annealing-search detail lives in the JSONL trace; the
+                // place record it precedes carries the chosen cost.
+            }
             EventKind::Fault { node, kind } => {
                 push_record(&mut out, &mut first, &format!(
                     "{{\"name\":\"fault:{} n{node}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":1,\"tid\":0}}",

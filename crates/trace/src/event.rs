@@ -97,6 +97,26 @@ pub enum EventKind {
         /// Eq. 6 cost of the default selector's allocation.
         cost_default: f64,
     },
+    /// The simulated-annealing selector finished a search for an attempt
+    /// (emitted only under `--selector sa` with a non-zero budget).
+    SaSearch {
+        /// Job id.
+        job: u64,
+        /// Attempt number the search placed.
+        attempt: u32,
+        /// Configured evaluation budget (`max_evals`).
+        budget: u64,
+        /// Evaluator calls actually spent.
+        evals: u64,
+        /// Accepted proposals (including uphill Metropolis accepts).
+        accepted: u64,
+        /// Rejected proposals.
+        rejected: u64,
+        /// Cost of the greedy/balanced incumbent under the search model.
+        cost_incumbent: f64,
+        /// Cost of the returned placement (≤ `cost_incumbent`).
+        cost_final: f64,
+    },
     /// An attempt began executing.
     JobStart {
         /// Job id.
@@ -193,6 +213,7 @@ impl EventKind {
             EventKind::JobSubmit { .. }
             | EventKind::JobEligible { .. }
             | EventKind::JobPlace { .. }
+            | EventKind::SaSearch { .. }
             | EventKind::JobStart { .. }
             | EventKind::JobFinish { .. }
             | EventKind::JobRequeue { .. }
@@ -212,6 +233,7 @@ impl EventKind {
             EventKind::JobSubmit { .. } => "submit",
             EventKind::JobEligible { .. } => "eligible",
             EventKind::JobPlace { .. } => "place",
+            EventKind::SaSearch { .. } => "sa_search",
             EventKind::JobStart { .. } => "start",
             EventKind::JobFinish { .. } => "finish",
             EventKind::JobRequeue { .. } => "requeue",
@@ -284,6 +306,24 @@ impl Event {
                 fmt_f64(&mut s, cost_actual);
                 s.push_str(",\"cost_default\":");
                 fmt_f64(&mut s, cost_default);
+            }
+            EventKind::SaSearch {
+                job,
+                attempt,
+                budget,
+                evals,
+                accepted,
+                rejected,
+                cost_incumbent,
+                cost_final,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{job},\"attempt\":{attempt},\"budget\":{budget},\"evals\":{evals},\"accepted\":{accepted},\"rejected\":{rejected},\"cost_incumbent\":"
+                );
+                fmt_f64(&mut s, cost_incumbent);
+                s.push_str(",\"cost_final\":");
+                fmt_f64(&mut s, cost_final);
             }
             EventKind::JobStart {
                 job,

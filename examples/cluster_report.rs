@@ -94,6 +94,7 @@ fn main() {
                 nodes: o.nodes,
                 nature: o.nature,
                 pattern: None,
+                attempt: 0,
             };
             if let Ok(nodes) = selector.select(&tree, &state, &req) {
                 let _ = state.allocate(&tree, o.id, &nodes, o.nature);
